@@ -1,0 +1,15 @@
+"""Benchmark F1 — Chessboard ingest-vs-decay series.
+
+Regenerates experiment F1 (see DESIGN.md) at smoke scale and
+asserts its shape checks; the timed quantity is the full experiment.
+"""
+
+from conftest import assert_checks
+
+from repro.experiments.f1_chessboard import run
+
+
+def test_f1_chessboard(benchmark):
+    """Time one full F1 run and verify every shape check."""
+    result = benchmark.pedantic(run, args=("smoke",), iterations=1, rounds=1)
+    assert_checks(result)

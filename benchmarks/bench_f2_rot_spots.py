@@ -1,0 +1,15 @@
+"""Benchmark F2 — EGI rot-spot dynamics.
+
+Regenerates experiment F2 (see DESIGN.md) at smoke scale and
+asserts its shape checks; the timed quantity is the full experiment.
+"""
+
+from conftest import assert_checks
+
+from repro.experiments.f2_rot_spots import run
+
+
+def test_f2_rot_spots(benchmark):
+    """Time one full F2 run and verify every shape check."""
+    result = benchmark.pedantic(run, args=("smoke",), iterations=1, rounds=1)
+    assert_checks(result)

@@ -1,0 +1,15 @@
+"""Benchmark F3 — Law-2 extent-vs-queries series.
+
+Regenerates experiment F3 (see DESIGN.md) at smoke scale and
+asserts its shape checks; the timed quantity is the full experiment.
+"""
+
+from conftest import assert_checks
+
+from repro.experiments.f3_consume import run
+
+
+def test_f3_consume(benchmark):
+    """Time one full F3 run and verify every shape check."""
+    result = benchmark.pedantic(run, args=("smoke",), iterations=1, rounds=1)
+    assert_checks(result)

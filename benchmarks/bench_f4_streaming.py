@@ -1,0 +1,15 @@
+"""Benchmark F4 — fungus vs streaming-window baseline.
+
+Regenerates experiment F4 (see DESIGN.md) at smoke scale and
+asserts its shape checks; the timed quantity is the full experiment.
+"""
+
+from conftest import assert_checks
+
+from repro.experiments.f4_streaming import run
+
+
+def test_f4_streaming(benchmark):
+    """Time one full F4 run and verify every shape check."""
+    result = benchmark.pedantic(run, args=("smoke",), iterations=1, rounds=1)
+    assert_checks(result)

@@ -1,0 +1,15 @@
+"""Benchmark F5 — extinction sweep.
+
+Regenerates experiment F5 (see DESIGN.md) at smoke scale and
+asserts its shape checks; the timed quantity is the full experiment.
+"""
+
+from conftest import assert_checks
+
+from repro.experiments.f5_extinction import run
+
+
+def test_f5_extinction(benchmark):
+    """Time one full F5 run and verify every shape check."""
+    result = benchmark.pedantic(run, args=("smoke",), iterations=1, rounds=1)
+    assert_checks(result)

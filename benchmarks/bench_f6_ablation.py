@@ -1,0 +1,15 @@
+"""Benchmark F6 — design-choice ablations.
+
+Regenerates experiment F6 (see DESIGN.md) at smoke scale and
+asserts its shape checks; the timed quantity is the full experiment.
+"""
+
+from conftest import assert_checks
+
+from repro.experiments.f6_ablation import run
+
+
+def test_f6_ablation(benchmark):
+    """Time one full F6 run and verify every shape check."""
+    result = benchmark.pedantic(run, args=("smoke",), iterations=1, rounds=1)
+    assert_checks(result)

@@ -1,0 +1,15 @@
+"""Benchmark F7 — owner care: access-refresh vs bare EGI.
+
+Regenerates experiment F7 (see DESIGN.md) at smoke scale and
+asserts its shape checks; the timed quantity is the full experiment.
+"""
+
+from conftest import assert_checks
+
+from repro.experiments.f7_owner_care import run
+
+
+def test_f7_owner_care(benchmark):
+    """Time one full F7 run and verify every shape check."""
+    result = benchmark.pedantic(run, args=("smoke",), iterations=1, rounds=1)
+    assert_checks(result)

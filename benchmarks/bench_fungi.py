@@ -1,0 +1,58 @@
+"""Micro-benchmarks of single fungus cycles at a fixed extent.
+
+Complements experiment T3 (which sweeps extents): here each fungus
+gets one tick over the same 10k-row quiesced table, so relative cycle
+costs are directly comparable in the pytest-benchmark table.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.clock import DecayClock
+from repro.core.table import DecayingTable
+from repro.fungi import (
+    BlueCheeseFungus,
+    EGIFungus,
+    ExponentialDecayFungus,
+    LinearDecayFungus,
+    RetentionFungus,
+)
+from repro.storage import Schema
+
+N = 10_000
+
+
+def _table() -> DecayingTable:
+    clock = DecayClock()
+    table = DecayingTable("bench", Schema.of(v="int"), clock)
+    for i in range(N):
+        table.insert({"v": i})
+    clock.advance(1)
+    return table
+
+
+@pytest.mark.parametrize(
+    "name,make",
+    [
+        ("retention", lambda: RetentionFungus(max_age=1_000_000)),
+        ("linear", lambda: LinearDecayFungus(rate=1e-9)),
+        ("exponential", lambda: ExponentialDecayFungus(half_life=1e9)),
+        ("egi", lambda: EGIFungus(seeds_per_cycle=2, decay_rate=1e-9)),
+        ("blue-cheese", lambda: BlueCheeseFungus(max_spots=3, base_rate=1e-9)),
+    ],
+)
+def test_fungus_cycle(benchmark, name, make):
+    """One decay cycle over a 10k-row table (rates ~0: no evictions)."""
+    table = _table()
+    fungus = make()
+    rng = random.Random(0)
+
+    def cycle():
+        return fungus.cycle(table, rng)
+
+    report = benchmark.pedantic(cycle, iterations=1, rounds=5)
+    assert report.fungus == fungus.name
+    assert len(table) == N  # decay rates are ~0, nothing exhausted

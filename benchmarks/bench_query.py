@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the query engine.
+
+Covers the paths the experiments lean on: parse, full scan with
+residual predicate, index-served scan, aggregation, and consuming
+queries.
+"""
+
+from __future__ import annotations
+
+from repro.query import QueryEngine, parse
+from repro.storage import Catalog, Schema
+
+N = 5_000
+
+
+def _engine() -> QueryEngine:
+    catalog = Catalog()
+    table = catalog.create_table("r", Schema.of(t="timestamp", f="float", v="int", key="str"))
+    catalog.create_hash_index("r", "key")
+    catalog.create_sorted_index("r", "t")
+    for i in range(N):
+        table.append((float(i), 1.0, i * 3 % 997, f"k{i % 50}"))
+    return QueryEngine(catalog)
+
+
+def test_parse(benchmark):
+    """Parser throughput on a representative statement."""
+    sql = (
+        "CONSUME SELECT key, count(*) AS n, avg(v) FROM r "
+        "WHERE t BETWEEN 10 AND 500 AND v > 100 "
+        "GROUP BY key HAVING count(*) > 2 ORDER BY n DESC LIMIT 10"
+    )
+
+    def parse_many() -> int:
+        for _ in range(200):
+            parse(sql)
+        return 200
+
+    assert benchmark.pedantic(parse_many, iterations=1, rounds=3) == 200
+
+
+def test_full_scan_filter(benchmark):
+    """Unindexed predicate over the whole table."""
+    engine = _engine()
+
+    def scan():
+        return engine.execute("SELECT count(*) FROM r WHERE v % 7 = 0").scalar()
+
+    count = benchmark.pedantic(scan, iterations=1, rounds=3)
+    assert count > 0
+
+
+def test_index_scan(benchmark):
+    """Hash-index-served point predicate."""
+    engine = _engine()
+
+    def lookup():
+        return engine.execute("SELECT count(*) FROM r WHERE key = 'k7'").scalar()
+
+    count = benchmark.pedantic(lookup, iterations=1, rounds=3)
+    assert count == N // 50
+
+
+def test_group_by(benchmark):
+    """Aggregation over every row."""
+    engine = _engine()
+
+    def aggregate():
+        return len(engine.execute("SELECT key, count(*), avg(v) FROM r GROUP BY key"))
+
+    groups = benchmark.pedantic(aggregate, iterations=1, rounds=3)
+    assert groups == 50
+
+
+def test_consume(benchmark):
+    """Consuming query: answer + delete (rebuilds the table per round)."""
+    def consume() -> int:
+        engine = _engine()
+        res = engine.execute("CONSUME SELECT v FROM r WHERE t BETWEEN 0 AND 999")
+        return len(res.consumed)
+
+    consumed = benchmark.pedantic(consume, iterations=1, rounds=5)
+    assert consumed == 1_000

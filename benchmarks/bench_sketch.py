@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the summary sketches (the distiller's hot loop)."""
+
+from __future__ import annotations
+
+from repro.sketch import (
+    BloomFilter,
+    CountMinSketch,
+    HyperLogLog,
+    ReservoirSample,
+    StreamingHistogram,
+    TableSummary,
+)
+from repro.storage import Schema
+
+N = 10_000
+
+
+def test_countmin_add(benchmark):
+    """Count-min ingestion rate."""
+    def run() -> CountMinSketch:
+        cm = CountMinSketch(width=256, depth=4)
+        for i in range(N):
+            cm.add(f"k{i % 500}")
+        return cm
+
+    cm = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert cm.total == N
+
+
+def test_hll_add(benchmark):
+    """HyperLogLog ingestion rate."""
+    def run() -> HyperLogLog:
+        hll = HyperLogLog(12)
+        for i in range(N):
+            hll.add(f"k{i}")
+        return hll
+
+    hll = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert abs(hll.estimate() - N) / N < 0.1
+
+
+def test_bloom_add_and_query(benchmark):
+    """Bloom filter insert + membership mix."""
+    def run() -> int:
+        bloom = BloomFilter.from_capacity(N, 0.01)
+        for i in range(N):
+            bloom.add(i)
+        return sum(1 for i in range(N) if i in bloom)
+
+    hits = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert hits == N
+
+
+def test_histogram_add(benchmark):
+    """Streaming histogram with centroid merging."""
+    def run() -> StreamingHistogram:
+        hist = StreamingHistogram(64)
+        for i in range(N):
+            hist.add((i * 37 % 1_000) / 10.0)
+        return hist
+
+    hist = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert hist.total == N
+
+
+def test_reservoir_add(benchmark):
+    """Reservoir sampling over a long stream."""
+    def run() -> ReservoirSample:
+        rs = ReservoirSample(100, seed=1)
+        for i in range(N):
+            rs.add(i)
+        return rs
+
+    rs = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert rs.seen == N
+
+
+def test_table_summary_row_rate(benchmark):
+    """Full per-row distillation cost (all sketches on every column)."""
+    schema = Schema.of(t="timestamp", f="float", v="float", key="str")
+    rows = [
+        {"t": float(i), "f": 1.0, "v": (i * 31 % 100) / 7.0, "key": f"k{i % 50}"}
+        for i in range(N // 4)
+    ]
+
+    def run() -> TableSummary:
+        summary = TableSummary("bench", schema, time_column="t")
+        for row in rows:
+            summary.add_row(row)
+        return summary
+
+    summary = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert summary.row_count == N // 4

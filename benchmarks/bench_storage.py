@@ -1,0 +1,113 @@
+"""Micro-benchmarks of the storage engine hot paths.
+
+These are the operations the decay clock and Law 2 hammer: append,
+tombstone delete, neighbour navigation, index maintenance, compaction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import HashIndex, Schema, SortedIndex, Table
+
+N = 4_000
+
+
+def _filled_table(with_indexes: bool = False) -> Table:
+    table = Table(Schema.of(t="timestamp", f="float", v="int", key="str"), "bench")
+    if with_indexes:
+        HashIndex(table, "key")
+        SortedIndex(table, "t")
+    for i in range(N):
+        table.append((float(i), 1.0, i, f"k{i % 100}"))
+    return table
+
+
+def test_append_plain(benchmark):
+    """Raw appends without indexes."""
+    def build() -> Table:
+        table = Table(Schema.of(t="timestamp", f="float", v="int", key="str"), "b")
+        for i in range(N):
+            table.append((float(i), 1.0, i, f"k{i % 100}"))
+        return table
+
+    table = benchmark.pedantic(build, iterations=1, rounds=3)
+    assert len(table) == N
+
+
+def test_append_indexed(benchmark):
+    """Appends while maintaining hash + sorted indexes."""
+    def build() -> Table:
+        table = Table(Schema.of(t="timestamp", f="float", v="int", key="str"), "b")
+        HashIndex(table, "key")
+        SortedIndex(table, "t")
+        for i in range(N):
+            table.append((float(i), 1.0, i, f"k{i % 100}"))
+        return table
+
+    table = benchmark.pedantic(build, iterations=1, rounds=3)
+    assert len(table) == N
+
+
+def test_delete_and_compact(benchmark):
+    """Tombstone half the table and compact it."""
+    def run() -> int:
+        table = _filled_table()
+        for rid in range(0, N, 2):
+            table.delete(rid)
+        table.compact()
+        return len(table)
+
+    remaining = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert remaining == N // 2
+
+
+def test_neighbour_walk(benchmark):
+    """prev/next navigation across a table with scattered tombstones."""
+    table = _filled_table()
+    for rid in range(0, N, 7):
+        table.delete(rid)
+
+    def walk() -> int:
+        count = 0
+        rid = table.next_live(0)
+        while rid is not None and count < 2_000:
+            rid = table.next_live(rid)
+            count += 1
+        return count
+
+    count = benchmark.pedantic(walk, iterations=1, rounds=3)
+    assert count == 2_000
+
+
+def test_hash_lookup(benchmark):
+    """Equality lookups through the hash index."""
+    table = _filled_table(with_indexes=True)
+    index = HashIndex(table, "key")
+
+    def lookups() -> int:
+        total = 0
+        for i in range(100):
+            total += len(index.lookup(f"k{i}"))
+        return total
+
+    total = benchmark.pedantic(lookups, iterations=1, rounds=3)
+    assert total == N
+
+
+def test_sorted_range(benchmark):
+    """Range scans through the sorted index."""
+    table = _filled_table()
+    index = SortedIndex(table, "t")
+
+    def ranges() -> int:
+        total = 0
+        for start in range(0, N, 1_000):
+            total += len(index.range(float(start), float(start + 500)))
+        return total
+
+    expected = sum(
+        min(start + 500, N - 1) - start + 1 for start in range(0, N, 1_000)
+    )
+    total = benchmark.pedantic(ranges, iterations=1, rounds=3)
+    assert total == expected

@@ -1,0 +1,15 @@
+"""Benchmark T1 — fungus steady-state comparison.
+
+Regenerates experiment T1 (see DESIGN.md) at smoke scale and
+asserts its shape checks; the timed quantity is the full experiment.
+"""
+
+from conftest import assert_checks
+
+from repro.experiments.t1_fungus_comparison import run
+
+
+def test_t1_fungus_comparison(benchmark):
+    """Time one full T1 run and verify every shape check."""
+    result = benchmark.pedantic(run, args=("smoke",), iterations=1, rounds=1)
+    assert_checks(result)

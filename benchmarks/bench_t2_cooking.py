@@ -1,0 +1,15 @@
+"""Benchmark T2 — summary fidelity vs space.
+
+Regenerates experiment T2 (see DESIGN.md) at smoke scale and
+asserts its shape checks; the timed quantity is the full experiment.
+"""
+
+from conftest import assert_checks
+
+from repro.experiments.t2_cooking import run
+
+
+def test_t2_cooking(benchmark):
+    """Time one full T2 run and verify every shape check."""
+    result = benchmark.pedantic(run, args=("smoke",), iterations=1, rounds=1)
+    assert_checks(result)

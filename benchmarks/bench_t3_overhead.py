@@ -1,0 +1,15 @@
+"""Benchmark T3 — decay-clock overhead.
+
+Regenerates experiment T3 (see DESIGN.md) at smoke scale and
+asserts its shape checks; the timed quantity is the full experiment.
+"""
+
+from conftest import assert_checks
+
+from repro.experiments.t3_overhead import run
+
+
+def test_t3_overhead(benchmark):
+    """Time one full T3 run and verify every shape check."""
+    result = benchmark.pedantic(run, args=("smoke",), iterations=1, rounds=1)
+    assert_checks(result)

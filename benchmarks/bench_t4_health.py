@@ -1,0 +1,15 @@
+"""Benchmark T4 — health dividend.
+
+Regenerates experiment T4 (see DESIGN.md) at smoke scale and
+asserts its shape checks; the timed quantity is the full experiment.
+"""
+
+from conftest import assert_checks
+
+from repro.experiments.t4_health import run
+
+
+def test_t4_health(benchmark):
+    """Time one full T4 run and verify every shape check."""
+    result = benchmark.pedantic(run, args=("smoke",), iterations=1, rounds=1)
+    assert_checks(result)

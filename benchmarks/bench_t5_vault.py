@@ -1,0 +1,15 @@
+"""Benchmark T5 — summary-container ablation (unbounded vs vault).
+
+Regenerates experiment T5 (see DESIGN.md) at smoke scale and
+asserts its shape checks; the timed quantity is the full experiment.
+"""
+
+from conftest import assert_checks
+
+from repro.experiments.t5_vault import run
+
+
+def test_t5_vault(benchmark):
+    """Time one full T5 run and verify every shape check."""
+    result = benchmark.pedantic(run, args=("smoke",), iterations=1, rounds=1)
+    assert_checks(result)

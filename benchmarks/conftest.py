@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Every ``bench_*.py`` file regenerates one derived table/figure (see
+DESIGN.md's experiment index) by running the corresponding
+:mod:`repro.experiments` module at smoke scale under pytest-benchmark,
+then asserting the experiment's shape checks. ``--benchmark-only``
+runs just these.
+
+Run the full paper-scale series (the numbers EXPERIMENTS.md records)
+with ``python -m repro.experiments paper``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import render_result
+from repro.bench.runner import ExperimentResult
+
+
+def assert_checks(result: ExperimentResult) -> None:
+    """Fail the benchmark if any shape check regressed."""
+    failed = [name for name, ok in result.checks.items() if not ok]
+    if failed:
+        pytest.fail(
+            f"{result.experiment_id} shape checks failed: {failed}\n"
+            + render_result(result)
+        )

@@ -1,0 +1,63 @@
+"""Log compaction: "what to decay" + consuming incident reports.
+
+A web-log table where decay policy is *content-aware* (the paper's
+"what to decay" axis), combined with Law-2 consumption:
+
+* successful requests (status 200/304) rot quickly — they only matter
+  in aggregate, which the distiller preserves;
+* errors rot slowly — kept around for debugging;
+* when an incident review happens, the 500s are CONSUMEd: inspected
+  once, summarised, removed.
+
+Run: ``python examples/log_compaction.py``
+"""
+
+from repro import CompositeFungus, FungusDB, PredicateFungus
+from repro.workload import WebLogGenerator
+
+
+def main() -> None:
+    db = FungusDB(seed=99)
+    generator = WebLogGenerator(num_urls=50, num_users=200, seed=99)
+
+    fungus = CompositeFungus(
+        [
+            PredicateFungus(lambda a: a["status"] in (200, 304), rate=0.10, name="rot-success"),
+            PredicateFungus(lambda a: a["status"] in (404, 500), rate=0.01, name="keep-errors"),
+        ]
+    )
+    db.create_table("logs", generator.schema, fungus=fungus)
+
+    for tick in range(80):
+        db.insert_many("logs", [generator.generate(tick) for _ in range(25)])
+        db.tick(1)
+
+    print(f"extent after 80 ticks: {db.extent('logs')}")
+    mix = db.query(
+        "SELECT status, count(*) AS live, avg(f) AS mean_f "
+        "FROM logs GROUP BY status ORDER BY status"
+    )
+    print("\nsurviving rows by status (errors outlive successes):")
+    print(mix.pretty())
+
+    # incident review: inspect the 500s once, then remove them (Law 2)
+    incident = db.query(
+        "CONSUME SELECT url, latency_ms, user FROM logs WHERE status = 500"
+    )
+    print(f"\nincident review consumed {incident.stats.rows_consumed} error rows")
+    slowest = sorted(incident.to_dicts(), key=lambda r: -r["latency_ms"])[:3]
+    for row in slowest:
+        print(f"  {row['url']:>12} {row['latency_ms']:8.1f} ms  {row['user']}")
+
+    # the aggregate view of everything that ever rotted away
+    merged = db.merged_summary("logs")
+    print(f"\n{merged.describe()}")
+    url_summary = merged.column("url")
+    print(f"  ~distinct urls ever seen: {url_summary.estimate_distinct():.0f}")
+    print(f"  ~requests for /page/1:    {url_summary.estimate_frequency('/page/1')}")
+    print(f"  all-time p95 latency:     {merged.column('latency_ms').estimate_quantile(0.95):.1f} ms")
+    print(f"  was /page/3 ever logged?  {url_summary.maybe_contains('/page/3')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: the two natural laws of Big Data in ~60 lines.
+
+Law 1 — data decays under a fungus on a periodic clock.
+Law 2 — queries consume: answered data leaves the table, distilled
+into summaries.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import EGIFungus, FungusDB, Schema
+
+
+def main() -> None:
+    db = FungusDB(seed=7)
+
+    # R(t, f, sensor, temp): t and f are added automatically
+    db.create_table(
+        "readings",
+        Schema.of(sensor="str", temp="float"),
+        fungus=EGIFungus(seeds_per_cycle=2, decay_rate=0.25),
+    )
+
+    # ingest a few ticks of data
+    for tick in range(10):
+        for i in range(20):
+            db.insert("readings", {"sensor": f"s{i % 5}", "temp": 15.0 + (i * 7 % 20)})
+        db.tick(1)  # Law 1: one decay cycle
+
+    print(f"extent after ingest: {db.extent('readings')} tuples")
+    print(db.health("readings").describe())
+
+    # ordinary queries see the freshness column like any other
+    fresh = db.query("SELECT sensor, count(*) AS n FROM readings WHERE f > 0.5 GROUP BY sensor ORDER BY sensor")
+    print("\nfresh tuples per sensor:")
+    print(fresh.pretty())
+
+    # Law 2: a consuming query removes what it answers
+    hot = db.query("CONSUME SELECT sensor, temp FROM readings WHERE temp > 30")
+    print(f"\nconsumed {hot.stats.rows_consumed} hot readings; extent now {db.extent('readings')}")
+
+    # keep rotting: the relation eventually disappears completely
+    db.tick(50)
+    print(f"extent after 50 more ticks: {db.extent('readings')}")
+
+    # nothing died unseen: every departed tuple lives on in a summary
+    summary = db.merged_summary("readings")
+    print(f"\nsummary: {summary.describe()}")
+    print(f"  ~distinct sensors ever: {summary.column('sensor').estimate_distinct():.1f}")
+    print(f"  mean temp ever: {summary.column('temp').estimate_mean():.2f}")
+    print(f"  p95 temp ever: {summary.column('temp').estimate_quantile(0.95):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — a reproduction of "Big Data Space Fungus" (Kersten, CIDR 2015).
+
+A relational database in which data rots by natural law:
+
+* **Law 1 (decay)** — every relation ``R(t, f, A1..An)`` carries
+  per-tuple freshness; a periodic decay clock applies a *data fungus*
+  that lowers freshness until tuples disappear.
+* **Law 2 (consume)** — ``CONSUME SELECT`` replaces the extent of R by
+  ``R − σ_P(R)``: answered data leaves the table, distilled into
+  bounded summaries.
+
+Public API highlights (see subpackages for the full surface)::
+
+    from repro import FungusDB, Schema, EGIFungus
+
+    db = FungusDB(seed=7)
+    db.create_table("logs", Schema.of(url="str", status="int"),
+                    fungus=EGIFungus(seeds_per_cycle=2, decay_rate=0.25))
+    db.insert("logs", {"url": "/home", "status": 200})
+    db.tick(5)
+    db.query("SELECT count(*) FROM logs WHERE f > 0.5")
+    db.query("CONSUME SELECT url FROM logs WHERE status = 500")
+"""
+
+from repro.errors import FungusError
+from repro.storage.schema import ColumnDef, DataType, Schema
+from repro.storage.rowset import RowSet
+from repro.core.clock import DecayClock
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.db import FungusDB
+from repro.core.distill import Distiller, SummaryStore
+from repro.core.vault import SummaryVault
+from repro.core.freshness import FreshnessBand, band_of
+from repro.core.fungus import DecayReport, Fungus
+from repro.core.health import HealthReport, measure_health
+from repro.core.policy import DecayPolicy, EvictionMode
+from repro.core.table import DecayingTable
+from repro.fungi import (
+    AccessRefreshFungus,
+    BlueCheeseFungus,
+    CompositeFungus,
+    EGIFungus,
+    ExponentialDecayFungus,
+    LinearDecayFungus,
+    NullFungus,
+    PredicateFungus,
+    RetentionFungus,
+    SigmoidDecayFungus,
+)
+from repro.query.executor import QueryEngine
+from repro.query.result import ResultSet
+from repro.sketch.summary import SummaryConfig, TableSummary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessRefreshFungus",
+    "BlueCheeseFungus",
+    "ColumnDef",
+    "CompositeFungus",
+    "DataType",
+    "DecayClock",
+    "DecayPolicy",
+    "DecayReport",
+    "DecayingTable",
+    "Distiller",
+    "EGIFungus",
+    "EvictionMode",
+    "ExponentialDecayFungus",
+    "FreshnessBand",
+    "Fungus",
+    "FungusDB",
+    "FungusError",
+    "HealthReport",
+    "LinearDecayFungus",
+    "NullFungus",
+    "PredicateFungus",
+    "QueryEngine",
+    "ResultSet",
+    "RetentionFungus",
+    "RowSet",
+    "Schema",
+    "SigmoidDecayFungus",
+    "SummaryConfig",
+    "SummaryStore",
+    "SummaryVault",
+    "TableSummary",
+    "band_of",
+    "load_checkpoint",
+    "measure_health",
+    "save_checkpoint",
+]

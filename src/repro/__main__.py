@@ -1,0 +1,8 @@
+"""``python -m repro`` — launch the FungusDB shell."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

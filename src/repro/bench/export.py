@@ -1,0 +1,75 @@
+"""CSV export of experiment results.
+
+``export_result`` writes one experiment's table and figure series as
+plain CSV files — the hand-off format for anyone re-plotting the
+figures outside this repo.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.bench.runner import ExperimentResult
+from repro.errors import BenchError
+
+
+def _slug(text: str) -> str:
+    out = "".join(c if c.isalnum() else "_" for c in text.lower())
+    while "__" in out:
+        out = out.replace("__", "_")
+    return out.strip("_") or "series"
+
+
+def export_result(result: ExperimentResult, directory: str | Path) -> list[Path]:
+    """Write ``result`` as CSVs under ``directory``; returns the paths.
+
+    Produces ``<id>_table.csv`` (when the experiment has a table),
+    ``<id>_<series>.csv`` per figure series, and ``<id>_meta.json``
+    with the claim, scale and check outcomes.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    prefix = result.experiment_id.lower()
+    written: list[Path] = []
+
+    if result.headers and result.rows:
+        path = directory / f"{prefix}_table.csv"
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(result.headers)
+            writer.writerows(result.rows)
+        written.append(path)
+
+    for name, (x_name, x_values, series) in result.series.items():
+        path = directory / f"{prefix}_{_slug(name)}.csv"
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow([x_name, *series.keys()])
+            for i, x in enumerate(x_values):
+                row = [x]
+                for values in series.values():
+                    row.append(values[i] if i < len(values) else "")
+                writer.writerow(row)
+        written.append(path)
+
+    meta_path = directory / f"{prefix}_meta.json"
+    with open(meta_path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "experiment_id": result.experiment_id,
+                "title": result.title,
+                "claim": result.claim,
+                "scale": result.scale,
+                "checks": result.checks,
+                "notes": result.notes,
+            },
+            fh,
+            indent=2,
+        )
+    written.append(meta_path)
+
+    if not written:
+        raise BenchError(f"experiment {result.experiment_id} produced nothing to export")
+    return written

@@ -1,0 +1,75 @@
+"""ASCII reporting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.bench.charts import line_chart
+from repro.query.result import format_table
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Aligned ASCII table (shared renderer with query results)."""
+    return format_table(tuple(headers), rows)
+
+
+def format_series(
+    x_name: str, x_values: Sequence[Any], series: Mapping[str, Sequence[Any]]
+) -> str:
+    """Render named series against a shared x axis as a table.
+
+    Series shorter than the axis are padded with blanks (an experiment
+    arm may end early, e.g. a relation that went extinct).
+    """
+    headers = [x_name, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[Any] = [x]
+        for values in series.values():
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return ascii_table(headers, rows)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A coarse one-line chart for quick visual shape checks."""
+    if not values:
+        return "(empty)"
+    marks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    return "".join(marks[int((v - lo) / span * (len(marks) - 1))] for v in values)
+
+
+def render_result(result: "ExperimentResult") -> str:
+    """Full report for one experiment: banner, claim, tables, series."""
+    lines = [
+        "=" * 72,
+        f"{result.experiment_id}: {result.title}",
+        "=" * 72,
+        f"paper claim: {result.claim}",
+        "",
+    ]
+    if result.headers and result.rows:
+        lines.append(ascii_table(result.headers, result.rows))
+        lines.append("")
+    for name, (x_name, x_values, series) in result.series.items():
+        lines.append(f"-- {name} --")
+        numeric = {
+            s_name: [v for v in values if isinstance(v, (int, float))]
+            for s_name, values in series.items()
+        }
+        if all(len(v) >= 2 for v in numeric.values()) and numeric:
+            lines.append(line_chart(numeric, y_label=name))
+            lines.append("")
+        lines.append(format_series(x_name, x_values, series))
+        lines.append("")
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+from repro.bench.runner import ExperimentResult  # noqa: E402  (typing only)

@@ -1,0 +1,147 @@
+"""Checkpointing a whole FungusDB.
+
+Persists everything that defines the *data* state of a decaying
+database: the clock position and, for every table, its live rows with
+their real insertion times and current freshness (so decay resumes
+exactly where it stopped, rather than resetting every tuple to 1.0).
+
+The summary store — everything the database only knows as summaries —
+is persisted too (``summaries.json``, via :mod:`repro.sketch.serde`),
+including a vault's per-entry freshness and compost, so the
+"nothing dies unseen" conservation invariant survives a restart.
+
+What is deliberately NOT persisted — and why: **fungus runtime state**
+(EGI's infected set, Blue Cheese's spots). Row ids are not stable
+across a snapshot (tombstones are dropped), and a fungus reseeds
+within a cycle or two anyway. Callers pass the fungus (and policy
+knobs) back in at load time.
+
+Layout: ``<dir>/manifest.json`` + ``summaries.json`` + one
+``<table>.jsonl`` snapshot (written by :mod:`repro.storage.snapshot`)
+per table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.db import FungusDB
+from repro.core.fungus import Fungus
+from repro.errors import SnapshotError
+from repro.storage.snapshot import load_table, save_table
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+def save_checkpoint(db: FungusDB, directory: str | Path) -> list[str]:
+    """Write ``db``'s clock and every table under ``directory``.
+
+    Returns the table names written. The manifest is written last, so
+    a directory without a manifest is never mistaken for a checkpoint.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    tables = []
+    for name in sorted(db.tables):
+        save_table(db.tables[name].storage, directory / f"{name}.jsonl")
+        tables.append(name)
+    store_tmp = directory / "summaries.json.tmp"
+    with open(store_tmp, "w", encoding="utf-8") as fh:
+        json.dump(db.store.to_dict(), fh)
+    os.replace(store_tmp, directory / "summaries.json")
+    manifest = {
+        "manifest_version": MANIFEST_VERSION,
+        "clock": db.clock.now,
+        "seed": db.seed,
+        "tables": tables,
+        "store": True,
+    }
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2)
+    os.replace(tmp, directory / MANIFEST_NAME)
+    return tables
+
+
+def load_checkpoint(
+    directory: str | Path,
+    fungi: Mapping[str, Fungus | None] | None = None,
+    table_options: Mapping[str, Mapping[str, Any]] | None = None,
+) -> FungusDB:
+    """Rebuild a FungusDB from :func:`save_checkpoint` output.
+
+    ``fungi`` maps table name -> fungus to reinstall (missing tables
+    get the NullFungus control); ``table_options`` forwards per-table
+    keyword arguments to :meth:`FungusDB.create_table` (period,
+    eviction mode, ...).
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    try:
+        with open(manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read checkpoint manifest {manifest_path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"corrupt checkpoint manifest {manifest_path}: {exc}") from exc
+    version = manifest.get("manifest_version")
+    if version != MANIFEST_VERSION:
+        raise SnapshotError(
+            f"checkpoint manifest version {version!r}, expected {MANIFEST_VERSION}"
+        )
+
+    fungi = dict(fungi or {})
+    table_options = dict(table_options or {})
+
+    store = None
+    if manifest.get("store"):
+        store_path = directory / "summaries.json"
+        try:
+            with open(store_path, encoding="utf-8") as fh:
+                store_data = json.load(fh)
+        except OSError as exc:
+            raise SnapshotError(f"cannot read summary store {store_path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"corrupt summary store {store_path}: {exc}") from exc
+        kind = store_data.get("kind")
+        if kind == "vault":
+            from repro.core.vault import SummaryVault
+
+            store = SummaryVault.from_dict(store_data)
+        elif kind == "store":
+            from repro.core.distill import SummaryStore
+
+            store = SummaryStore.from_dict(store_data)
+        else:
+            raise SnapshotError(f"unknown summary store kind {kind!r} in {store_path}")
+
+    db = FungusDB(seed=int(manifest.get("seed", 0)), store=store)
+    db.clock._now = float(manifest["clock"])  # noqa: SLF001 — restoring state
+
+    for name in manifest["tables"]:
+        snapshot = load_table(directory / f"{name}.jsonl")
+        schema = snapshot.schema
+        names = schema.names
+        if len(names) < 2:
+            raise SnapshotError(f"table {name!r} snapshot lacks the t/f columns")
+        time_column, freshness_column = names[0], names[1]
+        from repro.storage.schema import Schema
+
+        attributes = Schema(schema.columns[2:]) if len(names) > 2 else None
+        if attributes is None:
+            raise SnapshotError(f"table {name!r} has no attribute columns")
+        table = db.create_table(
+            name,
+            attributes,
+            fungus=fungi.get(name),
+            time_column=time_column,
+            freshness_column=freshness_column,
+            **table_options.get(name, {}),
+        )
+        for _, values in snapshot.iter_rows():
+            table.restore(dict(zip(names, values)))
+    return db

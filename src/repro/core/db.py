@@ -1,0 +1,261 @@
+"""FungusDB: the user-facing decaying database.
+
+Wires every piece together: a catalog + query engine (with ``CONSUME
+SELECT``), one :class:`~repro.core.table.DecayingTable` per relation,
+one :class:`~repro.core.policy.DecayPolicy` per relation (Law 1), a
+shared :class:`~repro.core.distill.Distiller` (summaries on decay
+*and* on consume), and one decay clock driving it all.
+
+Quickstart::
+
+    from repro import FungusDB, Schema, EGIFungus
+
+    db = FungusDB(seed=7)
+    db.create_table(
+        "readings",
+        Schema.of(sensor="str", temp="float"),
+        fungus=EGIFungus(seeds_per_cycle=2, decay_rate=0.25),
+    )
+    db.insert("readings", {"sensor": "s1", "temp": 21.5})
+    db.tick(10)                      # Law 1: ten decay cycles
+    fresh = db.query("SELECT sensor, temp FROM readings WHERE f > 0.5")
+    eaten = db.query("CONSUME SELECT * FROM readings WHERE temp > 30")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.clock import DecayClock
+from repro.core.distill import Distiller, SummaryStore
+from repro.core.events import EventBus, TupleConsumed
+from repro.core.fungus import Fungus
+from repro.core.health import HealthReport, measure_health
+from repro.core.policy import DecayPolicy, EvictionMode
+from repro.core.table import DecayingTable
+from repro.errors import CatalogError, DecayError
+from repro.fungi.wrappers import NullFungus
+from repro.query.executor import QueryEngine
+from repro.query.result import ResultSet
+from repro.sketch.summary import SummaryConfig, TableSummary
+from repro.storage.catalog import Catalog
+from repro.storage.rowset import RowSet
+from repro.storage.schema import Schema
+
+
+class FungusDB:
+    """A relational database that obeys the two natural laws of Big Data."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        summary_config: SummaryConfig | None = None,
+        max_summaries_per_table: int = 0,
+        store: SummaryStore | None = None,
+    ) -> None:
+        self.seed = seed
+        self.clock = DecayClock()
+        self.bus = EventBus()
+        self.catalog = Catalog()
+        self.engine = QueryEngine(self.catalog)
+        # a custom store (e.g. a SummaryVault whose summaries themselves
+        # rot) wins over the max_summaries_per_table convenience knob
+        self.store = store if store is not None else SummaryStore(
+            max_per_table=max_summaries_per_table
+        )
+        self.distiller = Distiller(self.store, summary_config)
+        self.tables: dict[str, DecayingTable] = {}
+        self.policies: dict[str, DecayPolicy] = {}
+        self._distill_on_consume: dict[str, bool] = {}
+        self.engine.add_consume_hook(self._before_consume)
+        self.engine.add_access_hook(self._on_access)
+
+    # ------------------------------------------------------------------
+    # schema management
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        attributes: Schema,
+        fungus: Fungus | None = None,
+        period: int = 1,
+        eviction: EvictionMode = EvictionMode.EAGER,
+        lazy_batch: int = 64,
+        compact_every: int = 0,
+        distill_on_evict: bool = True,
+        distill_on_consume: bool = True,
+        time_index: bool = True,
+        time_column: str = "t",
+        freshness_column: str = "f",
+    ) -> DecayingTable:
+        """Create a decaying relation ``R(t, f, A1..An)``.
+
+        ``fungus=None`` installs the :class:`NullFungus` control —
+        a table that never rots (but still supports consume).
+        """
+        if name in self.tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = DecayingTable(
+            name,
+            attributes,
+            self.clock,
+            self.bus,
+            time_column=time_column,
+            freshness_column=freshness_column,
+        )
+        self.catalog.register(table.storage)
+        if time_index:
+            self.catalog.create_sorted_index(name, table.time_column)
+        policy = DecayPolicy(
+            table,
+            fungus if fungus is not None else NullFungus(),
+            period=period,
+            eviction=eviction,
+            lazy_batch=lazy_batch,
+            distiller=self.distiller if distill_on_evict else None,
+            compact_every=compact_every,
+            seed=hash((self.seed, name)) & 0xFFFFFFFF,
+        )
+        self.tables[name] = table
+        self.policies[name] = policy
+        self._distill_on_consume[name] = distill_on_consume
+        # SQL INSERTs go through the decaying insert path (t/f stamped);
+        # bare INSERT INTO <name> VALUES (...) targets the attributes only
+        self.engine.register_insert_delegate(name, table.insert, attributes.names)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a relation entirely (its summaries survive)."""
+        self._table(name)  # raise early on unknown names
+        del self.tables[name]
+        del self.policies[name]
+        del self._distill_on_consume[name]
+        self.catalog.drop_table(name)
+
+    def table(self, name: str) -> DecayingTable:
+        """The decaying table called ``name``."""
+        return self._table(name)
+
+    def _table(self, name: str) -> DecayingTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}; have {sorted(self.tables)}") from None
+
+    # ------------------------------------------------------------------
+    # data in
+    # ------------------------------------------------------------------
+
+    def insert(self, name: str, row: Mapping[str, Any]) -> int:
+        """Insert one tuple (stamped ``t=now``, ``f=1.0``)."""
+        return self._table(name).insert(row)
+
+    def insert_many(self, name: str, rows: Sequence[Mapping[str, Any]]) -> RowSet:
+        """Insert many tuples at the current tick."""
+        return self._table(name).insert_many(rows)
+
+    # ------------------------------------------------------------------
+    # time (Law 1)
+    # ------------------------------------------------------------------
+
+    def tick(self, ticks: int = 1) -> None:
+        """Advance the decay clock; every due policy runs its fungus."""
+        if ticks < 0:
+            raise DecayError(f"cannot tick backwards ({ticks})")
+        for _ in range(ticks):
+            self.clock.advance(1)
+            now = int(self.clock.now)
+            for name in sorted(self.policies):
+                self.policies[name].run_tick(now)
+            self.store.on_tick(now)  # the summary container rots too
+
+    @property
+    def now(self) -> float:
+        """Current logical time."""
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # queries (Law 2 included)
+    # ------------------------------------------------------------------
+
+    def query(self, sql: str) -> ResultSet:
+        """Run ``SELECT`` / ``CONSUME SELECT`` against the database."""
+        for table in self.tables.values():
+            table.set_eviction_reason("external")
+        return self.engine.execute(sql)
+
+    def consume(self, sql: str) -> ResultSet:
+        """Run a query that must be consuming (guards against typos)."""
+        result = self.query(sql)
+        if not result.stats.rows_consumed and not sql.strip().upper().startswith("CONSUME"):
+            raise DecayError("consume() requires a CONSUME SELECT statement")
+        return result
+
+    def _before_consume(self, table_name: str, consumed: RowSet) -> None:
+        """Consume hook: distill + label + notify, before deletion."""
+        table = self.tables.get(table_name)
+        if table is None:
+            return  # a plain storage table, not a decaying one
+        if self._distill_on_consume.get(table_name, False):
+            self.distiller.distill_rowset(table, consumed, reason="consume")
+            self.policies[table_name].stats.tuples_distilled += len(consumed)
+        for rid in consumed:
+            self.bus.publish(TupleConsumed(table_name, self.clock.now, rid, query="consume"))
+        table.set_eviction_reason("consume")
+
+    def _on_access(self, table_name: str, matched: RowSet) -> None:
+        """Access hook: matched rows may refresh, per the table's fungus."""
+        policy = self.policies.get(table_name)
+        if policy is not None:
+            policy.note_access(matched)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def health(self, name: str) -> HealthReport:
+        """Rot metrics for one table."""
+        return measure_health(self._table(name))
+
+    def summaries(self, name: str) -> list[TableSummary]:
+        """All summaries distilled from one table, oldest first."""
+        return self.store.for_table(name)
+
+    def merged_summary(self, name: str) -> TableSummary | None:
+        """Everything that ever left the table, as one summary."""
+        return self.store.merged(name)
+
+    def extent(self, name: str) -> int:
+        """Live tuple count of one table."""
+        return len(self._table(name))
+
+    def stats(self) -> dict[str, Any]:
+        """A one-call overview of the whole database.
+
+        Returns clock position, per-table extent/exhausted/pinned and
+        lifetime policy counters, event totals from the bus, and the
+        summary store's size — what a monitoring endpoint would expose.
+        """
+        tables = {}
+        for name in sorted(self.tables):
+            table = self.tables[name]
+            policy = self.policies[name]
+            tables[name] = {
+                "extent": len(table),
+                "exhausted": len(table.exhausted),
+                "pinned": len(table.pinned),
+                "allocated": table.storage.allocated,
+                "tombstones": table.storage.tombstones,
+                "fungus": policy.fungus.name,
+                "cycles_run": policy.stats.cycles_run,
+                "tuples_evicted": policy.stats.tuples_evicted,
+                "tuples_distilled": policy.stats.tuples_distilled,
+            }
+        return {
+            "clock": self.clock.now,
+            "tables": tables,
+            "events": dict(self.bus.counts),
+            "summary_rows": self.store.total_rows_summarised,
+            "summary_cells": self.store.memory_cells(),
+        }

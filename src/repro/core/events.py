@@ -1,0 +1,109 @@
+"""Typed event bus for the decay core.
+
+Everything observable about a decaying table is an event: insertion,
+infection, freshness decay, eviction, consumption, summarisation, tick
+completion. Health metrics, the distiller, experiment probes and tests
+all subscribe here instead of poking at internals.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Type, TypeVar
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all decay-core events."""
+
+    table: str
+    tick: float
+
+
+@dataclass(frozen=True)
+class TupleInserted(Event):
+    """A tuple entered R with freshness 1.0."""
+
+    rid: int
+
+
+@dataclass(frozen=True)
+class TupleInfected(Event):
+    """A fungus seeded or spread onto a tuple."""
+
+    rid: int
+    fungus: str
+
+
+@dataclass(frozen=True)
+class TupleDecayed(Event):
+    """A tuple's freshness dropped."""
+
+    rid: int
+    old_freshness: float
+    new_freshness: float
+    fungus: str
+
+
+@dataclass(frozen=True)
+class TupleEvicted(Event):
+    """A tuple left R. ``reason`` is "decay", "consume", or "manual"."""
+
+    rid: int
+    reason: str
+    values: tuple = field(default=())
+
+
+@dataclass(frozen=True)
+class TupleConsumed(Event):
+    """A consuming query carried this tuple into its answer set."""
+
+    rid: int
+    query: str
+
+
+@dataclass(frozen=True)
+class SummaryCreated(Event):
+    """A region was distilled into a TableSummary before leaving R."""
+
+    rows: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class TickCompleted(Event):
+    """One decay cycle finished for a table."""
+
+    seeded: int
+    decayed: int
+    evicted: int
+
+
+E = TypeVar("E", bound=Event)
+
+
+class EventBus:
+    """Subscribe/publish hub with per-type handler lists and counters."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[type, list[Callable[[Any], None]]] = {}
+        self.counts: Counter[str] = Counter()
+
+    def subscribe(self, event_type: Type[E], handler: Callable[[E], None]) -> None:
+        """Run ``handler`` for every published event of ``event_type``."""
+        self._handlers.setdefault(event_type, []).append(handler)
+
+    def unsubscribe(self, event_type: Type[E], handler: Callable[[E], None]) -> None:
+        """Remove a handler (no-op if absent)."""
+        handlers = self._handlers.get(event_type, [])
+        try:
+            handlers.remove(handler)
+        except ValueError:
+            pass
+
+    def publish(self, event: Event) -> None:
+        """Deliver ``event`` to its type's handlers; count it either way."""
+        self.counts[type(event).__name__] += 1
+        for handler in self._handlers.get(type(event), []):
+            handler(event)

@@ -1,0 +1,124 @@
+"""Database health: the paper's "optimal health condition", measured.
+
+"The database is kept in optimal health condition if you regularly can
+turn rotting portions into summaries for later consumption." A
+:class:`HealthReport` quantifies the rot state of one decaying table:
+
+* freshness statistics and band counts (FRESH/STALE/ROTTEN);
+* the *edible fraction* — the Blue Cheese test (share of the extent
+  that is not ROTTEN);
+* **rot spots** — contiguous runs of live rows already in the ROTTEN
+  band (the soft veins); and
+* **holes** — contiguous tombstoned insertion ranges (veins that were
+  cut out), which is what "removing complete insertion ranges" looks
+  like physically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.freshness import ROTTEN_THRESHOLD, FreshnessBand, band_of
+from repro.core.table import DecayingTable
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Point-in-time rot metrics for one table."""
+
+    table: str
+    tick: float
+    extent: int
+    allocated: int
+    tombstones: int
+    exhausted: int
+    pinned: int
+    mean_freshness: float | None
+    min_freshness: float | None
+    fresh_count: int
+    stale_count: int
+    rotten_count: int
+    rot_spots: tuple[tuple[int, int], ...]
+    holes: tuple[tuple[int, int], ...]
+
+    @property
+    def edible_fraction(self) -> float:
+        """Share of the extent outside the ROTTEN band (1.0 when empty)."""
+        if self.extent == 0:
+            return 1.0
+        return 1.0 - self.rotten_count / self.extent
+
+    @property
+    def largest_rot_spot(self) -> int:
+        """Size of the biggest contiguous rotten run (0 if none)."""
+        return max((stop - start for start, stop in self.rot_spots), default=0)
+
+    @property
+    def largest_hole(self) -> int:
+        """Size of the biggest tombstoned insertion range (0 if none)."""
+        return max((stop - start for start, stop in self.holes), default=0)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        mean = f"{self.mean_freshness:.3f}" if self.mean_freshness is not None else "n/a"
+        return (
+            f"{self.table}@t={self.tick:g}: extent={self.extent} "
+            f"fresh/stale/rotten={self.fresh_count}/{self.stale_count}/{self.rotten_count} "
+            f"mean_f={mean} edible={self.edible_fraction:.1%} "
+            f"spots={len(self.rot_spots)} holes={len(self.holes)}"
+        )
+
+
+def measure_health(table: DecayingTable) -> HealthReport:
+    """Compute a :class:`HealthReport` for ``table`` right now."""
+    freshness: list[float] = []
+    bands = {FreshnessBand.FRESH: 0, FreshnessBand.STALE: 0, FreshnessBand.ROTTEN: 0}
+
+    rot_spots: list[tuple[int, int]] = []
+    spot_start: int | None = None
+    prev_rid: int | None = None
+
+    for rid in table.live_rows():
+        f = table.freshness(rid)
+        freshness.append(f)
+        bands[band_of(f)] += 1
+        if f < ROTTEN_THRESHOLD:
+            if spot_start is None:
+                spot_start = rid
+            prev_rid = rid
+        else:
+            if spot_start is not None:
+                rot_spots.append((spot_start, prev_rid + 1))
+                spot_start = None
+    if spot_start is not None and prev_rid is not None:
+        rot_spots.append((spot_start, prev_rid + 1))
+
+    holes: list[tuple[int, int]] = []
+    hole_start: int | None = None
+    for rid in range(table.storage.allocated):
+        if not table.storage.is_live(rid):
+            if hole_start is None:
+                hole_start = rid
+        else:
+            if hole_start is not None:
+                holes.append((hole_start, rid))
+                hole_start = None
+    if hole_start is not None:
+        holes.append((hole_start, table.storage.allocated))
+
+    return HealthReport(
+        table=table.name,
+        tick=table.clock.now,
+        extent=len(table),
+        allocated=table.storage.allocated,
+        tombstones=table.storage.tombstones,
+        exhausted=len(table.exhausted),
+        pinned=len(table.pinned),
+        mean_freshness=sum(freshness) / len(freshness) if freshness else None,
+        min_freshness=min(freshness) if freshness else None,
+        fresh_count=bands[FreshnessBand.FRESH],
+        stale_count=bands[FreshnessBand.STALE],
+        rotten_count=bands[FreshnessBand.ROTTEN],
+        rot_spots=tuple(rot_spots),
+        holes=tuple(holes),
+    )

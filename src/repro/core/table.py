@@ -1,0 +1,320 @@
+"""The decaying relation ``R(t, f, A1..An)``.
+
+A :class:`DecayingTable` wraps a storage :class:`~repro.storage.table.Table`
+whose first two columns are the paper's ``t`` (insertion time, stamped
+from the decay clock) and ``f`` (freshness, initially 1.0). Everything
+a fungus needs is exposed here: ages, freshness mutation, neighbour
+navigation along the insertion axis, uniform sampling of live rows,
+and eviction with event publication.
+
+Freshness reaching 0 does **not** evict by itself — the row joins the
+*exhausted* set and the :class:`~repro.core.policy.DecayPolicy` decides
+when exhausted rows actually leave (eager vs lazy ablation, F6).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.core.clock import DecayClock
+from repro.core.events import (
+    EventBus,
+    TupleDecayed,
+    TupleEvicted,
+    TupleInfected,
+    TupleInserted,
+)
+from repro.core.freshness import clamp_freshness
+from repro.errors import DecayError
+from repro.storage.rowset import RowSet
+from repro.storage.schema import ColumnDef, DataType, Schema
+from repro.storage.table import Table
+
+
+class DecayingTable:
+    """``R(t, f, A1..An)`` — a relation subject to the natural laws."""
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Schema,
+        clock: DecayClock,
+        bus: EventBus | None = None,
+        time_column: str = "t",
+        freshness_column: str = "f",
+    ) -> None:
+        if time_column in attributes or freshness_column in attributes:
+            raise DecayError(
+                f"attribute schema may not contain the reserved columns "
+                f"{time_column!r}/{freshness_column!r}"
+            )
+        self.name = name
+        self.clock = clock
+        self.bus = bus if bus is not None else EventBus()
+        self.time_column = time_column
+        self.freshness_column = freshness_column
+        self.attributes = attributes
+        full = [
+            ColumnDef(time_column, DataType.TIMESTAMP),
+            ColumnDef(freshness_column, DataType.FLOAT),
+            *attributes.columns,
+        ]
+        self.storage = Table(Schema(full), name=name)
+        self._t_pos = 0
+        self._f_pos = 1
+        self._exhausted: set[int] = set()
+        self._pinned: set[int] = set()
+        # Deletions may be issued by the query engine (Law 2) directly
+        # against the storage table; observing our own storage keeps the
+        # decay bookkeeping consistent no matter who deletes.
+        self._pending_reason = "external"
+        self.storage.add_observer(self)
+
+    # ------------------------------------------------------------------
+    # extent
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """The extent of R: live rows (exhausted-but-unevicted included)."""
+        return len(self.storage)
+
+    def __repr__(self) -> str:
+        return f"DecayingTable({self.name!r}, extent={len(self)}, exhausted={len(self._exhausted)})"
+
+    @property
+    def extent(self) -> int:
+        """Live row count — the quantity both laws shrink."""
+        return len(self.storage)
+
+    @property
+    def exhausted(self) -> RowSet:
+        """Rows whose freshness hit 0, awaiting eviction by the policy."""
+        return RowSet(self._exhausted)
+
+    def live_rows(self) -> Iterator[int]:
+        """Live row ids in insertion/time order."""
+        return self.storage.live_rows()
+
+    def is_live(self, rid: int) -> bool:
+        """True when ``rid`` is still part of R's extent."""
+        return self.storage.is_live(rid)
+
+    # ------------------------------------------------------------------
+    # insertion (freshness 1.0, timestamped now)
+    # ------------------------------------------------------------------
+
+    def insert(self, attrs: Mapping[str, Any]) -> int:
+        """Insert one tuple with ``t = clock.now`` and ``f = 1.0``."""
+        values = self.attributes.coerce_row(attrs)
+        rid = self.storage.append((self.clock.now, 1.0, *values))
+        self.bus.publish(TupleInserted(self.name, self.clock.now, rid))
+        return rid
+
+    def insert_many(self, rows: Sequence[Mapping[str, Any]]) -> RowSet:
+        """Insert many tuples at the current tick."""
+        return RowSet(self.insert(row) for row in rows)
+
+    def restore(self, row: Mapping[str, Any]) -> int:
+        """Re-insert a full row (t and f included) from a checkpoint.
+
+        Unlike :meth:`insert`, this preserves the recorded insertion
+        time and freshness instead of stamping ``now``/1.0; exhausted
+        rows (f == 0) rejoin the exhausted set.
+        """
+        full = self.storage.schema.coerce_row(row)
+        rid = self.storage.append(full)
+        if full[self._f_pos] <= 0.0:
+            self._exhausted.add(rid)
+        self.bus.publish(TupleInserted(self.name, self.clock.now, rid))
+        return rid
+
+    # ------------------------------------------------------------------
+    # freshness access and mutation
+    # ------------------------------------------------------------------
+
+    def freshness(self, rid: int) -> float:
+        """Current freshness of a live row."""
+        return self.storage.row(rid)[self._f_pos]
+
+    def inserted_at(self, rid: int) -> float:
+        """Insertion timestamp of a live row."""
+        return self.storage.row(rid)[self._t_pos]
+
+    def age(self, rid: int) -> float:
+        """Age of a live row on the decay clock."""
+        return self.clock.now - self.inserted_at(rid)
+
+    def attributes_of(self, rid: int) -> dict[str, Any]:
+        """The A1..An attribute values of a live row."""
+        values = self.storage.row(rid)
+        return dict(zip(self.attributes.names, values[2:]))
+
+    def row_dict(self, rid: int) -> dict[str, Any]:
+        """Full row (t, f, attributes) of a live row."""
+        return self.storage.row_dict(rid)
+
+    def mark_infected(self, rid: int, fungus: str) -> None:
+        """Publish an infection event (fungi call this when seeding/spreading)."""
+        self.bus.publish(TupleInfected(self.name, self.clock.now, rid, fungus))
+
+    def pin(self, rid: int) -> None:
+        """Make a row immune to decay (it can still be consumed/evicted).
+
+        This is the "inspect them once before removal" escape hatch:
+        data the owner is actively taking care of doesn't rot.
+        """
+        self.storage._check_live(rid)  # noqa: SLF001 — deliberate liveness check
+        self._pinned.add(rid)
+
+    def unpin(self, rid: int) -> None:
+        """Remove decay immunity from a row (no-op if not pinned)."""
+        self._pinned.discard(rid)
+
+    def is_pinned(self, rid: int) -> bool:
+        """True when the row is immune to decay."""
+        return rid in self._pinned
+
+    @property
+    def pinned(self) -> RowSet:
+        """All currently pinned rows."""
+        return RowSet(self._pinned)
+
+    def set_freshness(self, rid: int, value: float, fungus: str = "manual") -> float:
+        """Set a row's freshness (clamped); returns the new value.
+
+        Raising freshness is allowed — the access-refresh extension
+        uses it — and removes the row from the exhausted set. Lowering
+        the freshness of a *pinned* row is silently ignored.
+        """
+        old = self.freshness(rid)
+        new = clamp_freshness(value)
+        if rid in self._pinned and new < old:
+            return old
+        if new != old:
+            self.storage.update(rid, self.freshness_column, new)
+            self.bus.publish(TupleDecayed(self.name, self.clock.now, rid, old, new, fungus))
+        if new <= 0.0:
+            self._exhausted.add(rid)
+        else:
+            self._exhausted.discard(rid)
+        return new
+
+    def decay(self, rid: int, amount: float, fungus: str) -> float:
+        """Lower a row's freshness by ``amount``; returns the new value."""
+        if amount < 0:
+            raise DecayError(f"decay amount must be non-negative, got {amount}")
+        return self.set_freshness(rid, self.freshness(rid) - amount, fungus)
+
+    def scale_freshness(self, rid: int, factor: float, fungus: str) -> float:
+        """Multiply a row's freshness by ``factor`` in [0, 1]."""
+        if not (0.0 <= factor <= 1.0):
+            raise DecayError(f"scale factor must be in [0,1], got {factor}")
+        return self.set_freshness(rid, self.freshness(rid) * factor, fungus)
+
+    def freshness_values(self) -> list[float]:
+        """Freshness of every live row, in insertion order."""
+        return self.storage.column_values(self.freshness_column)
+
+    # ------------------------------------------------------------------
+    # navigation and sampling (what fungi grow along)
+    # ------------------------------------------------------------------
+
+    def neighbours(self, rid: int) -> tuple[int | None, int | None]:
+        """Time-axis neighbours ``(prev_live, next_live)`` of a row."""
+        return self.storage.neighbours(rid)
+
+    def sample_live(self, rng: random.Random, k: int = 1) -> list[int]:
+        """Up to ``k`` live row ids sampled uniformly (without replacement).
+
+        Rejection-samples over the allocated id space while tombstones
+        are sparse, falling back to materialising the live set.
+        """
+        n = self.storage.allocated
+        live = len(self.storage)
+        if live == 0 or k <= 0:
+            return []
+        k = min(k, live)
+        if self.storage.tombstones * 2 < n:
+            picked: set[int] = set()
+            attempts = 0
+            limit = 20 * k + 100
+            while len(picked) < k and attempts < limit:
+                rid = rng.randrange(n)
+                attempts += 1
+                if self.storage.is_live(rid):
+                    picked.add(rid)
+            if len(picked) == k:
+                return sorted(picked)
+        return sorted(rng.sample(list(self.storage.live_rows()), k))
+
+    def oldest_live(self) -> int | None:
+        """The live row with the smallest insertion time (lowest rid)."""
+        return next(iter(self.storage.live_rows()), None)
+
+    # ------------------------------------------------------------------
+    # eviction (policies and Law 2)
+    # ------------------------------------------------------------------
+
+    def evict(self, rows: RowSet, reason: str) -> list[dict[str, Any]]:
+        """Remove ``rows`` from R; returns their last values as dicts.
+
+        Publishes one :class:`TupleEvicted` per row (with values, so
+        distillers can cook them without a second read).
+        """
+        names = self.storage.schema.names
+        evicted: list[dict[str, Any]] = []
+        self._pending_reason = reason
+        try:
+            for rid in rows:
+                values = self.storage.row(rid)
+                evicted.append(dict(zip(names, values)))
+                self.storage.delete(rid)
+        finally:
+            self._pending_reason = "external"
+        return evicted
+
+    def set_eviction_reason(self, reason: str) -> None:
+        """Label upcoming storage-level deletions (Law 2 consume path).
+
+        The query engine deletes consumed rows directly on the storage
+        table; the consume hook calls this first so the resulting
+        :class:`TupleEvicted` events carry reason ``"consume"``. The
+        label stays until set again — :class:`~repro.core.db.FungusDB`
+        resets it to ``"external"`` before every query.
+        """
+        self._pending_reason = reason
+
+    def compact(self) -> dict[int, int]:
+        """Reclaim tombstones; remaps bookkeeping via the storage remap."""
+        return self.storage.compact()
+
+    # -- TableObserver protocol (self-observation of storage) ----------
+
+    def on_append(self, rid: int, values: tuple) -> None:
+        """Storage observer hook; insertion events are published by insert()."""
+
+    def on_delete(self, rid: int, values: tuple) -> None:
+        """Any deletion — policy eviction or Law-2 consume — lands here."""
+        self._exhausted.discard(rid)
+        self._pinned.discard(rid)
+        self.bus.publish(
+            TupleEvicted(self.name, self.clock.now, rid, self._pending_reason, values)
+        )
+
+    def on_compact(self, remap: Mapping[int, int]) -> None:
+        """Keep exhausted/pinned sets valid across compaction."""
+        self._exhausted = {remap[rid] for rid in self._exhausted if rid in remap}
+        self._pinned = {remap[rid] for rid in self._pinned if rid in remap}
+
+    # ------------------------------------------------------------------
+    # bulk views
+    # ------------------------------------------------------------------
+
+    def rows(self) -> list[dict[str, Any]]:
+        """All live rows as dicts (small tables / tests)."""
+        return self.storage.to_rows()
+
+    def rowset(self) -> RowSet:
+        """All live row ids."""
+        return self.storage.live_rowset()

@@ -1,0 +1,42 @@
+"""The derived experiment suite (see DESIGN.md for the index).
+
+The paper publishes no tables or figures; each module here
+operationalises one quantitative claim from its text. Importing this
+package registers every experiment with
+:mod:`repro.bench.runner`; run one with::
+
+    from repro.bench import run_experiment, render_result
+    print(render_result(run_experiment("F1", scale="paper")))
+
+or everything via ``python -m repro.experiments``.
+"""
+
+from repro.experiments import (  # noqa: F401  (imported for registration)
+    f1_chessboard,
+    f2_rot_spots,
+    f3_consume,
+    f4_streaming,
+    f5_extinction,
+    f6_ablation,
+    f7_owner_care,
+    t1_fungus_comparison,
+    t2_cooking,
+    t3_overhead,
+    t4_health,
+    t5_vault,
+)
+
+__all__ = [
+    "f1_chessboard",
+    "f2_rot_spots",
+    "f3_consume",
+    "f4_streaming",
+    "f5_extinction",
+    "f6_ablation",
+    "f7_owner_care",
+    "t1_fungus_comparison",
+    "t2_cooking",
+    "t3_overhead",
+    "t4_health",
+    "t5_vault",
+]

@@ -1,0 +1,82 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.db import FungusDB
+from repro.core.fungus import Fungus
+from repro.core.policy import EvictionMode
+from repro.errors import BenchError
+from repro.storage.schema import Schema
+from repro.workload.arrival import ArrivalProcess
+from repro.workload.generators import RecordGenerator, SensorGenerator
+from repro.workload.replay import ReplayDriver, ReplayStats
+
+#: Every experiment runs at one of these scales.
+SCALES = ("smoke", "paper")
+
+
+def check_scale(scale: str) -> None:
+    """Reject unknown scale names early, with the valid set in the error."""
+    if scale not in SCALES:
+        raise BenchError(f"unknown scale {scale!r}; use one of {SCALES}")
+
+
+def pick(scale: str, smoke: Any, paper: Any) -> Any:
+    """Choose a parameter value by scale."""
+    check_scale(scale)
+    return smoke if scale == "smoke" else paper
+
+
+def build_sensor_db(
+    fungus: Fungus | None,
+    seed: int = 1,
+    table: str = "readings",
+    eviction: EvictionMode = EvictionMode.EAGER,
+    distill_on_evict: bool = True,
+    compact_every: int = 0,
+    num_sensors: int = 25,
+) -> tuple[FungusDB, SensorGenerator]:
+    """A FungusDB with one sensor table plus its record generator."""
+    db = FungusDB(seed=seed)
+    generator = SensorGenerator(num_sensors=num_sensors, seed=seed)
+    db.create_table(
+        table,
+        generator.schema,
+        fungus=fungus,
+        eviction=eviction,
+        distill_on_evict=distill_on_evict,
+        compact_every=compact_every,
+    )
+    return db, generator
+
+
+def run_arm(
+    fungus: Fungus | None,
+    arrivals: ArrivalProcess,
+    ticks: int,
+    probe: Callable[[int, FungusDB, ReplayStats], None] | None = None,
+    seed: int = 1,
+    generator: RecordGenerator | None = None,
+    **table_kwargs: Any,
+) -> tuple[FungusDB, ReplayStats]:
+    """One experiment arm: fresh db + replay of the workload."""
+    db = FungusDB(seed=seed)
+    if generator is None:
+        generator = SensorGenerator(num_sensors=25, seed=seed)
+    db.create_table("readings", generator.schema, fungus=fungus, **table_kwargs)
+    driver = ReplayDriver(db, "readings", arrivals, generator)
+    if probe is not None:
+        driver.probe_each_tick(probe)
+    stats = driver.run(ticks)
+    return db, stats
+
+
+def extent_probe(table: str = "readings") -> Callable[[int, FungusDB, ReplayStats], None]:
+    """A probe recording the table extent per tick under key 'extent'."""
+
+    def probe(tick: int, db: FungusDB, stats: ReplayStats) -> None:
+        stats.record("extent", db.extent(table))
+
+    return probe

@@ -1,0 +1,130 @@
+"""Blue Cheese fungus: bounded, accelerating rot spots.
+
+The paper likens EGI's effect to Blue Cheese, "where portions of the
+cheese turn into its rotting equivalent over time. It remains edible
+for a long time though." This fungus makes the analogy literal and
+explores a different corner of the design space than EGI:
+
+* at most ``max_spots`` rot spots exist at a time (a cheese has a
+  few veins, not one everywhere);
+* each spot is an explicit contiguous region that grows by one tuple
+  per cycle on each side;
+* rot *accelerates* with spot age: members lose
+  ``base_rate × (1 + acceleration × spot_age)`` per cycle, so young
+  veins are mild and old veins aggressive — the "remains edible for a
+  long time" shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.fungus import DecayReport, Fungus
+from repro.core.table import DecayingTable
+from repro.errors import DecayError
+
+
+@dataclass
+class _Spot:
+    """One rot vein: its member rows and its age in cycles."""
+
+    members: set[int] = field(default_factory=set)
+    age: int = 0
+
+
+class BlueCheeseFungus(Fungus):
+    """A few explicit rot veins that grow and accelerate."""
+
+    name = "blue-cheese"
+
+    def __init__(
+        self,
+        max_spots: int = 3,
+        base_rate: float = 0.05,
+        acceleration: float = 0.25,
+        age_bias: int = 8,
+    ) -> None:
+        if max_spots < 1:
+            raise DecayError(f"max_spots must be >= 1, got {max_spots}")
+        if not (0.0 < base_rate <= 1.0):
+            raise DecayError(f"base_rate must be in (0, 1], got {base_rate}")
+        if acceleration < 0:
+            raise DecayError(f"acceleration must be >= 0, got {acceleration}")
+        if age_bias < 1:
+            raise DecayError(f"age_bias must be >= 1, got {age_bias}")
+        self.max_spots = max_spots
+        self.base_rate = base_rate
+        self.acceleration = acceleration
+        self.age_bias = age_bias
+        self._spots: list[_Spot] = []
+
+    @property
+    def spots(self) -> list[frozenset[int]]:
+        """Member sets of the active spots."""
+        return [frozenset(s.members) for s in self._spots]
+
+    def reset(self) -> None:
+        self._spots.clear()
+
+    def on_evicted(self, rid: int) -> None:
+        for spot in self._spots:
+            spot.members.discard(rid)
+
+    def on_compacted(self, remap: Mapping[int, int]) -> None:
+        for spot in self._spots:
+            spot.members = {remap[rid] for rid in spot.members if rid in remap}
+
+    # ------------------------------------------------------------------
+
+    def cycle(self, table: DecayingTable, rng: random.Random) -> DecayReport:
+        report = DecayReport(self.name, table.clock.now)
+
+        # spots whose members all rotted away are finished veins
+        for spot in self._spots:
+            spot.members = {rid for rid in spot.members if table.is_live(rid)}
+        self._spots = [s for s in self._spots if s.members or s.age == 0]
+
+        # seed a new vein if below budget (age-biased, like EGI)
+        if len(self._spots) < self.max_spots:
+            seed = self._select_seed(table, rng)
+            if seed is not None:
+                self._spots.append(_Spot(members={seed}))
+                table.mark_infected(seed, self.name)
+                report.seeded += 1
+
+        infected_anywhere = set()
+        for spot in self._spots:
+            infected_anywhere |= spot.members
+
+        for spot in self._spots:
+            if not spot.members:
+                continue
+            # grow one tuple outward on each side of the vein
+            left_edge = min(spot.members)
+            right_edge = max(spot.members)
+            prev_rid, _ = table.neighbours(left_edge) if table.is_live(left_edge) else (None, None)
+            _, next_rid = table.neighbours(right_edge) if table.is_live(right_edge) else (None, None)
+            for frontier in (prev_rid, next_rid):
+                if frontier is not None and frontier not in infected_anywhere:
+                    spot.members.add(frontier)
+                    infected_anywhere.add(frontier)
+                    table.mark_infected(frontier, self.name)
+                    report.spread += 1
+            # accelerating decay of all members
+            rate = min(1.0, self.base_rate * (1.0 + self.acceleration * spot.age))
+            for rid in sorted(spot.members):
+                if table.is_live(rid) and table.freshness(rid) > 0.0:
+                    self._decay(table, rid, rate, report)
+            spot.age += 1
+        return report
+
+    def _select_seed(self, table: DecayingTable, rng: random.Random) -> int | None:
+        taken = set()
+        for spot in self._spots:
+            taken |= spot.members
+        sample = [rid for rid in table.sample_live(rng, self.age_bias) if rid not in taken]
+        if not sample:
+            return None
+        return min(sample)

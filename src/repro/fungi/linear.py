@@ -1,0 +1,31 @@
+"""Linear decay: every tuple loses a constant amount per cycle."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.fungus import DecayReport, Fungus
+from repro.core.table import DecayingTable
+from repro.errors import DecayError
+
+
+class LinearDecayFungus(Fungus):
+    """Uniform decay of ``rate`` freshness per cycle for every tuple.
+
+    A tuple therefore lives exactly ``ceil(1/rate)`` cycles — the
+    whole relation is a conveyor belt to the drain.
+    """
+
+    name = "linear"
+
+    def __init__(self, rate: float) -> None:
+        if not (0.0 < rate <= 1.0):
+            raise DecayError(f"rate must be in (0, 1], got {rate}")
+        self.rate = rate
+
+    def cycle(self, table: DecayingTable, rng: random.Random) -> DecayReport:
+        report = DecayReport(self.name, table.clock.now)
+        for rid in list(table.live_rows()):
+            if table.freshness(rid) > 0.0:
+                self._decay(table, rid, self.rate, report)
+        return report

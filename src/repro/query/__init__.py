@@ -1,0 +1,67 @@
+"""SQL-subset query engine with Law-2 ``CONSUME`` semantics.
+
+The paper defines its second natural law over select-from-where
+queries ``A = Q(T, R, P)``: the answer set ``A`` is ``σ_P(R)`` and the
+extent of ``R`` is *replaced* by ``R − σ_P(R)``. This package provides
+the whole pipeline needed to run such queries against the storage
+engine:
+
+``SQL text → tokens → AST → logical plan → operators → ResultSet``
+
+Supported surface (see :mod:`~repro.query.parser` for the grammar)::
+
+    [CONSUME] SELECT projections FROM table [alias]
+        [JOIN table [alias] ON equality]
+        [WHERE predicate]
+        [GROUP BY cols] [HAVING predicate]
+        [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+
+``CONSUME SELECT`` implements Law 2: every base-table row satisfying
+the WHERE predicate is deleted after the answer set is built.
+"""
+
+from repro.query.tokens import Token, TokenType, tokenize
+from repro.query.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    OrderItem,
+    Projection,
+    SelectStmt,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.query.parser import parse
+from repro.query.result import ResultSet
+from repro.query.planner import plan_select
+from repro.query.executor import QueryEngine
+
+__all__ = [
+    "Between",
+    "BinaryOp",
+    "ColumnRef",
+    "Expression",
+    "FuncCall",
+    "InList",
+    "IsNull",
+    "Literal",
+    "OrderItem",
+    "Projection",
+    "QueryEngine",
+    "ResultSet",
+    "SelectStmt",
+    "Star",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "UnaryOp",
+    "parse",
+    "plan_select",
+    "tokenize",
+]

@@ -1,0 +1,318 @@
+"""Abstract syntax tree for the SQL subset.
+
+All nodes are frozen dataclasses; each renders back to SQL via
+``to_sql()`` (used in error messages and round-trip tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+
+class Expression:
+    """Base class for expression nodes."""
+
+    def to_sql(self) -> str:
+        """Render back to query-language text."""
+        raise NotImplementedError
+
+    def column_refs(self) -> list["ColumnRef"]:
+        """Every column reference in this subtree, depth-first."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: number, string, boolean, or NULL."""
+
+    value: Any
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return repr(self.value)
+
+    def column_refs(self) -> list["ColumnRef"]:
+        return []
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A (possibly table-qualified) column reference."""
+
+    name: str
+    table: str | None = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    def column_refs(self) -> list["ColumnRef"]:
+        return [self]
+
+    @property
+    def key(self) -> str:
+        """The row-context key this reference binds to."""
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """``NOT expr`` or ``-expr``."""
+
+    op: str  # "NOT" or "-"
+    operand: Expression
+
+    def to_sql(self) -> str:
+        if self.op == "NOT":
+            return f"(NOT {self.operand.to_sql()})"
+        # the space matters: "(--1)" would lex as a line comment
+        return f"(- {self.operand.to_sql()})"
+
+    def column_refs(self) -> list[ColumnRef]:
+        return self.operand.column_refs()
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Binary arithmetic, comparison, or logical operation."""
+
+    op: str  # one of + - * / % = != < <= > >= AND OR
+    left: Expression
+    right: Expression
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+    def column_refs(self) -> list[ColumnRef]:
+        return self.left.column_refs() + self.right.column_refs()
+
+
+@dataclass(frozen=True)
+class FuncCall(Expression):
+    """A scalar or aggregate function call; ``COUNT(*)`` uses star=True."""
+
+    name: str  # lower-cased
+    args: tuple[Expression, ...] = ()
+    star: bool = False
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        if self.star:
+            return f"{self.name}(*)"
+        inner = ", ".join(a.to_sql() for a in self.args)
+        if self.distinct:
+            inner = "DISTINCT " + inner
+        return f"{self.name}({inner})"
+
+    def column_refs(self) -> list[ColumnRef]:
+        refs: list[ColumnRef] = []
+        for arg in self.args:
+            refs.extend(arg.column_refs())
+        return refs
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(i.to_sql() for i in self.items)
+        return f"({self.operand.to_sql()} {op} ({inner}))"
+
+    def column_refs(self) -> list[ColumnRef]:
+        refs = self.operand.column_refs()
+        for item in self.items:
+            refs.extend(item.column_refs())
+        return refs
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high`` (closed interval)."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand.to_sql()} {op} {self.low.to_sql()} AND {self.high.to_sql()})"
+
+    def column_refs(self) -> list[ColumnRef]:
+        return self.operand.column_refs() + self.low.column_refs() + self.high.column_refs()
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {op})"
+
+    def column_refs(self) -> list[ColumnRef]:
+        return self.operand.column_refs()
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """The ``*`` projection."""
+
+    def to_sql(self) -> str:
+        return "*"
+
+    def column_refs(self) -> list[ColumnRef]:
+        return []
+
+
+@dataclass(frozen=True)
+class Projection:
+    """One SELECT-list item: an expression with an optional alias."""
+
+    expr: Expression
+    alias: str | None = None
+
+    def to_sql(self) -> str:
+        sql = self.expr.to_sql()
+        return f"{sql} AS {self.alias}" if self.alias else sql
+
+    @property
+    def output_name(self) -> str:
+        """Column name this projection produces in the result."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return self.expr.to_sql()
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM/JOIN table with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name columns are qualified with (alias wins)."""
+        return self.alias or self.name
+
+    def to_sql(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expression
+    ascending: bool = True
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``JOIN table ON left = right`` (equi-join only)."""
+
+    table: TableRef
+    left: ColumnRef
+    right: ColumnRef
+
+    def to_sql(self) -> str:
+        return f"JOIN {self.table.to_sql()} ON {self.left.to_sql()} = {self.right.to_sql()}"
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    """``INSERT INTO table [(cols)] VALUES (...), (...)``.
+
+    Values are constant expressions (literals, arithmetic on literals);
+    the planner rejects anything referencing columns.
+    """
+
+    table: str
+    columns: tuple[str, ...]  # empty means "all columns in schema order"
+    rows: tuple[tuple[Expression, ...], ...]
+
+    def to_sql(self) -> str:
+        cols = f" ({', '.join(self.columns)})" if self.columns else ""
+        rows = ", ".join(
+            "(" + ", ".join(v.to_sql() for v in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {self.table}{cols} VALUES {rows}"
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    """``DELETE FROM table [WHERE predicate]``.
+
+    Plain removal — unlike ``CONSUME SELECT`` the rows are not turned
+    into an answer set, and FungusDB does not distill them (their
+    eviction reason stays "external").
+    """
+
+    table: str
+    where: Expression | None = None
+
+    def to_sql(self) -> str:
+        suffix = f" WHERE {self.where.to_sql()}" if self.where else ""
+        return f"DELETE FROM {self.table}{suffix}"
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """A full [CONSUME] SELECT statement."""
+
+    projections: tuple[Projection, ...]
+    table: TableRef
+    join: JoinClause | None = None
+    where: Expression | None = None
+    group_by: tuple[ColumnRef, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    consume: bool = False
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        parts = []
+        if self.consume:
+            parts.append("CONSUME")
+        parts.append("SELECT")
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(p.to_sql() for p in self.projections))
+        parts.append(f"FROM {self.table.to_sql()}")
+        if self.join:
+            parts.append(self.join.to_sql())
+        if self.where:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(c.to_sql() for c in self.group_by))
+        if self.having:
+            parts.append(f"HAVING {self.having.to_sql()}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+Statement = Union[SelectStmt, InsertStmt, DeleteStmt]

@@ -1,0 +1,192 @@
+"""Query execution: glue from SQL text to a :class:`ResultSet`.
+
+:class:`QueryEngine` is the public entry point the decay core and the
+examples use::
+
+    engine = QueryEngine(catalog)
+    result = engine.execute("SELECT region, count(*) FROM r GROUP BY region")
+
+``CONSUME SELECT`` implements the paper's second law: after the answer
+set is built, every base-table row satisfying the WHERE predicate is
+deleted — *all* of them, even when LIMIT truncates the visible answer,
+because the law replaces the extent of R by ``R − σ_P(R)`` regardless
+of what the user chose to look at.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from typing import Any, Mapping
+
+from repro.query.ast_nodes import DeleteStmt, InsertStmt, SelectStmt, Statement
+from repro.query.expressions import evaluate
+from repro.query.parser import parse
+from repro.query.planner import (
+    JoinPlan,
+    ScanPlan,
+    SelectPlan,
+    plan_delete,
+    plan_insert,
+    plan_select,
+)
+from repro.query import operators as ops
+from repro.query.result import ExecutionStats, ResultSet
+from repro.storage.catalog import Catalog
+from repro.storage.rowset import RowSet
+
+ConsumeHook = Callable[[str, RowSet], None]
+InsertDelegate = Callable[[Mapping[str, Any]], int]
+
+
+class QueryEngine:
+    """Executes SELECT / CONSUME SELECT statements against a catalog.
+
+    ``consume_hooks`` run *before* consumed rows are deleted — the decay
+    core uses this to distill outgoing rows into summaries (the paper's
+    "inspect them once before removal").
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._consume_hooks: list[ConsumeHook] = []
+        self._access_hooks: list[ConsumeHook] = []
+        self._insert_delegates: dict[str, InsertDelegate] = {}
+        self._insert_default_columns: dict[str, tuple[str, ...]] = {}
+
+    def add_consume_hook(self, hook: ConsumeHook) -> None:
+        """Register a callback ``(table_name, consumed_rowset) -> None``."""
+        self._consume_hooks.append(hook)
+
+    def add_access_hook(self, hook: ConsumeHook) -> None:
+        """Register ``(table_name, matched_rowset)`` called on every
+        single-table query — the access-refresh fungus feeds off this."""
+        self._access_hooks.append(hook)
+
+    def register_insert_delegate(
+        self,
+        table_name: str,
+        delegate: InsertDelegate,
+        columns: tuple[str, ...] | None = None,
+    ) -> None:
+        """Route ``INSERT INTO table_name`` rows through ``delegate``.
+
+        FungusDB registers each decaying table's :meth:`insert` here so
+        SQL inserts get stamped with ``t = now`` and ``f = 1.0`` instead
+        of having to supply the reserved columns explicitly. ``columns``
+        is the default column list for INSERTs that omit one (a decaying
+        table's attributes, without t/f).
+        """
+        self._insert_delegates[table_name] = delegate
+        if columns is not None:
+            self._insert_default_columns[table_name] = tuple(columns)
+
+    def remove_consume_hook(self, hook: ConsumeHook) -> None:
+        """Unregister a previously added hook (no-op if absent)."""
+        try:
+            self._consume_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def execute(self, query: str | Statement) -> ResultSet:
+        """Parse (if needed), plan, and run one statement."""
+        stmt = parse(query) if isinstance(query, str) else query
+        if isinstance(stmt, InsertStmt):
+            return self._run_insert(stmt)
+        if isinstance(stmt, DeleteStmt):
+            return self._run_delete(stmt)
+        plan = plan_select(stmt, self.catalog)
+        return self._run(plan)
+
+    def explain(self, query: str | SelectStmt) -> SelectPlan:
+        """Return the SELECT plan without executing (tests, curiosity)."""
+        stmt = parse(query) if isinstance(query, str) else query
+        assert isinstance(stmt, SelectStmt), "explain() covers SELECT only"
+        return plan_select(stmt, self.catalog)
+
+    # ------------------------------------------------------------------
+
+    def _run_insert(self, stmt: InsertStmt) -> ResultSet:
+        if not stmt.columns and stmt.table in self._insert_default_columns:
+            import dataclasses
+
+            stmt = dataclasses.replace(
+                stmt, columns=self._insert_default_columns[stmt.table]
+            )
+        table_name, columns = plan_insert(stmt, self.catalog)
+        table = self.catalog.table(table_name)
+        delegate = self._insert_delegates.get(table_name)
+        inserted = 0
+        for value_row in stmt.rows:
+            row = {
+                name: evaluate(expr, {}) for name, expr in zip(columns, value_row)
+            }
+            if delegate is not None:
+                delegate(row)
+            else:
+                table.append(row)
+            inserted += 1
+        return ResultSet(columns=("inserted",), rows=[(inserted,)])
+
+    def _run_delete(self, stmt: DeleteStmt) -> ResultSet:
+        plan = plan_delete(stmt, self.catalog)
+        stats = ExecutionStats()
+        victims = RowSet(rid for rid, _ in ops.scan(plan, self.catalog, stats))
+        table = self.catalog.table(stmt.table)
+        table.delete_rows(victims)
+        result = ResultSet(columns=("deleted",), rows=[(len(victims),)], stats=stats)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _run(self, plan: SelectPlan) -> ResultSet:
+        stats = ExecutionStats()
+        consumed = RowSet.empty()
+
+        if isinstance(plan.source, ScanPlan):
+            pairs = list(ops.scan(plan.source, self.catalog, stats))
+            contexts = [ctx for _, ctx in pairs]
+            if self._access_hooks and pairs:
+                matched = RowSet(rid for rid, _ in pairs)
+                for hook in self._access_hooks:
+                    hook(plan.source.table_name, matched)
+            if plan.consume:
+                consumed = RowSet(rid for rid, _ in pairs)
+        else:
+            assert isinstance(plan.source, JoinPlan)
+            joined = ops.hash_join(plan.source, self.catalog, stats)
+            if plan.source.residual is not None:
+                joined = ops.apply_filter(joined, plan.source.residual, stats)
+            contexts = list(joined)
+        stats.rows_matched = len(contexts)
+
+        rows_iter = iter(contexts)
+        if plan.aggregate is not None:
+            rows_iter = ops.aggregate(rows_iter, plan.aggregate)
+
+        if plan.order_by:
+            ordered = ops.sort_rows(list(rows_iter), plan.order_by)
+            projected = ops.project(iter(ordered), plan.projections)
+        else:
+            projected = ops.project(rows_iter, plan.projections)
+
+        if plan.distinct:
+            projected = ops.distinct(projected)
+        if plan.limit is not None:
+            projected = ops.limit(projected, plan.limit)
+
+        out_rows = list(projected)
+
+        if plan.consume and consumed:
+            table_name = plan.source.table_name
+            for hook in self._consume_hooks:
+                hook(table_name, consumed)
+            ops.consume_rows(self.catalog.table(table_name), consumed)
+            stats.rows_consumed = len(consumed)
+
+        return ResultSet(
+            columns=plan.output_columns,
+            rows=out_rows,
+            consumed=consumed,
+            stats=stats,
+        )

@@ -1,0 +1,307 @@
+"""Scalar and aggregate function registries.
+
+Scalar functions are plain callables over already-evaluated arguments
+(NULL-in → NULL-out unless the function is explicitly NULL-aware, like
+``coalesce``). Aggregates are accumulator classes the aggregation
+operator instantiates per group.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.errors import ExecutionError
+
+
+# ----------------------------------------------------------------------
+# scalar functions
+# ----------------------------------------------------------------------
+
+def _null_safe(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap ``fn`` so any NULL argument yields NULL."""
+
+    def wrapper(*args: Any) -> Any:
+        if any(a is None for a in args):
+            return None
+        return fn(*args)
+
+    return wrapper
+
+
+def _coalesce(*args: Any) -> Any:
+    """First non-NULL argument, else NULL."""
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _round(value: float, digits: int = 0) -> float:
+    return round(value, int(digits))
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    if low > high:
+        raise ExecutionError(f"clamp: low {low} > high {high}")
+    return min(max(value, low), high)
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "abs": _null_safe(abs),
+    "ceil": _null_safe(math.ceil),
+    "clamp": _null_safe(_clamp),
+    "coalesce": _coalesce,
+    "exp": _null_safe(math.exp),
+    "floor": _null_safe(math.floor),
+    "length": _null_safe(len),
+    "ln": _null_safe(math.log),
+    "lower": _null_safe(str.lower),
+    "round": _null_safe(_round),
+    "sqrt": _null_safe(math.sqrt),
+    "upper": _null_safe(str.upper),
+}
+
+
+# ----------------------------------------------------------------------
+# aggregate functions
+# ----------------------------------------------------------------------
+
+class Aggregate:
+    """Accumulator protocol: feed values with :meth:`add`, read :meth:`result`.
+
+    NULL inputs are skipped, per SQL; ``count(*)`` counts rows and is
+    handled by :class:`CountStar`.
+    """
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class CountStar(Aggregate):
+    """``count(*)`` — counts rows, NULLs included."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class Count(Aggregate):
+    """``count(expr)`` — counts non-NULL values; DISTINCT supported."""
+
+    def __init__(self, distinct: bool = False) -> None:
+        self.distinct = distinct
+        self.count = 0
+        self.seen: set[Any] = set()
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.distinct:
+            self.seen.add(value)
+        else:
+            self.count += 1
+
+    def result(self) -> int:
+        return len(self.seen) if self.distinct else self.count
+
+
+class Sum(Aggregate):
+    """``sum(expr)`` — NULL over empty input, like SQL."""
+
+    def __init__(self) -> None:
+        self.total: float | int | None = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ExecutionError(f"sum() expects numbers, got {value!r}")
+        self.total = value if self.total is None else self.total + value
+
+    def result(self) -> Any:
+        return self.total
+
+
+class Avg(Aggregate):
+    """``avg(expr)`` — arithmetic mean of non-NULL values."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ExecutionError(f"avg() expects numbers, got {value!r}")
+        self.total += value
+        self.count += 1
+
+    def result(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+
+class Min(Aggregate):
+    """``min(expr)``."""
+
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.value is None or value < self.value:
+            self.value = value
+
+    def result(self) -> Any:
+        return self.value
+
+
+class Max(Aggregate):
+    """``max(expr)``."""
+
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def result(self) -> Any:
+        return self.value
+
+
+class Stddev(Aggregate):
+    """``stddev(expr)`` — sample standard deviation (Welford)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ExecutionError(f"stddev() expects numbers, got {value!r}")
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def result(self) -> float | None:
+        if self.count < 2:
+            return None
+        return math.sqrt(self.m2 / (self.count - 1))
+
+
+class WeightedSum(Aggregate):
+    """``wsum(expr, weight)`` — sum of ``expr × weight``.
+
+    The decay-native aggregate: ``wsum(v, f)`` weighs every tuple by
+    its freshness, so stale data contributes proportionally less (the
+    paper's "respect the natural laws of data freshness" applied to
+    analytics). Pairs are fed as 2-tuples by the aggregate operator.
+    """
+
+    arity = 2
+
+    def __init__(self) -> None:
+        self.total: float | None = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        expr_value, weight = value
+        if expr_value is None or weight is None:
+            return
+        for part, label in ((expr_value, "value"), (weight, "weight")):
+            if isinstance(part, bool) or not isinstance(part, (int, float)):
+                raise ExecutionError(f"wsum() expects numeric {label}, got {part!r}")
+        term = expr_value * weight
+        self.total = term if self.total is None else self.total + term
+
+    def result(self) -> Any:
+        return self.total
+
+
+class WeightedAvg(Aggregate):
+    """``wavg(expr, weight)`` — weighted mean ``Σ v·w / Σ w``.
+
+    ``wavg(temp, f)`` is "the current belief about the temperature":
+    fresh readings dominate, rotting ones fade out instead of being a
+    cliff-edge in or out.
+    """
+
+    arity = 2
+
+    def __init__(self) -> None:
+        self.weighted_total = 0.0
+        self.weight_total = 0.0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        expr_value, weight = value
+        if expr_value is None or weight is None:
+            return
+        for part, label in ((expr_value, "value"), (weight, "weight")):
+            if isinstance(part, bool) or not isinstance(part, (int, float)):
+                raise ExecutionError(f"wavg() expects numeric {label}, got {part!r}")
+        if weight < 0:
+            raise ExecutionError(f"wavg() weight must be >= 0, got {weight}")
+        self.weighted_total += expr_value * weight
+        self.weight_total += weight
+
+    def result(self) -> float | None:
+        if self.weight_total <= 0.0:
+            return None
+        return self.weighted_total / self.weight_total
+
+
+AGGREGATE_FUNCTIONS: dict[str, type[Aggregate]] = {
+    "avg": Avg,
+    "count": Count,
+    "max": Max,
+    "min": Min,
+    "stddev": Stddev,
+    "sum": Sum,
+    "wavg": WeightedAvg,
+    "wsum": WeightedSum,
+}
+
+
+def aggregate_arity(name: str) -> int:
+    """Number of expression arguments the aggregate consumes (1 or 2)."""
+    cls = AGGREGATE_FUNCTIONS.get(name)
+    return getattr(cls, "arity", 1) if cls is not None else 1
+
+
+def is_aggregate(name: str) -> bool:
+    """True when ``name`` is a registered aggregate function."""
+    return name in AGGREGATE_FUNCTIONS
+
+
+def make_aggregate(name: str, star: bool = False, distinct: bool = False) -> Aggregate:
+    """Instantiate a fresh accumulator for one group."""
+    if name == "count" and star:
+        return CountStar()
+    cls = AGGREGATE_FUNCTIONS.get(name)
+    if cls is None:
+        raise ExecutionError(f"unknown aggregate {name!r}")
+    if distinct:
+        if cls is not Count:
+            raise ExecutionError(f"DISTINCT is only supported for count(), not {name}()")
+        return Count(distinct=True)
+    return cls()

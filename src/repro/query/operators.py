@@ -1,0 +1,234 @@
+"""Physical operators: plan interpretation over the storage engine.
+
+Rows travel between operators as *row contexts* — dicts keyed by
+column names. Single-table scans publish both bare (``v``) and
+qualified (``r.v``) keys; joins publish qualified keys only and
+expression evaluation falls back to suffix matching for unambiguous
+bare references.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ExecutionError
+from repro.query.ast_nodes import OrderItem, Projection
+from repro.query.expressions import evaluate, matches
+from repro.query.functions import aggregate_arity, make_aggregate
+from repro.query.planner import AggregatePlan, IndexAccess, JoinPlan, ScanPlan
+from repro.query.result import ExecutionStats
+from repro.storage.catalog import Catalog
+from repro.storage.rowset import RowSet
+
+RowContext = dict[str, Any]
+
+
+def _make_context(binding: str, names: tuple[str, ...], values: tuple) -> RowContext:
+    ctx: RowContext = dict(zip(names, values))
+    for name, value in zip(names, values):
+        ctx[f"{binding}.{name}"] = value
+    return ctx
+
+
+def scan(
+    plan: ScanPlan, catalog: Catalog, stats: ExecutionStats
+) -> Iterator[tuple[int, RowContext]]:
+    """Yield ``(rid, context)`` for live rows matching the scan plan."""
+    table = catalog.table(plan.table_name)
+    names = table.schema.names
+    rids: Iterable[int]
+    if plan.index is None:
+        rids = table.live_rows()
+    else:
+        rids = _index_rids(plan.index, plan.table_name, catalog)
+        stats.used_index = plan.index.describe()
+    for rid in rids:
+        stats.rows_scanned += 1
+        values = table.row(rid)
+        ctx = _make_context(plan.binding, names, values)
+        if plan.residual is not None and not matches(plan.residual, ctx):
+            continue
+        yield rid, ctx
+
+
+def _index_rids(index: IndexAccess, table_name: str, catalog: Catalog) -> Iterable[int]:
+    if index.kind == "hash-eq":
+        hash_index = catalog.hash_index(table_name, index.column)
+        if hash_index is None:
+            raise ExecutionError(f"planned hash index on {table_name}.{index.column} vanished")
+        return hash_index.lookup(index.eq_value)
+    sorted_index = catalog.sorted_index(table_name, index.column)
+    if sorted_index is None:
+        raise ExecutionError(f"planned sorted index on {table_name}.{index.column} vanished")
+    return sorted_index.range(
+        low=index.low,
+        high=index.high,
+        include_low=index.include_low,
+        include_high=index.include_high,
+    )
+
+
+def hash_join(
+    plan: JoinPlan, catalog: Catalog, stats: ExecutionStats
+) -> Iterator[RowContext]:
+    """Classic build/probe hash equi-join; right side builds."""
+    right_table = catalog.table(plan.right.table_name)
+    right_names = right_table.schema.names
+    buckets: dict[Any, list[RowContext]] = {}
+    for rid in right_table.live_rows():
+        stats.rows_scanned += 1
+        values = right_table.row(rid)
+        ctx = {f"{plan.right.binding}.{n}": v for n, v in zip(right_names, values)}
+        key = ctx.get(plan.right_key)
+        if key is None:
+            # also allow keys resolved as bare names
+            key = dict(zip(right_names, values)).get(plan.right_key.split(".")[-1])
+        if key is not None:
+            buckets.setdefault(key, []).append(ctx)
+
+    left_table = catalog.table(plan.left.table_name)
+    left_names = left_table.schema.names
+    for rid in left_table.live_rows():
+        stats.rows_scanned += 1
+        values = left_table.row(rid)
+        left_ctx = {f"{plan.left.binding}.{n}": v for n, v in zip(left_names, values)}
+        key = left_ctx.get(plan.left_key)
+        if key is None:
+            key = dict(zip(left_names, values)).get(plan.left_key.split(".")[-1])
+        if key is None:
+            continue
+        for right_ctx in buckets.get(key, ()):
+            merged = dict(left_ctx)
+            merged.update(right_ctx)
+            yield merged
+
+
+def apply_filter(rows: Iterable[RowContext], predicate, stats: ExecutionStats) -> Iterator[RowContext]:
+    """Keep only contexts matching ``predicate`` (SQL NULL = no match)."""
+    for ctx in rows:
+        if matches(predicate, ctx):
+            yield ctx
+
+
+def aggregate(rows: Iterable[RowContext], plan: AggregatePlan) -> Iterator[RowContext]:
+    """Group rows and emit one context per group.
+
+    The emitted context contains the group keys (bare and resolved) and
+    one entry per aggregate call keyed by its rendered SQL, which is how
+    projection expressions find aggregate values.
+
+    With no GROUP BY, a single global group is emitted even over empty
+    input (``SELECT count(*) FROM empty`` must return 0).
+    """
+    groups: dict[tuple, list] = {}
+    group_rows_order: list[tuple] = []
+    accumulators: dict[tuple, list] = {}
+    keep_ctx: dict[tuple, RowContext] = {}
+
+    def new_accumulators() -> list:
+        return [make_aggregate(a.name, star=a.star, distinct=a.distinct) for a in plan.aggregates]
+
+    for ctx in rows:
+        key = tuple(ctx.get(k) for k in plan.group_keys)
+        if key not in accumulators:
+            accumulators[key] = new_accumulators()
+            group_rows_order.append(key)
+            keep_ctx[key] = ctx
+        accs = accumulators[key]
+        for acc, call in zip(accs, plan.aggregates):
+            if call.star:
+                acc.add(None)
+            elif aggregate_arity(call.name) == 2:
+                acc.add(tuple(evaluate(arg, ctx) for arg in call.args))
+            else:
+                acc.add(evaluate(call.args[0], ctx) if call.args else None)
+
+    if not accumulators and not plan.group_keys:
+        accumulators[()] = new_accumulators()
+        group_rows_order.append(())
+        keep_ctx[()] = {}
+
+    for key in group_rows_order:
+        out: RowContext = {}
+        for name, resolved, value in zip(plan.group_names, plan.group_keys, key):
+            out[name] = value
+            out[resolved] = value
+        for acc, call in zip(accumulators[key], plan.aggregates):
+            out[call.to_sql()] = acc.result()
+        if plan.having is not None and not matches(plan.having, out):
+            continue
+        yield out
+
+
+def project(rows: Iterable[RowContext], projections: tuple[Projection, ...]) -> Iterator[tuple]:
+    """Evaluate the SELECT list, producing output tuples."""
+    for ctx in rows:
+        yield tuple(evaluate(p.expr, ctx) for p in projections)
+
+
+def distinct(rows: Iterable[tuple]) -> Iterator[tuple]:
+    """Drop duplicate output tuples, preserving first-seen order."""
+    seen: set[tuple] = set()
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            yield row
+
+
+class _NullsLast:
+    """Sort key wrapper: None sorts after everything, consistently."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_NullsLast") -> bool:
+        if self.value is None:
+            return False
+        if other.value is None:
+            return True
+        try:
+            return self.value < other.value
+        except TypeError as exc:
+            raise ExecutionError(
+                f"cannot order {self.value!r} against {other.value!r}"
+            ) from exc
+
+
+def sort_rows(
+    rows: list[RowContext], order_by: tuple[OrderItem, ...]
+) -> list[RowContext]:
+    """Stable multi-key sort of contexts; NULLs sort last either direction.
+
+    Two stable passes per key: first by value (respecting ASC/DESC),
+    then by NULL-ness ascending — a plain ``reverse=`` flag would flip
+    NULLs to the front on DESC.
+    """
+    out = list(rows)
+    for item in reversed(order_by):
+        out.sort(
+            key=lambda ctx: _NullsLast(evaluate(item.expr, ctx)),
+            reverse=not item.ascending,
+        )
+        out.sort(key=lambda ctx: evaluate(item.expr, ctx) is None)
+    return out
+
+
+def limit(rows: Iterable[tuple], n: int) -> Iterator[tuple]:
+    """Pass through at most ``n`` rows, never over-pulling the source."""
+    if n < 0:
+        raise ExecutionError(f"LIMIT must be non-negative, got {n}")
+    if n == 0:
+        return
+    count = 0
+    for row in rows:
+        yield row
+        count += 1
+        if count >= n:
+            return
+
+
+def consume_rows(table, rids: RowSet) -> None:
+    """Law 2 enforcement: delete every answer-set row from the table."""
+    table.delete_rows(rids)

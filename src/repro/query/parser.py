@@ -1,0 +1,402 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informal)::
+
+    statement   := [CONSUME] SELECT [DISTINCT] proj_list FROM table_ref
+                   [JOIN table_ref ON column = column]
+                   [WHERE or_expr]
+                   [GROUP BY column_list] [HAVING or_expr]
+                   [ORDER BY order_list] [LIMIT int]
+    proj_list   := '*' | projection (',' projection)*
+    projection  := or_expr [AS ident | ident]
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | predicate
+    predicate   := additive [comparison | IN list | BETWEEN | IS NULL]
+    additive    := multiplic (('+'|'-') multiplic)*
+    multiplic   := unary (('*'|'/'|'%') unary)*
+    unary       := '-' unary | primary
+    primary     := literal | func '(' args ')' | column | '(' or_expr ')'
+
+Operator precedence mirrors SQL: OR < AND < NOT < comparison <
+additive < multiplicative < unary minus.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.query.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    DeleteStmt,
+    Expression,
+    FuncCall,
+    InList,
+    InsertStmt,
+    IsNull,
+    JoinClause,
+    Literal,
+    OrderItem,
+    Projection,
+    SelectStmt,
+    Star,
+    Statement,
+    TableRef,
+    UnaryOp,
+)
+from repro.query.tokens import Token, TokenType, tokenize
+
+_COMPARISONS = frozenset({"=", "!=", "<", "<=", ">", ">="})
+
+
+class _Parser:
+    """Token-stream cursor with the grammar's productions as methods."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.pos = 0
+
+    # -- cursor helpers ------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.type is not TokenType.EOF:
+            self.pos += 1
+        return tok
+
+    def check_keyword(self, word: str) -> bool:
+        return self.current.matches_keyword(word)
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.check_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            self.fail(f"expected {word}")
+
+    def expect(self, ttype: TokenType) -> Token:
+        if self.current.type is not ttype:
+            self.fail(f"expected {ttype.value}")
+        return self.advance()
+
+    def fail(self, message: str) -> None:
+        tok = self.current
+        shown = tok.text if tok.type is not TokenType.EOF else "end of input"
+        raise ParseError(f"{message}, got {shown!r} at offset {tok.pos} in {self.sql!r}")
+
+    # -- statement -----------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self.check_keyword("INSERT"):
+            return self.parse_insert()
+        if self.check_keyword("DELETE"):
+            return self.parse_delete()
+        return self.parse_select()
+
+    def parse_insert(self) -> InsertStmt:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect(TokenType.IDENT).text
+        columns: tuple[str, ...] = ()
+        if self.current.type is TokenType.LPAREN:
+            self.advance()
+            names = [self.expect(TokenType.IDENT).text]
+            while self.current.type is TokenType.COMMA:
+                self.advance()
+                names.append(self.expect(TokenType.IDENT).text)
+            self.expect(TokenType.RPAREN)
+            columns = tuple(names)
+        self.expect_keyword("VALUES")
+        rows = [self.parse_value_row()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            rows.append(self.parse_value_row())
+        if self.current.type is not TokenType.EOF:
+            self.fail("unexpected trailing input")
+        return InsertStmt(table=table, columns=columns, rows=tuple(rows))
+
+    def parse_value_row(self) -> tuple[Expression, ...]:
+        self.expect(TokenType.LPAREN)
+        values = [self.parse_or()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            values.append(self.parse_or())
+        self.expect(TokenType.RPAREN)
+        return tuple(values)
+
+    def parse_delete(self) -> DeleteStmt:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect(TokenType.IDENT).text
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_or()
+        if self.current.type is not TokenType.EOF:
+            self.fail("unexpected trailing input")
+        return DeleteStmt(table=table, where=where)
+
+    def parse_select(self) -> SelectStmt:
+        consume = self.accept_keyword("CONSUME")
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        projections = self.parse_projections()
+        self.expect_keyword("FROM")
+        table = self.parse_table_ref()
+        join = self.parse_join() if self.check_keyword("JOIN") else None
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_or()
+        group_by: tuple[ColumnRef, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = self.parse_column_list()
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_or()
+        order_by: tuple[OrderItem, ...] = ()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by = self.parse_order_list()
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            tok = self.expect(TokenType.NUMBER)
+            try:
+                limit = int(tok.text)
+            except ValueError:
+                self.fail("LIMIT must be an integer")
+        if self.current.type is not TokenType.EOF:
+            self.fail("unexpected trailing input")
+        return SelectStmt(
+            projections=projections,
+            table=table,
+            join=join,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            consume=consume,
+            distinct=distinct,
+        )
+
+    # -- clauses -------------------------------------------------------
+
+    def parse_projections(self) -> tuple[Projection, ...]:
+        items = [self.parse_projection()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            items.append(self.parse_projection())
+        return tuple(items)
+
+    def parse_projection(self) -> Projection:
+        if self.current.type is TokenType.STAR:
+            # a bare '*' item; the planner rejects it when combined with
+            # other projections, with a better message than the parser could
+            self.advance()
+            return Projection(Star())
+        expr = self.parse_or()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect(TokenType.IDENT).text
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().text
+        return Projection(expr, alias)
+
+    def parse_table_ref(self) -> TableRef:
+        name = self.expect(TokenType.IDENT).text
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect(TokenType.IDENT).text
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().text
+        return TableRef(name, alias)
+
+    def parse_join(self) -> JoinClause:
+        self.expect_keyword("JOIN")
+        table = self.parse_table_ref()
+        self.expect_keyword("ON")
+        left = self.parse_column_ref()
+        op = self.expect(TokenType.OPERATOR)
+        if op.text != "=":
+            self.fail("only equi-joins are supported")
+        right = self.parse_column_ref()
+        return JoinClause(table, left, right)
+
+    def parse_column_list(self) -> tuple[ColumnRef, ...]:
+        cols = [self.parse_column_ref()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            cols.append(self.parse_column_ref())
+        return tuple(cols)
+
+    def parse_order_list(self) -> tuple[OrderItem, ...]:
+        items = [self.parse_order_item()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            items.append(self.parse_order_item())
+        return tuple(items)
+
+    def parse_order_item(self) -> OrderItem:
+        expr = self.parse_or()
+        ascending = True
+        if self.accept_keyword("ASC"):
+            ascending = True
+        elif self.accept_keyword("DESC"):
+            ascending = False
+        return OrderItem(expr, ascending)
+
+    def parse_column_ref(self) -> ColumnRef:
+        first = self.expect(TokenType.IDENT).text
+        if self.current.type is TokenType.DOT:
+            self.advance()
+            second = self.expect(TokenType.IDENT).text
+            return ColumnRef(second, table=first)
+        return ColumnRef(first)
+
+    # -- expressions ---------------------------------------------------
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = BinaryOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = BinaryOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return UnaryOp("NOT", self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expression:
+        left = self.parse_additive()
+        tok = self.current
+        if tok.type is TokenType.OPERATOR and tok.text in _COMPARISONS:
+            self.advance()
+            return BinaryOp(tok.text, left, self.parse_additive())
+        negated = False
+        if self.check_keyword("NOT"):
+            nxt = self.tokens[self.pos + 1]
+            if nxt.matches_keyword("IN") or nxt.matches_keyword("BETWEEN"):
+                self.advance()
+                negated = True
+            else:
+                return left
+        if self.accept_keyword("IN"):
+            self.expect(TokenType.LPAREN)
+            items = [self.parse_or()]
+            while self.current.type is TokenType.COMMA:
+                self.advance()
+                items.append(self.parse_or())
+            self.expect(TokenType.RPAREN)
+            return InList(left, tuple(items), negated=negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return Between(left, low, high, negated=negated)
+        if negated:
+            self.fail("expected IN or BETWEEN after NOT")
+        if self.accept_keyword("IS"):
+            is_not = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return IsNull(left, negated=is_not)
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while True:
+            tok = self.current
+            if tok.type is TokenType.OPERATOR and tok.text in ("+", "-"):
+                self.advance()
+                left = BinaryOp(tok.text, left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while True:
+            tok = self.current
+            if tok.type is TokenType.STAR:
+                self.advance()
+                left = BinaryOp("*", left, self.parse_unary())
+            elif tok.type is TokenType.OPERATOR and tok.text in ("/", "%"):
+                self.advance()
+                left = BinaryOp(tok.text, left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expression:
+        tok = self.current
+        if tok.type is TokenType.OPERATOR and tok.text == "-":
+            self.advance()
+            return UnaryOp("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        tok = self.current
+        if tok.type is TokenType.NUMBER:
+            self.advance()
+            text = tok.text
+            if "." in text or "e" in text or "E" in text:
+                return Literal(float(text))
+            return Literal(int(text))
+        if tok.type is TokenType.STRING:
+            self.advance()
+            return Literal(tok.text)
+        if tok.matches_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if tok.matches_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if tok.matches_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if tok.type is TokenType.LPAREN:
+            self.advance()
+            inner = self.parse_or()
+            self.expect(TokenType.RPAREN)
+            return inner
+        if tok.type is TokenType.IDENT:
+            nxt = self.tokens[self.pos + 1]
+            if nxt.type is TokenType.LPAREN:
+                return self.parse_func_call()
+            return self.parse_column_ref()
+        self.fail("expected an expression")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def parse_func_call(self) -> FuncCall:
+        name = self.expect(TokenType.IDENT).text.lower()
+        self.expect(TokenType.LPAREN)
+        if self.current.type is TokenType.STAR:
+            self.advance()
+            self.expect(TokenType.RPAREN)
+            return FuncCall(name, star=True)
+        distinct = self.accept_keyword("DISTINCT")
+        args: list[Expression] = []
+        if self.current.type is not TokenType.RPAREN:
+            args.append(self.parse_or())
+            while self.current.type is TokenType.COMMA:
+                self.advance()
+                args.append(self.parse_or())
+        self.expect(TokenType.RPAREN)
+        return FuncCall(name, tuple(args), distinct=distinct)
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SELECT / CONSUME SELECT / INSERT / DELETE statement."""
+    return _Parser(sql).parse_statement()

@@ -1,0 +1,493 @@
+"""Logical planning: AST -> validated plan tree.
+
+The planner resolves tables against the catalog, checks every column
+reference, decides whether an index can serve (part of) the WHERE
+clause, and rejects semantically invalid statements (aggregates mixed
+with bare columns outside GROUP BY, CONSUME with a JOIN, ...).
+
+Plan trees are small frozen dataclasses interpreted by
+:mod:`repro.query.operators`; there is no physical/logical split beyond
+index selection because the substrate has exactly one access path per
+index kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import PlanError
+from repro.query.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    DeleteStmt,
+    Expression,
+    FuncCall,
+    InsertStmt,
+    JoinClause,
+    Literal,
+    OrderItem,
+    Projection,
+    SelectStmt,
+    Star,
+    TableRef,
+)
+from repro.query.functions import is_aggregate
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Schema
+
+
+@dataclass(frozen=True)
+class IndexAccess:
+    """How the scan will use an index instead of a full pass."""
+
+    kind: str  # "hash-eq" | "sorted-range"
+    column: str
+    eq_value: Any = None
+    low: Any = None
+    high: Any = None
+    include_low: bool = True
+    include_high: bool = True
+
+    def describe(self) -> str:
+        """Human-readable access-path description for stats output."""
+        if self.kind == "hash-eq":
+            return f"hash({self.column}={self.eq_value!r})"
+        lo = "[" if self.include_low else "("
+        hi = "]" if self.include_high else ")"
+        return f"range({self.column} in {lo}{self.low!r}, {self.high!r}{hi})"
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """Scan one base table, optionally through an index, with a residual filter."""
+
+    table_name: str
+    binding: str
+    index: IndexAccess | None = None
+    residual: Expression | None = None
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """Hash equi-join of two scans, with a post-join residual filter."""
+
+    left: ScanPlan
+    right: ScanPlan
+    left_key: str  # row-context key on the left side
+    right_key: str
+    residual: Expression | None = None
+
+
+@dataclass(frozen=True)
+class AggregatePlan:
+    """Group rows and compute aggregate accumulators per group."""
+
+    group_keys: tuple[str, ...]  # row-context keys
+    group_names: tuple[str, ...]  # output context keys (bare names)
+    aggregates: tuple[FuncCall, ...]
+    having: Expression | None = None
+
+
+@dataclass(frozen=True)
+class SelectPlan:
+    """The full plan for one statement."""
+
+    source: ScanPlan | JoinPlan
+    projections: tuple[Projection, ...]
+    output_columns: tuple[str, ...]
+    aggregate: AggregatePlan | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    consume: bool = False
+    distinct: bool = False
+
+
+# ----------------------------------------------------------------------
+# name resolution
+# ----------------------------------------------------------------------
+
+class _Scope:
+    """Column visibility for a statement: binding -> schema."""
+
+    def __init__(self) -> None:
+        self.bindings: dict[str, Schema] = {}
+
+    def add(self, ref: TableRef, schema: Schema) -> None:
+        if ref.binding in self.bindings:
+            raise PlanError(f"duplicate table binding {ref.binding!r}")
+        self.bindings[ref.binding] = schema
+
+    def resolve(self, ref: ColumnRef) -> str:
+        """Return the context key for ``ref``, checking existence/ambiguity."""
+        if ref.table is not None:
+            schema = self.bindings.get(ref.table)
+            if schema is None:
+                raise PlanError(f"unknown table qualifier {ref.table!r}")
+            if ref.name not in schema:
+                raise PlanError(f"table {ref.table!r} has no column {ref.name!r}")
+            return ref.key
+        owners = [b for b, schema in self.bindings.items() if ref.name in schema]
+        if not owners:
+            raise PlanError(f"unknown column {ref.name!r}")
+        if len(owners) > 1:
+            raise PlanError(f"ambiguous column {ref.name!r}: in tables {sorted(owners)}")
+        return ref.name if len(self.bindings) == 1 else f"{owners[0]}.{ref.name}"
+
+    def validate_expression(self, expr: Expression) -> None:
+        for ref in expr.column_refs():
+            self.resolve(ref)
+
+
+# ----------------------------------------------------------------------
+# index selection
+# ----------------------------------------------------------------------
+
+def _conjuncts(expr: Expression | None) -> list[Expression]:
+    """Split a predicate on top-level ANDs."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _rebuild_and(conjuncts: list[Expression]) -> Expression | None:
+    if not conjuncts:
+        return None
+    out = conjuncts[0]
+    for conj in conjuncts[1:]:
+        out = BinaryOp("AND", out, conj)
+    return out
+
+
+def _as_simple_comparison(expr: Expression) -> tuple[str, str, Any] | None:
+    """Match ``col <op> literal`` / ``literal <op> col``; returns (col, op, value)."""
+    if not isinstance(expr, BinaryOp) or expr.op not in ("=", "<", "<=", ">", ">="):
+        return None
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+    if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+        if expr.left.table is None and expr.right.value is not None:
+            return expr.left.name, expr.op, expr.right.value
+    if isinstance(expr.right, ColumnRef) and isinstance(expr.left, Literal):
+        if expr.right.table is None and expr.left.value is not None:
+            return expr.right.name, flip[expr.op], expr.left.value
+    return None
+
+
+def _choose_index(
+    catalog: Catalog, table_name: str, where: Expression | None
+) -> tuple[IndexAccess | None, Expression | None]:
+    """Pick one index-serviceable conjunct; return (access, residual)."""
+    conjuncts = _conjuncts(where)
+    for i, conj in enumerate(conjuncts):
+        simple = _as_simple_comparison(conj)
+        if simple is not None:
+            column, op, value = simple
+            if op == "=" and catalog.hash_index(table_name, column) is not None:
+                residual = _rebuild_and(conjuncts[:i] + conjuncts[i + 1:])
+                return IndexAccess("hash-eq", column, eq_value=value), residual
+            if op != "=" and catalog.sorted_index(table_name, column) is not None:
+                low = high = None
+                include_low = include_high = True
+                if op in (">", ">="):
+                    low, include_low = value, op == ">="
+                else:
+                    high, include_high = value, op == "<="
+                residual = _rebuild_and(conjuncts[:i] + conjuncts[i + 1:])
+                return (
+                    IndexAccess(
+                        "sorted-range",
+                        column,
+                        low=low,
+                        high=high,
+                        include_low=include_low,
+                        include_high=include_high,
+                    ),
+                    residual,
+                )
+        if (
+            isinstance(conj, Between)
+            and not conj.negated
+            and isinstance(conj.operand, ColumnRef)
+            and conj.operand.table is None
+            and isinstance(conj.low, Literal)
+            and isinstance(conj.high, Literal)
+            and catalog.sorted_index(table_name, conj.operand.name) is not None
+        ):
+            residual = _rebuild_and(conjuncts[:i] + conjuncts[i + 1:])
+            return (
+                IndexAccess(
+                    "sorted-range",
+                    conj.operand.name,
+                    low=conj.low.value,
+                    high=conj.high.value,
+                ),
+                residual,
+            )
+    return None, where
+
+
+# ----------------------------------------------------------------------
+# aggregate analysis
+# ----------------------------------------------------------------------
+
+def _find_aggregates(expr: Expression) -> list[FuncCall]:
+    """All aggregate FuncCall nodes in ``expr`` (not descending into them)."""
+    if isinstance(expr, FuncCall):
+        if is_aggregate(expr.name):
+            return [expr]
+        found: list[FuncCall] = []
+        for arg in expr.args:
+            found.extend(_find_aggregates(arg))
+        return found
+    found = []
+    for child in _children(expr):
+        found.extend(_find_aggregates(child))
+    return found
+
+
+def _children(expr: Expression) -> list[Expression]:
+    from repro.query.ast_nodes import UnaryOp, InList, IsNull
+
+    if isinstance(expr, BinaryOp):
+        return [expr.left, expr.right]
+    if isinstance(expr, UnaryOp):
+        return [expr.operand]
+    if isinstance(expr, Between):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, InList):
+        return [expr.operand, *expr.items]
+    if isinstance(expr, IsNull):
+        return [expr.operand]
+    return []
+
+
+def _non_aggregate_refs(expr: Expression) -> list[ColumnRef]:
+    """Column refs that appear outside any aggregate call."""
+    if isinstance(expr, FuncCall) and is_aggregate(expr.name):
+        return []
+    if isinstance(expr, ColumnRef):
+        return [expr]
+    refs: list[ColumnRef] = []
+    if isinstance(expr, FuncCall):
+        for arg in expr.args:
+            refs.extend(_non_aggregate_refs(arg))
+        return refs
+    for child in _children(expr):
+        refs.extend(_non_aggregate_refs(child))
+    return refs
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+def plan_select(stmt: SelectStmt, catalog: Catalog) -> SelectPlan:
+    """Validate ``stmt`` against ``catalog`` and build its plan."""
+    scope = _Scope()
+    base_table = catalog.table(stmt.table.name)  # raises CatalogError if unknown
+    scope.add(stmt.table, base_table.schema)
+
+    join_plan: JoinPlan | None = None
+    if stmt.join is not None:
+        if stmt.consume:
+            raise PlanError("CONSUME SELECT does not support JOIN (Law 2 is per-relation)")
+        right_table = catalog.table(stmt.join.table.name)
+        scope.add(stmt.join.table, right_table.schema)
+
+    # expand and validate projections
+    projections = _expand_projections(stmt, scope)
+    for proj in projections:
+        scope.validate_expression(proj.expr)
+    if stmt.where is not None:
+        scope.validate_expression(stmt.where)
+        if _find_aggregates(stmt.where):
+            raise PlanError("aggregates are not allowed in WHERE (use HAVING)")
+
+    # ORDER BY may name projection aliases; rewrite those to the
+    # underlying expressions so sorting can run before projection.
+    aliases = {
+        p.alias: p.expr for p in projections if p.alias is not None
+    }
+    order_by = tuple(
+        OrderItem(aliases[item.expr.name], item.ascending)
+        if isinstance(item.expr, ColumnRef)
+        and item.expr.table is None
+        and item.expr.name in aliases
+        else item
+        for item in stmt.order_by
+    )
+    for item in order_by:
+        scope.validate_expression(item.expr)
+
+    # aggregation
+    aggregate_plan = _plan_aggregation(stmt, projections, scope, order_by)
+
+    # scans & index choice (indexes only help single-table unqualified predicates)
+    if stmt.join is None:
+        index, residual = _choose_index(catalog, stmt.table.name, stmt.where)
+        source: ScanPlan | JoinPlan = ScanPlan(
+            stmt.table.name, stmt.table.binding, index=index, residual=residual
+        )
+    else:
+        left_scan = ScanPlan(stmt.table.name, stmt.table.binding, residual=None)
+        right_scan = ScanPlan(stmt.join.table.name, stmt.join.table.binding, residual=None)
+        left_key, right_key = _resolve_join_keys(stmt.join, stmt.table, scope)
+        join_plan = JoinPlan(left_scan, right_scan, left_key, right_key, residual=stmt.where)
+        source = join_plan
+
+    output_columns = tuple(p.output_name for p in projections)
+    if len(set(output_columns)) != len(output_columns):
+        raise PlanError(f"duplicate output column names: {list(output_columns)}")
+
+    return SelectPlan(
+        source=source,
+        projections=projections,
+        output_columns=output_columns,
+        aggregate=aggregate_plan,
+        order_by=order_by,
+        limit=stmt.limit,
+        consume=stmt.consume,
+        distinct=stmt.distinct,
+    )
+
+
+def _expand_projections(stmt: SelectStmt, scope: _Scope) -> tuple[Projection, ...]:
+    """Expand ``*`` into explicit per-column projections."""
+    out: list[Projection] = []
+    for proj in stmt.projections:
+        if isinstance(proj.expr, Star):
+            if len(stmt.projections) != 1:
+                raise PlanError("'*' cannot be combined with other projections")
+            if stmt.group_by:
+                raise PlanError("'*' is not allowed with GROUP BY")
+            for binding, schema in scope.bindings.items():
+                qualify = len(scope.bindings) > 1
+                for name in schema.names:
+                    ref = ColumnRef(name, table=binding if qualify else None)
+                    alias = f"{binding}_{name}" if qualify else None
+                    out.append(Projection(ref, alias))
+        else:
+            out.append(proj)
+    return tuple(out)
+
+
+def _plan_aggregation(
+    stmt: SelectStmt,
+    projections: tuple[Projection, ...],
+    scope: _Scope,
+    order_by: tuple[OrderItem, ...] = (),
+) -> AggregatePlan | None:
+    proj_aggregates: list[FuncCall] = []
+    for proj in projections:
+        proj_aggregates.extend(_find_aggregates(proj.expr))
+    having_aggregates = _find_aggregates(stmt.having) if stmt.having else []
+    order_aggregates: list[FuncCall] = []
+    for item in order_by:
+        order_aggregates.extend(_find_aggregates(item.expr))
+    if not stmt.group_by and not proj_aggregates and not having_aggregates:
+        if stmt.having is not None:
+            raise PlanError("HAVING requires GROUP BY or aggregates")
+        if order_aggregates:
+            raise PlanError("aggregates in ORDER BY require GROUP BY or aggregated SELECT")
+        return None
+
+    group_keys = []
+    group_names = []
+    for col in stmt.group_by:
+        group_keys.append(scope.resolve(col))
+        group_names.append(col.name)
+
+    # every bare column in projections/HAVING must be a group key
+    allowed = set(group_names) | set(group_keys)
+    check_exprs: list[Expression] = [p.expr for p in projections]
+    if stmt.having is not None:
+        scope.validate_expression(stmt.having)
+        check_exprs.append(stmt.having)
+    check_exprs.extend(item.expr for item in order_by)
+    for expr in check_exprs:
+        for ref in _non_aggregate_refs(expr):
+            if ref.name not in allowed and ref.key not in allowed:
+                raise PlanError(
+                    f"column {ref.to_sql()!r} must appear in GROUP BY or inside an aggregate"
+                )
+
+    # validate arities, then deduplicate aggregate calls by rendered SQL
+    from repro.query.functions import aggregate_arity
+
+    seen: dict[str, FuncCall] = {}
+    for agg in proj_aggregates + having_aggregates + order_aggregates:
+        if not agg.star:
+            expected = aggregate_arity(agg.name)
+            if len(agg.args) != expected:
+                raise PlanError(
+                    f"{agg.name}() takes {expected} argument(s), got {len(agg.args)}"
+                )
+        seen.setdefault(agg.to_sql(), agg)
+    return AggregatePlan(
+        group_keys=tuple(group_keys),
+        group_names=tuple(group_names),
+        aggregates=tuple(seen.values()),
+        having=stmt.having,
+    )
+
+
+def _resolve_join_keys(
+    join: JoinClause, base: TableRef, scope: _Scope
+) -> tuple[str, str]:
+    """Map the ON clause to (left-side key, right-side key)."""
+    left_key = scope.resolve(join.left)
+    right_key = scope.resolve(join.right)
+    right_binding = join.table.binding
+
+    def side(ref: ColumnRef, key: str) -> str:
+        owner = ref.table or key.split(".")[0]
+        return "right" if owner == right_binding else "left"
+
+    sides = {side(join.left, left_key): left_key, side(join.right, right_key): right_key}
+    if set(sides) != {"left", "right"}:
+        raise PlanError("JOIN ON must compare one column from each table")
+    return sides["left"], sides["right"]
+
+
+def plan_delete(stmt: DeleteStmt, catalog: Catalog) -> ScanPlan:
+    """Validate a DELETE and return the scan that finds its victims."""
+    table = catalog.table(stmt.table)
+    scope = _Scope()
+    scope.add(TableRef(stmt.table), table.schema)
+    if stmt.where is not None:
+        scope.validate_expression(stmt.where)
+        if _find_aggregates(stmt.where):
+            raise PlanError("aggregates are not allowed in DELETE ... WHERE")
+    index, residual = _choose_index(catalog, stmt.table, stmt.where)
+    return ScanPlan(stmt.table, stmt.table, index=index, residual=residual)
+
+
+def plan_insert(stmt: InsertStmt, catalog: Catalog) -> tuple[str, tuple[str, ...]]:
+    """Validate an INSERT; returns (table name, target column names).
+
+    Values must be constant expressions: anything referencing a column
+    is rejected here, so evaluation later cannot surprise.
+    """
+    table = catalog.table(stmt.table)
+    columns = stmt.columns or table.schema.names
+    for name in columns:
+        if name not in table.schema:
+            raise PlanError(f"table {stmt.table!r} has no column {name!r}")
+    if len(set(columns)) != len(columns):
+        raise PlanError(f"duplicate INSERT columns: {list(columns)}")
+    for row in stmt.rows:
+        if len(row) != len(columns):
+            raise PlanError(
+                f"INSERT row has {len(row)} values for {len(columns)} columns"
+            )
+        for value in row:
+            if value.column_refs():
+                raise PlanError(
+                    f"INSERT values must be constants, got {value.to_sql()}"
+                )
+            if _find_aggregates(value):
+                raise PlanError("aggregates are not allowed in INSERT values")
+    return stmt.table, tuple(columns)

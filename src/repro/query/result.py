@@ -1,0 +1,94 @@
+"""Query results.
+
+A :class:`ResultSet` is the paper's answer set ``A``: named columns,
+materialised rows, plus bookkeeping the decay core needs — which base
+rows were consumed (Law 2) and simple execution counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.storage.rowset import RowSet
+
+
+@dataclass
+class ExecutionStats:
+    """Counters filled in by the executor."""
+
+    rows_scanned: int = 0
+    rows_matched: int = 0
+    rows_consumed: int = 0
+    used_index: str | None = None
+
+
+@dataclass
+class ResultSet:
+    """The answer set of one query."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    consumed: RowSet = field(default_factory=RowSet.empty)
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one result column."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no result column {name!r}; have {list(self.columns)}") from None
+        return [row[idx] for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result (e.g. ``SELECT count(*)``)."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, have {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as ``{column: value}`` dicts."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """ASCII rendering for examples and the bench harness."""
+        return format_table(self.columns, self.rows[:max_rows], truncated=len(self.rows) > max_rows)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    truncated: bool = False,
+) -> str:
+    """Render ``rows`` under ``columns`` as an aligned ASCII table."""
+
+    def render(value: Any) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    cells = [[render(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(c.ljust(w) for c, w in zip(columns, widths)), sep]
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if truncated:
+        lines.append("...")
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Lexer for the SQL subset.
+
+Produces a flat list of :class:`Token`; the parser consumes it with
+one-token lookahead. Every token remembers its position in the source
+so errors can point at the offending character.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TokenizeError
+
+
+class TokenType(enum.Enum):
+    """Lexical categories of the query language."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "CONSUME",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "DELETE",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "LIMIT",
+        "JOIN",
+        "ON",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "BETWEEN",
+        "IS",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "ASC",
+        "DESC",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "/", "%")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (0-based offset)."""
+
+    type: TokenType
+    text: str
+    pos: int
+
+    def matches_keyword(self, word: str) -> bool:
+        """True when this token is the given keyword."""
+        return self.type is TokenType.KEYWORD and self.text == word
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``, returning tokens terminated by an EOF token.
+
+    Raises :class:`~repro.errors.TokenizeError` on unknown characters
+    or unterminated string literals.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise TokenizeError(f"unterminated string literal at offset {i}")
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":  # doubled quote escape
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    if j + 1 < n and (sql[j + 1].isdigit() or sql[j + 1] in "+-"):
+                        seen_exp = True
+                        j += 2 if sql[j + 1] in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ",", i))
+            i += 1
+            continue
+        if ch == ".":
+            tokens.append(Token(TokenType.DOT, ".", i))
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenType.STAR, "*", i))
+            i += 1
+            continue
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                text = "!=" if op == "<>" else op
+                tokens.append(Token(TokenType.OPERATOR, text, i))
+                i += len(op)
+                break
+        else:
+            raise TokenizeError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

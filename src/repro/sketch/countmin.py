@@ -1,0 +1,100 @@
+"""Count-min sketch for approximate frequencies.
+
+Standard Cormode–Muthukrishnan construction: ``depth`` rows of
+``width`` counters with pairwise-independent hash rows; point queries
+return the minimum over rows, overestimating by at most
+``ε·N = (e/width)·N`` with probability ``1 − (1/e)^depth``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable
+
+from repro.errors import SketchError
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+def _stable_hash(value: Hashable) -> int:
+    """Deterministic 64-bit hash (Python's ``hash`` is salted per process).
+
+    FNV-1a over the repr, then a splitmix64-style avalanche so that
+    similar short strings ("/page/1", "/page/2", ...) still spread
+    uniformly across low bits — HyperLogLog indexes on those.
+    """
+    if isinstance(value, bool):
+        value = ("bool", value)
+    data = repr(value).encode("utf-8")
+    h = 0xCBF29CE484222325  # FNV-1a
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    # splitmix64 finalizer
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return h ^ (h >> 31)
+
+
+class CountMinSketch:
+    """Approximate frequency table in ``depth × width`` counters."""
+
+    def __init__(self, width: int = 256, depth: int = 4, seed: int = 7) -> None:
+        if width <= 0 or depth <= 0:
+            raise SketchError(f"width/depth must be positive, got {width}x{depth}")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self.total = 0
+        self._rows: list[list[int]] = [[0] * width for _ in range(depth)]
+        # pairwise-independent hash parameters (a*x + b mod p mod width)
+        self._params = [
+            ((seed * 2654435761 + i * 40503 + 1) % _MERSENNE_PRIME or 1,
+             (seed * 97 + i * 1000003) % _MERSENNE_PRIME)
+            for i in range(depth)
+        ]
+
+    @classmethod
+    def from_error(cls, epsilon: float, delta: float, seed: int = 7) -> "CountMinSketch":
+        """Size a sketch so error ≤ ``epsilon·N`` with prob ≥ 1−``delta``."""
+        if not (0 < epsilon < 1) or not (0 < delta < 1):
+            raise SketchError(f"need 0<epsilon<1 and 0<delta<1, got {epsilon}, {delta}")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=depth, seed=seed)
+
+    def _positions(self, value: Hashable) -> list[int]:
+        x = _stable_hash(value)
+        return [((a * x + b) % _MERSENNE_PRIME) % self.width for a, b in self._params]
+
+    def add(self, value: Hashable, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``value``."""
+        if count < 0:
+            raise SketchError(f"negative count {count}")
+        self.total += count
+        for row, pos in zip(self._rows, self._positions(value)):
+            row[pos] += count
+
+    def estimate(self, value: Hashable) -> int:
+        """Estimated frequency of ``value`` (never underestimates)."""
+        return min(row[pos] for row, pos in zip(self._rows, self._positions(value)))
+
+    def error_bound(self) -> float:
+        """The ε·N additive error guarantee for the current total."""
+        return (math.e / self.width) * self.total
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Cell-wise sum of two identically-parameterised sketches."""
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed):
+            raise SketchError("can only merge identically-parameterised count-min sketches")
+        merged = CountMinSketch(self.width, self.depth, self.seed)
+        merged.total = self.total + other.total
+        merged._rows = [
+            [a + b for a, b in zip(row_a, row_b)]
+            for row_a, row_b in zip(self._rows, other._rows)
+        ]
+        return merged
+
+    def memory_cells(self) -> int:
+        """Number of counters held (space metric for experiment T2)."""
+        return self.width * self.depth

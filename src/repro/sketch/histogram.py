@@ -1,0 +1,149 @@
+"""Streaming histogram (Ben-Haim & Tom-Tov style centroid merging).
+
+Maintains at most ``max_bins`` (centroid, count) pairs; inserting past
+the budget merges the two closest centroids. Supports quantile and
+count-below queries and exact merging of two histograms.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+from repro.errors import SketchError
+
+
+class StreamingHistogram:
+    """Bounded-space histogram over a numeric stream."""
+
+    def __init__(self, max_bins: int = 64) -> None:
+        if max_bins < 2:
+            raise SketchError(f"need at least 2 bins, got {max_bins}")
+        self.max_bins = max_bins
+        self._bins: list[list[float]] = []  # [centroid, count], sorted by centroid
+        self.total = 0
+        self.min_value: float | None = None
+        self.max_value: float | None = None
+
+    def __len__(self) -> int:
+        return len(self._bins)
+
+    def add(self, value: float) -> None:
+        """Insert one numeric value."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SketchError(f"histogram takes numbers, got {value!r}")
+        value = float(value)
+        self.total += 1
+        self.min_value = value if self.min_value is None else min(self.min_value, value)
+        self.max_value = value if self.max_value is None else max(self.max_value, value)
+        centroids = [b[0] for b in self._bins]
+        idx = bisect.bisect_left(centroids, value)
+        if idx < len(self._bins) and self._bins[idx][0] == value:
+            self._bins[idx][1] += 1
+            return
+        self._bins.insert(idx, [value, 1])
+        if len(self._bins) > self.max_bins:
+            self._merge_closest()
+
+    def add_all(self, values: Iterable[float]) -> None:
+        """Insert every value of ``values``."""
+        for value in values:
+            self.add(value)
+
+    def _merge_closest(self) -> None:
+        best = None
+        best_gap = float("inf")
+        for i in range(len(self._bins) - 1):
+            gap = self._bins[i + 1][0] - self._bins[i][0]
+            if gap < best_gap:
+                best_gap = gap
+                best = i
+        assert best is not None
+        (c1, n1), (c2, n2) = self._bins[best], self._bins[best + 1]
+        merged_count = n1 + n2
+        merged_centroid = (c1 * n1 + c2 * n2) / merged_count
+        self._bins[best: best + 2] = [[merged_centroid, merged_count]]
+
+    def bins(self) -> list[tuple[float, int]]:
+        """The (centroid, count) pairs, ascending by centroid."""
+        return [(c, int(n)) for c, n in self._bins]
+
+    def count_below(self, threshold: float) -> float:
+        """Estimated number of inserted values ≤ ``threshold``.
+
+        Bins at or below the threshold count fully; the first bin past
+        it contributes a linear fraction of its count, interpolated
+        between the previous centroid (or the minimum) and its own.
+        """
+        if not self._bins:
+            return 0.0
+        if self.min_value is not None and threshold < self.min_value:
+            return 0.0
+        if self.max_value is not None and threshold >= self.max_value:
+            return float(self.total)
+        count = 0.0
+        prev_c = self.min_value
+        for c, n in self._bins:
+            if c <= threshold:
+                count += n
+                prev_c = c
+            else:
+                span = c - (prev_c if prev_c is not None else c)
+                if span > 0:
+                    frac = (threshold - (prev_c if prev_c is not None else c)) / span
+                    count += max(0.0, min(frac, 1.0)) * n / 2.0
+                break
+        return min(max(count, 0.0), float(self.total))
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0 ≤ q ≤ 1) of the inserted values."""
+        if not (0.0 <= q <= 1.0):
+            raise SketchError(f"quantile must be in [0,1], got {q}")
+        if not self._bins:
+            raise SketchError("quantile of an empty histogram")
+        if q == 0.0:
+            return self.min_value  # type: ignore[return-value]
+        if q == 1.0:
+            return self.max_value  # type: ignore[return-value]
+        target = q * self.total
+        running = 0.0
+        for i, (c, n) in enumerate(self._bins):
+            if running + n >= target:
+                prev_c = self._bins[i - 1][0] if i > 0 else (self.min_value or c)
+                frac = (target - running) / n
+                return prev_c + (c - prev_c) * frac
+            running += n
+        return self.max_value  # type: ignore[return-value]
+
+    def mean(self) -> float | None:
+        """Weighted mean of the centroids."""
+        if self.total == 0:
+            return None
+        return sum(c * n for c, n in self._bins) / self.total
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Combine two histograms into one with this histogram's budget."""
+        merged = StreamingHistogram(self.max_bins)
+        merged.total = self.total + other.total
+        mins = [v for v in (self.min_value, other.min_value) if v is not None]
+        maxs = [v for v in (self.max_value, other.max_value) if v is not None]
+        merged.min_value = min(mins) if mins else None
+        merged.max_value = max(maxs) if maxs else None
+        merged._bins = sorted(
+            ([c, n] for c, n in self._bins + other._bins), key=lambda b: b[0]
+        )
+        # collapse duplicate centroids, then shrink to budget
+        collapsed: list[list[float]] = []
+        for c, n in merged._bins:
+            if collapsed and collapsed[-1][0] == c:
+                collapsed[-1][1] += n
+            else:
+                collapsed.append([c, n])
+        merged._bins = collapsed
+        while len(merged._bins) > merged.max_bins:
+            merged._merge_closest()
+        return merged
+
+    def memory_cells(self) -> int:
+        """Number of (centroid, count) pairs held."""
+        return len(self._bins)

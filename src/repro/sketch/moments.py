@@ -1,0 +1,101 @@
+"""Running moments and exponentially-weighted averages.
+
+:class:`RunningMoments` keeps count/mean/variance/min/max via Welford's
+online algorithm (numerically stable, mergeable with the Chan et al.
+parallel formula). :class:`Ewma` is the freshness-weighted cousin —
+newer values matter more, matching the paper's freshness worldview.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import SketchError
+
+
+class RunningMoments:
+    """Count, mean, variance, min, max in O(1) space."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min_value: float | None = None
+        self.max_value: float | None = None
+
+    def add(self, value: float) -> None:
+        """Observe one numeric value."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SketchError(f"RunningMoments takes numbers, got {value!r}")
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.min_value = value if self.min_value is None else min(self.min_value, value)
+        self.max_value = value if self.max_value is None else max(self.max_value, value)
+
+    def add_all(self, values: Iterable[float]) -> None:
+        """Observe every value of ``values``."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float | None:
+        """Sample variance (None below 2 observations)."""
+        if self.count < 2:
+            return None
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float | None:
+        """Sample standard deviation (None below 2 observations)."""
+        var = self.variance
+        return math.sqrt(var) if var is not None else None
+
+    @property
+    def total(self) -> float:
+        """Sum of observed values."""
+        return self.mean * self.count
+
+    def merge(self, other: "RunningMoments") -> "RunningMoments":
+        """Combine two moment sets (Chan et al. pairwise update)."""
+        merged = RunningMoments()
+        merged.count = self.count + other.count
+        if merged.count == 0:
+            return merged
+        delta = other.mean - self.mean
+        merged.mean = self.mean + delta * other.count / merged.count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / merged.count
+        )
+        mins = [v for v in (self.min_value, other.min_value) if v is not None]
+        maxs = [v for v in (self.max_value, other.max_value) if v is not None]
+        merged.min_value = min(mins) if mins else None
+        merged.max_value = max(maxs) if maxs else None
+        return merged
+
+
+class Ewma:
+    """Exponentially-weighted moving average with configurable alpha."""
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise SketchError(f"alpha must be in (0,1], got {alpha}")
+        self.alpha = alpha
+        self.value: float | None = None
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        """Observe one value; the first value seeds the average."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SketchError(f"Ewma takes numbers, got {value!r}")
+        value = float(value)
+        self.count += 1
+        if self.value is None:
+            self.value = value
+        else:
+            self.value = self.alpha * value + (1.0 - self.alpha) * self.value

@@ -1,0 +1,96 @@
+"""P² (piecewise-parabolic) streaming quantile estimator (Jain & Chlamtac).
+
+Tracks one quantile in O(1) space with five markers; good enough for
+the distiller's p50/p95/p99 summaries without keeping the data.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SketchError
+
+
+class P2Quantile:
+    """Single-quantile estimator over a numeric stream."""
+
+    def __init__(self, q: float) -> None:
+        if not (0.0 < q < 1.0):
+            raise SketchError(f"quantile must be in (0,1), got {q}")
+        self.q = q
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments: list[float] = []
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        """Observe one value."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SketchError(f"P2Quantile takes numbers, got {value!r}")
+        value = float(value)
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                q = self.q
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+                self._increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+            return
+
+    # -- main update ----------------------------------------------------
+        heights = self._heights
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            self._positions[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        for i in (1, 2, 3):
+            d = self._desired[i] - self._positions[i]
+            pos, prev_pos, next_pos = (
+                self._positions[i],
+                self._positions[i - 1],
+                self._positions[i + 1],
+            )
+            if (d >= 1 and next_pos - pos > 1) or (d <= -1 and prev_pos - pos < -1):
+                step = 1.0 if d >= 1 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                self._positions[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, p = self._heights, self._positions
+        return h[i] + d / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, p = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (p[j] - p[i])
+
+    def value(self) -> float:
+        """Current quantile estimate."""
+        if self.count == 0:
+            raise SketchError("quantile of an empty stream")
+        if len(self._initial) < 5 or not self._heights:
+            ordered = sorted(self._initial)
+            idx = min(int(self.q * len(ordered)), len(ordered) - 1)
+            return ordered[idx]
+        return self._heights[2]

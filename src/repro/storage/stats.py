@@ -1,0 +1,85 @@
+"""Table statistics: sizes, per-column min/max/distinct, memory estimate.
+
+The bench harness reports these, and experiment F1 uses
+:func:`estimate_bytes` as its storage-footprint metric (an honest
+Python-object estimate — the paper's point is about growth *shape*,
+not absolute bytes).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any
+
+from repro.storage.schema import DataType
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics for one column over the live rows."""
+
+    name: str
+    dtype: DataType
+    count: int
+    nulls: int
+    distinct: int
+    min_value: Any
+    max_value: Any
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Summary statistics for a whole table."""
+
+    name: str
+    live_rows: int
+    allocated_rows: int
+    tombstones: int
+    estimated_bytes: int
+    columns: tuple[ColumnStats, ...]
+
+    def column(self, name: str) -> ColumnStats:
+        """Stats for one column by name."""
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(name)
+
+
+def estimate_bytes(table: Table) -> int:
+    """Rough deep size of the live cells of ``table`` in bytes."""
+    total = 0
+    for column in table.schema.names:
+        for value in table.column_values(column):
+            total += sys.getsizeof(value)
+    return total
+
+
+def collect_stats(table: Table) -> TableStats:
+    """Compute :class:`TableStats` over the live rows of ``table``."""
+    col_stats = []
+    for col_def in table.schema:
+        values = table.column_values(col_def.name)
+        non_null = [v for v in values if v is not None]
+        comparable = non_null
+        col_stats.append(
+            ColumnStats(
+                name=col_def.name,
+                dtype=col_def.dtype,
+                count=len(values),
+                nulls=len(values) - len(non_null),
+                distinct=len(set(non_null)),
+                min_value=min(comparable) if comparable else None,
+                max_value=max(comparable) if comparable else None,
+            )
+        )
+    return TableStats(
+        name=table.name,
+        live_rows=len(table),
+        allocated_rows=table.allocated,
+        tombstones=table.tombstones,
+        estimated_bytes=estimate_bytes(table),
+        columns=tuple(col_stats),
+    )

@@ -1,0 +1,281 @@
+"""The physical table: append-only row space with tombstones.
+
+Rows receive monotonically increasing row ids in insertion order; a
+deletion only sets a tombstone, so row ids stay stable until an
+explicit :meth:`Table.compact`. Insertion order doubles as the *time
+axis* the paper's EGI fungus spreads along, which is why the table
+exposes :meth:`Table.prev_live` / :meth:`Table.next_live` neighbour
+navigation.
+
+Observers (secondary indexes, decay bookkeeping) register through
+:meth:`Table.add_observer` and are told about every append, delete and
+compaction, so they never go stale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping, Protocol, Sequence
+
+from repro.errors import StorageError
+from repro.storage.rowset import RowSet
+from repro.storage.schema import Schema
+
+
+class TableObserver(Protocol):
+    """Callbacks a table invokes as its row space changes.
+
+    Implementations must tolerate any call order that matches the
+    table's actual mutation order; the table never calls observers
+    re-entrantly.
+    """
+
+    def on_append(self, rid: int, values: tuple) -> None:
+        """Row ``rid`` was appended with ``values`` (schema order)."""
+
+    def on_delete(self, rid: int, values: tuple) -> None:
+        """Row ``rid`` was tombstoned; ``values`` are its last values."""
+
+    def on_compact(self, remap: Mapping[int, int]) -> None:
+        """The table compacted; ``remap`` maps old live rid -> new rid."""
+
+
+class Table:
+    """Columnar table with tombstone deletes and stable row ids.
+
+    The table is deliberately single-writer / no-concurrency: the paper's
+    decay clock and query engine interleave at tick granularity, so a
+    simple mutable structure with observer hooks is the honest substrate.
+    """
+
+    def __init__(self, schema: Schema, name: str = "R") -> None:
+        self.schema = schema
+        self.name = name
+        self._columns: list[list[Any]] = [[] for _ in schema]
+        self._live: list[bool] = []
+        self._live_count = 0
+        self._next_rid = 0
+        self._observers: list[TableObserver] = []
+        self._generation = 0  # bumped on compaction; indexes check it
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of *live* rows (the paper's "extent of R")."""
+        return self._live_count
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, live={self._live_count}, "
+            f"allocated={self._next_rid}, cols={list(self.schema.names)})"
+        )
+
+    @property
+    def allocated(self) -> int:
+        """Total row slots ever allocated (live + tombstoned)."""
+        return self._next_rid
+
+    @property
+    def tombstones(self) -> int:
+        """Number of deleted-but-not-compacted rows."""
+        return self._next_rid - self._live_count
+
+    @property
+    def generation(self) -> int:
+        """Compaction counter; row ids are only comparable within one."""
+        return self._generation
+
+    def is_live(self, rid: int) -> bool:
+        """True when ``rid`` exists and has not been deleted."""
+        return 0 <= rid < self._next_rid and self._live[rid]
+
+    def _check_live(self, rid: int) -> None:
+        if not (0 <= rid < self._next_rid):
+            raise StorageError(f"row id {rid} out of range [0, {self._next_rid}) in {self.name!r}")
+        if not self._live[rid]:
+            raise StorageError(f"row id {rid} is deleted in table {self.name!r}")
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+
+    def add_observer(self, observer: TableObserver) -> None:
+        """Register an observer for appends/deletes/compactions."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: TableObserver) -> None:
+        """Unregister a previously added observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def append(self, row: Mapping[str, Any] | Sequence[Any]) -> int:
+        """Append one row, returning its row id."""
+        values = self.schema.coerce_row(row)
+        rid = self._next_rid
+        for col, value in zip(self._columns, values):
+            col.append(value)
+        self._live.append(True)
+        self._next_rid += 1
+        self._live_count += 1
+        for obs in self._observers:
+            obs.on_append(rid, values)
+        return rid
+
+    def append_many(self, rows: Sequence[Mapping[str, Any] | Sequence[Any]]) -> RowSet:
+        """Append many rows, returning their (contiguous) row ids."""
+        start = self._next_rid
+        for row in rows:
+            self.append(row)
+        return RowSet.span(start, self._next_rid)
+
+    def delete(self, rid: int) -> None:
+        """Tombstone one live row."""
+        self._check_live(rid)
+        values = tuple(col[rid] for col in self._columns)
+        self._live[rid] = False
+        self._live_count -= 1
+        for obs in self._observers:
+            obs.on_delete(rid, values)
+
+    def delete_rows(self, rows: RowSet) -> None:
+        """Tombstone every row in ``rows`` (all must be live)."""
+        for rid in rows:
+            self.delete(rid)
+
+    def update(self, rid: int, column: str, value: Any) -> None:
+        """Overwrite one cell of a live row (used for freshness decay)."""
+        self._check_live(rid)
+        col_def = self.schema.column(column)
+        old = self._columns[self.schema.index_of(column)][rid]
+        new = col_def.coerce(value)
+        if old == new:
+            return
+        self._columns[self.schema.index_of(column)][rid] = new
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def value(self, rid: int, column: str) -> Any:
+        """One cell of a live row."""
+        self._check_live(rid)
+        return self._columns[self.schema.index_of(column)][rid]
+
+    def row(self, rid: int) -> tuple:
+        """All values of a live row, in schema order."""
+        self._check_live(rid)
+        return tuple(col[rid] for col in self._columns)
+
+    def row_dict(self, rid: int) -> dict[str, Any]:
+        """One live row as a ``{column: value}`` mapping."""
+        return dict(zip(self.schema.names, self.row(rid)))
+
+    def column_values(self, column: str, rows: RowSet | None = None) -> list[Any]:
+        """The values of ``column`` for ``rows`` (default: all live rows)."""
+        col = self._columns[self.schema.index_of(column)]
+        if rows is None:
+            return [col[rid] for rid in self.live_rows()]
+        for rid in rows:
+            self._check_live(rid)
+        return [col[rid] for rid in rows]
+
+    def live_rows(self) -> Iterator[int]:
+        """Row ids of live rows, ascending (insertion/time order)."""
+        live = self._live
+        return (rid for rid in range(self._next_rid) if live[rid])
+
+    def live_rowset(self) -> RowSet:
+        """All live row ids as a :class:`RowSet`."""
+        return RowSet(self.live_rows())
+
+    def iter_rows(self) -> Iterator[tuple[int, tuple]]:
+        """Yield ``(rid, values)`` for every live row in time order."""
+        for rid in self.live_rows():
+            yield rid, tuple(col[rid] for col in self._columns)
+
+    def scan(self, predicate: Callable[[dict[str, Any]], bool] | None = None) -> RowSet:
+        """Row ids of live rows matching ``predicate`` (all, if None)."""
+        if predicate is None:
+            return self.live_rowset()
+        names = self.schema.names
+        matches = []
+        for rid, values in self.iter_rows():
+            if predicate(dict(zip(names, values))):
+                matches.append(rid)
+        return RowSet(matches)
+
+    # ------------------------------------------------------------------
+    # neighbour navigation (EGI's spread axis)
+    # ------------------------------------------------------------------
+
+    def prev_live(self, rid: int) -> int | None:
+        """The nearest live row id strictly before ``rid``, or None.
+
+        ``rid`` itself may be live or tombstoned — EGI asks for the
+        neighbours of rows it has just evicted, so both must work.
+        """
+        if not (0 <= rid < self._next_rid):
+            raise StorageError(f"row id {rid} out of range in {self.name!r}")
+        for cand in range(rid - 1, -1, -1):
+            if self._live[cand]:
+                return cand
+        return None
+
+    def next_live(self, rid: int) -> int | None:
+        """The nearest live row id strictly after ``rid``, or None."""
+        if not (0 <= rid < self._next_rid):
+            raise StorageError(f"row id {rid} out of range in {self.name!r}")
+        for cand in range(rid + 1, self._next_rid):
+            if self._live[cand]:
+                return cand
+        return None
+
+    def neighbours(self, rid: int) -> tuple[int | None, int | None]:
+        """Both time-axis neighbours: ``(prev_live, next_live)``."""
+        return self.prev_live(rid), self.next_live(rid)
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+
+    def compact(self) -> dict[int, int]:
+        """Physically drop tombstones, remapping live rows densely.
+
+        Returns the ``{old_rid: new_rid}`` remap and notifies observers.
+        Relative insertion order (hence the time axis) is preserved.
+        """
+        if self.tombstones == 0:
+            return {}
+        remap: dict[int, int] = {}
+        new_columns: list[list[Any]] = [[] for _ in self.schema]
+        new_rid = 0
+        for rid in range(self._next_rid):
+            if self._live[rid]:
+                remap[rid] = new_rid
+                for src, dst in zip(self._columns, new_columns):
+                    dst.append(src[rid])
+                new_rid += 1
+        self._columns = new_columns
+        self._live = [True] * new_rid
+        self._next_rid = new_rid
+        self._live_count = new_rid
+        self._generation += 1
+        for obs in self._observers:
+            obs.on_compact(remap)
+        return remap
+
+    # ------------------------------------------------------------------
+    # bulk export
+    # ------------------------------------------------------------------
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """All live rows as dicts, in time order (small tables only)."""
+        names = self.schema.names
+        return [dict(zip(names, values)) for _, values in self.iter_rows()]

@@ -1,0 +1,36 @@
+"""Streaming / CEP substrate — the paper's named baseline.
+
+The conclusions of the paper state that decay and consume "are
+nowadays part of data science pipelines, and even fundamental to
+streaming database systems, or Complex Event Processing systems".
+Experiment F4 takes that seriously and compares the fungus database
+against this substrate:
+
+* :class:`~repro.stream.engine.StreamPipeline` — push-based dataflow
+  with map/filter/key-by/window stages.
+* :mod:`~repro.stream.windows` — tumbling, sliding and session windows.
+* :class:`~repro.stream.cep.PatternMatcher` — SEQ/WITHIN event
+  patterns over a stream.
+* :class:`~repro.stream.baseline.WindowedRetentionBaseline` — the
+  "streaming database" R-equivalent: keeps exactly the last *W* time
+  units of tuples, evicting by cliff rather than by fungus.
+"""
+
+from repro.stream.element import StreamElement
+from repro.stream.windows import SessionWindows, SlidingWindows, TumblingWindows, Window
+from repro.stream.engine import StreamPipeline
+from repro.stream.cep import Pattern, PatternMatch, PatternMatcher
+from repro.stream.baseline import WindowedRetentionBaseline
+
+__all__ = [
+    "Pattern",
+    "PatternMatch",
+    "PatternMatcher",
+    "SessionWindows",
+    "SlidingWindows",
+    "StreamElement",
+    "StreamPipeline",
+    "TumblingWindows",
+    "Window",
+    "WindowedRetentionBaseline",
+]

@@ -1,0 +1,112 @@
+"""The streaming-database baseline for experiment F4.
+
+A :class:`WindowedRetentionBaseline` keeps exactly the last ``window``
+time units of elements — the retention model of a streaming database.
+Eviction is a cliff at ``now − window``: a tuple is perfectly fresh
+until the instant it is dropped. The fungus database, by contrast,
+degrades freshness gradually and spatially. F4 measures what that
+difference buys: memory over time, answer staleness, and recall of
+old-but-queried data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import StreamError
+from repro.stream.element import StreamElement
+
+
+class WindowedRetentionBaseline:
+    """Last-W retention store with count/avg/filter queries."""
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise StreamError(f"retention window must be positive, got {window}")
+        self.window = window
+        self._elements: deque[StreamElement] = deque()
+        self._now = float("-inf")
+        self.total_ingested = 0
+        self.total_evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    @property
+    def now(self) -> float:
+        """Largest timestamp observed."""
+        return self._now
+
+    def ingest(self, element: StreamElement) -> None:
+        """Add one element and evict everything older than the window."""
+        if element.timestamp < self._now:
+            raise StreamError(
+                f"out-of-order ingest at t={element.timestamp} (now {self._now})"
+            )
+        self._now = element.timestamp
+        self._elements.append(element)
+        self.total_ingested += 1
+        self._evict()
+
+    def advance(self, now: float) -> None:
+        """Move time forward without ingesting (evicts expired data)."""
+        if now < self._now:
+            raise StreamError(f"cannot move time backwards to {now} (now {self._now})")
+        self._now = now
+        self._evict()
+
+    def _evict(self) -> None:
+        cutoff = self._now - self.window
+        while self._elements and self._elements[0].timestamp <= cutoff:
+            self._elements.popleft()
+            self.total_evicted += 1
+
+    # -- queries ----------------------------------------------------------
+
+    def count(self, predicate: Callable[[StreamElement], bool] | None = None) -> int:
+        """Number of retained elements (matching ``predicate`` if given)."""
+        if predicate is None:
+            return len(self._elements)
+        return sum(1 for e in self._elements if predicate(e))
+
+    def mean(self, key: str) -> float | None:
+        """Mean of payload field ``key`` over retained elements."""
+        values = [
+            e.payload[key]
+            for e in self._elements
+            if isinstance(e.payload.get(key), (int, float))
+            and not isinstance(e.payload.get(key), bool)
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def select(self, predicate: Callable[[StreamElement], bool]) -> list[StreamElement]:
+        """Retained elements matching ``predicate``, oldest first."""
+        return [e for e in self._elements if predicate(e)]
+
+    def oldest_timestamp(self) -> float | None:
+        """Timestamp of the oldest retained element."""
+        return self._elements[0].timestamp if self._elements else None
+
+    def memory_elements(self) -> int:
+        """Retention cost metric: elements currently held."""
+        return len(self._elements)
+
+    def coverage(self, since: float) -> float:
+        """Fraction of the time range [since, now] the store can answer.
+
+        A streaming store can only answer about the last ``window``
+        units; the fungus store (with summaries) retains degraded
+        knowledge further back. Used for the F4 recall series.
+        """
+        if self._now == float("-inf") or self._now <= since:
+            return 1.0
+        asked = self._now - since
+        have = min(self.window, asked)
+        return have / asked
+
+    def snapshot_values(self, key: str) -> list[Any]:
+        """All retained values of payload field ``key`` (oldest first)."""
+        return [e.payload.get(key) for e in self._elements]

@@ -1,0 +1,144 @@
+"""Complex Event Processing: SEQ/WITHIN pattern matching.
+
+A :class:`Pattern` is an ordered sequence of named predicates plus a
+time budget: ``SEQ(a, b, c) WITHIN w``. The matcher keeps partial
+matches (one NFA run per prefix) and emits a :class:`PatternMatch`
+whenever the full sequence completes inside the window. Partial runs
+expire once the time budget passes — CEP's own form of data rotting,
+which is exactly why the paper cites it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import StreamError
+from repro.stream.element import StreamElement
+
+Predicate = Callable[[StreamElement], bool]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """``SEQ`` of named steps that must occur within ``within`` time units."""
+
+    steps: tuple[tuple[str, Predicate], ...]
+    within: float
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise StreamError("a pattern needs at least one step")
+        if self.within <= 0:
+            raise StreamError(f"WITHIN must be positive, got {self.within}")
+        names = [name for name, _ in self.steps]
+        if len(set(names)) != len(names):
+            raise StreamError(f"duplicate step names: {names}")
+
+    @classmethod
+    def sequence(cls, *steps: tuple[str, Predicate], within: float) -> "Pattern":
+        """Convenience constructor: ``Pattern.sequence(("a", pa), ("b", pb), within=10)``."""
+        return cls(tuple(steps), within)
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """A completed match: the element bound to each step."""
+
+    bindings: tuple[tuple[str, StreamElement], ...]
+
+    @property
+    def start_time(self) -> float:
+        """Timestamp of the first bound element."""
+        return self.bindings[0][1].timestamp
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the last bound element."""
+        return self.bindings[-1][1].timestamp
+
+    def element(self, step: str) -> StreamElement:
+        """The element bound to ``step``."""
+        for name, elem in self.bindings:
+            if name == step:
+                return elem
+        raise KeyError(step)
+
+
+@dataclass
+class _Run:
+    """One partial match: bindings so far."""
+
+    bindings: list[tuple[str, StreamElement]] = field(default_factory=list)
+
+    @property
+    def started_at(self) -> float:
+        return self.bindings[0][1].timestamp
+
+
+class PatternMatcher:
+    """Streaming NFA matcher for one :class:`Pattern`.
+
+    ``skip-till-any-match`` semantics: an element may both extend
+    existing runs and start a new run, so overlapping matches are all
+    reported. Runs whose window has expired are pruned on every push.
+    """
+
+    def __init__(self, pattern: Pattern, max_runs: int = 10_000) -> None:
+        self.pattern = pattern
+        self.max_runs = max_runs
+        self._runs: list[_Run] = []
+        self.matches_emitted = 0
+        self.runs_expired = 0
+
+    @property
+    def active_runs(self) -> int:
+        """Number of partial matches currently alive."""
+        return len(self._runs)
+
+    def push(self, element: StreamElement) -> list[PatternMatch]:
+        """Feed one element; returns matches completed by it."""
+        window = self.pattern.within
+        survivors: list[_Run] = []
+        for run in self._runs:
+            if element.timestamp - run.started_at > window:
+                self.runs_expired += 1
+                continue
+            survivors.append(run)
+        self._runs = survivors
+
+        completed: list[PatternMatch] = []
+        new_runs: list[_Run] = []
+        for run in self._runs:
+            step_idx = len(run.bindings)
+            name, predicate = self.pattern.steps[step_idx]
+            if predicate(element):
+                extended = _Run(run.bindings + [(name, element)])
+                if len(extended.bindings) == len(self.pattern.steps):
+                    completed.append(PatternMatch(tuple(extended.bindings)))
+                    self.matches_emitted += 1
+                else:
+                    new_runs.append(extended)
+
+        first_name, first_predicate = self.pattern.steps[0]
+        if first_predicate(element):
+            seed = _Run([(first_name, element)])
+            if len(self.pattern.steps) == 1:
+                completed.append(PatternMatch(tuple(seed.bindings)))
+                self.matches_emitted += 1
+            else:
+                new_runs.append(seed)
+
+        self._runs.extend(new_runs)
+        if len(self._runs) > self.max_runs:
+            overflow = len(self._runs) - self.max_runs
+            self._runs = self._runs[overflow:]
+            self.runs_expired += overflow
+        return completed
+
+    def push_all(self, elements: Iterable[StreamElement]) -> list[PatternMatch]:
+        """Feed many elements; returns all completed matches, in order."""
+        out: list[PatternMatch] = []
+        for element in elements:
+            out.extend(self.push(element))
+        return out

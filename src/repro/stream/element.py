@@ -1,0 +1,28 @@
+"""Stream elements: timestamped payloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True, order=True)
+class StreamElement:
+    """One event: a timestamp plus an immutable payload mapping.
+
+    Ordering is by timestamp (then payload identity is irrelevant), so
+    elements can be heap-merged from several sources.
+    """
+
+    timestamp: float
+    payload: Mapping[str, Any] = field(compare=False, default_factory=dict)
+
+    def value(self, key: str, default: Any = None) -> Any:
+        """Payload field access with a default."""
+        return self.payload.get(key, default)
+
+    def with_payload(self, **updates: Any) -> "StreamElement":
+        """A copy with payload fields added/replaced."""
+        merged = dict(self.payload)
+        merged.update(updates)
+        return StreamElement(self.timestamp, merged)

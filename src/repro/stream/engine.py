@@ -1,0 +1,153 @@
+"""Push-based stream pipeline.
+
+A :class:`StreamPipeline` is a linear chain of stages built fluently::
+
+    results = []
+    pipe = (
+        StreamPipeline()
+        .filter(lambda e: e.value("temp") > 30.0)
+        .map(lambda e: e.with_payload(temp_f=e.value("temp") * 1.8 + 32))
+        .key_by(lambda e: e.value("sensor"))
+        .window(TumblingWindows(60.0), aggregate=lambda es: len(es))
+        .sink(results.append)
+    )
+    for element in source:
+        pipe.push(element)
+    pipe.flush()
+
+Window stages emit ``(key, Window, aggregate_result)`` tuples once the
+watermark (the largest timestamp seen) passes a window's end. The
+engine assumes in-order timestamps per key — honest for the synthetic
+workloads the experiments replay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import StreamError
+from repro.stream.element import StreamElement
+from repro.stream.windows import SlidingWindows, TumblingWindows, Window
+
+WindowResult = tuple[Any, Window, Any]
+
+
+class _WindowState:
+    """Open windows per key for one window stage."""
+
+    def __init__(self) -> None:
+        self.buffers: dict[tuple[Any, Window], list[StreamElement]] = {}
+
+
+class StreamPipeline:
+    """A linear dataflow of map/filter/key-by/window/sink stages."""
+
+    def __init__(self) -> None:
+        self._stages: list[tuple[str, Any]] = []
+        self._key_fn: Callable[[StreamElement], Any] | None = None
+        self._window_state: list[_WindowState] = []
+        self._watermark = float("-inf")
+        self._sinks: list[Callable[[Any], None]] = []
+        self.elements_pushed = 0
+
+    # -- builders -------------------------------------------------------
+
+    def map(self, fn: Callable[[StreamElement], StreamElement]) -> "StreamPipeline":
+        """Transform each element."""
+        self._stages.append(("map", fn))
+        return self
+
+    def filter(self, fn: Callable[[StreamElement], bool]) -> "StreamPipeline":
+        """Drop elements for which ``fn`` is false."""
+        self._stages.append(("filter", fn))
+        return self
+
+    def key_by(self, fn: Callable[[StreamElement], Any]) -> "StreamPipeline":
+        """Set the grouping key for downstream window stages."""
+        self._stages.append(("key_by", fn))
+        return self
+
+    def window(
+        self,
+        assigner: TumblingWindows | SlidingWindows,
+        aggregate: Callable[[list[StreamElement]], Any],
+    ) -> "StreamPipeline":
+        """Aggregate elements per (key, window); emits on watermark pass."""
+        state = _WindowState()
+        self._window_state.append(state)
+        self._stages.append(("window", (assigner, aggregate, state)))
+        return self
+
+    def sink(self, fn: Callable[[Any], None]) -> "StreamPipeline":
+        """Register a terminal consumer of whatever reaches the end."""
+        self._sinks.append(fn)
+        return self
+
+    # -- execution --------------------------------------------------------
+
+    def push(self, element: StreamElement) -> None:
+        """Feed one element through every stage."""
+        self.elements_pushed += 1
+        if element.timestamp < self._watermark:
+            # allow exact ties; true disorder is rejected to keep window
+            # emission semantics trivially correct
+            raise StreamError(
+                f"out-of-order element at t={element.timestamp} "
+                f"(watermark {self._watermark})"
+            )
+        self._watermark = element.timestamp
+        self._process(element, 0, key=None)
+        self._emit_ripe_windows()
+
+    def push_all(self, elements: Iterable[StreamElement]) -> None:
+        """Feed many elements in order."""
+        for element in elements:
+            self.push(element)
+
+    def flush(self) -> None:
+        """Force-emit every open window (end of stream)."""
+        self._watermark = float("inf")
+        self._emit_ripe_windows()
+
+    def _process(self, element: StreamElement, stage_idx: int, key: Any) -> None:
+        for idx in range(stage_idx, len(self._stages)):
+            kind, payload = self._stages[idx]
+            if kind == "map":
+                element = payload(element)
+                if not isinstance(element, StreamElement):
+                    raise StreamError("map() must return a StreamElement")
+            elif kind == "filter":
+                if not payload(element):
+                    return
+            elif kind == "key_by":
+                key = payload(element)
+            elif kind == "window":
+                assigner, _aggregate, state = payload
+                for window in assigner.assign(element.timestamp):
+                    state.buffers.setdefault((key, window), []).append(element)
+                return  # window stages cut the synchronous path
+        self._deliver(element)
+
+    def _emit_ripe_windows(self) -> None:
+        for idx, (kind, payload) in enumerate(self._stages):
+            if kind != "window":
+                continue
+            assigner, aggregate, state = payload
+            ripe = [kw for kw in state.buffers if kw[1].end <= self._watermark]
+            for key, window in sorted(ripe, key=lambda kw: (kw[1], repr(kw[0]))):
+                elements = state.buffers.pop((key, window))
+                result = (key, window, aggregate(elements))
+                self._deliver_downstream(result, idx + 1)
+
+    def _deliver_downstream(self, result: WindowResult, stage_idx: int) -> None:
+        # downstream of a window stage only sinks are supported; further
+        # windowing of window results is out of scope for the substrate
+        for idx in range(stage_idx, len(self._stages)):
+            kind, _payload = self._stages[idx]
+            if kind == "window":
+                raise StreamError("chained window stages are not supported")
+        self._deliver(result)
+
+    def _deliver(self, item: Any) -> None:
+        for sink in self._sinks:
+            sink(item)

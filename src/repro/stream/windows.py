@@ -1,0 +1,129 @@
+"""Window assigners: tumbling, sliding, session.
+
+An assigner maps an element timestamp to the set of windows it belongs
+to; a :class:`Window` is just a half-open time interval ``[start, end)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import StreamError
+
+
+@dataclass(frozen=True, order=True)
+class Window:
+    """Half-open time interval ``[start, end)``."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise StreamError(f"empty window [{self.start}, {self.end})")
+
+    def contains(self, timestamp: float) -> bool:
+        """True when ``timestamp`` falls inside the window."""
+        return self.start <= timestamp < self.end
+
+    @property
+    def length(self) -> float:
+        """Window duration."""
+        return self.end - self.start
+
+
+class TumblingWindows:
+    """Fixed, non-overlapping windows of a given size."""
+
+    def __init__(self, size: float) -> None:
+        if size <= 0:
+            raise StreamError(f"window size must be positive, got {size}")
+        self.size = size
+
+    def assign(self, timestamp: float) -> list[Window]:
+        """The single tumbling window containing ``timestamp``."""
+        start = math.floor(timestamp / self.size) * self.size
+        return [Window(start, start + self.size)]
+
+
+class SlidingWindows:
+    """Overlapping windows of ``size`` advancing by ``slide``."""
+
+    def __init__(self, size: float, slide: float) -> None:
+        if size <= 0 or slide <= 0:
+            raise StreamError(f"size/slide must be positive, got {size}/{slide}")
+        if slide > size:
+            raise StreamError(f"slide {slide} larger than size {size} would drop events")
+        self.size = size
+        self.slide = slide
+
+    def assign(self, timestamp: float) -> list[Window]:
+        """All sliding windows containing ``timestamp`` (earliest first)."""
+        last_start = math.floor(timestamp / self.slide) * self.slide
+        windows = []
+        start = last_start
+        while start > timestamp - self.size:
+            windows.append(Window(start, start + self.size))
+            start -= self.slide
+        windows.reverse()
+        return windows
+
+
+class SessionWindows:
+    """Gap-based sessions: elements within ``gap`` of each other merge.
+
+    Stateful per key: call :meth:`observe` in timestamp order; a closed
+    session is returned once a gap is detected, and :meth:`flush`
+    returns the trailing open session.
+    """
+
+    def __init__(self, gap: float) -> None:
+        if gap <= 0:
+            raise StreamError(f"session gap must be positive, got {gap}")
+        self.gap = gap
+        self._open: dict[object, list[float]] = {}
+
+    def observe(self, key: object, timestamp: float) -> Window | None:
+        """Feed one element; returns the session it *closed*, if any."""
+        times = self._open.get(key)
+        if times is None:
+            self._open[key] = [timestamp, timestamp]
+            return None
+        first, last = times
+        if timestamp < last:
+            raise StreamError(
+                f"session windows need in-order timestamps; got {timestamp} after {last}"
+            )
+        if timestamp - last > self.gap:
+            self._open[key] = [timestamp, timestamp]
+            return Window(first, last + self.gap)
+        times[1] = timestamp
+        return None
+
+    def flush(self) -> list[tuple[object, Window]]:
+        """Close and return every open session."""
+        out = [
+            (key, Window(first, last + self.gap)) for key, (first, last) in self._open.items()
+        ]
+        self._open.clear()
+        return sorted(out, key=lambda kv: kv[1])
+
+
+def windows_between(assigner: TumblingWindows | SlidingWindows, start: float, end: float) -> Iterable[Window]:
+    """All windows an element stream spanning ``[start, end)`` can touch.
+
+    An empty range (``start >= end``) touches nothing.
+    """
+    if start >= end:
+        return
+    seen = set()
+    t = start
+    step = assigner.slide if isinstance(assigner, SlidingWindows) else assigner.size
+    while t < end + step:
+        for window in assigner.assign(t):
+            if window.start < end and window.end > start and window not in seen:
+                seen.add(window)
+                yield window
+        t += step

@@ -1,0 +1,113 @@
+"""Query workloads over a decaying table.
+
+Generates a seeded stream of SQL strings in four flavours — point
+lookups, time-range scans, aggregates, and consuming queries — with a
+configurable mix. The F3/T4 experiments replay these against a
+FungusDB and against baselines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class QueryMix:
+    """Relative weights of the four query flavours."""
+
+    point: float = 0.4
+    time_range: float = 0.3
+    aggregate: float = 0.2
+    consume: float = 0.1
+
+    def __post_init__(self) -> None:
+        weights = (self.point, self.time_range, self.aggregate, self.consume)
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise WorkloadError(f"bad query mix {weights}")
+
+
+class QueryWorkload:
+    """Seeded generator of SQL over one table.
+
+    ``key_column``/``key_values`` drive point lookups;
+    ``value_column`` drives aggregates; time ranges are drawn over
+    ``[0, horizon]`` with span ``range_fraction × horizon``.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        key_column: str,
+        key_values: list[str],
+        value_column: str,
+        time_column: str = "t",
+        horizon: float = 100.0,
+        range_fraction: float = 0.2,
+        mix: QueryMix | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not key_values:
+            raise WorkloadError("need at least one key value")
+        if horizon <= 0 or not (0 < range_fraction <= 1):
+            raise WorkloadError(
+                f"bad horizon {horizon} or range_fraction {range_fraction}"
+            )
+        self.table = table
+        self.key_column = key_column
+        self.key_values = list(key_values)
+        self.value_column = value_column
+        self.time_column = time_column
+        self.horizon = horizon
+        self.range_fraction = range_fraction
+        self.mix = mix if mix is not None else QueryMix()
+        self._rng = random.Random(seed)
+
+    def _flavour(self) -> str:
+        m = self.mix
+        return self._rng.choices(
+            ["point", "time_range", "aggregate", "consume"],
+            weights=[m.point, m.time_range, m.aggregate, m.consume],
+            k=1,
+        )[0]
+
+    def next_query(self) -> str:
+        """One SQL statement."""
+        flavour = self._flavour()
+        if flavour == "point":
+            key = self._rng.choice(self.key_values)
+            return (
+                f"SELECT * FROM {self.table} "
+                f"WHERE {self.key_column} = '{key}'"
+            )
+        if flavour == "time_range":
+            lo, hi = self._time_range()
+            return (
+                f"SELECT * FROM {self.table} "
+                f"WHERE {self.time_column} BETWEEN {lo:.4f} AND {hi:.4f}"
+            )
+        if flavour == "aggregate":
+            return (
+                f"SELECT {self.key_column}, count(*) AS n, avg({self.value_column}) AS mean "
+                f"FROM {self.table} GROUP BY {self.key_column}"
+            )
+        lo, hi = self._time_range()
+        return (
+            f"CONSUME SELECT * FROM {self.table} "
+            f"WHERE {self.time_column} BETWEEN {lo:.4f} AND {hi:.4f}"
+        )
+
+    def _time_range(self) -> tuple[float, float]:
+        span = self.horizon * self.range_fraction
+        lo = self._rng.uniform(0.0, max(self.horizon - span, 0.0))
+        return lo, lo + span
+
+    def queries(self, count: int) -> Iterator[str]:
+        """A finite stream of ``count`` statements."""
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        for _ in range(count):
+            yield self.next_query()

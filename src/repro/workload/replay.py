@@ -1,0 +1,71 @@
+"""Replay driver: arrival process × record generator → FungusDB ticks.
+
+The standard experiment loop: at each tick, insert
+``arrivals.count_at(tick)`` records from the generator, then advance
+the decay clock (which runs the fungus). Probes registered with
+:meth:`ReplayDriver.probe_each_tick` sample whatever series the
+experiment needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.db import FungusDB
+from repro.errors import WorkloadError
+from repro.workload.arrival import ArrivalProcess
+from repro.workload.generators import RecordGenerator
+
+
+@dataclass
+class ReplayStats:
+    """What a replay run did, plus any per-tick probe series."""
+
+    ticks: int = 0
+    inserted: int = 0
+    series: dict[str, list[Any]] = field(default_factory=dict)
+
+    def record(self, name: str, value: Any) -> None:
+        """Append one sample to a named series."""
+        self.series.setdefault(name, []).append(value)
+
+
+class ReplayDriver:
+    """Drives one table of a FungusDB from a synthetic workload."""
+
+    def __init__(
+        self,
+        db: FungusDB,
+        table: str,
+        arrivals: ArrivalProcess,
+        generator: RecordGenerator,
+    ) -> None:
+        if table not in db.tables:
+            raise WorkloadError(f"table {table!r} does not exist in the database")
+        self.db = db
+        self.table = table
+        self.arrivals = arrivals
+        self.generator = generator
+        self._probes: list[Callable[[int, FungusDB, ReplayStats], None]] = []
+
+    def probe_each_tick(self, probe: Callable[[int, FungusDB, ReplayStats], None]) -> None:
+        """Register ``probe(tick, db, stats)`` to run after every tick."""
+        self._probes.append(probe)
+
+    def run(self, ticks: int) -> ReplayStats:
+        """Insert-then-tick for ``ticks`` ticks; returns stats + series."""
+        if ticks < 0:
+            raise WorkloadError(f"ticks must be >= 0, got {ticks}")
+        stats = ReplayStats()
+        for tick in range(ticks):
+            count = self.arrivals.count_at(tick)
+            if count:
+                rows = [self.generator.generate(tick) for _ in range(count)]
+                self.db.insert_many(self.table, rows)
+                stats.inserted += count
+            self.db.tick(1)
+            stats.ticks += 1
+            for probe in self._probes:
+                probe(tick, self.db, stats)
+        return stats

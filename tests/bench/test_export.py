@@ -1,0 +1,78 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+import json
+
+from repro.bench.export import export_result
+from repro.bench.runner import ExperimentResult
+
+
+def make_result():
+    result = ExperimentResult(
+        experiment_id="X9",
+        title="demo",
+        claim="things happen",
+        scale="smoke",
+        headers=("arm", "value"),
+        rows=[("a", 1), ("b", 2)],
+    )
+    result.add_series("live extent", "tick", [0, 1, 2], {"a": [3, 2, 1], "b": [3, 2]})
+    result.check("sanity", True)
+    result.notes.append("a note")
+    return result
+
+
+class TestExport:
+    def test_table_csv(self, tmp_path):
+        paths = export_result(make_result(), tmp_path)
+        table_path = tmp_path / "x9_table.csv"
+        assert table_path in paths
+        with open(table_path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["arm", "value"]
+        assert rows[1] == ["a", "1"]
+
+    def test_series_csv_pads_short_series(self, tmp_path):
+        export_result(make_result(), tmp_path)
+        with open(tmp_path / "x9_live_extent.csv") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["tick", "a", "b"]
+        assert rows[3] == ["2", "1", ""]
+
+    def test_meta_json(self, tmp_path):
+        export_result(make_result(), tmp_path)
+        meta = json.loads((tmp_path / "x9_meta.json").read_text())
+        assert meta["claim"] == "things happen"
+        assert meta["checks"] == {"sanity": True}
+        assert meta["notes"] == ["a note"]
+
+    def test_real_experiment_exports(self, tmp_path):
+        from repro.bench.runner import run_experiment
+
+        result = run_experiment("F3", scale="smoke")
+        paths = export_result(result, tmp_path)
+        assert len(paths) >= 3  # table + at least one series + meta
+
+
+class TestDbStats:
+    def test_stats_shape(self, db):
+        from repro import LinearDecayFungus, Schema
+
+        db.create_table("r", Schema.of(v="int"), fungus=LinearDecayFungus(rate=0.5))
+        db.insert_many("r", [{"v": 1}, {"v": 2}])
+        db.tick(2)
+        stats = db.stats()
+        assert stats["clock"] == 2.0
+        table_stats = stats["tables"]["r"]
+        assert table_stats["extent"] == 0
+        assert table_stats["tuples_evicted"] == 2
+        assert table_stats["tuples_distilled"] == 2
+        assert table_stats["fungus"] == "linear"
+        assert stats["events"]["TupleInserted"] == 2
+        assert stats["summary_rows"] == 2
+        assert stats["summary_cells"] > 0
+
+    def test_stats_empty_db(self, db):
+        stats = db.stats()
+        assert stats["tables"] == {}
+        assert stats["clock"] == 0.0

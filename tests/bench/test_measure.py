@@ -1,0 +1,43 @@
+"""Tests for repro.bench.measure."""
+
+import pytest
+
+from repro.bench.measure import Timer, estimate_object_bytes, time_callable
+from repro.errors import BenchError
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed > 0
+
+
+class TestTimeCallable:
+    def test_repeats_validated(self):
+        with pytest.raises(BenchError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_stats_ordering(self):
+        stats = time_callable(lambda: sum(range(100)), repeats=5)
+        assert 0 < stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_function_actually_runs(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=3)
+        assert len(calls) == 3
+
+
+class TestEstimateBytes:
+    def test_scalars(self):
+        assert estimate_object_bytes(1) > 0
+
+    def test_containers_bigger_than_elements(self):
+        assert estimate_object_bytes([1, 2, 3]) > estimate_object_bytes(1)
+
+    def test_dict_counts_keys_and_values(self):
+        assert estimate_object_bytes({"key": "value"}) > estimate_object_bytes("key")
+
+    def test_depth_cap_terminates(self):
+        nested = [[[[[1]]]]]
+        assert estimate_object_bytes(nested) > 0

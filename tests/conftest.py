@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import DecayClock
+from repro.core.db import FungusDB
+from repro.core.table import DecayingTable
+from repro.storage import Catalog, Schema, Table
+
+
+@pytest.fixture
+def schema() -> Schema:
+    """A small mixed-type schema."""
+    return Schema.of(t="timestamp", f="float", v="int", key="str")
+
+
+@pytest.fixture
+def table(schema: Schema) -> Table:
+    """A 10-row storage table: t=i, f=1.0, v=i*i, key alternates a/b."""
+    table = Table(schema, name="r")
+    for i in range(10):
+        table.append({"t": float(i), "f": 1.0, "v": i * i, "key": "a" if i % 2 else "b"})
+    return table
+
+
+@pytest.fixture
+def catalog(table: Table) -> Catalog:
+    """A catalog holding the 10-row table under name 'r'."""
+    catalog = Catalog()
+    catalog.register(table)
+    return catalog
+
+
+@pytest.fixture
+def clock() -> DecayClock:
+    """A fresh logical clock at t=0."""
+    return DecayClock()
+
+
+@pytest.fixture
+def decaying(clock: DecayClock) -> DecayingTable:
+    """A decaying table R(t, f, v) with 10 rows inserted at t=0."""
+    table = DecayingTable("r", Schema.of(v="int"), clock)
+    for i in range(10):
+        table.insert({"v": i})
+    return table
+
+
+@pytest.fixture
+def db() -> FungusDB:
+    """An empty FungusDB with a fixed seed."""
+    return FungusDB(seed=123)

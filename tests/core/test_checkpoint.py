@@ -1,0 +1,147 @@
+"""Tests for repro.core.checkpoint."""
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.db import FungusDB
+from repro.errors import SnapshotError
+from repro.fungi import LinearDecayFungus
+from repro.storage import Schema
+
+
+@pytest.fixture
+def populated_db():
+    db = FungusDB(seed=5)
+    db.create_table("a", Schema.of(v="int"), fungus=LinearDecayFungus(rate=0.1))
+    db.create_table("b", Schema.of(name="str"))
+    db.insert("a", {"v": 1})
+    db.tick(3)
+    db.insert("a", {"v": 2})
+    db.insert("b", {"name": "x"})
+    return db
+
+
+class TestSaveLoad:
+    def test_roundtrip_rows_and_clock(self, populated_db, tmp_path):
+        tables = save_checkpoint(populated_db, tmp_path)
+        assert tables == ["a", "b"]
+        loaded = load_checkpoint(tmp_path)
+        assert loaded.now == 3.0
+        assert loaded.extent("a") == 2
+        assert loaded.extent("b") == 1
+
+    def test_freshness_and_time_preserved(self, populated_db, tmp_path):
+        save_checkpoint(populated_db, tmp_path)
+        loaded = load_checkpoint(tmp_path)
+        rows = loaded.table("a").rows()
+        by_v = {r["v"]: r for r in rows}
+        assert by_v[1]["t"] == 0.0
+        assert by_v[1]["f"] == pytest.approx(0.7)
+        assert by_v[2]["f"] == 1.0
+
+    def test_decay_resumes(self, populated_db, tmp_path):
+        save_checkpoint(populated_db, tmp_path)
+        loaded = load_checkpoint(tmp_path, fungi={"a": LinearDecayFungus(rate=0.1)})
+        loaded.tick(8)  # v=1 at f=0.7 dies within 7-8 more ticks
+        values = [r["v"] for r in loaded.table("a").rows()]
+        assert values == [2]
+
+    def test_exhausted_rows_restored_exhausted(self, tmp_path):
+        db = FungusDB(seed=1)
+        table = db.create_table("r", Schema.of(v="int"))
+        rid = db.insert("r", {"v": 1})
+        table.set_freshness(rid, 0.0)
+        save_checkpoint(db, tmp_path)
+        loaded = load_checkpoint(tmp_path)
+        assert len(loaded.table("r").exhausted) == 1
+
+    def test_seed_preserved(self, populated_db, tmp_path):
+        save_checkpoint(populated_db, tmp_path)
+        assert load_checkpoint(tmp_path).seed == 5
+
+    def test_queries_work_after_load(self, populated_db, tmp_path):
+        save_checkpoint(populated_db, tmp_path)
+        loaded = load_checkpoint(tmp_path)
+        assert loaded.query("SELECT count(*) FROM a").scalar() == 2
+
+    def test_table_options_forwarded(self, populated_db, tmp_path):
+        save_checkpoint(populated_db, tmp_path)
+        loaded = load_checkpoint(
+            tmp_path, table_options={"a": {"period": 7}}
+        )
+        assert loaded.policies["a"].period == 7
+
+
+class TestSummaryStorePersistence:
+    def test_summaries_survive_checkpoint(self, tmp_path):
+        db = FungusDB(seed=2)
+        db.create_table("r", Schema.of(v="int"), fungus=LinearDecayFungus(rate=0.5))
+        db.insert_many("r", [{"v": i} for i in range(6)])
+        db.tick(3)  # everything rots and distills
+        assert db.merged_summary("r").row_count == 6
+        save_checkpoint(db, tmp_path)
+        loaded = load_checkpoint(tmp_path)
+        merged = loaded.merged_summary("r")
+        assert merged.row_count == 6
+        assert merged.column("v").estimate_mean() == pytest.approx(2.5)
+
+    def test_conservation_after_restore(self, tmp_path):
+        db = FungusDB(seed=3)
+        db.create_table("r", Schema.of(v="int"), fungus=LinearDecayFungus(rate=0.4))
+        db.insert_many("r", [{"v": i} for i in range(10)])
+        db.tick(2)
+        save_checkpoint(db, tmp_path)
+        loaded = load_checkpoint(tmp_path, fungi={"r": LinearDecayFungus(rate=0.4)})
+        loaded.tick(5)
+        merged = loaded.merged_summary("r")
+        assert loaded.extent("r") + merged.row_count == 10
+
+    def test_vault_kind_restored(self, tmp_path):
+        from repro.core.vault import SummaryVault
+
+        vault = SummaryVault(half_life=3.0, compost_below=0.4)
+        db = FungusDB(seed=4, store=vault)
+        db.create_table("r", Schema.of(v="int"), fungus=LinearDecayFungus(rate=1.0))
+        db.insert("r", {"v": 1})
+        db.tick(10)
+        save_checkpoint(db, tmp_path)
+        loaded = load_checkpoint(tmp_path)
+        assert isinstance(loaded.store, SummaryVault)
+        assert loaded.store.composted_summaries == vault.composted_summaries
+
+    def test_corrupt_store_file(self, populated_db, tmp_path):
+        save_checkpoint(populated_db, tmp_path)
+        (tmp_path / "summaries.json").write_text("{oops")
+        with pytest.raises(SnapshotError, match="corrupt summary store"):
+            load_checkpoint(tmp_path)
+
+    def test_unknown_store_kind(self, populated_db, tmp_path):
+        save_checkpoint(populated_db, tmp_path)
+        (tmp_path / "summaries.json").write_text(json.dumps({"kind": "mystery"}))
+        with pytest.raises(SnapshotError, match="unknown summary store kind"):
+            load_checkpoint(tmp_path)
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SnapshotError, match="manifest"):
+            load_checkpoint(tmp_path)
+
+    def test_corrupt_manifest(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{nope")
+        with pytest.raises(SnapshotError, match="corrupt"):
+            load_checkpoint(tmp_path)
+
+    def test_wrong_version(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"manifest_version": 99, "clock": 0, "tables": []})
+        )
+        with pytest.raises(SnapshotError, match="version"):
+            load_checkpoint(tmp_path)
+
+    def test_manifest_written_last(self, populated_db, tmp_path):
+        save_checkpoint(populated_db, tmp_path)
+        assert (tmp_path / "manifest.json").exists()
+        assert not (tmp_path / "manifest.json.tmp").exists()

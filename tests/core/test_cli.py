@@ -1,0 +1,189 @@
+"""Tests for the interactive shell (repro.cli)."""
+
+import pytest
+
+from repro.cli import FungusShell, parse_fungus_spec
+from repro.errors import FungusError
+from repro.fungi import (
+    BlueCheeseFungus,
+    EGIFungus,
+    ExponentialDecayFungus,
+    LinearDecayFungus,
+    NullFungus,
+    RetentionFungus,
+)
+
+
+@pytest.fixture
+def shell():
+    return FungusShell(seed=1)
+
+
+class TestFungusSpecs:
+    def test_none(self):
+        assert isinstance(parse_fungus_spec("none"), NullFungus)
+
+    def test_egi_defaults_and_args(self):
+        fungus = parse_fungus_spec("egi")
+        assert isinstance(fungus, EGIFungus)
+        fungus = parse_fungus_spec("egi:4,0.5")
+        assert fungus.seeds_per_cycle == 4
+        assert fungus.decay_rate == 0.5
+
+    def test_retention(self):
+        assert isinstance(parse_fungus_spec("retention:20"), RetentionFungus)
+
+    def test_linear(self):
+        assert parse_fungus_spec("linear:0.1").rate == 0.1
+        assert isinstance(parse_fungus_spec("linear:0.1"), LinearDecayFungus)
+
+    def test_exp(self):
+        assert isinstance(parse_fungus_spec("exp:5"), ExponentialDecayFungus)
+
+    def test_bluecheese(self):
+        fungus = parse_fungus_spec("bluecheese:2,0.1")
+        assert isinstance(fungus, BlueCheeseFungus)
+        assert fungus.max_spots == 2
+
+    def test_unknown(self):
+        with pytest.raises(FungusError, match="unknown fungus"):
+            parse_fungus_spec("mold")
+
+    def test_bad_args(self):
+        with pytest.raises(FungusError, match="bad fungus spec"):
+            parse_fungus_spec("linear:abc")
+        with pytest.raises(FungusError, match="bad fungus spec"):
+            parse_fungus_spec("retention")
+
+
+class TestCommands:
+    def test_create_and_tables(self, shell):
+        out = shell.execute_line("create r v:int k:str --fungus linear:0.1")
+        assert "created" in out
+        out = shell.execute_line("tables")
+        assert "r: extent=0" in out and "linear" in out
+
+    def test_insert_and_query(self, shell):
+        shell.execute_line("create r v:int")
+        assert "rid 0" in shell.execute_line("insert r v=5")
+        out = shell.execute_line("SELECT v FROM r")
+        assert "5" in out and "(1 rows)" in out
+
+    def test_insert_type_coercion(self, shell):
+        shell.execute_line("create r x:float b:bool s:str")
+        out = shell.execute_line("insert r x=1.5 b=true s=hello")
+        assert "rid" in out
+
+    def test_insert_bad_bool(self, shell):
+        shell.execute_line("create r b:bool")
+        assert "error" in shell.execute_line("insert r b=maybe")
+
+    def test_gen(self, shell):
+        shell.execute_line("create r v:int")
+        out = shell.execute_line("gen r 20")
+        assert "20 random rows" in out
+
+    def test_tick_decays(self, shell):
+        shell.execute_line("create r v:int --fungus linear:0.5")
+        shell.execute_line("gen r 10")
+        out = shell.execute_line("tick 2")
+        assert "r=0" in out
+
+    def test_consume_reports_law2(self, shell):
+        shell.execute_line("create r v:int")
+        shell.execute_line("insert r v=5")
+        out = shell.execute_line("CONSUME SELECT v FROM r WHERE v = 5")
+        assert "consumed 1 tuples (Law 2)" in out
+
+    def test_health(self, shell):
+        shell.execute_line("create r v:int")
+        shell.execute_line("insert r v=1")
+        assert "extent=1" in shell.execute_line("health r")
+
+    def test_summary_empty(self, shell):
+        shell.execute_line("create r v:int")
+        assert "nothing distilled" in shell.execute_line("summary r")
+
+    def test_summary_after_consume(self, shell):
+        shell.execute_line("create r v:int")
+        shell.execute_line("insert r v=5")
+        shell.execute_line("CONSUME SELECT v FROM r WHERE v = 5")
+        out = shell.execute_line("summary r")
+        assert "1 rows" in out
+
+    def test_explain(self, shell):
+        shell.execute_line("create r v:int")
+        out = shell.execute_line("explain SELECT v FROM r WHERE t >= 2 LIMIT 3")
+        assert "scan r" in out and "range" in out and "limit 3" in out
+
+    def test_explain_consume(self, shell):
+        shell.execute_line("create r v:int")
+        out = shell.execute_line("explain CONSUME SELECT v FROM r")
+        assert "Law 2" in out
+
+    def test_explain_usage_and_errors(self, shell):
+        assert "usage" in shell.execute_line("explain")
+        assert "error" in shell.execute_line("explain SELECT v FROM missing")
+
+    def test_save_and_load(self, shell, tmp_path):
+        shell.execute_line("create r v:int")
+        shell.execute_line("insert r v=1")
+        assert "saved 1" in shell.execute_line(f"save {tmp_path}")
+        assert "loaded 1" in shell.execute_line(f"load {tmp_path}")
+        assert shell.db.extent("r") == 1
+
+
+class TestTraceCommands:
+    def test_record_and_replay(self, shell, tmp_path):
+        shell.execute_line("create r v:int")
+        assert "recording" in shell.execute_line("trace start")
+        shell.execute_line("insert r v=1")
+        shell.execute_line("tick 2")
+        shell.execute_line("SELECT count(*) FROM r")
+        path = tmp_path / "t.jsonl"
+        assert "4 events" in shell.execute_line(f"trace stop {path}")
+
+        fresh = FungusShell(seed=9)
+        fresh.execute_line("create r v:int")
+        out = fresh.execute_line(f"trace replay {path}")
+        assert "1 inserts" in out and "2 ticks" in out
+        assert fresh.db.extent("r") == 1
+
+    def test_double_start_rejected(self, shell):
+        shell.execute_line("trace start")
+        assert "already recording" in shell.execute_line("trace start")
+
+    def test_stop_without_start(self, shell, tmp_path):
+        assert "not recording" in shell.execute_line(f"trace stop {tmp_path / 'x'}")
+
+    def test_replay_missing_file(self, shell, tmp_path):
+        shell.execute_line("create r v:int")
+        assert "error" in shell.execute_line(f"trace replay {tmp_path / 'missing'}")
+
+    def test_usage(self, shell):
+        assert "usage" in shell.execute_line("trace")
+        assert "unknown trace action" in shell.execute_line("trace pause")
+
+
+class TestErrorsAndNoise:
+    def test_blank_and_comment_lines(self, shell):
+        assert shell.execute_line("") == ""
+        assert shell.execute_line("# a comment") == ""
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.execute_line("frobnicate")
+
+    def test_query_error_reported(self, shell):
+        assert "error" in shell.execute_line("SELECT * FROM missing")
+
+    def test_bad_query_syntax(self, shell):
+        assert "error" in shell.execute_line("SELECT FROM")
+
+    def test_create_usage(self, shell):
+        assert "usage" in shell.execute_line("create r")
+
+    def test_help(self, shell):
+        assert "commands:" in shell.execute_line("help")
+
+    def test_unbalanced_quotes(self, shell):
+        assert "error" in shell.execute_line("insert r v='unclosed")

@@ -1,0 +1,55 @@
+"""Tests for repro.core.clock."""
+
+import pytest
+
+from repro.core.clock import DecayClock
+from repro.errors import DecayError
+
+
+class TestDecayClock:
+    def test_starts_at_zero(self):
+        assert DecayClock().now == 0.0
+
+    def test_custom_start(self):
+        assert DecayClock(start=5.0).now == 5.0
+
+    def test_advance(self):
+        clock = DecayClock()
+        clock.advance(3)
+        assert clock.now == 3.0
+
+    def test_advance_zero_is_noop(self):
+        clock = DecayClock()
+        clock.advance(0)
+        assert clock.now == 0.0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(DecayError):
+            DecayClock().advance(-1)
+
+    def test_subscribers_fire_per_tick(self):
+        clock = DecayClock()
+        ticks = []
+        clock.subscribe(ticks.append)
+        clock.advance(3)
+        assert ticks == [1, 2, 3]
+
+    def test_subscriber_order(self):
+        clock = DecayClock()
+        order = []
+        clock.subscribe(lambda t: order.append("a"))
+        clock.subscribe(lambda t: order.append("b"))
+        clock.advance(1)
+        assert order == ["a", "b"]
+
+    def test_unsubscribe(self):
+        clock = DecayClock()
+        ticks = []
+        handler = ticks.append
+        clock.subscribe(handler)
+        clock.unsubscribe(handler)
+        clock.advance(2)
+        assert ticks == []
+
+    def test_unsubscribe_absent_is_noop(self):
+        DecayClock().unsubscribe(lambda t: None)

@@ -1,0 +1,61 @@
+"""Tests for repro.core.events."""
+
+from repro.core.events import (
+    EventBus,
+    TupleDecayed,
+    TupleEvicted,
+    TupleInserted,
+)
+
+
+class TestEventBus:
+    def test_publish_to_matching_type(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(TupleInserted, seen.append)
+        event = TupleInserted("r", 0.0, rid=1)
+        bus.publish(event)
+        assert seen == [event]
+
+    def test_other_types_not_delivered(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(TupleInserted, seen.append)
+        bus.publish(TupleEvicted("r", 0.0, rid=1, reason="decay"))
+        assert seen == []
+
+    def test_counts_all_published(self):
+        bus = EventBus()
+        bus.publish(TupleInserted("r", 0.0, rid=1))
+        bus.publish(TupleInserted("r", 0.0, rid=2))
+        bus.publish(TupleEvicted("r", 0.0, rid=1, reason="decay"))
+        assert bus.counts["TupleInserted"] == 2
+        assert bus.counts["TupleEvicted"] == 1
+
+    def test_multiple_handlers(self):
+        bus = EventBus()
+        a, b = [], []
+        bus.subscribe(TupleDecayed, a.append)
+        bus.subscribe(TupleDecayed, b.append)
+        bus.publish(TupleDecayed("r", 0.0, rid=1, old_freshness=1.0, new_freshness=0.5, fungus="x"))
+        assert len(a) == len(b) == 1
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(TupleInserted, seen.append)
+        bus.unsubscribe(TupleInserted, seen.append)
+        bus.publish(TupleInserted("r", 0.0, rid=1))
+        assert seen == []
+
+    def test_unsubscribe_absent_is_noop(self):
+        EventBus().unsubscribe(TupleInserted, lambda e: None)
+
+    def test_events_are_frozen(self):
+        event = TupleInserted("r", 0.0, rid=1)
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.rid = 2

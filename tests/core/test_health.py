@@ -1,0 +1,71 @@
+"""Tests for repro.core.health."""
+
+import pytest
+
+from repro.core.health import measure_health
+from repro.storage import RowSet
+
+
+class TestMeasureHealth:
+    def test_fresh_table(self, decaying):
+        health = measure_health(decaying)
+        assert health.extent == 10
+        assert health.fresh_count == 10
+        assert health.rotten_count == 0
+        assert health.edible_fraction == 1.0
+        assert health.mean_freshness == 1.0
+        assert health.rot_spots == ()
+        assert health.holes == ()
+
+    def test_empty_table(self, decaying):
+        decaying.evict(RowSet(range(10)), "manual")
+        health = measure_health(decaying)
+        assert health.extent == 0
+        assert health.mean_freshness is None
+        assert health.edible_fraction == 1.0
+        assert health.holes == ((0, 10),)
+
+    def test_bands_counted(self, decaying):
+        decaying.set_freshness(0, 0.1)  # rotten
+        decaying.set_freshness(1, 0.5)  # stale
+        health = measure_health(decaying)
+        assert (health.fresh_count, health.stale_count, health.rotten_count) == (8, 1, 1)
+        assert health.edible_fraction == pytest.approx(0.9)
+
+    def test_rot_spot_detection(self, decaying):
+        for rid in (3, 4, 5):
+            decaying.set_freshness(rid, 0.1)
+        decaying.set_freshness(8, 0.05)
+        health = measure_health(decaying)
+        assert health.rot_spots == ((3, 6), (8, 9))
+        assert health.largest_rot_spot == 3
+
+    def test_hole_detection(self, decaying):
+        decaying.evict(RowSet([2, 3, 7]), "decay")
+        health = measure_health(decaying)
+        assert health.holes == ((2, 4), (7, 8))
+        assert health.largest_hole == 2
+
+    def test_trailing_hole(self, decaying):
+        decaying.evict(RowSet([8, 9]), "decay")
+        assert measure_health(decaying).holes == ((8, 10),)
+
+    def test_exhausted_and_pinned_counts(self, decaying):
+        decaying.decay(0, 1.0, "x")
+        decaying.pin(5)
+        health = measure_health(decaying)
+        assert health.exhausted == 1
+        assert health.pinned == 1
+
+    def test_min_freshness(self, decaying):
+        decaying.set_freshness(4, 0.2)
+        assert measure_health(decaying).min_freshness == pytest.approx(0.2)
+
+    def test_describe_format(self, decaying):
+        text = measure_health(decaying).describe()
+        assert "extent=10" in text
+        assert "edible=100.0%" in text
+
+    def test_describe_empty(self, decaying):
+        decaying.evict(RowSet(range(10)), "manual")
+        assert "n/a" in measure_health(decaying).describe()

@@ -1,0 +1,48 @@
+"""Smoke-scale integration tests: every experiment runs and its shape
+checks — the reproduction's stand-in for matching published numbers —
+all hold.
+
+These overlap with ``benchmarks/`` on purpose: the benchmarks time the
+runs, these gate correctness in a plain ``pytest tests/`` run.
+"""
+
+import functools
+
+import pytest
+
+from repro.bench.reporting import render_result
+from repro.bench.runner import run_experiment
+
+ALL_EXPERIMENTS = ["F1", "F2", "F3", "F4", "F5", "F6", "F7", "T1", "T2", "T3", "T4", "T5"]
+
+
+@functools.lru_cache(maxsize=None)
+def _cached_run(experiment_id: str):
+    """Experiments are deterministic and side-effect free: run each once."""
+    return run_experiment(experiment_id, scale="smoke")
+
+
+@pytest.mark.parametrize("experiment_id", ALL_EXPERIMENTS)
+def test_experiment_checks_pass(experiment_id):
+    result = _cached_run(experiment_id)
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, (
+        f"{experiment_id} failed shape checks {failed}\n" + render_result(result)
+    )
+
+
+@pytest.mark.parametrize("experiment_id", ALL_EXPERIMENTS)
+def test_experiment_reports_render(experiment_id):
+    result = _cached_run(experiment_id)
+    text = render_result(result)
+    assert result.experiment_id in text
+    assert result.claim in text
+    # every experiment must produce either a table or at least one series
+    assert result.rows or result.series
+
+
+def test_experiments_are_deterministic():
+    """Same scale, same seed plumbing -> identical table rows."""
+    a = run_experiment("F3", scale="smoke")
+    b = run_experiment("F3", scale="smoke")
+    assert list(a.rows) == list(b.rows)

@@ -1,0 +1,90 @@
+"""Tests for the sigmoid (logistic) decay fungus."""
+
+import random
+
+import pytest
+
+from repro.errors import DecayError
+from repro.fungi import SigmoidDecayFungus
+
+
+@pytest.fixture
+def rng():
+    return random.Random(4)
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(DecayError):
+            SigmoidDecayFungus(midlife=0)
+        with pytest.raises(DecayError):
+            SigmoidDecayFungus(midlife=10, steepness=0)
+        with pytest.raises(DecayError):
+            SigmoidDecayFungus(midlife=10, evict_below=1.0)
+
+
+class TestCurve:
+    def test_half_at_midlife(self):
+        fungus = SigmoidDecayFungus(midlife=10)
+        assert fungus.target_freshness(10.0) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        fungus = SigmoidDecayFungus(midlife=10, steepness=0.8)
+        values = [fungus.target_freshness(a) for a in range(0, 30)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_young_stays_fresh(self):
+        fungus = SigmoidDecayFungus(midlife=20, steepness=0.5)
+        assert fungus.target_freshness(0.0) > 0.99
+
+    def test_old_hits_floor(self):
+        fungus = SigmoidDecayFungus(midlife=5, steepness=1.0, evict_below=0.05)
+        assert fungus.target_freshness(50.0) == 0.0
+
+    def test_extreme_ages_do_not_overflow(self):
+        fungus = SigmoidDecayFungus(midlife=10, steepness=5.0)
+        assert fungus.target_freshness(1e9) == 0.0
+        assert fungus.target_freshness(-1e9) == 1.0
+
+    def test_steeper_is_sharper(self):
+        gentle = SigmoidDecayFungus(midlife=10, steepness=0.2)
+        sharp = SigmoidDecayFungus(midlife=10, steepness=2.0)
+        # just before midlife the sharp curve is fresher,
+        # just after it is deader
+        assert sharp.target_freshness(7) > gentle.target_freshness(7)
+        assert sharp.target_freshness(13) < gentle.target_freshness(13)
+
+
+class TestCycle:
+    def test_tracks_curve_over_time(self, clock, decaying, rng):
+        fungus = SigmoidDecayFungus(midlife=4, steepness=1.0, evict_below=0.0)
+        clock.advance(4)
+        fungus.cycle(decaying, rng)
+        assert decaying.freshness(0) == pytest.approx(0.5)
+
+    def test_never_raises_freshness(self, clock, decaying, rng):
+        fungus = SigmoidDecayFungus(midlife=100)
+        decaying.set_freshness(0, 0.2)
+        clock.advance(1)
+        fungus.cycle(decaying, rng)
+        assert decaying.freshness(0) == pytest.approx(0.2)
+
+    def test_eventual_exhaustion(self, clock, decaying, rng):
+        fungus = SigmoidDecayFungus(midlife=3, steepness=2.0, evict_below=0.1)
+        clock.advance(10)
+        report = fungus.cycle(decaying, rng)
+        assert report.newly_exhausted == 10
+
+    def test_full_lifecycle_in_db(self):
+        from repro import FungusDB, Schema
+
+        db = FungusDB(seed=1)
+        db.create_table(
+            "r", Schema.of(v="int"), fungus=SigmoidDecayFungus(midlife=5, steepness=1.5)
+        )
+        db.insert("r", {"v": 1})
+        db.tick(3)
+        mid = db.table("r").freshness_values()
+        assert mid and mid[0] > 0.8  # still fresh before midlife
+        db.tick(20)
+        assert db.extent("r") == 0  # long gone after midlife

@@ -1,0 +1,105 @@
+"""Property-based tests of the query engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import QueryEngine, parse
+from repro.storage import Catalog, Schema
+
+
+def build_engine(values):
+    catalog = Catalog()
+    table = catalog.create_table("r", Schema.of(t="timestamp", v="int", k="str"))
+    for i, v in enumerate(values):
+        table.append((float(i), v, f"k{v % 3}"))
+    return QueryEngine(catalog), catalog
+
+
+values_strategy = st.lists(st.integers(min_value=-20, max_value=20), max_size=50)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=values_strategy, threshold=st.integers(min_value=-25, max_value=25))
+def test_where_matches_python_filter(values, threshold):
+    """SQL filter == Python filter for simple comparisons."""
+    engine, _ = build_engine(values)
+    res = engine.execute(f"SELECT v FROM r WHERE v > {threshold}")
+    assert sorted(res.column("v")) == sorted(v for v in values if v > threshold)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=values_strategy)
+def test_aggregates_match_python(values):
+    """count/sum/min/max/avg agree with Python built-ins."""
+    engine, _ = build_engine(values)
+    res = engine.execute("SELECT count(*), sum(v), min(v), max(v), avg(v) FROM r")
+    count, total, low, high, mean = res.rows[0]
+    assert count == len(values)
+    if values:
+        assert total == sum(values)
+        assert low == min(values)
+        assert high == max(values)
+        assert abs(mean - sum(values) / len(values)) < 1e-9
+    else:
+        assert (total, low, high, mean) == (None, None, None, None)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=values_strategy)
+def test_group_by_partitions(values):
+    """Group counts sum to the table size; groups are disjoint."""
+    engine, _ = build_engine(values)
+    res = engine.execute("SELECT k, count(*) AS n FROM r GROUP BY k")
+    assert sum(res.column("n")) == len(values)
+    keys = res.column("k")
+    assert len(keys) == len(set(keys))
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=values_strategy)
+def test_order_by_sorts(values):
+    """ORDER BY v produces a sorted column, stable row multiset."""
+    engine, _ = build_engine(values)
+    res = engine.execute("SELECT v FROM r ORDER BY v")
+    column = res.column("v")
+    assert column == sorted(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=values_strategy, limit=st.integers(min_value=0, max_value=60))
+def test_limit_is_prefix(values, limit):
+    """LIMIT returns a prefix of the unlimited ordering."""
+    engine, _ = build_engine(values)
+    unlimited = engine.execute("SELECT v FROM r ORDER BY v, t").rows
+    limited = engine.execute(f"SELECT v FROM r ORDER BY v, t LIMIT {limit}").rows
+    assert limited == unlimited[:limit]
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=values_strategy, threshold=st.integers(min_value=-25, max_value=25))
+def test_index_and_scan_agree(values, threshold):
+    """The same query with and without an index returns the same rows."""
+    engine, catalog = build_engine(values)
+    no_index = engine.execute(f"SELECT v FROM r WHERE t >= {threshold} ORDER BY t").rows
+    catalog.create_sorted_index("r", "t")
+    with_index = engine.execute(
+        f"SELECT v FROM r WHERE t >= {threshold} ORDER BY t"
+    ).rows
+    assert no_index == with_index
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    projection=st.sampled_from(["v", "v + 1", "abs(v)", "count(*)", "upper(k)"]),
+    where=st.sampled_from(
+        ["", " WHERE v > 0", " WHERE v BETWEEN -5 AND 5", " WHERE k = 'k0' OR v < 0"]
+    ),
+    tail=st.sampled_from(["", " LIMIT 3", " ORDER BY 1 + v"]),
+)
+def test_parser_roundtrip(projection, where, tail):
+    """to_sql() of a parsed statement reparses to the same AST."""
+    if projection == "count(*)" and "ORDER" in tail:
+        tail = ""
+    sql = f"SELECT {projection} FROM r{where}{tail}"
+    stmt = parse(sql)
+    assert parse(stmt.to_sql()) == stmt

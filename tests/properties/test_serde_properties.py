@@ -1,0 +1,108 @@
+"""Property-based round-trip tests for sketch serialization."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import (
+    BloomFilter,
+    CountMinSketch,
+    HyperLogLog,
+    StreamingHistogram,
+    TableSummary,
+)
+from repro.sketch.serde import (
+    bloom_from_dict,
+    bloom_to_dict,
+    countmin_from_dict,
+    countmin_to_dict,
+    histogram_from_dict,
+    histogram_to_dict,
+    hll_from_dict,
+    hll_to_dict,
+    summary_from_dict,
+    summary_to_dict,
+)
+from repro.storage import Schema
+
+values = st.lists(
+    st.one_of(st.integers(min_value=-50, max_value=50), st.text(max_size=6)),
+    max_size=150,
+)
+
+
+def through_json(data):
+    return json.loads(json.dumps(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(vs=values)
+def test_countmin_roundtrip_exact(vs):
+    cm = CountMinSketch(width=32, depth=3)
+    for v in vs:
+        cm.add(v)
+    restored = countmin_from_dict(through_json(countmin_to_dict(cm)))
+    assert all(restored.estimate(v) == cm.estimate(v) for v in vs)
+    assert restored.total == cm.total
+
+
+@settings(max_examples=40, deadline=None)
+@given(vs=values)
+def test_hll_roundtrip_exact(vs):
+    hll = HyperLogLog(8)
+    for v in vs:
+        hll.add(v)
+    restored = hll_from_dict(through_json(hll_to_dict(hll)))
+    assert restored._registers == hll._registers
+
+
+@settings(max_examples=40, deadline=None)
+@given(vs=values)
+def test_bloom_roundtrip_exact(vs):
+    bloom = BloomFilter(num_bits=512, num_hashes=3)
+    for v in vs:
+        bloom.add(v)
+    restored = bloom_from_dict(through_json(bloom_to_dict(bloom)))
+    assert restored._bits == bloom._bits
+    assert all((v in restored) == (v in bloom) for v in vs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    vs=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=150)
+)
+def test_histogram_roundtrip_exact(vs):
+    hist = StreamingHistogram(16)
+    hist.add_all(vs)
+    restored = histogram_from_dict(through_json(histogram_to_dict(hist)))
+    assert restored.bins() == hist.bins()
+    if vs:
+        assert restored.quantile(0.5) == hist.quantile(0.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.integers(min_value=-20, max_value=20),
+            st.text(max_size=4),
+        ),
+        max_size=60,
+    )
+)
+def test_table_summary_roundtrip(rows):
+    schema = Schema.of(t="timestamp", v="int", k="str")
+    summary = TableSummary("r", schema, time_column="t")
+    for t, v, k in rows:
+        summary.add_row({"t": t, "v": v, "k": k})
+    restored = summary_from_dict(through_json(summary_to_dict(summary)))
+    assert restored.row_count == summary.row_count
+    assert restored.time_range == summary.time_range
+    for name in ("t", "v", "k"):
+        original, copied = summary.column(name), restored.column(name)
+        assert copied.estimate_distinct() == original.estimate_distinct()
+        assert copied.count == original.count
+    if rows:
+        assert restored.column("v").estimate_mean() == summary.column("v").estimate_mean()

@@ -1,0 +1,129 @@
+"""Property-based tests of the sketch guarantees."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import (
+    BloomFilter,
+    CountMinSketch,
+    HyperLogLog,
+    ReservoirSample,
+    RunningMoments,
+    StreamingHistogram,
+)
+
+small_values = st.lists(st.integers(min_value=0, max_value=100), max_size=300)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=small_values)
+def test_countmin_never_underestimates(values):
+    """Point queries are always >= the true frequency."""
+    cm = CountMinSketch(width=32, depth=3)
+    truth = Counter(values)
+    for v in values:
+        cm.add(v)
+    for v, count in truth.items():
+        assert cm.estimate(v) >= count
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=small_values, split=st.integers(min_value=0, max_value=300))
+def test_countmin_merge_equals_single_sketch(values, split):
+    """merge(A, B) has exactly the counters of the combined stream."""
+    split = min(split, len(values))
+    whole = CountMinSketch(width=64, depth=3)
+    a = CountMinSketch(width=64, depth=3)
+    b = CountMinSketch(width=64, depth=3)
+    for v in values:
+        whole.add(v)
+    for v in values[:split]:
+        a.add(v)
+    for v in values[split:]:
+        b.add(v)
+    merged = a.merge(b)
+    assert merged._rows == whole._rows
+    assert merged.total == whole.total
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.text(max_size=8), max_size=200))
+def test_bloom_no_false_negatives(values):
+    """Everything inserted is reported present."""
+    bloom = BloomFilter(num_bits=2048, num_hashes=4)
+    for v in values:
+        bloom.add(v)
+    for v in values:
+        assert v in bloom
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.integers(), max_size=200), split=st.integers(min_value=0, max_value=200))
+def test_hll_merge_is_union(values, split):
+    """Merging partitions gives the same registers as the union stream."""
+    split = min(split, len(values))
+    whole, a, b = HyperLogLog(8), HyperLogLog(8), HyperLogLog(8)
+    for v in values:
+        whole.add(v)
+    for v in values[:split]:
+        a.add(v)
+    for v in values[split:]:
+        b.add(v)
+    assert a.merge(b)._registers == whole._registers
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=200
+    )
+)
+def test_histogram_total_and_bounds(values):
+    """Total is exact; quantiles stay inside [min, max]; budget holds."""
+    hist = StreamingHistogram(max_bins=16)
+    hist.add_all(values)
+    assert hist.total == len(values)
+    assert len(hist) <= 16
+    if values:
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert min(values) <= hist.quantile(q) <= max(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=200,
+    ),
+    split=st.integers(min_value=1, max_value=199),
+)
+def test_moments_merge_matches_single_pass(values, split):
+    """Chan merge == one-pass Welford, for any split point."""
+    split = min(split, len(values) - 1)
+    whole, a, b = RunningMoments(), RunningMoments(), RunningMoments()
+    whole.add_all(values)
+    a.add_all(values[:split])
+    b.add_all(values[split:])
+    merged = a.merge(b)
+    assert merged.count == whole.count
+    assert abs(merged.mean - whole.mean) <= max(abs(whole.mean) * 1e-9, 1e-6)
+    if whole.variance is not None and whole.variance > 1e-9:
+        assert abs(merged.variance - whole.variance) <= whole.variance * 1e-6 + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=500),
+    capacity=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_reservoir_size_and_membership(n, capacity, seed):
+    """|sample| = min(k, n) and every member came from the stream."""
+    rs = ReservoirSample(capacity, seed=seed)
+    rs.add_all(range(n))
+    assert len(rs) == min(capacity, n)
+    assert rs.seen == n
+    assert all(0 <= v < n for v in rs)

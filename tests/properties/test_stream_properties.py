@@ -1,0 +1,94 @@
+"""Property-based tests of the streaming substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stream import (
+    Pattern,
+    PatternMatcher,
+    SlidingWindows,
+    StreamElement,
+    StreamPipeline,
+    TumblingWindows,
+    WindowedRetentionBaseline,
+)
+
+timestamps = st.lists(
+    st.floats(min_value=0, max_value=1e4, allow_nan=False), max_size=80
+).map(sorted)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ts=timestamps, size=st.floats(min_value=0.5, max_value=100))
+def test_tumbling_assignment_is_partition(ts, size):
+    """Every timestamp lands in exactly one tumbling window containing it."""
+    assigner = TumblingWindows(size)
+    for t in ts:
+        windows = assigner.assign(t)
+        assert len(windows) == 1
+        assert windows[0].contains(t)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ts=timestamps,
+    slide=st.floats(min_value=0.5, max_value=20),
+    factor=st.integers(min_value=1, max_value=5),
+)
+def test_sliding_assignment_covers(ts, slide, factor):
+    """Each timestamp is in ~size/slide sliding windows, all containing it.
+
+    Exactly ``factor`` in exact arithmetic; float rounding at window
+    boundaries can add or drop one, so the bound is ±1.
+    """
+    size = slide * factor
+    assigner = SlidingWindows(size, slide)
+    for t in ts:
+        windows = assigner.assign(t)
+        assert factor - 1 <= len(windows) <= factor + 1
+        assert len(windows) >= 1
+        assert all(w.contains(t) for w in windows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ts=timestamps, window=st.floats(min_value=0.5, max_value=100))
+def test_window_counts_conserve_elements(ts, window):
+    """Tumbling window counts sum to the number of pushed elements."""
+    out = []
+    pipe = StreamPipeline().window(TumblingWindows(window), aggregate=len).sink(out.append)
+    for t in ts:
+        pipe.push(StreamElement(t))
+    pipe.flush()
+    assert sum(count for _, _, count in out) == len(ts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ts=timestamps, retention=st.floats(min_value=0.5, max_value=100))
+def test_baseline_retains_exactly_the_window(ts, retention):
+    """After any ingest, retained elements are exactly those within W of now."""
+    baseline = WindowedRetentionBaseline(retention)
+    for t in ts:
+        baseline.ingest(StreamElement(t, {"t": t}))
+    if ts:
+        now = ts[-1]
+        expected = [t for t in ts if t > now - retention]
+        assert baseline.snapshot_values("t") == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ts=timestamps,
+    within=st.floats(min_value=0.5, max_value=50),
+)
+def test_cep_matches_respect_window_and_order(ts, within):
+    """Every reported match is ordered and inside the WITHIN budget."""
+    pattern = Pattern.sequence(
+        ("a", lambda e: True),
+        ("b", lambda e: True),
+        within=within,
+    )
+    matcher = PatternMatcher(pattern, max_runs=500)
+    matches = matcher.push_all(StreamElement(t) for t in ts)
+    for match in matches:
+        assert match.start_time <= match.end_time
+        assert match.end_time - match.start_time <= within

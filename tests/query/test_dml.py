@@ -1,0 +1,170 @@
+"""Tests for INSERT INTO / DELETE FROM."""
+
+import pytest
+
+from repro.errors import CatalogError, ParseError, PlanError
+from repro.query import QueryEngine, parse
+from repro.query.ast_nodes import DeleteStmt, InsertStmt
+from repro.storage import Schema
+
+
+@pytest.fixture
+def engine(catalog):
+    return QueryEngine(catalog)
+
+
+class TestParsing:
+    def test_insert_with_columns(self):
+        stmt = parse("INSERT INTO r (a, b) VALUES (1, 'x')")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 1
+
+    def test_insert_multi_row(self):
+        stmt = parse("INSERT INTO r VALUES (1), (2), (3)")
+        assert len(stmt.rows) == 3
+        assert stmt.columns == ()
+
+    def test_insert_roundtrip(self):
+        sql = "INSERT INTO r (a, b) VALUES (1, 'x'), (2, 'y')"
+        stmt = parse(sql)
+        assert parse(stmt.to_sql()) == stmt
+
+    def test_delete_with_where(self):
+        stmt = parse("DELETE FROM r WHERE v > 3")
+        assert isinstance(stmt, DeleteStmt)
+        assert stmt.where is not None
+
+    def test_delete_without_where(self):
+        assert parse("DELETE FROM r").where is None
+
+    def test_delete_roundtrip(self):
+        stmt = parse("DELETE FROM r WHERE (v > 3)")
+        assert parse(stmt.to_sql()) == stmt
+
+    def test_insert_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("INSERT INTO r VALUES (1) nonsense")
+
+    def test_delete_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("DELETE FROM r WHERE v = 1 LIMIT 2")
+
+
+class TestInsertExecution:
+    def test_insert_positional(self, engine, catalog):
+        res = engine.execute("INSERT INTO r VALUES (10.5, 1.0, 7, 'z')")
+        assert res.rows == [(1,)]
+        assert len(catalog.table("r")) == 11
+
+    def test_insert_named_columns_subset_fails_without_nullable(self, engine):
+        # t/f/v/key are all non-nullable in the fixture schema
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            engine.execute("INSERT INTO r (v) VALUES (1)")
+
+    def test_insert_constant_expressions(self, engine, catalog):
+        engine.execute("INSERT INTO r VALUES (2 * 5, 1.0 - 0.5, 3 + 4, upper('k'))")
+        row = catalog.table("r").row_dict(10)
+        assert row == {"t": 10.0, "f": 0.5, "v": 7, "key": "K"}
+
+    def test_insert_rejects_column_refs(self, engine):
+        with pytest.raises(PlanError, match="constants"):
+            engine.execute("INSERT INTO r VALUES (t, 1.0, 1, 'a')")
+
+    def test_insert_rejects_aggregates(self, engine):
+        with pytest.raises(PlanError, match="aggregates"):
+            engine.execute("INSERT INTO r VALUES (count(*), 1.0, 1, 'a')")
+
+    def test_insert_unknown_table(self, engine):
+        with pytest.raises(CatalogError):
+            engine.execute("INSERT INTO nope VALUES (1)")
+
+    def test_insert_unknown_column(self, engine):
+        with pytest.raises(PlanError, match="no column"):
+            engine.execute("INSERT INTO r (zzz) VALUES (1)")
+
+    def test_insert_duplicate_columns(self, engine):
+        with pytest.raises(PlanError, match="duplicate"):
+            engine.execute("INSERT INTO r (v, v) VALUES (1, 2)")
+
+    def test_insert_arity_mismatch(self, engine):
+        with pytest.raises(PlanError, match="values for"):
+            engine.execute("INSERT INTO r (v, key) VALUES (1)")
+
+    def test_inserted_rows_visible_to_select(self, engine):
+        engine.execute("INSERT INTO r VALUES (20.0, 1.0, 999, 'new')")
+        assert engine.execute("SELECT count(*) FROM r WHERE v = 999").scalar() == 1
+
+    def test_indexes_track_sql_inserts(self, engine, catalog):
+        catalog.create_hash_index("r", "key")
+        engine.execute("INSERT INTO r VALUES (20.0, 1.0, 999, 'idxkey')")
+        assert engine.execute("SELECT v FROM r WHERE key = 'idxkey'").scalar() == 999
+
+
+class TestDeleteExecution:
+    def test_delete_matching(self, engine, catalog):
+        res = engine.execute("DELETE FROM r WHERE v > 50")
+        assert res.rows == [(2,)]
+        assert len(catalog.table("r")) == 8
+
+    def test_delete_all(self, engine, catalog):
+        assert engine.execute("DELETE FROM r").rows == [(10,)]
+        assert len(catalog.table("r")) == 0
+
+    def test_delete_nothing(self, engine, catalog):
+        assert engine.execute("DELETE FROM r WHERE v > 1000").rows == [(0,)]
+        assert len(catalog.table("r")) == 10
+
+    def test_delete_uses_index(self, engine, catalog):
+        catalog.create_sorted_index("r", "t")
+        res = engine.execute("DELETE FROM r WHERE t >= 8")
+        assert res.rows == [(2,)]
+        assert res.stats.used_index is not None
+
+    def test_delete_rejects_aggregates(self, engine):
+        with pytest.raises(PlanError, match="aggregates"):
+            engine.execute("DELETE FROM r WHERE count(*) > 1")
+
+    def test_delete_unknown_column(self, engine):
+        with pytest.raises(PlanError, match="unknown column"):
+            engine.execute("DELETE FROM r WHERE zzz = 1")
+
+
+class TestFungusDbIntegration:
+    def test_insert_stamps_t_and_f(self, db):
+        from repro.storage import Schema as S
+
+        db.create_table("r", S.of(v="int", k="str"))
+        db.tick(4)
+        db.query("INSERT INTO r (v, k) VALUES (1, 'a')")
+        row = db.table("r").rows()[0]
+        assert row["t"] == 4.0 and row["f"] == 1.0
+
+    def test_bare_insert_targets_attributes(self, db):
+        from repro.storage import Schema as S
+
+        db.create_table("r", S.of(v="int", k="str"))
+        db.query("INSERT INTO r VALUES (7, 'x'), (8, 'y')")
+        assert db.extent("r") == 2
+
+    def test_delete_is_not_consume(self, db):
+        from repro.storage import Schema as S
+
+        db.create_table("r", S.of(v="int"))
+        db.query("INSERT INTO r VALUES (1), (2)")
+        db.query("DELETE FROM r WHERE v = 1")
+        assert db.extent("r") == 1
+        assert db.summaries("r") == []  # no distillation on plain DELETE
+
+    def test_cli_runs_dml(self):
+        from repro.cli import FungusShell
+
+        shell = FungusShell(seed=1)
+        shell.execute_line("create r v:int")
+        out = shell.execute_line("INSERT INTO r VALUES (5), (6)")
+        assert "inserted" in out
+        out = shell.execute_line("DELETE FROM r WHERE v = 5")
+        assert "deleted" in out
+        assert shell.db.extent("r") == 1

@@ -1,0 +1,147 @@
+"""Tests for repro.query.expressions (evaluation + NULL semantics)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.query import parse
+from repro.query.expressions import evaluate, matches
+
+
+def expr_of(sql_predicate):
+    """Parse the WHERE expression out of a dummy statement."""
+    return parse(f"SELECT x FROM r WHERE {sql_predicate}").where
+
+
+def ev(predicate, **row):
+    return evaluate(expr_of(predicate), row)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert ev("x + 2 = 5", x=3) is True
+        assert ev("x - 1 = 1", x=2) is True
+        assert ev("x * 3 = 9", x=3) is True
+        assert ev("x / 4 = 2.5", x=10) is True
+        assert ev("x % 3 = 1", x=10) is True
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            ev("x / 0 = 1", x=1)
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(ExecutionError, match="modulo by zero"):
+            ev("x % 0 = 1", x=1)
+
+    def test_string_concat_with_plus(self):
+        assert ev("x + 'b' = 'ab'", x="a") is True
+
+    def test_arithmetic_on_string_rejected(self):
+        with pytest.raises(ExecutionError):
+            ev("x * 2 = 4", x="two")
+
+    def test_unary_minus(self):
+        assert ev("-x = -3", x=3) is True
+
+
+class TestComparisons:
+    def test_numeric_cross_type(self):
+        assert ev("x = 3", x=3.0) is True
+
+    def test_string_comparison(self):
+        assert ev("x < 'b'", x="a") is True
+
+    def test_mixed_type_rejected(self):
+        with pytest.raises(ExecutionError, match="cannot apply"):
+            ev("x > 5", x="five")
+
+    def test_all_operators(self):
+        assert ev("x != 2", x=1) is True
+        assert ev("x <= 1", x=1) is True
+        assert ev("x >= 1", x=1) is True
+
+
+class TestNullSemantics:
+    def test_comparison_with_null_is_null(self):
+        assert ev("x = 1", x=None) is None
+
+    def test_arithmetic_with_null_is_null(self):
+        assert ev("x + 1 = 2", x=None) is None
+
+    def test_and_kleene(self):
+        assert ev("x = 1 AND y = 1", x=None, y=2) is False  # false wins
+        assert ev("x = 1 AND y = 1", x=None, y=1) is None
+
+    def test_or_kleene(self):
+        assert ev("x = 1 OR y = 1", x=None, y=1) is True  # true wins
+        assert ev("x = 1 OR y = 1", x=None, y=2) is None
+
+    def test_not_null_is_null(self):
+        assert ev("NOT x = 1", x=None) is None
+
+    def test_is_null(self):
+        assert ev("x IS NULL", x=None) is True
+        assert ev("x IS NOT NULL", x=None) is False
+
+    def test_in_with_null_candidates(self):
+        assert ev("x IN (1, 2)", x=3) is False
+        assert ev("x IN (1, y)", x=3, y=None) is None
+        assert ev("x IN (3, y)", x=3, y=None) is True
+
+    def test_between_null(self):
+        assert ev("x BETWEEN 1 AND 3", x=None) is None
+
+    def test_matches_treats_null_as_false(self):
+        assert matches(expr_of("x = 1"), {"x": None}) is False
+
+    def test_matches_requires_boolean(self):
+        with pytest.raises(ExecutionError, match="boolean"):
+            matches(expr_of("x + 1"), {"x": 1})
+
+
+class TestPredicateForms:
+    def test_between_inclusive(self):
+        assert ev("x BETWEEN 1 AND 3", x=1) is True
+        assert ev("x BETWEEN 1 AND 3", x=3) is True
+        assert ev("x BETWEEN 1 AND 3", x=4) is False
+
+    def test_not_between(self):
+        assert ev("x NOT BETWEEN 1 AND 3", x=4) is True
+
+    def test_not_in(self):
+        assert ev("x NOT IN (1, 2)", x=3) is True
+        assert ev("x NOT IN (1, 2)", x=2) is False
+
+    def test_in_does_not_match_across_bool_int(self):
+        assert ev("x IN (1)", x=True) is False
+
+
+class TestColumnResolution:
+    def test_unknown_column(self):
+        with pytest.raises(ExecutionError, match="unknown column"):
+            ev("y = 1", x=1)
+
+    def test_qualified_suffix_fallback(self):
+        expr = expr_of("v = 1")
+        assert evaluate(expr, {"r.v": 1}) is True
+
+    def test_ambiguous_suffix(self):
+        expr = expr_of("v = 1")
+        with pytest.raises(ExecutionError, match="ambiguous"):
+            evaluate(expr, {"r.v": 1, "s.v": 2})
+
+
+class TestScalarFunctionCalls:
+    def test_known_function(self):
+        assert ev("abs(x) = 3", x=-3) is True
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError, match="unknown function"):
+            ev("nosuchfn(x) = 1", x=1)
+
+    def test_aggregate_outside_group_context(self):
+        with pytest.raises(ExecutionError, match="aggregate"):
+            ev("count(x) = 1", x=1)
+
+    def test_aggregate_reads_precomputed_key(self):
+        expr = expr_of("count(x) > 1")
+        assert evaluate(expr, {"count(x)": 5}) is True

@@ -1,0 +1,107 @@
+"""Tests for repro.query.functions."""
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.query.functions import (
+    SCALAR_FUNCTIONS,
+    is_aggregate,
+    make_aggregate,
+)
+
+
+class TestScalars:
+    def test_null_propagation(self):
+        for name in ("abs", "upper", "length", "sqrt", "round"):
+            assert SCALAR_FUNCTIONS[name](None) is None
+
+    def test_round_with_digits(self):
+        assert SCALAR_FUNCTIONS["round"](3.14159, 2) == 3.14
+
+    def test_coalesce(self):
+        assert SCALAR_FUNCTIONS["coalesce"](None, None, 3) == 3
+        assert SCALAR_FUNCTIONS["coalesce"](None, None) is None
+
+    def test_clamp(self):
+        assert SCALAR_FUNCTIONS["clamp"](5, 0, 3) == 3
+        assert SCALAR_FUNCTIONS["clamp"](-1, 0, 3) == 0
+
+    def test_clamp_bad_range(self):
+        with pytest.raises(ExecutionError):
+            SCALAR_FUNCTIONS["clamp"](1, 3, 0)
+
+    def test_string_functions(self):
+        assert SCALAR_FUNCTIONS["upper"]("ab") == "AB"
+        assert SCALAR_FUNCTIONS["lower"]("AB") == "ab"
+        assert SCALAR_FUNCTIONS["length"]("abc") == 3
+
+    def test_math_functions(self):
+        assert SCALAR_FUNCTIONS["sqrt"](9) == 3.0
+        assert SCALAR_FUNCTIONS["exp"](0) == 1.0
+        assert SCALAR_FUNCTIONS["ln"](math.e) == pytest.approx(1.0)
+        assert SCALAR_FUNCTIONS["floor"](1.7) == 1
+        assert SCALAR_FUNCTIONS["ceil"](1.2) == 2
+
+
+class TestAggregates:
+    def feed(self, agg, values):
+        for value in values:
+            agg.add(value)
+        return agg.result()
+
+    def test_is_aggregate(self):
+        assert is_aggregate("count")
+        assert is_aggregate("stddev")
+        assert not is_aggregate("upper")
+
+    def test_count_star_counts_everything(self):
+        agg = make_aggregate("count", star=True)
+        assert self.feed(agg, [1, None, "x"]) == 3
+
+    def test_count_skips_nulls(self):
+        agg = make_aggregate("count")
+        assert self.feed(agg, [1, None, 2]) == 2
+
+    def test_count_distinct(self):
+        agg = make_aggregate("count", distinct=True)
+        assert self.feed(agg, [1, 1, 2, None, 2]) == 2
+
+    def test_distinct_only_for_count(self):
+        with pytest.raises(ExecutionError, match="DISTINCT"):
+            make_aggregate("sum", distinct=True)
+
+    def test_sum_empty_is_null(self):
+        assert make_aggregate("sum").result() is None
+
+    def test_sum(self):
+        assert self.feed(make_aggregate("sum"), [1, 2, None, 3]) == 6
+
+    def test_sum_rejects_strings(self):
+        with pytest.raises(ExecutionError):
+            make_aggregate("sum").add("x")
+
+    def test_avg(self):
+        assert self.feed(make_aggregate("avg"), [1, 2, 3]) == 2.0
+
+    def test_avg_empty_is_null(self):
+        assert make_aggregate("avg").result() is None
+
+    def test_min_max(self):
+        assert self.feed(make_aggregate("min"), [3, 1, 2]) == 1
+        assert self.feed(make_aggregate("max"), [3, 1, 2]) == 3
+
+    def test_min_max_work_on_strings(self):
+        assert self.feed(make_aggregate("min"), ["b", "a"]) == "a"
+
+    def test_stddev(self):
+        result = self.feed(make_aggregate("stddev"), [2, 4, 4, 4, 5, 5, 7, 9])
+        assert result == pytest.approx(2.138, abs=1e-3)
+
+    def test_stddev_below_two_is_null(self):
+        assert self.feed(make_aggregate("stddev"), [5]) is None
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ExecutionError, match="unknown aggregate"):
+            make_aggregate("median")

@@ -1,0 +1,96 @@
+"""Direct tests of the physical operators (NULL ordering, limits, distinct)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.query import QueryEngine, parse
+from repro.query.operators import _NullsLast, distinct, limit, sort_rows
+from repro.storage import Catalog, Schema
+from repro.storage.schema import ColumnDef, DataType
+
+
+class TestNullsLast:
+    def test_none_sorts_after_values(self):
+        keys = sorted([_NullsLast(3), _NullsLast(None), _NullsLast(1)])
+        assert [k.value for k in keys] == [1, 3, None]
+
+    def test_two_nones_equalish(self):
+        assert not _NullsLast(None) < _NullsLast(None)
+
+    def test_incomparable_raises_execution_error(self):
+        with pytest.raises(ExecutionError, match="cannot order"):
+            _ = _NullsLast(1) < _NullsLast("a")
+
+
+class TestSortRows:
+    def order_items(self, sql_tail):
+        return parse(f"SELECT x FROM r ORDER BY {sql_tail}").order_by
+
+    def test_multi_key_stability(self):
+        rows = [{"a": 1, "b": 2}, {"a": 1, "b": 1}, {"a": 0, "b": 9}]
+        ordered = sort_rows(rows, self.order_items("a, b"))
+        assert ordered == [{"a": 0, "b": 9}, {"a": 1, "b": 1}, {"a": 1, "b": 2}]
+
+    def test_descending_keeps_nulls_last(self):
+        rows = [{"a": None}, {"a": 5}, {"a": 7}]
+        ordered = sort_rows(rows, self.order_items("a DESC"))
+        assert [r["a"] for r in ordered] == [7, 5, None]
+
+    def test_ascending_nulls_last(self):
+        rows = [{"a": None}, {"a": 5}]
+        ordered = sort_rows(rows, self.order_items("a ASC"))
+        assert [r["a"] for r in ordered] == [5, None]
+
+
+class TestLimitAndDistinct:
+    def test_limit_negative_rejected(self):
+        with pytest.raises(ExecutionError):
+            list(limit(iter([(1,)]), -1))
+
+    def test_limit_stops_consuming(self):
+        def gen():
+            yield (1,)
+            yield (2,)
+            raise AssertionError("must not be pulled")
+
+        assert list(limit(gen(), 2)) == [(1,), (2,)]
+
+    def test_distinct_preserves_first_seen_order(self):
+        rows = [(2,), (1,), (2,), (3,), (1,)]
+        assert list(distinct(iter(rows))) == [(2,), (1,), (3,)]
+
+
+class TestNullableColumnsEndToEnd:
+    @pytest.fixture
+    def engine(self):
+        catalog = Catalog()
+        schema = Schema(
+            [
+                ColumnDef("v", DataType.INT, nullable=True),
+                ColumnDef("k", DataType.STR),
+            ]
+        )
+        table = catalog.create_table("r", schema)
+        table.append((3, "a"))
+        table.append((None, "b"))
+        table.append((1, "c"))
+        return QueryEngine(catalog)
+
+    def test_order_by_puts_nulls_last(self, engine):
+        res = engine.execute("SELECT k FROM r ORDER BY v")
+        assert res.column("k") == ["c", "a", "b"]
+
+    def test_where_skips_nulls(self, engine):
+        res = engine.execute("SELECT k FROM r WHERE v > 0")
+        assert sorted(res.column("k")) == ["a", "c"]
+
+    def test_is_null_finds_them(self, engine):
+        assert engine.execute("SELECT k FROM r WHERE v IS NULL").column("k") == ["b"]
+
+    def test_aggregates_skip_nulls(self, engine):
+        res = engine.execute("SELECT count(*), count(v), sum(v) FROM r")
+        assert res.rows == [(3, 2, 4)]
+
+    def test_coalesce_fills(self, engine):
+        res = engine.execute("SELECT coalesce(v, 0) c FROM r ORDER BY c")
+        assert res.column("c") == [0, 1, 3]

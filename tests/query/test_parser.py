@@ -1,0 +1,187 @@
+"""Tests for repro.query.parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query import parse
+from repro.query.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Star,
+    UnaryOp,
+)
+
+
+class TestProjections:
+    def test_star(self):
+        stmt = parse("SELECT * FROM r")
+        assert isinstance(stmt.projections[0].expr, Star)
+
+    def test_columns_and_aliases(self):
+        stmt = parse("SELECT a, b AS bee, c cee FROM r")
+        assert stmt.projections[0].output_name == "a"
+        assert stmt.projections[1].alias == "bee"
+        assert stmt.projections[2].alias == "cee"
+
+    def test_qualified_column(self):
+        stmt = parse("SELECT r.a FROM r")
+        assert stmt.projections[0].expr == ColumnRef("a", table="r")
+
+    def test_expression_projection(self):
+        stmt = parse("SELECT a * 2 + 1 FROM r")
+        expr = stmt.projections[0].expr
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM r").distinct
+
+
+class TestConsume:
+    def test_consume_flag(self):
+        assert parse("CONSUME SELECT * FROM r").consume
+        assert not parse("SELECT * FROM r").consume
+
+
+class TestTableRefs:
+    def test_alias_forms(self):
+        assert parse("SELECT a FROM r x").table.alias == "x"
+        assert parse("SELECT a FROM r AS x").table.alias == "x"
+        assert parse("SELECT a FROM r").table.binding == "r"
+
+    def test_join(self):
+        stmt = parse("SELECT a FROM r JOIN s ON r.k = s.k")
+        assert stmt.join.table.name == "s"
+        assert stmt.join.left == ColumnRef("k", "r")
+        assert stmt.join.right == ColumnRef("k", "s")
+
+    def test_join_requires_equality(self):
+        with pytest.raises(ParseError, match="equi-join"):
+            parse("SELECT a FROM r JOIN s ON r.k < s.k")
+
+
+class TestWhere:
+    def test_precedence_or_and(self):
+        stmt = parse("SELECT a FROM r WHERE x = 1 OR y = 2 AND z = 3")
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_parentheses_override(self):
+        stmt = parse("SELECT a FROM r WHERE (x = 1 OR y = 2) AND z = 3")
+        assert stmt.where.op == "AND"
+
+    def test_not(self):
+        stmt = parse("SELECT a FROM r WHERE NOT x = 1")
+        assert isinstance(stmt.where, UnaryOp) and stmt.where.op == "NOT"
+
+    def test_in_list(self):
+        stmt = parse("SELECT a FROM r WHERE x IN (1, 2, 3)")
+        assert isinstance(stmt.where, InList)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in(self):
+        stmt = parse("SELECT a FROM r WHERE x NOT IN (1)")
+        assert stmt.where.negated
+
+    def test_between(self):
+        stmt = parse("SELECT a FROM r WHERE x BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, Between)
+
+    def test_not_between(self):
+        stmt = parse("SELECT a FROM r WHERE x NOT BETWEEN 1 AND 5")
+        assert stmt.where.negated
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(parse("SELECT a FROM r WHERE x IS NULL").where, IsNull)
+        assert parse("SELECT a FROM r WHERE x IS NOT NULL").where.negated
+
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT a FROM r WHERE x + 2 * 3 = 7")
+        comparison = stmt.where
+        assert comparison.left.op == "+"
+        assert comparison.left.right.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse("SELECT a FROM r WHERE x = -1")
+        assert isinstance(stmt.where.right, UnaryOp)
+
+    def test_literals(self):
+        stmt = parse("SELECT a FROM r WHERE x = 'txt' AND b = TRUE AND c = FALSE AND d IS NULL")
+        text = stmt.to_sql()
+        assert "'txt'" in text and "TRUE" in text and "FALSE" in text
+
+
+class TestFunctions:
+    def test_count_star(self):
+        stmt = parse("SELECT count(*) FROM r")
+        fn = stmt.projections[0].expr
+        assert isinstance(fn, FuncCall) and fn.star
+
+    def test_count_distinct(self):
+        fn = parse("SELECT count(DISTINCT a) FROM r").projections[0].expr
+        assert fn.distinct
+
+    def test_nested_call(self):
+        fn = parse("SELECT round(avg(a), 2) FROM r").projections[0].expr
+        assert fn.name == "round"
+        assert isinstance(fn.args[0], FuncCall)
+
+    def test_no_args(self):
+        fn = parse("SELECT now() FROM r").projections[0].expr
+        assert fn.args == ()
+
+
+class TestClauses:
+    def test_group_by_having(self):
+        stmt = parse("SELECT k, count(*) FROM r GROUP BY k HAVING count(*) > 2")
+        assert stmt.group_by == (ColumnRef("k"),)
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse("SELECT a FROM r ORDER BY a DESC, b ASC, c")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+    def test_limit(self):
+        assert parse("SELECT a FROM r LIMIT 5").limit == 5
+
+    def test_full_statement_roundtrip(self):
+        sql = (
+            "CONSUME SELECT k, count(*) AS n FROM r "
+            "WHERE (v BETWEEN 1 AND 9) GROUP BY k "
+            "HAVING (count(*) > 2) ORDER BY n DESC LIMIT 3"
+        )
+        stmt = parse(sql)
+        assert parse(stmt.to_sql()) == stmt
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(ParseError, match="expected FROM"):
+            parse("SELECT a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("SELECT a FROM r extra nonsense")
+
+    def test_star_inside_where(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM r WHERE *")
+
+    def test_missing_expression(self):
+        with pytest.raises(ParseError, match="expected an expression"):
+            parse("SELECT FROM r")
+
+    def test_error_mentions_offset(self):
+        with pytest.raises(ParseError, match="offset"):
+            parse("SELECT a FROM r WHERE")
+
+    def test_not_without_in_or_between(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM r WHERE x NOT 5")
+
+    def test_limit_requires_number(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM r LIMIT x")

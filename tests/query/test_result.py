@@ -1,0 +1,64 @@
+"""Tests for repro.query.result."""
+
+import pytest
+
+from repro.query.result import ResultSet, format_table
+from repro.storage import RowSet
+
+
+@pytest.fixture
+def result():
+    return ResultSet(columns=("a", "b"), rows=[(1, "x"), (2, "y")])
+
+
+class TestResultSet:
+    def test_len_iter_bool(self, result):
+        assert len(result) == 2
+        assert list(result) == [(1, "x"), (2, "y")]
+        assert result
+        assert not ResultSet(columns=("a",), rows=[])
+
+    def test_column(self, result):
+        assert result.column("b") == ["x", "y"]
+
+    def test_column_unknown(self, result):
+        with pytest.raises(KeyError, match="no result column"):
+            result.column("z")
+
+    def test_scalar(self):
+        assert ResultSet(columns=("n",), rows=[(5,)]).scalar() == 5
+
+    def test_scalar_rejects_non_1x1(self, result):
+        with pytest.raises(ValueError, match="1x1"):
+            result.scalar()
+
+    def test_to_dicts(self, result):
+        assert result.to_dicts() == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+
+    def test_default_consumed_empty(self, result):
+        assert result.consumed == RowSet.empty()
+
+    def test_pretty_contains_data(self, result):
+        text = result.pretty()
+        assert "a" in text and "x" in text and "|" in text
+
+    def test_pretty_truncates(self):
+        big = ResultSet(columns=("n",), rows=[(i,) for i in range(100)])
+        assert big.pretty(max_rows=5).endswith("...")
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("col",), [("a",), ("longer",)])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines)) == 1  # all same width
+
+    def test_null_rendering(self):
+        assert "NULL" in format_table(("x",), [(None,)])
+
+    def test_float_rendering(self):
+        assert "3.142" in format_table(("x",), [(3.14159,)])
+
+    def test_empty_rows(self):
+        text = format_table(("x", "y"), [])
+        assert "x" in text and "y" in text

@@ -1,0 +1,102 @@
+"""Tests for repro.query.tokens."""
+
+import pytest
+
+from repro.errors import TokenizeError
+from repro.query.tokens import TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_input_is_just_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_uppercased(self):
+        assert texts("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        assert texts("myTable") == ["myTable"]
+        assert tokenize("myTable")[0].type is TokenType.IDENT
+
+    def test_punctuation(self):
+        assert kinds("(,.*)")[:5] == [
+            TokenType.LPAREN,
+            TokenType.COMMA,
+            TokenType.DOT,
+            TokenType.STAR,
+            TokenType.RPAREN,
+        ]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3
+
+    def test_matches_keyword(self):
+        tok = tokenize("SELECT")[0]
+        assert tok.matches_keyword("SELECT")
+        assert not tok.matches_keyword("FROM")
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert texts("42") == ["42"]
+
+    def test_float(self):
+        assert texts("3.14") == ["3.14"]
+
+    def test_leading_dot(self):
+        assert texts(".5") == [".5"]
+        assert tokenize(".5")[0].type is TokenType.NUMBER
+
+    def test_exponent(self):
+        assert texts("1e6 2.5E-3") == ["1e6", "2.5E-3"]
+
+    def test_identifier_e_not_swallowed(self):
+        tokens = tokenize("1everything")
+        assert tokens[0].text == "1"
+        assert tokens[1].text == "everything"
+
+
+class TestStrings:
+    def test_simple(self):
+        tok = tokenize("'hello'")[0]
+        assert tok.type is TokenType.STRING
+        assert tok.text == "hello"
+
+    def test_doubled_quote_escape(self):
+        assert tokenize("'it''s'")[0].text == "it's"
+
+    def test_unterminated(self):
+        with pytest.raises(TokenizeError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].text == ""
+
+
+class TestOperators:
+    def test_all_comparisons(self):
+        assert texts("= != <> < <= > >=") == ["=", "!=", "!=", "<", "<=", ">", ">="]
+
+    def test_arithmetic(self):
+        assert texts("+ - / %") == ["+", "-", "/", "%"]
+
+    def test_comments_skipped(self):
+        assert texts("a -- comment here\nb") == ["a", "b"]
+
+    def test_comment_at_end(self):
+        assert texts("a -- trailing") == ["a"]
+
+    def test_unknown_character(self):
+        with pytest.raises(TokenizeError, match="unexpected character"):
+            tokenize("a @ b")

@@ -1,0 +1,89 @@
+"""Tests for the freshness-weighted aggregates (wavg / wsum)."""
+
+import pytest
+
+from repro.errors import ExecutionError, PlanError
+from repro.query import QueryEngine
+from repro.query.functions import aggregate_arity, make_aggregate
+from repro.storage import Catalog, Schema
+
+
+@pytest.fixture
+def engine():
+    catalog = Catalog()
+    table = catalog.create_table("r", Schema.of(v="float", w="float", k="str"))
+    table.append((10.0, 1.0, "a"))
+    table.append((20.0, 0.5, "a"))
+    table.append((30.0, 0.0, "b"))
+    return QueryEngine(catalog)
+
+
+class TestAccumulators:
+    def test_arity(self):
+        assert aggregate_arity("wavg") == 2
+        assert aggregate_arity("wsum") == 2
+        assert aggregate_arity("avg") == 1
+        assert aggregate_arity("nonexistent") == 1
+
+    def test_wavg_basics(self):
+        agg = make_aggregate("wavg")
+        agg.add((10.0, 1.0))
+        agg.add((20.0, 0.5))
+        assert agg.result() == pytest.approx(20.0 / 1.5)
+
+    def test_wavg_zero_weight_is_null(self):
+        agg = make_aggregate("wavg")
+        agg.add((10.0, 0.0))
+        assert agg.result() is None
+
+    def test_wavg_empty_is_null(self):
+        assert make_aggregate("wavg").result() is None
+
+    def test_wavg_skips_null_pairs(self):
+        agg = make_aggregate("wavg")
+        agg.add((None, 1.0))
+        agg.add((10.0, None))
+        agg.add(None)
+        agg.add((10.0, 1.0))
+        assert agg.result() == 10.0
+
+    def test_wavg_negative_weight_rejected(self):
+        with pytest.raises(ExecutionError):
+            make_aggregate("wavg").add((1.0, -0.5))
+
+    def test_wavg_type_checked(self):
+        with pytest.raises(ExecutionError):
+            make_aggregate("wavg").add(("x", 1.0))
+
+    def test_wsum_basics(self):
+        agg = make_aggregate("wsum")
+        agg.add((10.0, 0.5))
+        agg.add((4.0, 2.0))
+        assert agg.result() == pytest.approx(13.0)
+
+    def test_wsum_empty_is_null(self):
+        assert make_aggregate("wsum").result() is None
+
+
+class TestInQueries:
+    def test_wavg_query(self, engine):
+        result = engine.execute("SELECT wavg(v, w) FROM r").scalar()
+        assert result == pytest.approx((10 * 1.0 + 20 * 0.5 + 30 * 0.0) / 1.5)
+
+    def test_wsum_query(self, engine):
+        assert engine.execute("SELECT wsum(v, w) FROM r").scalar() == pytest.approx(20.0)
+
+    def test_wavg_group_by(self, engine):
+        res = engine.execute("SELECT k, wavg(v, w) FROM r GROUP BY k ORDER BY k")
+        assert res.rows[0][1] == pytest.approx(40.0 / 3)
+        assert res.rows[1][1] is None  # group b has zero total weight
+
+    def test_arity_validated_at_plan_time(self, engine):
+        with pytest.raises(PlanError, match="2 argument"):
+            engine.execute("SELECT wavg(v) FROM r")
+        with pytest.raises(PlanError, match="1 argument"):
+            engine.execute("SELECT avg(v, w) FROM r")
+
+    def test_wavg_with_expression_weight(self, engine):
+        result = engine.execute("SELECT wavg(v, w * 2) FROM r").scalar()
+        assert result == pytest.approx(20.0 / 1.5)  # scaling weights is a no-op

@@ -1,0 +1,67 @@
+"""Tests for repro.sketch.bloom."""
+
+import pytest
+
+from repro.errors import SketchError
+from repro.sketch import BloomFilter
+
+
+class TestBasics:
+    def test_bad_parameters(self):
+        with pytest.raises(SketchError):
+            BloomFilter(num_bits=0)
+        with pytest.raises(SketchError):
+            BloomFilter(num_hashes=0)
+
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.from_capacity(2000, 0.01)
+        bloom.add_all(range(2000))
+        assert all(i in bloom for i in range(2000))
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter.from_capacity(2000, 0.01)
+        bloom.add_all(range(2000))
+        fps = sum(1 for i in range(10_000, 30_000) if i in bloom)
+        assert fps / 20_000 < 0.03  # target 1%, generous 3x margin
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter()
+        assert 42 not in bloom
+        assert bloom.false_positive_rate() == 0.0
+
+    def test_expected_fp_rate_grows_with_load(self):
+        bloom = BloomFilter(num_bits=256, num_hashes=3)
+        rates = []
+        for i in range(100):
+            bloom.add(i)
+            rates.append(bloom.false_positive_rate())
+        assert rates == sorted(rates)
+
+    def test_from_capacity_validation(self):
+        with pytest.raises(SketchError):
+            BloomFilter.from_capacity(0)
+        with pytest.raises(SketchError):
+            BloomFilter.from_capacity(10, fp_rate=1.5)
+
+    def test_string_and_int_keys_independent(self):
+        bloom = BloomFilter.from_capacity(100)
+        bloom.add("1")
+        assert "1" in bloom
+
+    def test_memory_cells(self):
+        assert BloomFilter(num_bits=1024).memory_cells() == 1024
+
+
+class TestMerge:
+    def test_merge_is_union(self):
+        a = BloomFilter(num_bits=4096, num_hashes=4)
+        b = BloomFilter(num_bits=4096, num_hashes=4)
+        a.add_all(range(100))
+        b.add_all(range(100, 200))
+        merged = a.merge(b)
+        assert all(i in merged for i in range(200))
+        assert merged.count == 200
+
+    def test_merge_requires_same_shape(self):
+        with pytest.raises(SketchError):
+            BloomFilter(num_bits=128).merge(BloomFilter(num_bits=256))

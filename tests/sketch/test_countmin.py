@@ -1,0 +1,85 @@
+"""Tests for repro.sketch.countmin."""
+
+import random
+
+import pytest
+
+from repro.errors import SketchError
+from repro.sketch import CountMinSketch
+
+
+class TestBasics:
+    def test_bad_dimensions(self):
+        with pytest.raises(SketchError):
+            CountMinSketch(width=0)
+        with pytest.raises(SketchError):
+            CountMinSketch(depth=0)
+
+    def test_never_underestimates(self):
+        cm = CountMinSketch(width=64, depth=3)
+        rng = random.Random(1)
+        truth = {}
+        for _ in range(5000):
+            key = f"k{rng.randrange(200)}"
+            truth[key] = truth.get(key, 0) + 1
+            cm.add(key)
+        assert all(cm.estimate(k) >= c for k, c in truth.items())
+
+    def test_error_within_bound(self):
+        cm = CountMinSketch(width=256, depth=5)
+        rng = random.Random(2)
+        truth = {}
+        for _ in range(10000):
+            key = rng.randrange(500)
+            truth[key] = truth.get(key, 0) + 1
+            cm.add(key)
+        bound = cm.error_bound()
+        violations = sum(1 for k, c in truth.items() if cm.estimate(k) - c > bound)
+        assert violations <= len(truth) * 0.01
+
+    def test_counted_amounts(self):
+        cm = CountMinSketch()
+        cm.add("x", count=5)
+        cm.add("x")
+        assert cm.estimate("x") >= 6
+        assert cm.total == 6
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SketchError):
+            CountMinSketch().add("x", count=-1)
+
+    def test_unseen_value_can_be_zero(self):
+        cm = CountMinSketch(width=1024, depth=4)
+        cm.add("x")
+        assert cm.estimate("never") <= 1
+
+    def test_from_error_sizing(self):
+        cm = CountMinSketch.from_error(epsilon=0.01, delta=0.01)
+        assert cm.width >= 272  # e/0.01
+        assert cm.depth >= 5  # ln(100)
+
+    def test_from_error_validation(self):
+        with pytest.raises(SketchError):
+            CountMinSketch.from_error(epsilon=0, delta=0.5)
+        with pytest.raises(SketchError):
+            CountMinSketch.from_error(epsilon=0.1, delta=2)
+
+    def test_memory_cells(self):
+        assert CountMinSketch(width=10, depth=3).memory_cells() == 30
+
+
+class TestMerge:
+    def test_merge_adds_counts(self):
+        a = CountMinSketch(width=128, depth=4, seed=3)
+        b = CountMinSketch(width=128, depth=4, seed=3)
+        a.add("x", 5)
+        b.add("x", 7)
+        merged = a.merge(b)
+        assert merged.estimate("x") >= 12
+        assert merged.total == 12
+
+    def test_merge_requires_same_parameters(self):
+        with pytest.raises(SketchError):
+            CountMinSketch(width=128).merge(CountMinSketch(width=64))
+        with pytest.raises(SketchError):
+            CountMinSketch(seed=1).merge(CountMinSketch(seed=2))

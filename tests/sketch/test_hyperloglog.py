@@ -1,0 +1,68 @@
+"""Tests for repro.sketch.hyperloglog."""
+
+import pytest
+
+from repro.errors import SketchError
+from repro.sketch import HyperLogLog
+
+
+class TestBasics:
+    def test_precision_bounds(self):
+        with pytest.raises(SketchError):
+            HyperLogLog(3)
+        with pytest.raises(SketchError):
+            HyperLogLog(19)
+
+    def test_empty_estimate_is_zero(self):
+        assert HyperLogLog(10).estimate() == 0.0
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog(12)
+        for _ in range(1000):
+            hll.add("same")
+        assert hll.estimate() == pytest.approx(1.0, abs=0.5)
+
+    @pytest.mark.parametrize("n", [100, 5_000, 100_000])
+    def test_estimate_within_3_sigma(self, n):
+        hll = HyperLogLog(12)
+        hll.add_all(f"value-{i}" for i in range(n))
+        err = abs(hll.estimate() - n) / n
+        assert err <= 3 * hll.relative_error + 0.01
+
+    def test_relative_error_formula(self):
+        assert HyperLogLog(12).relative_error == pytest.approx(1.04 / 64)
+
+    def test_mixed_types(self):
+        hll = HyperLogLog(10)
+        hll.add(1)
+        hll.add("1")
+        hll.add(1.5)
+        assert hll.estimate() >= 2.0
+
+    def test_memory_cells(self):
+        assert HyperLogLog(10).memory_cells() == 1024
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        a, b, union = HyperLogLog(12), HyperLogLog(12), HyperLogLog(12)
+        for i in range(2000):
+            a.add(f"a{i}")
+            union.add(f"a{i}")
+        for i in range(2000):
+            b.add(f"b{i}")
+            union.add(f"b{i}")
+        merged = a.merge(b)
+        assert merged.estimate() == union.estimate()
+
+    def test_merge_is_idempotent_on_overlap(self):
+        a, b = HyperLogLog(12), HyperLogLog(12)
+        for i in range(1000):
+            a.add(i)
+            b.add(i)
+        merged = a.merge(b)
+        assert merged.estimate() == a.estimate()
+
+    def test_merge_requires_same_precision(self):
+        with pytest.raises(SketchError):
+            HyperLogLog(10).merge(HyperLogLog(12))

@@ -1,0 +1,69 @@
+"""Tests for repro.sketch.quantiles (P²)."""
+
+import random
+
+import pytest
+
+from repro.errors import SketchError
+from repro.sketch import P2Quantile
+
+
+class TestValidation:
+    def test_quantile_range(self):
+        with pytest.raises(SketchError):
+            P2Quantile(0.0)
+        with pytest.raises(SketchError):
+            P2Quantile(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(SketchError):
+            P2Quantile(0.5).value()
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(SketchError):
+            P2Quantile(0.5).add("x")
+
+
+class TestSmallStreams:
+    def test_under_five_values_uses_sorted(self):
+        q = P2Quantile(0.5)
+        for v in (5.0, 1.0, 3.0):
+            q.add(v)
+        assert q.value() == 3.0
+
+    def test_exactly_five(self):
+        q = P2Quantile(0.5)
+        for v in (1, 2, 3, 4, 5):
+            q.add(v)
+        assert q.value() == 3.0
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("target", [0.1, 0.5, 0.9, 0.95, 0.99])
+    def test_uniform_stream(self, target):
+        rng = random.Random(int(target * 100))
+        q = P2Quantile(target)
+        values = [rng.random() for _ in range(20_000)]
+        for v in values:
+            q.add(v)
+        exact = sorted(values)[int(target * len(values))]
+        assert q.value() == pytest.approx(exact, abs=0.02)
+
+    def test_gaussian_median(self):
+        rng = random.Random(9)
+        q = P2Quantile(0.5)
+        for _ in range(20_000):
+            q.add(rng.gauss(100.0, 15.0))
+        assert q.value() == pytest.approx(100.0, abs=1.0)
+
+    def test_monotone_stream(self):
+        q = P2Quantile(0.9)
+        for i in range(10_000):
+            q.add(float(i))
+        assert q.value() == pytest.approx(9_000, rel=0.05)
+
+    def test_count_tracked(self):
+        q = P2Quantile(0.5)
+        for i in range(10):
+            q.add(i)
+        assert q.count == 10

@@ -1,0 +1,75 @@
+"""Tests for repro.storage.catalog."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage import Catalog, Schema
+
+
+class TestTables:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        table = catalog.create_table("r", Schema.of(v="int"))
+        assert catalog.table("r") is table
+        assert "r" in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_create_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("r", Schema.of(v="int"))
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.create_table("r", Schema.of(v="int"))
+
+    def test_register_existing(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        assert catalog.table("r") is table
+
+    def test_register_duplicate_rejected(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        with pytest.raises(CatalogError):
+            catalog.register(table)
+
+    def test_unknown_lookup(self):
+        with pytest.raises(CatalogError, match="unknown table"):
+            Catalog().table("nope")
+
+    def test_drop(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        catalog.create_hash_index("r", "key")
+        catalog.drop_table("r")
+        assert "r" not in catalog
+        assert catalog.hash_index("r", "key") is None
+
+    def test_drop_unknown(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("nope")
+
+    def test_iteration_sorted(self):
+        catalog = Catalog()
+        catalog.create_table("b", Schema.of(v="int"))
+        catalog.create_table("a", Schema.of(v="int"))
+        assert list(catalog) == ["a", "b"]
+
+
+class TestIndexes:
+    def test_create_hash_index_idempotent(self, catalog):
+        first = catalog.create_hash_index("r", "key")
+        second = catalog.create_hash_index("r", "key")
+        assert first is second
+        assert catalog.hash_index("r", "key") is first
+
+    def test_create_sorted_index_idempotent(self, catalog):
+        first = catalog.create_sorted_index("r", "t")
+        assert catalog.create_sorted_index("r", "t") is first
+        assert catalog.sorted_index("r", "t") is first
+
+    def test_missing_index_is_none(self, catalog):
+        assert catalog.hash_index("r", "v") is None
+        assert catalog.sorted_index("r", "v") is None
+
+    def test_index_on_unknown_table(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_hash_index("nope", "key")

@@ -1,0 +1,110 @@
+"""Tests for repro.storage.index."""
+
+import pytest
+
+from repro.storage import HashIndex, RowSet, SortedIndex
+
+
+class TestHashIndex:
+    def test_initial_build(self, table):
+        index = HashIndex(table, "key")
+        assert index.lookup("a") == RowSet([1, 3, 5, 7, 9])
+        assert len(index) == 10
+
+    def test_lookup_missing(self, table):
+        index = HashIndex(table, "key")
+        assert index.lookup("zzz") == RowSet.empty()
+
+    def test_lookup_many(self, table):
+        index = HashIndex(table, "key")
+        assert index.lookup_many(["a", "b"]) == RowSet(range(10))
+
+    def test_tracks_append(self, table):
+        index = HashIndex(table, "key")
+        rid = table.append((10.0, 1.0, 100, "c"))
+        assert index.lookup("c") == RowSet([rid])
+
+    def test_tracks_delete(self, table):
+        index = HashIndex(table, "key")
+        table.delete(1)
+        assert 1 not in index.lookup("a")
+        assert len(index) == 9
+
+    def test_tracks_compaction(self, table):
+        index = HashIndex(table, "key")
+        table.delete(0)
+        table.compact()
+        # old rid 2 (key 'b') is now rid 1
+        assert 1 in index.lookup("b")
+        assert len(index) == 9
+
+    def test_distinct_values(self, table):
+        index = HashIndex(table, "key")
+        assert sorted(index.distinct_values()) == ["a", "b"]
+        for rid in (1, 3, 5, 7, 9):
+            table.delete(rid)
+        assert index.distinct_values() == ["b"]
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self, table):
+        index = SortedIndex(table, "t")
+        assert index.range(3.0, 5.0) == RowSet([3, 4, 5])
+
+    def test_range_exclusive_bounds(self, table):
+        index = SortedIndex(table, "t")
+        assert index.range(3.0, 5.0, include_low=False, include_high=False) == RowSet([4])
+
+    def test_range_open_ended(self, table):
+        index = SortedIndex(table, "t")
+        assert index.range(low=8.0) == RowSet([8, 9])
+        assert index.range(high=1.0) == RowSet([0, 1])
+        assert index.range() == RowSet(range(10))
+
+    def test_min_max(self, table):
+        index = SortedIndex(table, "t")
+        assert index.min_value() == 0.0
+        assert index.max_value() == 9.0
+
+    def test_min_max_empty(self, schema):
+        from repro.storage import Table
+
+        empty = Table(schema)
+        index = SortedIndex(empty, "t")
+        assert index.min_value() is None
+        assert index.max_value() is None
+
+    def test_tracks_append_in_order(self, table):
+        index = SortedIndex(table, "t")
+        table.append((4.5, 1.0, 0, "c"))
+        assert index.range(4.0, 5.0) == RowSet([4, 5, 10])
+
+    def test_lazy_delete(self, table):
+        index = SortedIndex(table, "t")
+        table.delete(4)
+        assert index.range(3.0, 5.0) == RowSet([3, 5])
+        assert len(index) == 9
+
+    def test_purge_after_many_deletes(self, table):
+        index = SortedIndex(table, "t")
+        for rid in range(8):
+            table.delete(rid)
+        assert len(index) == 2
+        assert index.range() == RowSet([8, 9])
+
+    def test_tracks_compaction(self, table):
+        index = SortedIndex(table, "t")
+        table.delete(0)
+        table.delete(1)
+        table.compact()
+        assert index.range(2.0, 3.0) == RowSet([0, 1])
+
+    def test_ascending(self, table):
+        index = SortedIndex(table, "t")
+        table.delete(5)
+        assert index.ascending() == [0, 1, 2, 3, 4, 6, 7, 8, 9]
+
+    def test_min_after_delete(self, table):
+        index = SortedIndex(table, "t")
+        table.delete(0)
+        assert index.min_value() == 1.0

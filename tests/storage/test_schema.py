@@ -1,0 +1,156 @@
+"""Tests for repro.storage.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import ColumnDef, DataType, Schema
+
+
+class TestDataType:
+    def test_coerce_int(self):
+        assert DataType.INT.coerce(5) == 5
+
+    def test_coerce_int_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            DataType.INT.coerce(True)
+
+    def test_coerce_int_rejects_float(self):
+        with pytest.raises(SchemaError):
+            DataType.INT.coerce(5.0)
+
+    def test_coerce_float_widens_int(self):
+        value = DataType.FLOAT.coerce(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_coerce_float_rejects_str(self):
+        with pytest.raises(SchemaError):
+            DataType.FLOAT.coerce("3.0")
+
+    def test_coerce_timestamp_is_float(self):
+        assert DataType.TIMESTAMP.coerce(7) == 7.0
+
+    def test_coerce_str(self):
+        assert DataType.STR.coerce("x") == "x"
+
+    def test_coerce_str_rejects_int(self):
+        with pytest.raises(SchemaError):
+            DataType.STR.coerce(1)
+
+    def test_coerce_bool(self):
+        assert DataType.BOOL.coerce(True) is True
+
+    def test_coerce_bool_rejects_int(self):
+        with pytest.raises(SchemaError):
+            DataType.BOOL.coerce(1)
+
+    def test_coerce_none_passthrough(self):
+        assert DataType.INT.coerce(None) is None
+
+    def test_from_name_roundtrip(self):
+        for dtype in DataType:
+            assert DataType.from_name(dtype.value) is dtype
+
+    def test_from_name_unknown(self):
+        with pytest.raises(SchemaError, match="unknown data type"):
+            DataType.from_name("decimal")
+
+    def test_python_type(self):
+        assert DataType.TIMESTAMP.python_type is float
+        assert DataType.STR.python_type is str
+
+
+class TestColumnDef:
+    def test_invalid_identifier_rejected(self):
+        with pytest.raises(SchemaError, match="identifier"):
+            ColumnDef("bad name", DataType.INT)
+
+    def test_non_nullable_rejects_none(self):
+        with pytest.raises(SchemaError, match="not nullable"):
+            ColumnDef("x", DataType.INT).coerce(None)
+
+    def test_nullable_accepts_none(self):
+        assert ColumnDef("x", DataType.INT, nullable=True).coerce(None) is None
+
+    def test_dict_roundtrip(self):
+        col = ColumnDef("x", DataType.FLOAT, nullable=True)
+        assert ColumnDef.from_dict(col.to_dict()) == col
+
+
+class TestSchema:
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError, match="at least one column"):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([ColumnDef("x", DataType.INT), ColumnDef("x", DataType.STR)])
+
+    def test_names_in_order(self):
+        schema = Schema.of(a="int", b="str", c="float")
+        assert schema.names == ("a", "b", "c")
+
+    def test_contains(self):
+        schema = Schema.of(a="int")
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_column_lookup(self):
+        schema = Schema.of(a="int", b="str")
+        assert schema.column("b").dtype is DataType.STR
+
+    def test_column_unknown(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            Schema.of(a="int").column("b")
+
+    def test_index_of(self):
+        schema = Schema.of(a="int", b="str")
+        assert schema.index_of("b") == 1
+
+    def test_coerce_row_mapping(self):
+        schema = Schema.of(a="int", b="str")
+        assert schema.coerce_row({"a": 1, "b": "x"}) == (1, "x")
+
+    def test_coerce_row_mapping_extra_column(self):
+        schema = Schema.of(a="int")
+        with pytest.raises(SchemaError, match="unknown columns"):
+            schema.coerce_row({"a": 1, "z": 2})
+
+    def test_coerce_row_mapping_missing_non_nullable(self):
+        schema = Schema.of(a="int", b="str")
+        with pytest.raises(SchemaError, match="not nullable"):
+            schema.coerce_row({"a": 1})
+
+    def test_coerce_row_mapping_missing_nullable_defaults_none(self):
+        schema = Schema([ColumnDef("a", DataType.INT), ColumnDef("b", DataType.STR, nullable=True)])
+        assert schema.coerce_row({"a": 1}) == (1, None)
+
+    def test_coerce_row_positional(self):
+        schema = Schema.of(a="int", b="str")
+        assert schema.coerce_row((1, "x")) == (1, "x")
+
+    def test_coerce_row_positional_wrong_arity(self):
+        schema = Schema.of(a="int", b="str")
+        with pytest.raises(SchemaError, match="2 columns"):
+            schema.coerce_row((1,))
+
+    def test_extend(self):
+        schema = Schema.of(a="int").extend(ColumnDef("b", DataType.STR))
+        assert schema.names == ("a", "b")
+
+    def test_project(self):
+        schema = Schema.of(a="int", b="str", c="float")
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_dict_roundtrip(self):
+        schema = Schema.of(a="int", b="str", c="timestamp")
+        assert Schema.from_dict(schema.to_dict()) == schema
+
+    def test_of_with_datatype_values(self):
+        schema = Schema.of(a=DataType.BOOL)
+        assert schema.column("a").dtype is DataType.BOOL
+
+    def test_iteration(self):
+        schema = Schema.of(a="int", b="str")
+        assert [c.name for c in schema] == ["a", "b"]
+        assert len(schema) == 2

@@ -1,0 +1,94 @@
+"""Tests for repro.storage.snapshot."""
+
+import json
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.storage import Table, load_table, save_table
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, table, tmp_path):
+        path = tmp_path / "r.jsonl"
+        written = save_table(table, path)
+        assert written == 10
+        loaded = load_table(path)
+        assert loaded.name == "r"
+        assert loaded.schema == table.schema
+        assert loaded.to_rows() == table.to_rows()
+
+    def test_tombstones_not_persisted(self, table, tmp_path):
+        table.delete(0)
+        table.delete(5)
+        path = tmp_path / "r.jsonl"
+        assert save_table(table, path) == 8
+        loaded = load_table(path)
+        assert len(loaded) == 8
+        assert loaded.allocated == 8
+
+    def test_empty_table(self, schema, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_table(Table(schema, name="e"), path)
+        assert len(load_table(path)) == 0
+
+    def test_overwrite_is_atomic_result(self, table, tmp_path):
+        path = tmp_path / "r.jsonl"
+        save_table(table, path)
+        save_table(table, path)  # second write replaces cleanly
+        assert len(load_table(path)) == 10
+        assert not (tmp_path / "r.jsonl.tmp").exists()
+
+
+class TestCorruption:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_table(tmp_path / "missing.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("")
+        with pytest.raises(SnapshotError, match="empty"):
+            load_table(path)
+
+    def test_corrupt_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(SnapshotError, match="corrupt header"):
+            load_table(path)
+
+    def test_header_without_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"table": "r"}) + "\n")
+        with pytest.raises(SnapshotError, match="not a table header"):
+            load_table(path)
+
+    def test_wrong_version(self, tmp_path, schema):
+        path = tmp_path / "bad.jsonl"
+        header = {"format_version": 999, "table": "r", "schema": schema.to_dict()}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(SnapshotError, match="format version"):
+            load_table(path)
+
+    def test_corrupt_row(self, table, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        save_table(table, path)
+        with open(path, "a") as fh:
+            fh.write("{broken\n")
+        with pytest.raises(SnapshotError, match="corrupt"):
+            load_table(path)
+
+    def test_non_array_row(self, table, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        save_table(table, path)
+        with open(path, "a") as fh:
+            fh.write('{"a": 1}\n')
+        with pytest.raises(SnapshotError, match="not a row array"):
+            load_table(path)
+
+    def test_blank_lines_skipped(self, table, tmp_path):
+        path = tmp_path / "r.jsonl"
+        save_table(table, path)
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        assert len(load_table(path)) == 10

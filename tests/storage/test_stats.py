@@ -1,0 +1,50 @@
+"""Tests for repro.storage.stats."""
+
+from repro.storage import Schema, Table, collect_stats
+from repro.storage.schema import ColumnDef, DataType
+from repro.storage.stats import estimate_bytes
+
+
+class TestCollectStats:
+    def test_basic(self, table):
+        stats = collect_stats(table)
+        assert stats.name == "r"
+        assert stats.live_rows == 10
+        assert stats.tombstones == 0
+        v = stats.column("v")
+        assert (v.min_value, v.max_value) == (0, 81)
+        assert v.distinct == 10
+        assert v.nulls == 0
+
+    def test_live_only(self, table):
+        table.delete(9)
+        stats = collect_stats(table)
+        assert stats.live_rows == 9
+        assert stats.column("v").max_value == 64
+
+    def test_nulls_counted(self):
+        schema = Schema([ColumnDef("x", DataType.INT, nullable=True)])
+        table = Table(schema)
+        table.append((1,))
+        table.append((None,))
+        stats = collect_stats(table)
+        assert stats.column("x").nulls == 1
+        assert stats.column("x").distinct == 1
+
+    def test_all_null_column_min_max_none(self):
+        schema = Schema([ColumnDef("x", DataType.INT, nullable=True)])
+        table = Table(schema)
+        table.append((None,))
+        col = collect_stats(table).column("x")
+        assert col.min_value is None and col.max_value is None
+
+    def test_column_unknown_raises(self, table):
+        import pytest
+
+        with pytest.raises(KeyError):
+            collect_stats(table).column("zzz")
+
+    def test_estimated_bytes_positive_and_grows(self, table):
+        before = estimate_bytes(table)
+        table.append((99.0, 1.0, 12345, "some longer string value"))
+        assert estimate_bytes(table) > before > 0

@@ -1,0 +1,89 @@
+"""Tests for repro.stream.baseline."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream import StreamElement, WindowedRetentionBaseline
+
+
+def el(t, **payload):
+    return StreamElement(float(t), payload)
+
+
+class TestIngest:
+    def test_window_positive(self):
+        with pytest.raises(StreamError):
+            WindowedRetentionBaseline(0)
+
+    def test_retains_exactly_window(self):
+        b = WindowedRetentionBaseline(10.0)
+        for i in range(30):
+            b.ingest(el(i, v=i))
+        # elements with t <= now-window = 19 are evicted
+        assert b.oldest_timestamp() == 20.0
+        assert len(b) == 10
+        assert b.total_ingested == 30
+        assert b.total_evicted == 20
+
+    def test_out_of_order_rejected(self):
+        b = WindowedRetentionBaseline(10.0)
+        b.ingest(el(5))
+        with pytest.raises(StreamError):
+            b.ingest(el(4))
+
+    def test_advance_evicts_without_ingest(self):
+        b = WindowedRetentionBaseline(10.0)
+        b.ingest(el(0, v=1))
+        b.advance(15.0)
+        assert len(b) == 0
+        assert b.now == 15.0
+
+    def test_advance_backwards_rejected(self):
+        b = WindowedRetentionBaseline(10.0)
+        b.ingest(el(5))
+        with pytest.raises(StreamError):
+            b.advance(4.0)
+
+
+class TestQueries:
+    @pytest.fixture
+    def filled(self):
+        b = WindowedRetentionBaseline(100.0)
+        for i in range(10):
+            b.ingest(el(i, v=i, key="a" if i % 2 else "b"))
+        return b
+
+    def test_count(self, filled):
+        assert filled.count() == 10
+        assert filled.count(lambda e: e.value("key") == "a") == 5
+
+    def test_mean(self, filled):
+        assert filled.mean("v") == pytest.approx(4.5)
+
+    def test_mean_missing_key(self, filled):
+        assert filled.mean("nope") is None
+
+    def test_select_ordered(self, filled):
+        selected = filled.select(lambda e: e.value("v") >= 8)
+        assert [e.value("v") for e in selected] == [8, 9]
+
+    def test_snapshot_values(self, filled):
+        assert filled.snapshot_values("v") == list(range(10))
+
+    def test_memory_elements(self, filled):
+        assert filled.memory_elements() == 10
+
+
+class TestCoverage:
+    def test_full_coverage_inside_window(self):
+        b = WindowedRetentionBaseline(100.0)
+        b.ingest(el(50))
+        assert b.coverage(0.0) == 1.0
+
+    def test_partial_coverage(self):
+        b = WindowedRetentionBaseline(10.0)
+        b.ingest(el(100))
+        assert b.coverage(0.0) == pytest.approx(0.1)
+
+    def test_coverage_before_any_data(self):
+        assert WindowedRetentionBaseline(10.0).coverage(0.0) == 1.0

@@ -1,0 +1,108 @@
+"""Tests for repro.stream.cep."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream import Pattern, PatternMatcher, StreamElement
+
+
+def el(t, **payload):
+    return StreamElement(float(t), payload)
+
+
+def spike_crash(within=10.0):
+    return Pattern.sequence(
+        ("spike", lambda e: e.value("v") > 10),
+        ("crash", lambda e: e.value("v") < 0),
+        within=within,
+    )
+
+
+class TestPatternValidation:
+    def test_needs_steps(self):
+        with pytest.raises(StreamError):
+            Pattern((), within=5.0)
+
+    def test_within_positive(self):
+        with pytest.raises(StreamError):
+            Pattern.sequence(("a", lambda e: True), within=0)
+
+    def test_duplicate_names(self):
+        with pytest.raises(StreamError):
+            Pattern.sequence(("a", lambda e: True), ("a", lambda e: True), within=5)
+
+
+class TestMatching:
+    def test_simple_sequence(self):
+        m = PatternMatcher(spike_crash())
+        matches = m.push_all([el(0, v=20), el(1, v=5), el(2, v=-1)])
+        assert len(matches) == 1
+        match = matches[0]
+        assert match.start_time == 0 and match.end_time == 2
+        assert match.element("spike").value("v") == 20
+        assert match.element("crash").value("v") == -1
+
+    def test_unknown_binding(self):
+        m = PatternMatcher(spike_crash())
+        (match,) = m.push_all([el(0, v=20), el(1, v=-1)])
+        with pytest.raises(KeyError):
+            match.element("nope")
+
+    def test_expiry(self):
+        m = PatternMatcher(spike_crash(within=5.0))
+        matches = m.push_all([el(0, v=20), el(6, v=-1)])
+        assert matches == []
+        assert m.runs_expired == 1
+
+    def test_boundary_is_inclusive(self):
+        m = PatternMatcher(spike_crash(within=5.0))
+        matches = m.push_all([el(0, v=20), el(5, v=-1)])
+        assert len(matches) == 1
+
+    def test_overlapping_matches_all_reported(self):
+        m = PatternMatcher(spike_crash())
+        matches = m.push_all([el(0, v=20), el(1, v=30), el(2, v=-1)])
+        assert len(matches) == 2  # both spikes pair with the crash
+
+    def test_single_step_pattern(self):
+        pat = Pattern.sequence(("any", lambda e: e.value("v") == 1), within=5)
+        m = PatternMatcher(pat)
+        assert len(m.push_all([el(0, v=1), el(1, v=2), el(2, v=1)])) == 2
+
+    def test_three_step_sequence(self):
+        pat = Pattern.sequence(
+            ("a", lambda e: e.value("v") == 1),
+            ("b", lambda e: e.value("v") == 2),
+            ("c", lambda e: e.value("v") == 3),
+            within=10,
+        )
+        m = PatternMatcher(pat)
+        matches = m.push_all([el(0, v=1), el(1, v=2), el(2, v=9), el(3, v=3)])
+        assert len(matches) == 1
+        assert [name for name, _ in matches[0].bindings] == ["a", "b", "c"]
+
+    def test_element_can_extend_and_seed(self):
+        # an element satisfying both steps extends an existing run AND
+        # starts a new one (skip-till-any-match)
+        pat = Pattern.sequence(
+            ("first", lambda e: e.value("v") > 0),
+            ("second", lambda e: e.value("v") > 0),
+            within=10,
+        )
+        m = PatternMatcher(pat)
+        matches = m.push_all([el(0, v=1), el(1, v=1), el(2, v=1)])
+        assert len(matches) == 3  # (0,1), (0,2), (1,2)
+
+    def test_active_run_cap(self):
+        pat = Pattern.sequence(
+            ("a", lambda e: True), ("b", lambda e: False), within=1e9
+        )
+        m = PatternMatcher(pat, max_runs=10)
+        m.push_all([el(i, v=1) for i in range(50)])
+        assert m.active_runs == 10
+        assert m.runs_expired == 40
+
+    def test_counters(self):
+        m = PatternMatcher(spike_crash())
+        m.push_all([el(0, v=20), el(1, v=-5)])
+        assert m.matches_emitted == 1

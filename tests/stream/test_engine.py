@@ -1,0 +1,131 @@
+"""Tests for repro.stream.engine."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream import StreamElement, StreamPipeline, TumblingWindows
+from repro.stream.windows import SlidingWindows
+
+
+def elements(n, **payload_fn):
+    return [StreamElement(float(i), {"i": i}) for i in range(n)]
+
+
+class TestElement:
+    def test_value_with_default(self):
+        e = StreamElement(1.0, {"x": 5})
+        assert e.value("x") == 5
+        assert e.value("y", 0) == 0
+
+    def test_with_payload_copies(self):
+        e = StreamElement(1.0, {"x": 5})
+        e2 = e.with_payload(y=6)
+        assert e2.payload == {"x": 5, "y": 6}
+        assert e.payload == {"x": 5}
+
+    def test_ordering_by_timestamp(self):
+        assert StreamElement(1.0) < StreamElement(2.0, {"any": "thing"})
+
+
+class TestPipeline:
+    def test_map_filter_sink(self):
+        out = []
+        pipe = (
+            StreamPipeline()
+            .filter(lambda e: e.value("i") % 2 == 0)
+            .map(lambda e: e.with_payload(double=e.value("i") * 2))
+            .sink(out.append)
+        )
+        pipe.push_all(elements(6))
+        assert [e.value("double") for e in out] == [0, 4, 8]
+
+    def test_map_must_return_element(self):
+        pipe = StreamPipeline().map(lambda e: 42).sink(lambda x: None)
+        with pytest.raises(StreamError, match="StreamElement"):
+            pipe.push(StreamElement(0.0))
+
+    def test_out_of_order_rejected(self):
+        pipe = StreamPipeline().sink(lambda x: None)
+        pipe.push(StreamElement(5.0))
+        with pytest.raises(StreamError, match="out-of-order"):
+            pipe.push(StreamElement(4.0))
+
+    def test_equal_timestamps_allowed(self):
+        out = []
+        pipe = StreamPipeline().sink(out.append)
+        pipe.push(StreamElement(5.0))
+        pipe.push(StreamElement(5.0))
+        assert len(out) == 2
+
+    def test_elements_pushed_counter(self):
+        pipe = StreamPipeline().sink(lambda x: None)
+        pipe.push_all(elements(7))
+        assert pipe.elements_pushed == 7
+
+
+class TestWindowStage:
+    def test_tumbling_counts(self):
+        out = []
+        pipe = (
+            StreamPipeline()
+            .key_by(lambda e: e.value("i") % 2)
+            .window(TumblingWindows(4.0), aggregate=len)
+            .sink(out.append)
+        )
+        pipe.push_all(elements(12))
+        pipe.flush()
+        # 3 full windows x 2 keys
+        assert len(out) == 6
+        assert all(count == 2 for _, _, count in out)
+
+    def test_emission_waits_for_watermark(self):
+        out = []
+        pipe = (
+            StreamPipeline().window(TumblingWindows(10.0), aggregate=len).sink(out.append)
+        )
+        pipe.push_all(elements(10))  # window [0,10) not yet closed at t=9
+        assert out == []
+        pipe.push(StreamElement(10.0))  # watermark crosses 10
+        assert len(out) == 1
+        assert out[0][2] == 10
+
+    def test_flush_emits_open_windows(self):
+        out = []
+        pipe = (
+            StreamPipeline().window(TumblingWindows(100.0), aggregate=len).sink(out.append)
+        )
+        pipe.push_all(elements(5))
+        pipe.flush()
+        assert len(out) == 1
+
+    def test_sliding_duplicates_elements(self):
+        out = []
+        pipe = (
+            StreamPipeline()
+            .window(SlidingWindows(4.0, 2.0), aggregate=len)
+            .sink(out.append)
+        )
+        pipe.push_all(elements(8))
+        pipe.flush()
+        total = sum(count for _, _, count in out)
+        assert total == 16  # every element in exactly 2 windows
+
+    def test_custom_aggregate(self):
+        out = []
+        pipe = (
+            StreamPipeline()
+            .window(TumblingWindows(5.0), aggregate=lambda es: sum(e.value("i") for e in es))
+            .sink(out.append)
+        )
+        pipe.push_all(elements(10))
+        pipe.flush()
+        assert [v for _, _, v in out] == [10, 35]
+
+    def test_chained_windows_rejected(self):
+        pipe = (
+            StreamPipeline()
+            .window(TumblingWindows(5.0), aggregate=len)
+            .window(TumblingWindows(10.0), aggregate=len)
+        )
+        with pytest.raises(StreamError, match="chained window"):
+            pipe.push_all(elements(6))  # first window ripens mid-stream

@@ -1,0 +1,90 @@
+"""Tests for repro.stream.windows."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream import SessionWindows, SlidingWindows, TumblingWindows, Window
+
+
+class TestWindow:
+    def test_empty_rejected(self):
+        with pytest.raises(StreamError):
+            Window(5.0, 5.0)
+
+    def test_contains_half_open(self):
+        w = Window(0.0, 10.0)
+        assert w.contains(0.0)
+        assert w.contains(9.999)
+        assert not w.contains(10.0)
+
+    def test_length(self):
+        assert Window(2.0, 5.0).length == 3.0
+
+    def test_ordering(self):
+        assert Window(0.0, 5.0) < Window(5.0, 10.0)
+
+
+class TestTumbling:
+    def test_size_positive(self):
+        with pytest.raises(StreamError):
+            TumblingWindows(0)
+
+    def test_single_assignment(self):
+        windows = TumblingWindows(10.0).assign(25.0)
+        assert windows == [Window(20.0, 30.0)]
+
+    def test_boundary_goes_to_next(self):
+        assert TumblingWindows(10.0).assign(20.0) == [Window(20.0, 30.0)]
+
+
+class TestSliding:
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            SlidingWindows(0, 1)
+        with pytest.raises(StreamError):
+            SlidingWindows(10, 20)  # slide > size drops events
+
+    def test_overlap_count(self):
+        windows = SlidingWindows(10.0, 5.0).assign(12.0)
+        assert windows == [Window(5.0, 15.0), Window(10.0, 20.0)]
+
+    def test_every_window_contains_timestamp(self):
+        for t in (0.0, 3.3, 7.5, 10.0, 12.9):
+            for w in SlidingWindows(10.0, 2.5).assign(t):
+                assert w.contains(t)
+
+    def test_slide_equals_size_is_tumbling(self):
+        assert SlidingWindows(10.0, 10.0).assign(12.0) == [Window(10.0, 20.0)]
+
+
+class TestSessions:
+    def test_gap_positive(self):
+        with pytest.raises(StreamError):
+            SessionWindows(0)
+
+    def test_session_extends_within_gap(self):
+        ses = SessionWindows(5.0)
+        assert ses.observe("k", 1.0) is None
+        assert ses.observe("k", 4.0) is None
+        closed = ses.observe("k", 20.0)
+        assert closed == Window(1.0, 9.0)  # first..last+gap
+
+    def test_per_key_isolation(self):
+        ses = SessionWindows(5.0)
+        ses.observe("a", 1.0)
+        ses.observe("b", 100.0)
+        assert ses.observe("a", 3.0) is None
+
+    def test_out_of_order_rejected(self):
+        ses = SessionWindows(5.0)
+        ses.observe("k", 10.0)
+        with pytest.raises(StreamError):
+            ses.observe("k", 5.0)
+
+    def test_flush_closes_open_sessions(self):
+        ses = SessionWindows(5.0)
+        ses.observe("a", 1.0)
+        ses.observe("b", 2.0)
+        flushed = ses.flush()
+        assert len(flushed) == 2
+        assert ses.flush() == []

@@ -1,0 +1,30 @@
+"""Tests for the windows_between helper."""
+
+from repro.stream.windows import SlidingWindows, TumblingWindows, windows_between
+
+
+class TestWindowsBetween:
+    def test_tumbling_cover_range(self):
+        windows = sorted(windows_between(TumblingWindows(10.0), 0.0, 35.0))
+        assert [w.start for w in windows] == [0.0, 10.0, 20.0, 30.0]
+
+    def test_tumbling_partial_overlap_included(self):
+        windows = sorted(windows_between(TumblingWindows(10.0), 5.0, 15.0))
+        assert [w.start for w in windows] == [0.0, 10.0]
+
+    def test_sliding_overlapping_set(self):
+        windows = sorted(windows_between(SlidingWindows(10.0, 5.0), 0.0, 20.0))
+        starts = [w.start for w in windows]
+        assert starts[0] <= 0.0 - 5.0 or starts[0] == -5.0 or starts[0] <= 0.0
+        # every window returned overlaps [0, 20)
+        assert all(w.start < 20.0 and w.end > 0.0 for w in windows)
+
+    def test_no_duplicates(self):
+        windows = list(windows_between(SlidingWindows(10.0, 2.0), 0.0, 30.0))
+        assert len(windows) == len(set(windows))
+
+    def test_empty_range_yields_nothing(self):
+        # [5, 5) overlaps no interval: every window must satisfy
+        # start < end(range) which is impossible for an empty range
+        windows = list(windows_between(TumblingWindows(10.0), 5.0, 5.0))
+        assert windows == []

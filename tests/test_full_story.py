@@ -1,0 +1,115 @@
+"""The acceptance test: the paper's whole story in one run.
+
+Walks a single database through everything the reproduction claims:
+ingest → Law-1 decay with rot spots → Law-2 consuming queries →
+distillation → vault composting → checkpoint/restore → complete
+disappearance — asserting the paper's invariants at every stage.
+"""
+
+import pytest
+
+from repro import (
+    EGIFungus,
+    FungusDB,
+    Schema,
+    SummaryVault,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+INGESTED = 600
+
+
+@pytest.fixture(scope="module")
+def story(tmp_path_factory):
+    """Run the full lifecycle once; stages assert against the result."""
+    vault = SummaryVault(half_life=25.0, compost_below=0.3)
+    db = FungusDB(seed=2015, store=vault)
+    db.create_table(
+        "events",
+        Schema.of(kind="str", value="float"),
+        fungus=EGIFungus(seeds_per_cycle=2, decay_rate=0.3),
+    )
+
+    # stage 1: ingest with the clock running (Law 1 active throughout)
+    for tick in range(60):
+        db.query(
+            "INSERT INTO events VALUES "
+            + ", ".join(
+                f"('k{(tick + i) % 7}', {float(tick * 10 + i)})" for i in range(10)
+            )
+        )
+        db.tick(1)
+    extent_after_ingest = db.extent("events")
+
+    # stage 2: Law 2 — a consuming query carries off one kind entirely
+    consumed = db.query("CONSUME SELECT kind, value FROM events WHERE kind = 'k3'")
+
+    # stage 3: quiesce until the relation completely disappears
+    ticks_to_extinction = 0
+    while db.extent("events") > 0 and ticks_to_extinction < 2_000:
+        db.tick(1)
+        ticks_to_extinction += 1
+
+    # stage 4: checkpoint the post-mortem database and restore it
+    directory = tmp_path_factory.mktemp("story")
+    save_checkpoint(db, directory)
+    restored = load_checkpoint(directory)
+
+    return {
+        "db": db,
+        "vault": vault,
+        "extent_after_ingest": extent_after_ingest,
+        "consumed": consumed,
+        "ticks_to_extinction": ticks_to_extinction,
+        "restored": restored,
+    }
+
+
+class TestTheStory:
+    def test_decay_ran_during_ingest(self, story):
+        assert 0 < story["extent_after_ingest"] < INGESTED
+
+    def test_consume_partitioned_the_extent(self, story):
+        consumed = story["consumed"]
+        assert consumed.stats.rows_consumed == len(consumed.rows)
+        assert all(kind == "k3" for kind, _ in consumed.rows)
+
+    def test_complete_disappearance(self, story):
+        assert story["db"].extent("events") == 0
+        assert story["ticks_to_extinction"] > 0
+
+    def test_nothing_died_unseen(self, story):
+        merged = story["db"].merged_summary("events")
+        assert merged.row_count == INGESTED
+
+    def test_vault_composted(self, story):
+        assert story["vault"].composted_summaries > 0
+        assert story["vault"].compost("events") is not None
+
+    def test_summaries_still_answer_history(self, story):
+        merged = story["db"].merged_summary("events")
+        kind = merged.column("kind")
+        assert kind.estimate_distinct() == pytest.approx(7, abs=1)
+        assert kind.maybe_contains("k3")  # the consumed kind is remembered
+        value = merged.column("value")
+        assert value.estimate_mean() == pytest.approx(
+            sum(t * 10 + i for t in range(60) for i in range(10)) / INGESTED,
+            rel=0.01,
+        )
+
+    def test_restored_database_remembers_everything(self, story):
+        restored = story["restored"]
+        assert restored.extent("events") == 0
+        merged = restored.merged_summary("events")
+        assert merged.row_count == INGESTED
+        original = story["db"].merged_summary("events")
+        assert merged.column("value").estimate_quantile(0.5) == pytest.approx(
+            original.column("value").estimate_quantile(0.5)
+        )
+
+    def test_event_ledger_balances(self, story):
+        counts = story["db"].bus.counts
+        assert counts["TupleInserted"] == INGESTED
+        assert counts["TupleEvicted"] == INGESTED
+        assert counts["TupleConsumed"] == story["consumed"].stats.rows_consumed

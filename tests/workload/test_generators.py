@@ -1,0 +1,74 @@
+"""Tests for repro.workload.generators."""
+
+from repro.workload import MarketTickGenerator, SensorGenerator, WebLogGenerator
+
+
+class TestSensorGenerator:
+    def test_rows_match_schema(self):
+        gen = SensorGenerator(num_sensors=5, seed=1)
+        for tick in range(100):
+            row = gen.generate(tick)
+            gen.schema.coerce_row(row)  # raises on mismatch
+
+    def test_sensor_ids_bounded(self):
+        gen = SensorGenerator(num_sensors=5, seed=1)
+        sensors = {gen.generate(0)["sensor"] for _ in range(200)}
+        assert sensors <= {f"s{i:03d}" for i in range(5)}
+
+    def test_battery_drains_monotonically(self):
+        gen = SensorGenerator(num_sensors=1, seed=2)
+        batteries = [gen.generate(t)["battery"] for t in range(50)]
+        assert all(b2 <= b1 for b1, b2 in zip(batteries, batteries[1:]))
+        assert all(b >= 0.0 for b in batteries)
+
+    def test_temperature_clamped(self):
+        gen = SensorGenerator(seed=3)
+        assert all(-20.0 <= gen.generate(0)["temp"] <= 60.0 for _ in range(500))
+
+    def test_deterministic(self):
+        a = SensorGenerator(seed=4)
+        b = SensorGenerator(seed=4)
+        assert [a.generate(t) for t in range(10)] == [b.generate(t) for t in range(10)]
+
+
+class TestWebLogGenerator:
+    def test_rows_match_schema(self):
+        gen = WebLogGenerator(seed=1)
+        for tick in range(100):
+            gen.schema.coerce_row(gen.generate(tick))
+
+    def test_statuses_from_catalogue(self):
+        gen = WebLogGenerator(seed=2)
+        statuses = {gen.generate(0)["status"] for _ in range(300)}
+        assert statuses <= {200, 304, 404, 500}
+
+    def test_url_skew(self):
+        gen = WebLogGenerator(num_urls=100, seed=3)
+        urls = [gen.generate(0)["url"] for _ in range(3000)]
+        top = urls.count("/page/1")
+        assert top > len(urls) / 100  # far above uniform share
+
+    def test_latency_positive(self):
+        gen = WebLogGenerator(seed=4)
+        assert all(gen.generate(0)["latency_ms"] >= 1.0 for _ in range(300))
+
+
+class TestMarketTickGenerator:
+    def test_rows_match_schema(self):
+        gen = MarketTickGenerator(seed=1)
+        for tick in range(100):
+            gen.schema.coerce_row(gen.generate(tick))
+
+    def test_symbols_from_universe(self):
+        gen = MarketTickGenerator(symbols=("X", "Y"), seed=2)
+        assert {gen.generate(0)["symbol"] for _ in range(100)} <= {"X", "Y"}
+
+    def test_prices_positive_random_walk(self):
+        gen = MarketTickGenerator(seed=3)
+        prices = [gen.generate(t)["price"] for t in range(500)]
+        assert all(p > 0 for p in prices)
+        assert len(set(prices)) > 400  # actually walking
+
+    def test_volume_bounds(self):
+        gen = MarketTickGenerator(seed=4)
+        assert all(1 <= gen.generate(0)["volume"] <= 1000 for _ in range(200))

@@ -1,0 +1,77 @@
+"""Tests for repro.workload.queries."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.query import parse
+from repro.workload.queries import QueryMix, QueryWorkload
+
+
+def make_workload(**overrides):
+    defaults = dict(
+        table="r",
+        key_column="key",
+        key_values=["a", "b"],
+        value_column="v",
+        horizon=100.0,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return QueryWorkload(**defaults)
+
+
+class TestValidation:
+    def test_needs_key_values(self):
+        with pytest.raises(WorkloadError):
+            make_workload(key_values=[])
+
+    def test_bad_horizon(self):
+        with pytest.raises(WorkloadError):
+            make_workload(horizon=0)
+
+    def test_bad_mix(self):
+        with pytest.raises(WorkloadError):
+            QueryMix(point=-1)
+        with pytest.raises(WorkloadError):
+            QueryMix(point=0, time_range=0, aggregate=0, consume=0)
+
+    def test_negative_count(self):
+        with pytest.raises(WorkloadError):
+            list(make_workload().queries(-1))
+
+
+class TestGeneration:
+    def test_all_queries_parse(self):
+        workload = make_workload()
+        for sql in workload.queries(200):
+            parse(sql)
+
+    def test_deterministic(self):
+        a = list(make_workload(seed=9).queries(50))
+        b = list(make_workload(seed=9).queries(50))
+        assert a == b
+
+    def test_mix_respected(self):
+        workload = make_workload(mix=QueryMix(point=1, time_range=0, aggregate=0, consume=0))
+        assert all("key =" in sql for sql in workload.queries(50))
+
+    def test_consume_only_mix(self):
+        workload = make_workload(mix=QueryMix(point=0, time_range=0, aggregate=0, consume=1))
+        assert all(sql.startswith("CONSUME") for sql in workload.queries(20))
+
+    def test_time_ranges_within_horizon(self):
+        workload = make_workload(
+            horizon=50.0,
+            range_fraction=0.1,
+            mix=QueryMix(point=0, time_range=1, aggregate=0, consume=0),
+        )
+        for sql in workload.queries(100):
+            stmt = parse(sql)
+            low, high = stmt.where.low.value, stmt.where.high.value
+            assert 0.0 <= low <= high <= 50.0 + 1e-6
+            assert high - low == pytest.approx(5.0, abs=1e-3)
+
+    def test_aggregate_shape(self):
+        workload = make_workload(mix=QueryMix(point=0, time_range=0, aggregate=1, consume=0))
+        sql = next(iter(workload.queries(1)))
+        assert "GROUP BY" in sql and "avg(" in sql

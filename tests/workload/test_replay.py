@@ -1,0 +1,62 @@
+"""Tests for repro.workload.replay."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.fungi import LinearDecayFungus
+from repro.workload import SensorGenerator
+from repro.workload.arrival import ConstantArrivals
+from repro.workload.replay import ReplayDriver
+
+
+@pytest.fixture
+def driver(db):
+    generator = SensorGenerator(num_sensors=3, seed=1)
+    db.create_table("readings", generator.schema, fungus=None)
+    return ReplayDriver(db, "readings", ConstantArrivals(5), generator)
+
+
+class TestReplay:
+    def test_unknown_table_rejected(self, db):
+        generator = SensorGenerator(seed=1)
+        with pytest.raises(WorkloadError):
+            ReplayDriver(db, "missing", ConstantArrivals(1), generator)
+
+    def test_inserts_and_ticks(self, db, driver):
+        stats = driver.run(10)
+        assert stats.ticks == 10
+        assert stats.inserted == 50
+        assert db.extent("readings") == 50
+        assert db.now == 10.0
+
+    def test_negative_ticks_rejected(self, driver):
+        with pytest.raises(WorkloadError):
+            driver.run(-1)
+
+    def test_zero_ticks(self, driver, db):
+        stats = driver.run(0)
+        assert stats.ticks == 0
+        assert db.extent("readings") == 0
+
+    def test_probe_series(self, db, driver):
+        driver.probe_each_tick(
+            lambda tick, db, stats: stats.record("extent", db.extent("readings"))
+        )
+        stats = driver.run(4)
+        assert stats.series["extent"] == [5, 10, 15, 20]
+
+    def test_decay_applies_during_replay(self, db):
+        generator = SensorGenerator(num_sensors=3, seed=1)
+        db.create_table(
+            "decaying", generator.schema, fungus=LinearDecayFungus(rate=0.5)
+        )
+        driver = ReplayDriver(db, "decaying", ConstantArrivals(10), generator)
+        driver.run(10)
+        # each tuple survives exactly 2 ticks under rate 0.5
+        assert db.extent("decaying") == pytest.approx(20, abs=10)
+
+    def test_record_appends(self, driver):
+        stats = driver.run(0)
+        stats.record("x", 1)
+        stats.record("x", 2)
+        assert stats.series["x"] == [1, 2]

@@ -1,0 +1,121 @@
+"""Tests for workload trace record/replay."""
+
+import json
+
+import pytest
+
+from repro.core.db import FungusDB
+from repro.errors import WorkloadError
+from repro.fungi import LinearDecayFungus
+from repro.storage import Schema
+from repro.workload.trace import RecordingDB, TraceRecorder, replay_trace
+
+
+def make_db(seed=3):
+    db = FungusDB(seed=seed)
+    db.create_table("r", Schema.of(v="int"), fungus=LinearDecayFungus(rate=0.5))
+    return db
+
+
+class TestRecorder:
+    def test_event_counting(self):
+        rec = TraceRecorder()
+        rec.insert("r", {"v": 1})
+        rec.query("SELECT v FROM r")
+        rec.advance(2)
+        assert rec.events == 4
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecorder().advance(-1)
+
+    def test_save_is_atomic(self, tmp_path):
+        rec = TraceRecorder()
+        rec.insert("r", {"v": 1})
+        path = tmp_path / "trace.jsonl"
+        assert rec.save(path) == 1
+        assert not (tmp_path / "trace.jsonl.tmp").exists()
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "header"
+
+
+class TestRoundTrip:
+    def test_recorded_run_replays_identically(self, tmp_path):
+        recorded = RecordingDB(make_db(seed=3))
+        for tick in range(10):
+            recorded.insert("r", {"v": tick})
+            if tick % 3 == 0:
+                recorded.query(f"CONSUME SELECT v FROM r WHERE v = {tick - 2}")
+            recorded.tick(1)
+        path = tmp_path / "trace.jsonl"
+        recorded.recorder.save(path)
+
+        fresh = make_db(seed=3)
+        counts = replay_trace(path, fresh)
+        assert counts == {"insert": 10, "query": 4, "advance": 10}
+        assert fresh.now == recorded.db.now
+        assert fresh.table("r").rows() == recorded.db.table("r").rows()
+
+    def test_replay_drives_different_configuration(self, tmp_path):
+        recorded = RecordingDB(make_db(seed=1))
+        for tick in range(5):
+            recorded.insert("r", {"v": tick})
+            recorded.tick(1)
+        path = tmp_path / "trace.jsonl"
+        recorded.recorder.save(path)
+
+        # the same workload against a no-decay table keeps everything
+        hoard = FungusDB(seed=1)
+        hoard.create_table("r", Schema.of(v="int"))
+        replay_trace(path, hoard)
+        assert hoard.extent("r") == 5
+        assert recorded.db.extent("r") < 5
+
+    def test_insert_many_recorded_per_row(self, tmp_path):
+        recorded = RecordingDB(make_db())
+        recorded.insert_many("r", [{"v": 1}, {"v": 2}])
+        assert recorded.recorder.events == 2
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError, match="cannot read"):
+            replay_trace(tmp_path / "nope.jsonl", make_db())
+
+    def test_corrupt_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{oops\n")
+        with pytest.raises(WorkloadError, match="corrupt header"):
+            replay_trace(path, make_db())
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "insert"}) + "\n")
+        with pytest.raises(WorkloadError, match="header"):
+            replay_trace(path, make_db())
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "header", "trace_version": 99}) + "\n")
+        with pytest.raises(WorkloadError, match="version"):
+            replay_trace(path, make_db())
+
+    def test_corrupt_event(self, tmp_path):
+        rec = TraceRecorder()
+        path = tmp_path / "bad.jsonl"
+        rec.save(path)
+        with open(path, "a") as fh:
+            fh.write("{broken\n")
+        with pytest.raises(WorkloadError, match="corrupt"):
+            replay_trace(path, make_db())
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "trace_version": 1})
+            + "\n"
+            + json.dumps({"kind": "mystery"})
+            + "\n"
+        )
+        with pytest.raises(WorkloadError, match="unknown kind"):
+            replay_trace(path, make_db())
