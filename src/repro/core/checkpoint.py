@@ -46,9 +46,18 @@ def save_checkpoint(db: FungusDB, directory: str | Path) -> list[str]:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     tables = []
+    pinned: dict[str, list[int]] = {}
     for name in sorted(db.tables):
-        save_table(db.tables[name].storage, directory / f"{name}.jsonl")
+        table = db.tables[name]
+        save_table(table.storage, directory / f"{name}.jsonl")
         tables.append(name)
+        # row ids are not stable across a snapshot (tombstones drop out),
+        # but the live-row *order* is — record pins as ordinals in it
+        ordinals = [
+            i for i, rid in enumerate(table.live_rows()) if table.is_pinned(rid)
+        ]
+        if ordinals:
+            pinned[name] = ordinals
     store_tmp = directory / "summaries.json.tmp"
     with open(store_tmp, "w", encoding="utf-8") as fh:
         json.dump(db.store.to_dict(), fh)
@@ -58,6 +67,7 @@ def save_checkpoint(db: FungusDB, directory: str | Path) -> list[str]:
         "clock": db.clock.now,
         "seed": db.seed,
         "tables": tables,
+        "pinned": pinned,
         "store": True,
     }
     tmp = directory / (MANIFEST_NAME + ".tmp")
@@ -144,4 +154,14 @@ def load_checkpoint(
         )
         for _, values in snapshot.iter_rows():
             table.restore(dict(zip(names, values)))
+        ordinals = manifest.get("pinned", {}).get(name, [])
+        if ordinals:
+            rids = list(table.live_rows())
+            for ordinal in ordinals:
+                if not (0 <= ordinal < len(rids)):
+                    raise SnapshotError(
+                        f"table {name!r} pins ordinal {ordinal} but has "
+                        f"only {len(rids)} rows"
+                    )
+                table.pin(rids[ordinal])
     return db

@@ -42,11 +42,28 @@ class DecayClock:
             pass
 
     def advance(self, ticks: int = 1) -> None:
-        """Advance by ``ticks`` whole ticks, firing subscribers per tick."""
+        """Advance by ``ticks`` whole ticks, firing subscribers per tick.
+
+        Each tick fires the subscribers registered *at the start of that
+        tick* (a snapshot), so callbacks may freely ``subscribe`` /
+        ``unsubscribe`` — themselves included — mid-cycle without
+        skipping or double-firing anyone. A subscriber that raises
+        aborts the advance: the clock stays at the tick that failed
+        (time never rolls back), later subscribers of that tick and any
+        remaining ticks are skipped, and the failure surfaces as a
+        :class:`DecayError` chained to the original exception.
+        """
         if ticks < 0:
             raise DecayError(f"clock cannot run backwards ({ticks} ticks)")
         for _ in range(ticks):
             self._now += 1.0
             tick = int(self._now)
             for callback in list(self._subscribers):
-                callback(tick)
+                try:
+                    callback(tick)
+                except DecayError:
+                    raise
+                except Exception as exc:
+                    raise DecayError(
+                        f"clock subscriber {callback!r} failed at tick {tick}"
+                    ) from exc

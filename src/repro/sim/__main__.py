@@ -1,0 +1,99 @@
+"""``python -m repro.sim`` — run seeded differential simulations.
+
+Exit status 0 means every seed completed with zero divergences and
+zero oracle mismatches; any finding prints the seed, the offending
+step, and (unless ``--no-shrink``) a ddmin-minimal schedule for local
+reproduction, then exits 1. CI runs the ``--seed 1..25 --steps 200``
+sweep on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sim import mutants
+from repro.sim.driver import Simulator
+from repro.sim.scheduler import SimConfig, generate_ops
+from repro.sim.shrinker import shrink_failure
+
+
+def parse_seeds(text: str) -> list[int]:
+    """``"7"`` -> [7]; ``"1..25"`` -> [1, 2, ..., 25]."""
+    if ".." in text:
+        low, high = text.split("..", 1)
+        start, stop = int(low), int(high)
+        if stop < start:
+            raise argparse.ArgumentTypeError(f"empty seed range {text!r}")
+        return list(range(start, stop + 1))
+    return [int(text)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim",
+        description="Differential fault-injection simulation of FungusDB.",
+    )
+    parser.add_argument(
+        "--seed",
+        type=parse_seeds,
+        default=[1],
+        help="one seed ('7') or an inclusive range ('1..25')",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=200, help="ops per seed (default 200)"
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip ddmin shrinking of failing schedules",
+    )
+    parser.add_argument(
+        "--mutant",
+        choices=sorted(mutants.MUTANTS),
+        help="install a deliberately broken mutant first (the run "
+        "must then FAIL — proves the harness detects it)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="per-seed op histograms"
+    )
+    args = parser.parse_args(argv)
+
+    undo = mutants.apply(args.mutant) if args.mutant else None
+    failures = 0
+    try:
+        for seed in args.seed:
+            config = SimConfig(seed=seed, steps=args.steps)
+            ops = generate_ops(config)
+            report = Simulator(config).run(ops)
+            print(report.describe())
+            if args.verbose:
+                histogram = ", ".join(
+                    f"{kind}={count}"
+                    for kind, count in sorted(report.op_counts.items())
+                )
+                print(f"  ops: {histogram}")
+            if not report.ok:
+                failures += 1
+                print(f"  reproduce locally: python -m repro.sim --seed {seed} "
+                      f"--steps {args.steps}")
+                if not args.no_shrink and args.mutant is None:
+                    minimal = shrink_failure(config, ops)
+                    print(f"  shrunk to {len(minimal)} ops:")
+                    for op in minimal:
+                        print(f"    {op}")
+    finally:
+        if undo is not None:
+            undo()
+
+    if args.mutant:
+        if failures:
+            print(f"mutant {args.mutant!r} detected by the harness (good).")
+            return 0
+        print(f"mutant {args.mutant!r} was NOT detected — the harness is blind!")
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Fault injection: the crashes and corruptions the sim replays.
+
+Each injector produces exactly the on-disk or in-process state a real
+failure would leave behind, so the driver can assert the system's
+documented reaction (a :class:`SnapshotError` on load, a
+:class:`DecayError` chain out of the clock) instead of undefined
+behaviour. All injectors are deterministic — no randomness, no wall
+clock — which keeps failing schedules replayable byte for byte.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.checkpoint import MANIFEST_NAME, save_checkpoint
+from repro.core.db import FungusDB
+
+
+def tear_checkpoint(db: FungusDB, directory: Path) -> Path:
+    """A crash *before* the manifest rename: tables written, no manifest.
+
+    ``save_checkpoint`` writes the manifest last precisely so this
+    state is recognisably incomplete; loading it must fail loudly.
+    """
+    save_checkpoint(db, directory)
+    (directory / MANIFEST_NAME).unlink()
+    return directory
+
+
+def truncate_snapshot(
+    db: FungusDB, directory: Path, table: str, mode: str
+) -> Path | None:
+    """A crash or disk fault that cut one table snapshot short.
+
+    ``mode="mid-line"`` chops the file mid-JSON (torn write);
+    ``mode="line-boundary"`` drops the last complete row line — the
+    sneaky case a format without a row count would load silently.
+    Returns None when the fault is not representable (no rows to drop).
+    """
+    save_checkpoint(db, directory)
+    path = directory / f"{table}.jsonl"
+    data = path.read_bytes()
+    if mode == "mid-line":
+        # every snapshot ends with "\n" after a line longer than 5
+        # bytes, so cutting 5 bytes always lands inside the last line
+        path.write_bytes(data[:-5])
+        return directory
+    if mode == "line-boundary":
+        body = data[:-1]  # strip the final newline
+        cut = body.rfind(b"\n")
+        if cut < 0:
+            return None  # only the header line exists: no row to drop
+        path.write_bytes(data[: cut + 1])
+        return directory
+    raise ValueError(f"unknown truncation mode {mode!r}")
+
+
+class InjectedSubscriberError(RuntimeError):
+    """The exception a faulty clock subscriber raises mid-advance."""
+
+
+def failing_subscriber(tick: int) -> None:
+    """A clock subscriber that always blows up."""
+    raise InjectedSubscriberError(f"injected subscriber fault at tick {tick}")

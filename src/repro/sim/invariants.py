@@ -1,0 +1,162 @@
+"""Fungus-agnostic invariants of a live :class:`FungusDB`.
+
+These hold for *every* fungus — stochastic ones included — at every
+step of any schedule, faults and all:
+
+* freshness of each live row is in ``[0, 1]``; rows outside the
+  exhausted set are strictly ``> 0``, exhausted rows are exactly 0;
+* the exhausted and pinned sets only contain live row ids;
+* per-tuple freshness is monotone non-increasing over time (tracked by
+  the sim's stable key column, surviving row-id churn and restores);
+* the :class:`~repro.core.health.HealthReport` accounting is
+  internally consistent and agrees with the table: extent, band
+  counts, tombstones, exhausted/pinned counts, and the hole ranges
+  sum exactly to the tombstone count.
+
+Each check returns a list of human-readable problem strings (empty =
+healthy) so the driver can aggregate them into one divergence report.
+"""
+
+from __future__ import annotations
+
+from repro.core.db import FungusDB
+from repro.core.table import DecayingTable
+
+#: Freshness may never rise by more than this between two observations
+#: of the same tuple (0.0 would also work — decay mirrors are exact —
+#: but a tiny epsilon keeps the check honest about what it asserts).
+MONOTONE_EPSILON = 1e-12
+
+
+class FreshnessTracker:
+    """Remembers the last observed freshness of every tuple, by key.
+
+    ``observe`` takes the current ``{key: freshness}`` view of one
+    table, reports any key whose freshness *rose*, then becomes the new
+    baseline. Keys that departed are forgotten; a re-used key would be
+    a sim bug, not a database bug, so keys must be unique forever.
+    """
+
+    def __init__(self) -> None:
+        self._last: dict[str, dict[int, float]] = {}
+
+    def observe(self, table_name: str, current: dict[int, float]) -> list[str]:
+        problems = []
+        last = self._last.get(table_name, {})
+        for key, freshness in current.items():
+            previous = last.get(key)
+            if previous is not None and freshness > previous + MONOTONE_EPSILON:
+                problems.append(
+                    f"{table_name}: tuple key={key} freshness rose "
+                    f"{previous!r} -> {freshness!r}"
+                )
+        self._last[table_name] = dict(current)
+        return problems
+
+
+def check_freshness_bounds(table: DecayingTable) -> list[str]:
+    """Freshness ∈ [0,1]; exhausted ⇔ f == 0 among live rows."""
+    problems = []
+    exhausted = set(table.exhausted)
+    for rid in table.live_rows():
+        f = table.freshness(rid)
+        if not (0.0 <= f <= 1.0):
+            problems.append(f"{table.name}: row {rid} freshness {f!r} outside [0, 1]")
+        if rid in exhausted:
+            if f > 0.0:
+                problems.append(
+                    f"{table.name}: row {rid} is exhausted but freshness {f!r} > 0"
+                )
+        elif f <= 0.0:
+            problems.append(
+                f"{table.name}: row {rid} has freshness {f!r} but is not exhausted"
+            )
+    return problems
+
+
+def check_rowset_membership(table: DecayingTable) -> list[str]:
+    """The exhausted and pinned sets may only reference live rows."""
+    problems = []
+    for label, rowset in (("exhausted", table.exhausted), ("pinned", table.pinned)):
+        for rid in rowset:
+            if not table.is_live(rid):
+                problems.append(
+                    f"{table.name}: {label} set contains dead row id {rid}"
+                )
+    return problems
+
+
+def check_health_accounting(db: FungusDB, name: str) -> list[str]:
+    """The HealthReport must agree with the table it measured."""
+    table = db.table(name)
+    health = db.health(name)
+    problems = []
+    if health.extent != len(table):
+        problems.append(
+            f"{name}: health extent {health.extent} != table extent {len(table)}"
+        )
+    band_total = health.fresh_count + health.stale_count + health.rotten_count
+    if band_total != health.extent:
+        problems.append(
+            f"{name}: band counts sum to {band_total}, extent is {health.extent}"
+        )
+    if health.allocated != health.extent + health.tombstones:
+        problems.append(
+            f"{name}: allocated {health.allocated} != extent {health.extent} "
+            f"+ tombstones {health.tombstones}"
+        )
+    if health.tombstones != table.storage.tombstones:
+        problems.append(
+            f"{name}: health tombstones {health.tombstones} != storage "
+            f"tombstones {table.storage.tombstones}"
+        )
+    if health.exhausted != len(table.exhausted):
+        problems.append(
+            f"{name}: health exhausted {health.exhausted} != table "
+            f"exhausted {len(table.exhausted)}"
+        )
+    if health.pinned != len(table.pinned):
+        problems.append(
+            f"{name}: health pinned {health.pinned} != table pinned "
+            f"{len(table.pinned)}"
+        )
+    hole_total = sum(stop - start for start, stop in health.holes)
+    if hole_total != health.tombstones:
+        problems.append(
+            f"{name}: hole ranges cover {hole_total} slots, but there are "
+            f"{health.tombstones} tombstones"
+        )
+    for start, stop in health.holes:
+        if not (0 <= start < stop <= health.allocated):
+            problems.append(f"{name}: hole ({start}, {stop}) out of bounds")
+    for start, stop in health.rot_spots:
+        if not (0 <= start < stop <= health.allocated):
+            problems.append(f"{name}: rot spot ({start}, {stop}) out of bounds")
+    return problems
+
+
+def check_conservation(db: FungusDB, name: str, inserted: int) -> list[str]:
+    """Nothing dies unseen: live + summarised == ever inserted.
+
+    Valid only when the table distills on both evict and consume (the
+    sim's configuration) — then every departure passed the distiller.
+    """
+    merged = db.merged_summary(name)
+    summarised = merged.row_count if merged is not None else 0
+    live = db.extent(name)
+    if live + summarised != inserted:
+        return [
+            f"{name}: conservation broken: {live} live + {summarised} "
+            f"summarised != {inserted} inserted"
+        ]
+    return []
+
+
+def check_table(db: FungusDB, name: str) -> list[str]:
+    """All single-table invariants that need no model or history."""
+    table = db.table(name)
+    return (
+        check_freshness_bounds(table)
+        + check_rowset_membership(table)
+        + check_health_accounting(db, name)
+    )

@@ -1,0 +1,262 @@
+"""The reference oracle: Laws 1 + 2 as naive dicts and lists.
+
+The simulation driver replays every operation against *two* systems —
+the real :class:`~repro.core.db.FungusDB` and this model — and diffs
+their state after each step. The model is deliberately primitive: a
+list of plain rows per table, a float for the clock, and closed-form
+decay applied row by row. No indexes, no tombstones, no event bus —
+if the two ever disagree, the bug is almost certainly on the clever
+side.
+
+To make the diff *exact* (not tolerance-based), every decay rule here
+performs the same floating-point operations in the same order as the
+real fungus + ``DecayingTable.set_freshness`` path, including the
+``current - (current - target)`` dance of the ``_decay`` helper.
+
+Only the deterministic fungi are modelled (null, linear, exponential,
+sigmoid, retention). Stochastic fungi (EGI, Blue Cheese) cannot be
+predicted by a reference model and are covered instead by the
+statistical tests in ``tests/fungi/test_decay_distributions.py`` and
+the fungus-agnostic invariant checks in :mod:`repro.sim.invariants`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.fungus import Fungus
+from repro.errors import DecayError
+
+
+def _clamp(value: float) -> float:
+    """Mirror of :func:`repro.core.freshness.clamp_freshness` for floats."""
+    return min(max(float(value), 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class FungusSpec:
+    """A deterministic fungus, described by value (so specs can be
+    rebuilt after a simulated crash — the real fungus object dies with
+    the process, exactly like production).
+    """
+
+    kind: str  # "null" | "linear" | "exponential" | "sigmoid" | "retention"
+    rate: float = 0.2
+    half_life: float = 3.0
+    evict_below: float = 0.05
+    midlife: float = 6.0
+    steepness: float = 0.9
+    max_age: float = 8.0
+
+    def build(self) -> Fungus:
+        """A fresh real fungus matching this spec."""
+        from repro.fungi import (
+            ExponentialDecayFungus,
+            LinearDecayFungus,
+            NullFungus,
+            RetentionFungus,
+            SigmoidDecayFungus,
+        )
+
+        if self.kind == "null":
+            return NullFungus()
+        if self.kind == "linear":
+            return LinearDecayFungus(rate=self.rate)
+        if self.kind == "exponential":
+            return ExponentialDecayFungus(
+                half_life=self.half_life, evict_below=self.evict_below
+            )
+        if self.kind == "sigmoid":
+            return SigmoidDecayFungus(
+                midlife=self.midlife,
+                steepness=self.steepness,
+                evict_below=self.evict_below,
+            )
+        if self.kind == "retention":
+            return RetentionFungus(max_age=self.max_age)
+        raise DecayError(f"unknown fungus spec kind {self.kind!r}")
+
+    def decay_row(self, row: "ModelRow", now: float) -> None:
+        """Apply one decay cycle to one model row (exact float mirror)."""
+        current = row.f
+        if current <= 0.0:
+            return
+        if self.kind == "null":
+            return
+        if self.kind == "linear":
+            if row.pinned:
+                return
+            row.f = _clamp(current - self.rate)
+            return
+        if self.kind == "exponential":
+            factor = 0.5 ** (1.0 / self.half_life)
+            new = current * factor
+            if new < self.evict_below:
+                new = 0.0
+            if row.pinned and new < current:
+                return
+            row.f = _clamp(current - (current - new))
+            return
+        if self.kind == "sigmoid":
+            target = self._sigmoid_target(now - row.t)
+            if target < current:
+                if row.pinned:
+                    return
+                row.f = _clamp(current - (current - target))
+            return
+        if self.kind == "retention":
+            target = max(0.0, 1.0 - (now - row.t) / self.max_age)
+            if target < current:
+                if row.pinned:
+                    return
+                row.f = _clamp(current - (current - target))
+            return
+        raise DecayError(f"unknown fungus spec kind {self.kind!r}")
+
+    def _sigmoid_target(self, age: float) -> float:
+        exponent = self.steepness * (age - self.midlife)
+        if exponent > 60:
+            return 0.0
+        if exponent < -60:
+            return 1.0
+        value = 1.0 / (1.0 + math.exp(exponent))
+        return 0.0 if value < self.evict_below else value
+
+
+@dataclass
+class ModelRow:
+    """One tuple of the model: identity, timestamps, attributes."""
+
+    key: int  # the sim's stable serial (the "k" attribute)
+    t: float
+    f: float
+    attrs: dict[str, Any]
+    pinned: bool = False
+
+
+@dataclass
+class ModelTable:
+    """One relation of the model, with its Law-1 policy knobs."""
+
+    name: str
+    spec: FungusSpec
+    period: int = 1
+    eager: bool = True
+    lazy_batch: int = 64
+    rows: list[ModelRow] = field(default_factory=list)
+    inserted: int = 0  # lifetime insert count (conservation check)
+    departed: int = 0  # lifetime evicted + consumed count
+
+    @property
+    def extent(self) -> int:
+        return len(self.rows)
+
+    def exhausted_keys(self) -> list[int]:
+        """Keys of live rows whose freshness hit zero (awaiting eviction)."""
+        return [row.key for row in self.rows if row.f <= 0.0]
+
+    def pinned_keys(self) -> list[int]:
+        return [row.key for row in self.rows if row.pinned]
+
+    def row_by_key(self, key: int) -> ModelRow:
+        for row in self.rows:
+            if row.key == key:
+                return row
+        raise KeyError(f"no model row with key {key} in {self.name!r}")
+
+
+Predicate = Callable[[ModelRow], bool]
+
+
+class Oracle:
+    """The whole-database model: clock + tables, Laws 1 and 2 only."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.tables: dict[str, ModelTable] = {}
+
+    def create_table(
+        self,
+        name: str,
+        spec: FungusSpec,
+        period: int = 1,
+        eager: bool = True,
+        lazy_batch: int = 64,
+    ) -> ModelTable:
+        if name in self.tables:
+            raise DecayError(f"model table {name!r} already exists")
+        table = ModelTable(
+            name, spec, period=period, eager=eager, lazy_batch=lazy_batch
+        )
+        self.tables[name] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # Law 0: data in
+    # ------------------------------------------------------------------
+
+    def insert(self, name: str, key: int, attrs: dict[str, Any]) -> None:
+        """Mirror of ``FungusDB.insert``: stamp t=now, f=1.0."""
+        table = self.tables[name]
+        table.rows.append(ModelRow(key=key, t=self.now, f=1.0, attrs=dict(attrs)))
+        table.inserted += 1
+
+    # ------------------------------------------------------------------
+    # Law 1: the clock
+    # ------------------------------------------------------------------
+
+    def tick(self, ticks: int = 1) -> None:
+        """Mirror of ``FungusDB.tick``: advance, cycle, collect."""
+        for _ in range(ticks):
+            self.now += 1.0
+            tick = int(self.now)
+            for name in sorted(self.tables):
+                self._policy_tick(self.tables[name], tick)
+
+    def dropped_tick(self) -> None:
+        """Fault model: the clock advanced but no policy ran."""
+        self.now += 1.0
+
+    def duplicate_tick(self) -> None:
+        """Fault model: the current tick's policies delivered twice."""
+        tick = int(self.now)
+        for name in sorted(self.tables):
+            self._policy_tick(self.tables[name], tick)
+
+    def _policy_tick(self, table: ModelTable, tick: int) -> None:
+        if tick % table.period == 0:
+            for row in table.rows:
+                table.spec.decay_row(row, self.now)
+        # _maybe_collect runs every tick, period multiple or not
+        exhausted = [row for row in table.rows if row.f <= 0.0]
+        if exhausted and (table.eager or len(exhausted) >= table.lazy_batch):
+            table.rows = [row for row in table.rows if row.f > 0.0]
+            table.departed += len(exhausted)
+
+    # ------------------------------------------------------------------
+    # Law 2: query-consume
+    # ------------------------------------------------------------------
+
+    def select_keys(self, name: str, predicate: Predicate) -> list[int]:
+        """Keys of rows a plain SELECT would match, in insertion order."""
+        return [row.key for row in self.tables[name].rows if predicate(row)]
+
+    def consume(self, name: str, predicate: Predicate) -> list[int]:
+        """``R := R − σ_P(R)``; returns the removed keys in order."""
+        table = self.tables[name]
+        removed = [row.key for row in table.rows if predicate(row)]
+        table.rows = [row for row in table.rows if not predicate(row)]
+        table.departed += len(removed)
+        return removed
+
+    # ------------------------------------------------------------------
+    # owner care
+    # ------------------------------------------------------------------
+
+    def pin_key(self, name: str, key: int) -> None:
+        self.tables[name].row_by_key(key).pinned = True
+
+    def unpin_key(self, name: str, key: int) -> None:
+        self.tables[name].row_by_key(key).pinned = False

@@ -1,0 +1,165 @@
+"""Seeded schedule generation for the simulation driver.
+
+A schedule is a flat list of :class:`Op` values — inserts, ticks,
+queries, ``CONSUME SELECT``\\ s, pins, checkpoint/restore cycles and
+injected faults — generated deterministically from one integer seed.
+The same ``(config, seed)`` always yields the same schedule, which is
+what makes a CI failure reproducible locally and shrinkable by
+:mod:`repro.sim.shrinker`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.sim.oracle import FungusSpec
+
+#: Comparison operators a simulated predicate may use. Both the SQL
+#: engine and the oracle evaluate these identically on ints/floats.
+COMPARISONS = ("<", "<=", ">", ">=", "=")
+
+
+@dataclass(frozen=True)
+class SimPredicate:
+    """A predicate over the sim schema, evaluable on both sides."""
+
+    column: str  # "v" (payload int) or "f" (freshness)
+    op: str
+    value: Any
+
+    def to_sql(self) -> str:
+        return f"{self.column} {self.op} {self.value!r}"
+
+    def matches(self, v: int, f: float) -> bool:
+        lhs = v if self.column == "v" else f
+        if self.op == "<":
+            return lhs < self.value
+        if self.op == "<=":
+            return lhs <= self.value
+        if self.op == ">":
+            return lhs > self.value
+        if self.op == ">=":
+            return lhs >= self.value
+        if self.op == "=":
+            return lhs == self.value
+        raise ValueError(f"unknown comparison {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One schedule step. ``payload`` is kind-specific."""
+
+    kind: str
+    table: str | None = None
+    payload: Any = None
+
+    def __str__(self) -> str:
+        parts = [self.kind]
+        if self.table is not None:
+            parts.append(self.table)
+        if self.payload is not None:
+            parts.append(str(self.payload))
+        return "(" + " ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One simulated relation and its Law-1 policy knobs."""
+
+    name: str
+    fungus: FungusSpec
+    period: int = 1
+    eager: bool = True
+    lazy_batch: int = 4
+    compact_every: int = 0
+
+
+def default_tables() -> tuple[TableSpec, ...]:
+    """The standard zoo: every deterministic fungus, both eviction
+    modes, an off-unit period, and a compacting table."""
+    return (
+        TableSpec("melon", FungusSpec("linear", rate=0.2)),
+        TableSpec(
+            "cheddar",
+            FungusSpec("exponential", half_life=3.0, evict_below=0.05),
+            eager=False,
+            lazy_batch=5,
+        ),
+        TableSpec(
+            "brie",
+            FungusSpec("sigmoid", midlife=6.0, steepness=0.9, evict_below=0.05),
+            period=2,
+        ),
+        TableSpec(
+            "cellar",
+            FungusSpec("retention", max_age=8.0),
+            compact_every=3,
+        ),
+    )
+
+
+#: Relative frequencies of each op kind in a generated schedule.
+DEFAULT_WEIGHTS: Mapping[str, int] = {
+    "insert": 30,
+    "tick": 22,
+    "query": 10,
+    "consume": 10,
+    "pin": 4,
+    "unpin": 3,
+    "checkpoint_restore": 5,
+    "fault_torn_checkpoint": 4,
+    "fault_truncated_snapshot": 4,
+    "fault_subscriber": 3,
+    "fault_drop_tick": 3,
+    "fault_double_tick": 2,
+}
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything one simulation run is parameterised by."""
+
+    seed: int
+    steps: int = 200
+    tables: tuple[TableSpec, ...] = field(default_factory=default_tables)
+    weights: Mapping[str, int] = field(default_factory=lambda: dict(DEFAULT_WEIGHTS))
+
+    def table_names(self) -> list[str]:
+        return [spec.name for spec in self.tables]
+
+
+def random_predicate(rng: random.Random) -> SimPredicate:
+    """A predicate over v (payload) or f (freshness)."""
+    if rng.random() < 0.75:
+        op = rng.choice(COMPARISONS)
+        return SimPredicate("v", op, rng.randrange(100))
+    op = rng.choice(COMPARISONS[:4])  # float equality would be vacuous
+    return SimPredicate("f", op, round(rng.uniform(0.0, 1.0), 2))
+
+
+def generate_ops(config: SimConfig) -> list[Op]:
+    """The deterministic schedule for ``config`` (seed included)."""
+    rng = random.Random(config.seed)
+    kinds = list(config.weights)
+    weights = [config.weights[kind] for kind in kinds]
+    names = config.table_names()
+    ops: list[Op] = []
+    for _ in range(config.steps):
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        if kind == "insert":
+            table = rng.choice(names)
+            values = [rng.randrange(100) for _ in range(rng.randint(1, 5))]
+            ops.append(Op("insert", table, values))
+        elif kind == "tick":
+            ops.append(Op("tick", payload=rng.randint(1, 3)))
+        elif kind in ("query", "consume"):
+            ops.append(Op(kind, rng.choice(names), random_predicate(rng)))
+        elif kind in ("pin", "unpin"):
+            ops.append(Op(kind, rng.choice(names), rng.randrange(64)))
+        elif kind == "fault_truncated_snapshot":
+            ops.append(Op(kind, rng.choice(names), rng.choice(["mid-line", "line-boundary"])))
+        else:  # checkpoint_restore and the remaining faults need no payload
+            ops.append(Op(kind))
+    return ops

@@ -1,0 +1,56 @@
+"""Schedule shrinking: ddmin over a failing op list.
+
+When a seeded run diverges, the raw repro is hundreds of ops long.
+Because the driver is fully deterministic, any *subsequence* of the
+schedule is itself a valid schedule — so classic delta debugging
+applies: repeatedly drop chunks, keep the candidate whenever the
+failure persists, and halve the chunk size when stuck. The result is
+a (1-)minimal schedule: removing any single remaining op makes the
+failure disappear.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.sim.driver import Simulator
+from repro.sim.scheduler import Op, SimConfig
+
+
+def ddmin(ops: list[Op], fails: Callable[[list[Op]], bool]) -> list[Op]:
+    """Zeller's ddmin: a minimal failing subsequence of ``ops``.
+
+    ``fails(candidate)`` must be deterministic; ``fails(ops)`` must be
+    True on entry (asserted).
+    """
+    assert fails(ops), "ddmin needs a failing starting schedule"
+    granularity = 2
+    while len(ops) >= 2:
+        chunk = math.ceil(len(ops) / granularity)
+        reduced = False
+        for start in range(0, len(ops), chunk):
+            candidate = ops[:start] + ops[start + chunk :]
+            if candidate and fails(candidate):
+                ops = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(ops):
+                break
+            granularity = min(len(ops), granularity * 2)
+    return ops
+
+
+def shrink_failure(config: SimConfig, ops: list[Op]) -> list[Op]:
+    """Shrink ``ops`` (which diverges under ``config``) to a minimum.
+
+    Every probe runs a fresh :class:`Simulator` so no state leaks
+    between candidates.
+    """
+
+    def fails(candidate: list[Op]) -> bool:
+        return not Simulator(config).run(list(candidate)).ok
+
+    return ddmin(list(ops), fails)

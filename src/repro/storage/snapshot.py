@@ -27,19 +27,21 @@ def save_table(table: Table, path: str | Path) -> int:
     """
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
+    lines = [json.dumps(list(values)) for _, values in table.iter_rows()]
     header = {
         "format_version": FORMAT_VERSION,
         "table": table.name,
         "schema": table.schema.to_dict(),
+        # row count up front: a file cut at a line boundary would
+        # otherwise load silently as a shorter table
+        "rows": len(lines),
     }
-    count = 0
     with open(tmp, "w", encoding="utf-8") as fh:
         fh.write(json.dumps(header) + "\n")
-        for _, values in table.iter_rows():
-            fh.write(json.dumps(list(values)) + "\n")
-            count += 1
+        for line in lines:
+            fh.write(line + "\n")
     os.replace(tmp, path)
-    return count
+    return len(lines)
 
 
 def load_table(path: str | Path) -> Table:
@@ -73,6 +75,12 @@ def load_table(path: str | Path) -> Table:
                 if not isinstance(values, list):
                     raise SnapshotError(f"snapshot {path}:{lineno} is not a row array")
                 table.append(values)
+            expected = header.get("rows")
+            if expected is not None and len(table) != expected:
+                raise SnapshotError(
+                    f"snapshot {path} is truncated: header promises {expected} "
+                    f"rows, found {len(table)}"
+                )
             return table
     except OSError as exc:
         raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc

@@ -1,0 +1,93 @@
+"""Every benchmark file is wired to a registered experiment, and every
+registered experiment produces a fully-checked ExperimentResult at
+smoke scale.
+
+``tests/experiments`` asserts the *science* (shape checks hold);
+this module asserts the *plumbing*: the registry and the
+``benchmarks/bench_*.py`` tree cannot drift apart, every bench module
+is collectible, and each run function honours the ExperimentResult
+contract (id, scale, non-empty checks, all passing).
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.experiments  # noqa: F401 — populates REGISTRY
+from repro.bench.runner import REGISTRY, ExperimentResult, run_experiment
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+EXPERIMENT_BENCH = re.compile(r"bench_([ft]\d+)_\w+\.py$")
+
+
+def experiment_bench_files() -> dict[str, Path]:
+    """Map experiment id -> its dedicated benchmark file."""
+    mapping = {}
+    for path in sorted(BENCH_DIR.glob("bench_*.py")):
+        match = EXPERIMENT_BENCH.match(path.name)
+        if match:
+            mapping[match.group(1).upper()] = path
+    return mapping
+
+
+@functools.lru_cache(maxsize=None)
+def _cached_run(experiment_id: str) -> ExperimentResult:
+    return run_experiment(experiment_id, scale="smoke")
+
+
+class TestRegistryBenchMapping:
+    def test_every_experiment_has_a_bench_file(self):
+        missing = sorted(set(REGISTRY) - set(experiment_bench_files()))
+        assert not missing, f"experiments without a benchmarks/bench_*.py: {missing}"
+
+    def test_every_experiment_bench_file_is_registered(self):
+        orphans = sorted(set(experiment_bench_files()) - set(REGISTRY))
+        assert not orphans, f"bench files for unregistered experiments: {orphans}"
+
+    def test_bench_files_reference_their_experiment_module(self):
+        for experiment_id, path in experiment_bench_files().items():
+            source = path.read_text()
+            assert f"{experiment_id.lower()}_" in source, (
+                f"{path.name} does not import its repro.experiments module"
+            )
+
+
+class TestBenchCollection:
+    def test_all_bench_files_collect(self):
+        """Every bench module must import and collect at least one test
+        under pytest — a syntax error or broken import fails here, not
+        first in a nightly perf run."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "--collect-only", "-q", str(BENCH_DIR)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        # -q prints either "path::test" per item or "path: N" per file
+        files_seen = {
+            line.split("::")[0].split(":")[0].rsplit("/", 1)[-1]
+            for line in proc.stdout.splitlines()
+            if line.startswith("benchmarks") or "bench_" in line.split(":")[0]
+        }
+        expected = {p.name for p in BENCH_DIR.glob("bench_*.py")}
+        assert expected <= files_seen, f"uncollected: {sorted(expected - files_seen)}"
+
+
+@pytest.mark.parametrize("experiment_id", sorted(REGISTRY))
+class TestSmokeContract:
+    def test_returns_checked_experiment_result(self, experiment_id):
+        result = _cached_run(experiment_id)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == experiment_id
+        assert result.scale == "smoke"
+        assert result.checks, f"{experiment_id} recorded no shape checks"
+        failed = [name for name, ok in result.checks.items() if not ok]
+        assert not failed, f"{experiment_id} failed checks: {failed}"
+        assert result.all_checks_pass

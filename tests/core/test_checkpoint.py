@@ -6,9 +6,11 @@ import pytest
 
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.db import FungusDB
+from repro.core.policy import EvictionMode
 from repro.errors import SnapshotError
 from repro.fungi import LinearDecayFungus
 from repro.storage import Schema
+from repro.storage.rowset import RowSet
 
 
 @pytest.fixture
@@ -72,6 +74,121 @@ class TestSaveLoad:
             tmp_path, table_options={"a": {"period": 7}}
         )
         assert loaded.policies["a"].period == 7
+
+
+class TestEdgeCases:
+    def test_empty_table_roundtrip(self, tmp_path):
+        db = FungusDB(seed=1)
+        db.create_table("empty", Schema.of(v="int"))
+        save_checkpoint(db, tmp_path)
+        loaded = load_checkpoint(tmp_path)
+        assert loaded.extent("empty") == 0
+        assert loaded.query("SELECT count(*) FROM empty").scalar() == 0
+
+    def test_database_with_no_tables(self, tmp_path):
+        db = FungusDB(seed=1)
+        db.tick(4)
+        assert save_checkpoint(db, tmp_path) == []
+        loaded = load_checkpoint(tmp_path)
+        assert loaded.now == 4.0
+        assert list(loaded.tables) == []
+
+    def test_all_tombstone_table_roundtrip(self, tmp_path):
+        """A table whose every row rotted away: extent 0, but the
+        summaries still remember the departed."""
+        db = FungusDB(seed=2)
+        db.create_table("gone", Schema.of(v="int"), fungus=LinearDecayFungus(rate=1.0))
+        db.insert_many("gone", [{"v": i} for i in range(4)])
+        db.tick(1)
+        assert db.extent("gone") == 0
+        save_checkpoint(db, tmp_path)
+        loaded = load_checkpoint(tmp_path)
+        assert loaded.extent("gone") == 0
+        assert loaded.merged_summary("gone").row_count == 4
+
+    def test_all_exhausted_lazy_table_roundtrip(self, tmp_path):
+        """Exhausted-but-not-yet-evicted rows survive with f == 0."""
+        db = FungusDB(seed=2)
+        db.create_table(
+            "limbo",
+            Schema.of(v="int"),
+            fungus=LinearDecayFungus(rate=1.0),
+            eviction=EvictionMode.LAZY,
+            lazy_batch=100,
+        )
+        db.insert_many("limbo", [{"v": i} for i in range(3)])
+        db.tick(1)
+        assert db.extent("limbo") == 3
+        save_checkpoint(db, tmp_path)
+        loaded = load_checkpoint(tmp_path)
+        assert loaded.extent("limbo") == 3
+        assert len(loaded.table("limbo").exhausted) == 3
+        assert all(r["f"] == 0.0 for r in loaded.table("limbo").rows())
+
+
+class TestPinnedRows:
+    def test_pins_survive_roundtrip(self, tmp_path):
+        db = FungusDB(seed=6)
+        table = db.create_table(
+            "r", Schema.of(v="int"), fungus=LinearDecayFungus(rate=0.1)
+        )
+        rids = [db.insert("r", {"v": i}) for i in range(5)]
+        table.pin(rids[1])
+        table.pin(rids[3])
+        save_checkpoint(db, tmp_path)
+        loaded = load_checkpoint(tmp_path)
+        pinned_values = sorted(
+            loaded.table("r").row_dict(rid)["v"] for rid in loaded.table("r").pinned
+        )
+        assert pinned_values == [1, 3]
+
+    def test_pinned_row_still_immune_after_restore(self, tmp_path):
+        db = FungusDB(seed=6)
+        table = db.create_table(
+            "r", Schema.of(v="int"), fungus=LinearDecayFungus(rate=0.5)
+        )
+        keep = db.insert("r", {"v": 7})
+        db.insert("r", {"v": 8})
+        table.pin(keep)
+        save_checkpoint(db, tmp_path)
+        loaded = load_checkpoint(tmp_path, fungi={"r": LinearDecayFungus(rate=0.5)})
+        loaded.tick(4)
+        assert [r["v"] for r in loaded.table("r").rows()] == [7]
+        assert [r["f"] for r in loaded.table("r").rows()] == [1.0]
+
+    def test_pin_ordinals_ignore_tombstones(self, tmp_path):
+        """Row ids shift across restore when tombstones exist; the
+        ordinal encoding must still find the same logical row."""
+        db = FungusDB(seed=6)
+        table = db.create_table("r", Schema.of(v="int"))
+        rids = [db.insert("r", {"v": i}) for i in range(6)]
+        table.evict(RowSet([rids[0], rids[2]]), "external")
+        table.pin(rids[4])
+        save_checkpoint(db, tmp_path)
+        loaded = load_checkpoint(tmp_path)
+        pinned = list(loaded.table("r").pinned)
+        assert len(pinned) == 1
+        assert loaded.table("r").row_dict(pinned[0])["v"] == 4
+
+    def test_manifest_without_pins_still_loads(self, populated_db, tmp_path):
+        """Backward compatibility: pre-pin manifests lack the key."""
+        save_checkpoint(populated_db, tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest.pop("pinned", None)
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        loaded = load_checkpoint(tmp_path)
+        assert loaded.extent("a") == 2
+
+    def test_out_of_range_pin_ordinal_rejected(self, tmp_path):
+        db = FungusDB(seed=6)
+        db.create_table("r", Schema.of(v="int"))
+        db.insert("r", {"v": 1})
+        save_checkpoint(db, tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["pinned"] = {"r": [9]}
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="pins ordinal"):
+            load_checkpoint(tmp_path)
 
 
 class TestSummaryStorePersistence:

@@ -53,3 +53,97 @@ class TestDecayClock:
 
     def test_unsubscribe_absent_is_noop(self):
         DecayClock().unsubscribe(lambda t: None)
+
+
+class TestSubscriberFailures:
+    def test_plain_exception_wrapped_in_decay_error(self):
+        clock = DecayClock()
+
+        def bad(tick):
+            raise RuntimeError("boom")
+
+        clock.subscribe(bad)
+        with pytest.raises(DecayError, match="subscriber"):
+            clock.advance(1)
+
+    def test_cause_chain_preserved(self):
+        clock = DecayClock()
+        original = RuntimeError("boom")
+
+        def bad(tick):
+            raise original
+
+        clock.subscribe(bad)
+        with pytest.raises(DecayError) as excinfo:
+            clock.advance(1)
+        assert excinfo.value.__cause__ is original
+
+    def test_decay_error_propagates_unwrapped(self):
+        clock = DecayClock()
+        original = DecayError("already typed")
+
+        def bad(tick):
+            raise original
+
+        clock.subscribe(bad)
+        with pytest.raises(DecayError) as excinfo:
+            clock.advance(1)
+        assert excinfo.value is original
+        assert excinfo.value.__cause__ is None
+
+    def test_failed_tick_stays_on_clock(self):
+        clock = DecayClock()
+        clock.subscribe(lambda t: (_ for _ in ()).throw(RuntimeError("x")))
+        with pytest.raises(DecayError):
+            clock.advance(3)
+        assert clock.now == 1.0  # first tick committed before the failure
+
+    def test_later_subscribers_skipped_after_failure(self):
+        clock = DecayClock()
+        seen = []
+
+        def bad(tick):
+            raise ValueError("x")
+
+        clock.subscribe(bad)
+        clock.subscribe(seen.append)
+        with pytest.raises(DecayError):
+            clock.advance(2)
+        assert seen == []
+
+    def test_message_names_tick(self):
+        clock = DecayClock(start=4.0)
+
+        def bad(tick):
+            raise RuntimeError("x")
+
+        clock.subscribe(bad)
+        with pytest.raises(DecayError, match="tick 5"):
+            clock.advance(1)
+
+
+class TestReentrantSubscription:
+    def test_subscribe_during_tick_does_not_explode(self):
+        clock = DecayClock()
+        late = []
+
+        def adder(tick):
+            clock.subscribe(late.append)
+
+        clock.subscribe(adder)
+        clock.advance(1)  # snapshot iteration: no mutation-during-iteration
+        clock.unsubscribe(adder)
+        clock.advance(1)
+        assert late == [2]
+
+    def test_unsubscribe_self_during_tick(self):
+        clock = DecayClock()
+        fired = []
+
+        def once(tick):
+            fired.append(tick)
+            clock.unsubscribe(once)
+
+        clock.subscribe(once)
+        clock.advance(3)
+        assert fired == [1]

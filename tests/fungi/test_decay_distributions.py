@@ -1,0 +1,188 @@
+"""Statistical checks on the fungus library's distributions.
+
+The deterministic fungi are covered exactly by the differential oracle
+in ``tests/sim``; the *stochastic* machinery — EGI's age-biased seed
+selection — cannot be mirrored tuple-for-tuple, so it is tested here
+the way one tests a die: draw many samples and run goodness-of-fit
+tests against the distribution the docstring promises. The
+deterministic curves get closed-form checks over several seeded runs
+(the seed must not matter for them — that is part of the contract).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.clock import DecayClock
+from repro.core.table import DecayingTable
+from repro.fungi import (
+    EGIFungus,
+    ExponentialDecayFungus,
+    LinearDecayFungus,
+    SigmoidDecayFungus,
+)
+from repro.storage import Schema
+
+# chi-square critical values at alpha = 0.001 — generous enough that a
+# correct implementation fails roughly one run in a thousand, while the
+# biases we guard against overshoot these by orders of magnitude.
+CHI2_CRIT_001 = {1: 10.83, 2: 13.82, 3: 16.27, 4: 18.47, 5: 20.52, 9: 27.88}
+
+
+def chi_square(observed, expected):
+    """Pearson's goodness-of-fit statistic."""
+    assert len(observed) == len(expected)
+    return sum((o - e) ** 2 / e for o, e in zip(observed, expected))
+
+
+def make_aged_table(ages, clock=None):
+    """One row per requested age, oldest first (row id == index)."""
+    clock = clock or DecayClock()
+    table = DecayingTable("r", Schema.of(v="int"), clock)
+    horizon = max(ages)
+    for i, age in enumerate(ages):
+        while clock.now < horizon - age:
+            clock.advance(1)
+        table.insert({"v": i})
+    while clock.now < horizon:
+        clock.advance(1)
+    return table
+
+
+class TestEGISeedIsAgeBiased:
+    """"select an element from R inversely randomly correlated with its
+    age" — seed frequency must rise with tuple age."""
+
+    def test_exact_weighting_matches_age_proportional_law(self):
+        ages = [9.0, 7.0, 5.0, 3.0, 1.0]
+        table = make_aged_table(ages)
+        fungus = EGIFungus(exact_age_weighting=True)
+        rng = random.Random(42)
+        draws = 5000
+        counts = [0] * len(ages)
+        for _ in range(draws):
+            counts[fungus._select_seed(table, rng)] += 1
+        weights = [age + 1.0 for age in ages]
+        total = sum(weights)
+        expected = [draws * w / total for w in weights]
+        stat = chi_square(counts, expected)
+        assert stat < CHI2_CRIT_001[len(ages) - 1], (
+            f"chi2={stat:.1f}, observed={counts}, expected={expected}"
+        )
+
+    def test_exact_weighting_is_not_uniform(self):
+        """The same draws must *reject* the uniform null hypothesis."""
+        ages = [9.0, 7.0, 5.0, 3.0, 1.0]
+        table = make_aged_table(ages)
+        fungus = EGIFungus(exact_age_weighting=True)
+        rng = random.Random(42)
+        draws = 5000
+        counts = [0] * len(ages)
+        for _ in range(draws):
+            counts[fungus._select_seed(table, rng)] += 1
+        uniform = [draws / len(ages)] * len(ages)
+        assert chi_square(counts, uniform) > CHI2_CRIT_001[len(ages) - 1]
+
+    def test_tournament_default_prefers_old_tuples(self):
+        """Tournament selection (min rid of ``age_bias`` uniform
+        candidates): the oldest decile should win far more than its
+        uniform 10% share, and frequency should fall with recency."""
+        n, bias, draws = 50, 8, 4000
+        table = make_aged_table([float(n - i) for i in range(n)])
+        fungus = EGIFungus(age_bias=bias)
+        rng = random.Random(7)
+        counts = [0] * n
+        for _ in range(draws):
+            counts[fungus._select_seed(table, rng)] += 1
+        oldest_decile = sum(counts[: n // 10])
+        uniform_share = draws // 10
+        assert oldest_decile > 3 * uniform_share
+        first_half = sum(counts[: n // 2])
+        assert first_half > 0.95 * draws  # min-of-8 almost never lands late
+
+    def test_tournament_rejects_uniformity(self):
+        """KS-style check: the empirical CDF of the selected row rank
+        must deviate from the uniform CDF by far more than the
+        alpha=0.001 critical band."""
+        n, draws = 50, 4000
+        table = make_aged_table([float(n - i) for i in range(n)])
+        fungus = EGIFungus(age_bias=8)
+        rng = random.Random(11)
+        counts = [0] * n
+        for _ in range(draws):
+            counts[fungus._select_seed(table, rng)] += 1
+        max_gap = 0.0
+        cumulative = 0
+        for i in range(n):
+            cumulative += counts[i]
+            max_gap = max(max_gap, abs(cumulative / draws - (i + 1) / n))
+        ks_crit = 1.949 / math.sqrt(draws)  # alpha = 0.001
+        assert max_gap > 10 * ks_crit
+
+    def test_infected_rows_excluded_from_seeding(self):
+        table = make_aged_table([3.0, 2.0, 1.0])
+        fungus = EGIFungus(exact_age_weighting=True)
+        fungus._infected = {0, 1}
+        rng = random.Random(1)
+        assert all(fungus._select_seed(table, rng) == 2 for _ in range(50))
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+class TestDeterministicClosedForms:
+    """The deterministic curves must match their closed forms for every
+    rng seed — the rng parameter is part of the Fungus interface but
+    these organisms may not consume it."""
+
+    def _run(self, fungus, cycles, seed):
+        clock = DecayClock()
+        table = DecayingTable("r", Schema.of(v="int"), clock)
+        rid = table.insert({"v": 1})
+        rng = random.Random(seed)
+        trace = []
+        for _ in range(cycles):
+            clock.advance(1)
+            fungus.cycle(table, rng)
+            trace.append(table.freshness(rid))
+        return trace
+
+    def test_linear_is_one_minus_n_times_rate(self, seed):
+        rate = 0.15
+        trace = self._run(LinearDecayFungus(rate=rate), 8, seed)
+        for n, observed in enumerate(trace, start=1):
+            assert observed == pytest.approx(max(0.0, 1.0 - n * rate), abs=1e-12)
+
+    def test_exponential_is_geometric_with_floor(self, seed):
+        half_life, evict_below = 3.0, 0.05
+        fungus = ExponentialDecayFungus(half_life=half_life, evict_below=evict_below)
+        trace = self._run(fungus, 16, seed)
+        for n, observed in enumerate(trace, start=1):
+            closed = 0.5 ** (n / half_life)
+            if closed < evict_below:
+                assert observed == 0.0
+            else:
+                assert observed == pytest.approx(closed, rel=1e-9)
+        assert trace[int(half_life) - 1] == pytest.approx(0.5, rel=1e-9)
+
+    def test_sigmoid_follows_the_logistic_curve(self, seed):
+        midlife, steepness, evict_below = 6.0, 0.9, 0.05
+        fungus = SigmoidDecayFungus(
+            midlife=midlife, steepness=steepness, evict_below=evict_below
+        )
+        trace = self._run(fungus, 14, seed)
+        for n, observed in enumerate(trace, start=1):
+            closed = 1.0 / (1.0 + math.exp(steepness * (n - midlife)))
+            if closed < evict_below:
+                assert observed == 0.0
+            else:
+                assert observed == pytest.approx(closed, rel=1e-9)
+
+    def test_curves_are_monotone_non_increasing(self, seed):
+        for fungus in (
+            LinearDecayFungus(rate=0.1),
+            ExponentialDecayFungus(half_life=4.0),
+            SigmoidDecayFungus(midlife=5.0, steepness=1.0),
+        ):
+            trace = self._run(fungus, 20, seed)
+            assert all(a >= b for a, b in zip(trace, trace[1:]))
+            assert all(0.0 <= f <= 1.0 for f in trace)

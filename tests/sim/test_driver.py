@@ -1,0 +1,154 @@
+"""The differential driver: clean runs stay clean, state survives
+checkpoint cycles, queries and consumes agree with the model."""
+
+import pytest
+
+from repro.sim.driver import Simulator, run_sim
+from repro.sim.oracle import FungusSpec
+from repro.sim.scheduler import Op, SimConfig, SimPredicate, TableSpec
+
+
+def _mini_config(seed=1, steps=0, **kwargs):
+    """A one-table config for hand-written schedules."""
+    tables = kwargs.pop(
+        "tables",
+        (TableSpec("r", FungusSpec("linear", rate=0.2)),),
+    )
+    return SimConfig(seed=seed, steps=steps, tables=tables, **kwargs)
+
+
+def _run(config, ops):
+    return Simulator(config).run(ops)
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("seed", [1, 7, 99])
+    def test_generated_schedules_do_not_diverge(self, seed):
+        report = run_sim(seed=seed, steps=60)
+        assert report.ok, report.describe()
+        assert report.steps_run == 60
+
+    def test_report_counts_ops(self):
+        report = run_sim(seed=3, steps=50)
+        assert sum(report.op_counts.values()) == 50
+        assert report.rows_inserted > 0
+
+
+class TestHandWrittenSchedules:
+    def test_insert_tick_consume(self):
+        config = _mini_config()
+        ops = [
+            Op("insert", "r", [10, 20, 30]),
+            Op("tick", payload=2),
+            Op("consume", "r", SimPredicate("v", "<", 25)),
+            Op("query", "r", SimPredicate("v", ">=", 25)),
+        ]
+        report = _run(config, ops)
+        assert report.ok, report.describe()
+
+    def test_checkpoint_restore_is_lossless(self):
+        config = _mini_config()
+        ops = [
+            Op("insert", "r", [1, 2, 3, 4]),
+            Op("tick", payload=1),
+            Op("pin", "r", 0),
+            Op("checkpoint_restore"),
+            Op("tick", payload=2),
+            Op("query", "r", SimPredicate("v", ">", 0)),
+        ]
+        report = _run(config, ops)
+        assert report.ok, report.describe()
+        assert report.checkpoints == 1
+
+    def test_pinned_row_survives_restore_and_decay(self):
+        """The satellite fix made concrete: pin, crash, restore, decay —
+        the pinned tuple must still be immune."""
+        config = _mini_config(
+            tables=(TableSpec("r", FungusSpec("linear", rate=0.5)),)
+        )
+        ops = [
+            Op("insert", "r", [7, 8]),
+            Op("pin", "r", 0),
+            Op("checkpoint_restore"),
+            Op("tick", payload=4),  # unpinned row dies, pinned survives
+            Op("query", "r", SimPredicate("f", ">=", 0.9)),
+        ]
+        sim = Simulator(config)
+        report = sim.run(ops)
+        assert report.ok, report.describe()
+        assert sim.db.extent("r") == 1
+        assert len(sim.db.table("r").pinned) == 1
+
+    def test_fault_schedule_is_survivable(self):
+        config = _mini_config()
+        ops = [
+            Op("insert", "r", [1, 2, 3]),
+            Op("fault_subscriber"),
+            Op("fault_drop_tick"),
+            Op("fault_double_tick"),
+            Op("fault_torn_checkpoint"),
+            Op("fault_truncated_snapshot", "r", "mid-line"),
+            Op("fault_truncated_snapshot", "r", "line-boundary"),
+            Op("tick", payload=1),
+            Op("query", "r", SimPredicate("v", ">=", 0)),
+        ]
+        report = _run(config, ops)
+        assert report.ok, report.describe()
+        assert report.faults_injected >= 4
+
+    def test_consume_on_lazy_table_with_exhausted_rows(self):
+        config = _mini_config(
+            tables=(
+                TableSpec(
+                    "r", FungusSpec("linear", rate=1.0), eager=False, lazy_batch=50
+                ),
+            )
+        )
+        ops = [
+            Op("insert", "r", [1, 2, 3]),
+            Op("tick", payload=1),  # all exhausted, none evicted (lazy)
+            Op("consume", "r", SimPredicate("f", "<=", 1.0)),  # eats them all
+        ]
+        report = _run(config, ops)
+        assert report.ok, report.describe()
+
+    def test_pin_on_empty_table_is_noop(self):
+        config = _mini_config()
+        report = _run(config, [Op("pin", "r", 5), Op("unpin", "r", 2)])
+        assert report.ok, report.describe()
+
+
+class TestDivergenceReporting:
+    def test_unknown_op_kind_raises(self):
+        sim = Simulator(_mini_config())
+        with pytest.raises(ValueError, match="unknown op kind"):
+            sim._apply(Op("explode"))
+        sim.close()
+
+    def test_describe_names_step_and_op(self):
+        from repro.sim.driver import Divergence
+
+        d = Divergence(12, Op("tick", payload=3), ("clock diverged",))
+        text = d.describe()
+        assert "step 12" in text
+        assert "clock diverged" in text
+
+    def test_stop_on_divergence_halts_run(self, monkeypatch):
+        from repro.fungi.linear import LinearDecayFungus
+
+        original = LinearDecayFungus.cycle
+
+        def double(self, table, rng):
+            report = original(self, table, rng)
+            return original(self, table, rng).merge(report)
+
+        monkeypatch.setattr(LinearDecayFungus, "cycle", double)
+        config = _mini_config()
+        ops = [
+            Op("insert", "r", [1, 2]),
+            Op("tick", payload=1),  # diverges here
+            Op("tick", payload=1),  # never reached
+        ]
+        report = _run(config, ops)
+        assert not report.ok
+        assert report.steps_run == 2

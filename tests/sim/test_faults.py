@@ -1,0 +1,99 @@
+"""Fault injectors leave exactly the wreckage a real failure would."""
+
+import pytest
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.db import FungusDB
+from repro.errors import DecayError, SnapshotError
+from repro.fungi import LinearDecayFungus
+from repro.sim import faults
+from repro.storage import Schema
+
+
+@pytest.fixture
+def db():
+    db = FungusDB(seed=11)
+    db.create_table("r", Schema.of(k="int", v="int"), fungus=LinearDecayFungus(rate=0.1))
+    for k in range(5):
+        db.insert("r", {"k": k, "v": k * 10})
+    db.tick(2)
+    return db
+
+
+class TestTornCheckpoint:
+    def test_load_refuses_missing_manifest(self, db, tmp_path):
+        faults.tear_checkpoint(db, tmp_path / "ckpt")
+        with pytest.raises(SnapshotError, match="manifest"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_table_files_were_written(self, db, tmp_path):
+        directory = faults.tear_checkpoint(db, tmp_path / "ckpt")
+        assert (directory / "r.jsonl").exists()
+        assert not (directory / "manifest.json").exists()
+
+
+class TestTruncatedSnapshot:
+    def test_mid_line_truncation_detected(self, db, tmp_path):
+        faults.truncate_snapshot(db, tmp_path / "ckpt", "r", mode="mid-line")
+        with pytest.raises(SnapshotError):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_line_boundary_truncation_detected(self, db, tmp_path):
+        """The sneaky case: the file is valid JSONL, just one row short.
+        Only the row count in the header catches it."""
+        faults.truncate_snapshot(db, tmp_path / "ckpt", "r", mode="line-boundary")
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_empty_table_mid_line_hits_header(self, tmp_path):
+        db = FungusDB(seed=1)
+        db.create_table("e", Schema.of(k="int", v="int"))
+        faults.truncate_snapshot(db, tmp_path / "ckpt", "e", mode="mid-line")
+        with pytest.raises(SnapshotError):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_empty_table_line_boundary_not_representable(self, tmp_path):
+        db = FungusDB(seed=1)
+        db.create_table("e", Schema.of(k="int", v="int"))
+        assert (
+            faults.truncate_snapshot(db, tmp_path / "ckpt", "e", mode="line-boundary")
+            is None
+        )
+
+    def test_unknown_mode_rejected(self, db, tmp_path):
+        with pytest.raises(ValueError, match="unknown truncation mode"):
+            faults.truncate_snapshot(db, tmp_path / "ckpt", "r", mode="shredded")
+
+    def test_untouched_checkpoint_still_loads(self, db, tmp_path):
+        """Sanity: the injector's save itself is a valid checkpoint."""
+        save_checkpoint(db, tmp_path / "ok")
+        assert load_checkpoint(tmp_path / "ok").extent("r") == 5
+
+
+class TestFailingSubscriber:
+    def test_tick_raises_chained_decay_error(self, db):
+        db.clock.subscribe(faults.failing_subscriber)
+        with pytest.raises(DecayError) as excinfo:
+            db.tick(1)
+        assert isinstance(excinfo.value.__cause__, faults.InjectedSubscriberError)
+        db.clock.unsubscribe(faults.failing_subscriber)
+
+    def test_clock_advanced_but_no_policy_ran(self, db):
+        before_extent = db.extent("r")
+        before_now = db.now
+        freshness_before = db.table("r").freshness_values()
+        db.clock.subscribe(faults.failing_subscriber)
+        with pytest.raises(DecayError):
+            db.tick(1)
+        db.clock.unsubscribe(faults.failing_subscriber)
+        assert db.now == before_now + 1  # the failed tick is on the clock
+        assert db.extent("r") == before_extent
+        assert db.table("r").freshness_values() == freshness_before
+
+    def test_database_usable_after_fault(self, db):
+        db.clock.subscribe(faults.failing_subscriber)
+        with pytest.raises(DecayError):
+            db.tick(1)
+        db.clock.unsubscribe(faults.failing_subscriber)
+        db.tick(1)  # decays normally again
+        assert db.query("SELECT count(*) FROM r").scalar() == db.extent("r")

@@ -1,0 +1,120 @@
+"""Unit tests of the invariant checker itself."""
+
+from repro.core.db import FungusDB
+from repro.fungi import LinearDecayFungus
+from repro.sim.invariants import (
+    FreshnessTracker,
+    check_conservation,
+    check_freshness_bounds,
+    check_health_accounting,
+    check_rowset_membership,
+    check_table,
+)
+from repro.storage import Schema
+
+
+def _db(rate=0.25, **kwargs) -> FungusDB:
+    db = FungusDB(seed=3)
+    db.create_table(
+        "r", Schema.of(k="int", v="int"), fungus=LinearDecayFungus(rate=rate), **kwargs
+    )
+    return db
+
+
+class TestHealthyDatabasesPass:
+    def test_fresh_table(self):
+        db = _db()
+        for k in range(5):
+            db.insert("r", {"k": k, "v": k})
+        assert check_table(db, "r") == []
+
+    def test_after_decay_and_consume(self):
+        db = _db()
+        for k in range(8):
+            db.insert("r", {"k": k, "v": k})
+        db.tick(2)
+        db.query("CONSUME SELECT * FROM r WHERE v < 3")
+        assert check_table(db, "r") == []
+
+    def test_lazy_table_with_exhausted_rows(self):
+        db = FungusDB(seed=3)
+        from repro.core.policy import EvictionMode
+
+        db.create_table(
+            "r",
+            Schema.of(k="int", v="int"),
+            fungus=LinearDecayFungus(rate=1.0),
+            eviction=EvictionMode.LAZY,
+            lazy_batch=100,
+        )
+        for k in range(4):
+            db.insert("r", {"k": k, "v": k})
+        db.tick(1)
+        assert len(db.table("r").exhausted) == 4  # lingering, not evicted
+        assert check_table(db, "r") == []
+
+    def test_conservation_with_distillation(self):
+        db = _db(rate=0.5)
+        for k in range(6):
+            db.insert("r", {"k": k, "v": k})
+        db.tick(3)  # everything rots and distills
+        assert check_conservation(db, "r", inserted=6) == []
+
+
+class TestBrokenStatesAreFlagged:
+    def test_exhausted_set_with_dead_rid(self):
+        db = _db()
+        rid = db.insert("r", {"k": 0, "v": 0})
+        table = db.table("r")
+        table.storage.delete(rid)
+        table._exhausted.add(rid)  # simulate broken bookkeeping
+        problems = check_rowset_membership(table)
+        assert any("dead row id" in p for p in problems)
+
+    def test_freshness_zero_but_not_exhausted(self):
+        db = _db()
+        rid = db.insert("r", {"k": 0, "v": 0})
+        table = db.table("r")
+        table.set_freshness(rid, 0.0)
+        table._exhausted.discard(rid)  # simulate broken bookkeeping
+        problems = check_freshness_bounds(table)
+        assert any("not exhausted" in p for p in problems)
+
+    def test_conservation_violation(self):
+        db = _db()
+        db.insert("r", {"k": 0, "v": 0})
+        problems = check_conservation(db, "r", inserted=5)
+        assert any("conservation broken" in p for p in problems)
+
+    def test_health_accounting_clean_on_real_db(self):
+        db = _db()
+        for k in range(10):
+            db.insert("r", {"k": k, "v": k})
+        db.tick(3)
+        assert check_health_accounting(db, "r") == []
+
+
+class TestFreshnessTracker:
+    def test_decreasing_is_fine(self):
+        tracker = FreshnessTracker()
+        assert tracker.observe("r", {1: 1.0, 2: 0.8}) == []
+        assert tracker.observe("r", {1: 0.9, 2: 0.8}) == []
+
+    def test_increase_is_flagged(self):
+        tracker = FreshnessTracker()
+        tracker.observe("r", {1: 0.5})
+        problems = tracker.observe("r", {1: 0.6})
+        assert len(problems) == 1
+        assert "rose" in problems[0]
+
+    def test_departed_keys_forgotten(self):
+        tracker = FreshnessTracker()
+        tracker.observe("r", {1: 0.5})
+        tracker.observe("r", {})  # key 1 departed
+        # a *new* tuple may start at 1.0 even though key 1 once was 0.5
+        assert tracker.observe("r", {2: 1.0}) == []
+
+    def test_tables_tracked_independently(self):
+        tracker = FreshnessTracker()
+        tracker.observe("a", {1: 0.5})
+        assert tracker.observe("b", {1: 1.0}) == []

@@ -1,0 +1,150 @@
+"""The oracle's decay mirrors must match the real fungi bit for bit."""
+
+import pytest
+
+from repro.core.db import FungusDB
+from repro.errors import DecayError
+from repro.sim.oracle import FungusSpec, Oracle
+from repro.storage import Schema
+
+SPECS = [
+    FungusSpec("null"),
+    FungusSpec("linear", rate=0.15),
+    FungusSpec("exponential", half_life=2.5, evict_below=0.04),
+    FungusSpec("sigmoid", midlife=4.0, steepness=0.8, evict_below=0.05),
+    FungusSpec("retention", max_age=6.0),
+]
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.kind)
+class TestExactMirror:
+    def _pair(self, spec, eager=True):
+        db = FungusDB(seed=9)
+        db.create_table("r", Schema.of(k="int", v="int"), fungus=spec.build())
+        oracle = Oracle()
+        oracle.create_table("r", spec, eager=eager)
+        return db, oracle
+
+    def _freshness_pairs(self, db, oracle):
+        real = [(r["k"], r["t"], r["f"]) for r in db.table("r").rows()]
+        model = [(row.key, row.t, row.f) for row in oracle.tables["r"].rows]
+        return real, model
+
+    def test_single_cycle_exact(self, spec):
+        db, oracle = self._pair(spec)
+        for k in range(8):
+            db.insert("r", {"k": k, "v": k})
+            oracle.insert("r", k, {"v": k})
+        db.tick(1)
+        oracle.tick(1)
+        real, model = self._freshness_pairs(db, oracle)
+        assert real == model  # exact float equality, no tolerance
+
+    def test_many_cycles_with_staggered_inserts(self, spec):
+        db, oracle = self._pair(spec)
+        key = 0
+        for burst in range(6):
+            for _ in range(3):
+                db.insert("r", {"k": key, "v": key % 7})
+                oracle.insert("r", key, {"v": key % 7})
+                key += 1
+            db.tick(2)
+            oracle.tick(2)
+        real, model = self._freshness_pairs(db, oracle)
+        assert real == model
+
+    def test_extinction_agrees(self, spec):
+        """Run long enough that decaying tables fully disappear."""
+        db, oracle = self._pair(spec)
+        for k in range(5):
+            db.insert("r", {"k": k, "v": k})
+            oracle.insert("r", k, {"v": k})
+        db.tick(40)
+        oracle.tick(40)
+        assert db.extent("r") == oracle.tables["r"].extent
+        if spec.kind != "null":
+            assert db.extent("r") == 0
+
+
+class TestModelPolicy:
+    def test_lazy_eviction_keeps_exhausted_until_batch(self):
+        spec = FungusSpec("linear", rate=1.0)
+        oracle = Oracle()
+        oracle.create_table("r", spec, eager=False, lazy_batch=5)
+        for k in range(3):
+            oracle.insert("r", k, {"v": k})
+        oracle.tick(1)  # all rows exhaust, but 3 < lazy_batch
+        assert oracle.tables["r"].extent == 3
+        assert sorted(oracle.tables["r"].exhausted_keys()) == [0, 1, 2]
+        for k in range(3, 6):
+            oracle.insert("r", k, {"v": k})
+        oracle.tick(1)  # now 6 exhausted >= 5: the batch collects
+        assert oracle.tables["r"].extent == 0
+
+    def test_period_skips_cycles(self):
+        oracle = Oracle()
+        oracle.create_table("r", FungusSpec("linear", rate=0.25), period=2)
+        oracle.insert("r", 0, {"v": 0})
+        oracle.tick(1)  # tick 1: not a period multiple
+        assert oracle.tables["r"].rows[0].f == 1.0
+        oracle.tick(1)  # tick 2: cycle runs
+        assert oracle.tables["r"].rows[0].f == 0.75
+
+    def test_pinned_rows_do_not_decay(self):
+        oracle = Oracle()
+        oracle.create_table("r", FungusSpec("linear", rate=0.5))
+        oracle.insert("r", 0, {"v": 0})
+        oracle.insert("r", 1, {"v": 1})
+        oracle.pin_key("r", 0)
+        oracle.tick(3)
+        table = oracle.tables["r"]
+        assert table.extent == 1
+        assert table.rows[0].key == 0
+        assert table.rows[0].f == 1.0
+
+    def test_consume_removes_exactly_sigma_p(self):
+        oracle = Oracle()
+        oracle.create_table("r", FungusSpec("null"))
+        for k in range(10):
+            oracle.insert("r", k, {"v": k})
+        removed = oracle.consume("r", lambda row: row.attrs["v"] < 4)
+        assert removed == [0, 1, 2, 3]
+        assert [row.key for row in oracle.tables["r"].rows] == [4, 5, 6, 7, 8, 9]
+        assert oracle.tables["r"].departed == 4
+
+    def test_dropped_tick_moves_time_only(self):
+        oracle = Oracle()
+        oracle.create_table("r", FungusSpec("linear", rate=0.5))
+        oracle.insert("r", 0, {"v": 0})
+        oracle.dropped_tick()
+        assert oracle.now == 1.0
+        assert oracle.tables["r"].rows[0].f == 1.0
+
+    def test_duplicate_tick_decays_again(self):
+        oracle = Oracle()
+        oracle.create_table("r", FungusSpec("linear", rate=0.25))
+        oracle.insert("r", 0, {"v": 0})
+        oracle.tick(1)
+        assert oracle.tables["r"].rows[0].f == 0.75
+        oracle.duplicate_tick()
+        assert oracle.tables["r"].rows[0].f == 0.5
+        assert oracle.now == 1.0
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected_on_build(self):
+        with pytest.raises(DecayError, match="unknown fungus"):
+            FungusSpec("mould").build()
+
+    def test_duplicate_model_table_rejected(self):
+        oracle = Oracle()
+        oracle.create_table("r", FungusSpec("null"))
+        with pytest.raises(DecayError, match="already exists"):
+            oracle.create_table("r", FungusSpec("null"))
+
+    def test_build_produces_matching_real_fungus(self):
+        assert FungusSpec("linear", rate=0.3).build().name == "linear"
+        assert FungusSpec("exponential").build().name == "exponential"
+        assert FungusSpec("sigmoid").build().name == "sigmoid"
+        assert FungusSpec("retention").build().name == "retention"
+        assert FungusSpec("null").build().name == "null"

@@ -1,0 +1,62 @@
+"""Schedule generation: deterministic, seeded, well-formed."""
+
+from repro.sim.scheduler import (
+    DEFAULT_WEIGHTS,
+    SimConfig,
+    SimPredicate,
+    default_tables,
+    generate_ops,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = generate_ops(SimConfig(seed=42, steps=150))
+        b = generate_ops(SimConfig(seed=42, steps=150))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_ops(SimConfig(seed=1, steps=150))
+        b = generate_ops(SimConfig(seed=2, steps=150))
+        assert a != b
+
+    def test_step_count_respected(self):
+        assert len(generate_ops(SimConfig(seed=7, steps=83))) == 83
+
+
+class TestWellFormed:
+    def test_all_kinds_are_known(self):
+        ops = generate_ops(SimConfig(seed=3, steps=500))
+        assert {op.kind for op in ops} <= set(DEFAULT_WEIGHTS)
+
+    def test_tables_come_from_config(self):
+        config = SimConfig(seed=3, steps=500)
+        names = set(config.table_names())
+        for op in generate_ops(config):
+            if op.table is not None:
+                assert op.table in names
+
+    def test_every_kind_eventually_generated(self):
+        ops = generate_ops(SimConfig(seed=5, steps=2000))
+        assert {op.kind for op in ops} == set(DEFAULT_WEIGHTS)
+
+    def test_default_zoo_covers_modes(self):
+        specs = default_tables()
+        kinds = {spec.fungus.kind for spec in specs}
+        assert {"linear", "exponential", "sigmoid", "retention"} <= kinds
+        assert any(not spec.eager for spec in specs)  # a lazy table
+        assert any(spec.period > 1 for spec in specs)  # an off-unit period
+        assert any(spec.compact_every for spec in specs)  # a compacting table
+
+
+class TestPredicates:
+    def test_matches_mirrors_sql_semantics(self):
+        assert SimPredicate("v", "<", 5).matches(4, 1.0)
+        assert not SimPredicate("v", "<", 5).matches(5, 1.0)
+        assert SimPredicate("v", "=", 5).matches(5, 1.0)
+        assert SimPredicate("f", ">=", 0.5).matches(0, 0.5)
+        assert not SimPredicate("f", ">", 0.5).matches(0, 0.5)
+
+    def test_to_sql_round_trips_value(self):
+        assert SimPredicate("v", "<=", 42).to_sql() == "v <= 42"
+        assert SimPredicate("f", ">", 0.25).to_sql() == "f > 0.25"

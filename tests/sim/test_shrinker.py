@@ -1,0 +1,73 @@
+"""ddmin shrinking: minimal repros from big failing schedules."""
+
+import pytest
+
+from repro.sim.driver import Simulator
+from repro.sim.oracle import FungusSpec
+from repro.sim.scheduler import Op, SimConfig, TableSpec, generate_ops
+from repro.sim.shrinker import ddmin, shrink_failure
+
+
+class TestDdmin:
+    def test_single_culprit_found(self):
+        ops = list(range(100))
+
+        def fails(candidate):
+            return 37 in candidate
+
+        assert ddmin(ops, fails) == [37]
+
+    def test_pair_of_culprits_found(self):
+        ops = list(range(50))
+
+        def fails(candidate):
+            return 3 in candidate and 41 in candidate
+
+        assert sorted(ddmin(ops, fails)) == [3, 41]
+
+    def test_requires_failing_input(self):
+        with pytest.raises(AssertionError):
+            ddmin([1, 2, 3], lambda ops: False)
+
+    def test_result_is_one_minimal(self):
+        """Removing any single op from the result makes it pass."""
+        ops = list(range(30))
+
+        def fails(candidate):
+            return {5, 6, 20} <= set(candidate)
+
+        result = ddmin(ops, fails)
+        assert fails(result)
+        for i in range(len(result)):
+            assert not fails(result[:i] + result[i + 1 :])
+
+
+class TestShrinkFailure:
+    def test_shrinks_mutant_divergence_to_a_few_ops(self, monkeypatch):
+        """A doubled linear rate diverges deep inside a 150-op schedule;
+        the shrinker must reduce it to insert+tick."""
+        from repro.fungi.linear import LinearDecayFungus
+
+        original = LinearDecayFungus.cycle
+
+        def doubled(self, table, rng):
+            report = original(self, table, rng)
+            for rid in list(table.live_rows()):
+                if table.freshness(rid) > 0.0:
+                    self._decay(table, rid, self.rate, report)
+            return report
+
+        monkeypatch.setattr(LinearDecayFungus, "cycle", doubled)
+        config = SimConfig(
+            seed=5,
+            steps=150,
+            tables=(TableSpec("r", FungusSpec("linear", rate=0.2)),),
+        )
+        ops = generate_ops(config)
+        assert not Simulator(config).run(ops).ok
+        minimal = shrink_failure(config, ops)
+        assert len(minimal) <= 3  # an insert and a tick (+ slack)
+        assert not Simulator(config).run(minimal).ok
+        kinds = [op.kind for op in minimal]
+        assert "insert" in kinds
+        assert "tick" in kinds or "fault_double_tick" in kinds

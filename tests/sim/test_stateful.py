@@ -1,0 +1,107 @@
+"""Hypothesis stateful testing: the model-checking layer.
+
+Hypothesis drives an arbitrary interleaving of inserts, ticks,
+queries, consumes, pins, checkpoint/restore cycles and faults through
+the differential :class:`Simulator`; any divergence raises and
+Hypothesis shrinks the rule sequence to a minimal counterexample —
+an independent, adversarial complement to the seeded schedules of
+``python -m repro.sim``.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule
+
+from repro.sim.driver import Simulator
+from repro.sim.scheduler import Op, SimConfig, SimPredicate
+
+TABLES = st.sampled_from(["melon", "cheddar", "brie", "cellar"])
+
+PREDICATES = st.one_of(
+    st.builds(
+        SimPredicate,
+        column=st.just("v"),
+        op=st.sampled_from(["<", "<=", ">", ">=", "="]),
+        value=st.integers(min_value=0, max_value=99),
+    ),
+    st.builds(
+        SimPredicate,
+        column=st.just("f"),
+        op=st.sampled_from(["<", "<=", ">", ">="]),
+        value=st.floats(min_value=0.0, max_value=1.0, allow_nan=False).map(
+            lambda x: round(x, 2)
+        ),
+    ),
+)
+
+
+class FungusDifferentialMachine(RuleBasedStateMachine):
+    """Every rule applies one op to both systems and diffs them."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator(SimConfig(seed=0, steps=0))
+        self.index = 0
+
+    def _do(self, op: Op) -> None:
+        diverged = self.sim.step(self.index, op)
+        self.index += 1
+        assert not diverged, self.sim.report.divergences[-1].describe()
+
+    @rule(table=TABLES, values=st.lists(st.integers(0, 99), min_size=1, max_size=4))
+    def insert(self, table, values):
+        self._do(Op("insert", table, values))
+
+    @rule(ticks=st.integers(min_value=1, max_value=3))
+    def tick(self, ticks):
+        self._do(Op("tick", payload=ticks))
+
+    @rule(table=TABLES, pred=PREDICATES)
+    def query(self, table, pred):
+        self._do(Op("query", table, pred))
+
+    @rule(table=TABLES, pred=PREDICATES)
+    def consume(self, table, pred):
+        self._do(Op("consume", table, pred))
+
+    @rule(table=TABLES, ordinal=st.integers(min_value=0, max_value=63))
+    def pin(self, table, ordinal):
+        self._do(Op("pin", table, ordinal))
+
+    @rule(table=TABLES, ordinal=st.integers(min_value=0, max_value=63))
+    def unpin(self, table, ordinal):
+        self._do(Op("unpin", table, ordinal))
+
+    @rule()
+    def checkpoint_restore(self):
+        self._do(Op("checkpoint_restore"))
+
+    @rule()
+    def fault_subscriber(self):
+        self._do(Op("fault_subscriber"))
+
+    @rule()
+    def fault_drop_tick(self):
+        self._do(Op("fault_drop_tick"))
+
+    @rule()
+    def fault_double_tick(self):
+        self._do(Op("fault_double_tick"))
+
+    @rule()
+    def fault_torn_checkpoint(self):
+        self._do(Op("fault_torn_checkpoint"))
+
+    @rule(table=TABLES, mode=st.sampled_from(["mid-line", "line-boundary"]))
+    def fault_truncated_snapshot(self, table, mode):
+        self._do(Op("fault_truncated_snapshot", table, mode))
+
+    def teardown(self):
+        self.sim.close()
+
+
+FungusDifferentialMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)
+
+TestFungusDifferential = FungusDifferentialMachine.TestCase

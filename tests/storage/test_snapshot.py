@@ -92,3 +92,41 @@ class TestCorruption:
         with open(path, "a") as fh:
             fh.write("\n\n")
         assert len(load_table(path)) == 10
+
+
+class TestRowCountGuard:
+    """The header's row count catches truncation at a line boundary —
+    a file that is perfectly valid JSONL, just missing its tail."""
+
+    def test_header_records_row_count(self, table, tmp_path):
+        path = tmp_path / "r.jsonl"
+        save_table(table, path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["rows"] == 10
+
+    def test_missing_last_line_detected(self, table, tmp_path):
+        path = tmp_path / "r.jsonl"
+        save_table(table, path)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]))
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_table(path)
+
+    def test_extra_appended_row_detected(self, table, tmp_path):
+        path = tmp_path / "r.jsonl"
+        save_table(table, path)
+        lines = path.read_text().splitlines(keepends=True)
+        with open(path, "a") as fh:
+            fh.write(lines[-1])  # duplicate the final row
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_table(path)
+
+    def test_header_without_count_still_loads(self, table, tmp_path):
+        """Older snapshots predate the ``rows`` field."""
+        path = tmp_path / "r.jsonl"
+        save_table(table, path)
+        lines = path.read_text().splitlines(keepends=True)
+        header = json.loads(lines[0])
+        del header["rows"]
+        path.write_text(json.dumps(header) + "\n" + "".join(lines[1:]))
+        assert len(load_table(path)) == 10
