@@ -1,7 +1,10 @@
-"""Benchmark T3 — decay-clock overhead.
+"""Benchmark T3 — decay-clock and telemetry overhead.
 
 Regenerates experiment T3 (see DESIGN.md) at smoke scale and
 asserts its shape checks; the timed quantity is the full experiment.
+T3 also gates the observability layer: ingest with telemetry disabled
+must repeat within 5% (the zero-overhead-when-disabled contract), and
+enabled metrics collection must count every ingested row exactly.
 """
 
 from conftest import assert_checks

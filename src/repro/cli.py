@@ -48,6 +48,7 @@ commands:
   tick [n]                                        advance the decay clock
   tables                                          list tables and extents
   health <table>                                  rot metrics
+  metrics [prefix]                                Prometheus-style exposition
   summary <table>                                 what has been distilled
   save <dir> / load <dir>                         checkpoint the database
   explain <select>                                show the query plan
@@ -59,6 +60,7 @@ fungus SPECs: none | egi[:seeds,rate] | retention:age | linear:rate |
               exp:halflife | sigmoid:midlife[,steepness] |
               bluecheese[:spots,rate]
 column types: int float str bool
+(live rot dashboard: python -m repro obs --help)
 """
 
 
@@ -118,6 +120,7 @@ class FungusShell:
 
     def __init__(self, seed: int = 0) -> None:
         self.db = FungusDB(seed=seed)
+        self.db.enable_telemetry()
         self._rng = random.Random(seed)
         self._commands: dict[str, Callable[[list[str]], str]] = {
             "create": self._cmd_create,
@@ -126,6 +129,7 @@ class FungusShell:
             "tick": self._cmd_tick,
             "tables": self._cmd_tables,
             "health": self._cmd_health,
+            "metrics": self._cmd_metrics,
             "summary": self._cmd_summary,
             "save": self._cmd_save,
             "load": self._cmd_load,
@@ -257,6 +261,25 @@ class FungusShell:
             return "error: usage: health <table>"
         return self.db.health(args[0]).describe()
 
+    def _cmd_metrics(self, args: list[str]) -> str:
+        if len(args) > 1:
+            return "error: usage: metrics [name-prefix]"
+        text = self.db.telemetry.exposition()
+        if args:
+            prefix = args[0]
+            kept = []
+            for line in text.splitlines():
+                if line.startswith(("# HELP ", "# TYPE ")):
+                    name = line.split(" ", 3)[2]
+                else:
+                    name = line.partition("{")[0].partition(" ")[0]
+                if name.startswith(prefix):
+                    kept.append(line)
+            if not kept:
+                return f"(no metrics match {prefix!r})"
+            text = "\n".join(kept)
+        return text.rstrip("\n")
+
     def _cmd_summary(self, args: list[str]) -> str:
         if len(args) != 1:
             return "error: usage: summary <table>"
@@ -343,7 +366,7 @@ class FungusShell:
     def _cmd_load(self, args: list[str]) -> str:
         if len(args) != 1:
             return "error: usage: load <dir>"
-        self.db = load_checkpoint(args[0])
+        self.db = load_checkpoint(args[0], telemetry=True)
         return (
             f"loaded {len(self.db.tables)} table(s); clock at {self.db.now:g} "
             f"(fungi reset to none — recreate policies as needed)"
@@ -351,7 +374,12 @@ class FungusShell:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """REPL entry point for ``python -m repro``."""
+    """Entry point for ``python -m repro`` (REPL, or ``obs`` dashboard)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "obs":
+        from repro.obs.dashboard import main as obs_main
+
+        return obs_main(argv[1:])
     shell = FungusShell()
     print("Big Data Space Fungus shell — 'help' for commands, 'quit' to leave")
     while True:

@@ -29,8 +29,10 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.core.db import FungusDB
+from repro.core.events import RestoreCompleted
 from repro.core.fungus import Fungus
 from repro.errors import SnapshotError
+from repro.obs.tracing import NULL_TRACER
 from repro.storage.snapshot import load_table, save_table
 
 MANIFEST_VERSION = 1
@@ -47,33 +49,39 @@ def save_checkpoint(db: FungusDB, directory: str | Path) -> list[str]:
     directory.mkdir(parents=True, exist_ok=True)
     tables = []
     pinned: dict[str, list[int]] = {}
-    for name in sorted(db.tables):
-        table = db.tables[name]
-        save_table(table.storage, directory / f"{name}.jsonl")
-        tables.append(name)
-        # row ids are not stable across a snapshot (tombstones drop out),
-        # but the live-row *order* is — record pins as ordinals in it
-        ordinals = [
-            i for i, rid in enumerate(table.live_rows()) if table.is_pinned(rid)
-        ]
-        if ordinals:
-            pinned[name] = ordinals
-    store_tmp = directory / "summaries.json.tmp"
-    with open(store_tmp, "w", encoding="utf-8") as fh:
-        json.dump(db.store.to_dict(), fh)
-    os.replace(store_tmp, directory / "summaries.json")
-    manifest = {
-        "manifest_version": MANIFEST_VERSION,
-        "clock": db.clock.now,
-        "seed": db.seed,
-        "tables": tables,
-        "pinned": pinned,
-        "store": True,
-    }
-    tmp = directory / (MANIFEST_NAME + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh, indent=2)
-    os.replace(tmp, directory / MANIFEST_NAME)
+    tracer = getattr(db, "tracer", NULL_TRACER)
+    with tracer.span("checkpoint.save", path=str(directory)) as span:
+        rows_saved = 0
+        for name in sorted(db.tables):
+            table = db.tables[name]
+            save_table(table.storage, directory / f"{name}.jsonl")
+            tables.append(name)
+            rows_saved += len(table)
+            # row ids are not stable across a snapshot (tombstones drop
+            # out), but the live-row *order* is — record pins as
+            # ordinals in it
+            ordinals = [
+                i for i, rid in enumerate(table.live_rows()) if table.is_pinned(rid)
+            ]
+            if ordinals:
+                pinned[name] = ordinals
+        span.set(tables=len(tables), rows=rows_saved)
+        store_tmp = directory / "summaries.json.tmp"
+        with open(store_tmp, "w", encoding="utf-8") as fh:
+            json.dump(db.store.to_dict(), fh)
+        os.replace(store_tmp, directory / "summaries.json")
+        manifest = {
+            "manifest_version": MANIFEST_VERSION,
+            "clock": db.clock.now,
+            "seed": db.seed,
+            "tables": tables,
+            "pinned": pinned,
+            "store": True,
+        }
+        tmp = directory / (MANIFEST_NAME + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2)
+        os.replace(tmp, directory / MANIFEST_NAME)
     return tables
 
 
@@ -81,13 +89,26 @@ def load_checkpoint(
     directory: str | Path,
     fungi: Mapping[str, Fungus | None] | None = None,
     table_options: Mapping[str, Mapping[str, Any]] | None = None,
+    telemetry: bool = False,
+    tracer: Any | None = None,
 ) -> FungusDB:
     """Rebuild a FungusDB from :func:`save_checkpoint` output.
 
     ``fungi`` maps table name -> fungus to reinstall (missing tables
     get the NullFungus control); ``table_options`` forwards per-table
     keyword arguments to :meth:`FungusDB.create_table` (period,
-    eviction mode, ...).
+    eviction mode, ...). ``telemetry=True`` attaches the obs layer to
+    the rebuilt database *before* rows are replayed, so metrics start
+    from a correct baseline. ``tracer`` wires an existing tracer onto
+    the rebuilt database before the restore runs, so the
+    ``checkpoint.restore`` span lands in the caller's trace (the sim
+    driver's flight recorder survives restores this way).
+
+    After each table's rows are replayed, a
+    :class:`~repro.core.events.RestoreCompleted` event is published on
+    the new bus: restore re-publishes one ``TupleInserted`` per
+    surviving row, and metrics consumers use the completion event to
+    avoid double-counting those as fresh inserts.
     """
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
@@ -131,37 +152,50 @@ def load_checkpoint(
 
     db = FungusDB(seed=int(manifest.get("seed", 0)), store=store)
     db.clock._now = float(manifest["clock"])  # noqa: SLF001 — restoring state
+    if telemetry:
+        db.enable_telemetry()
+    if tracer is not None:
+        db.tracer = tracer
+        db.clock.tracer = tracer
+        db.engine.tracer = tracer
 
-    for name in manifest["tables"]:
-        snapshot = load_table(directory / f"{name}.jsonl")
-        schema = snapshot.schema
-        names = schema.names
-        if len(names) < 2:
-            raise SnapshotError(f"table {name!r} snapshot lacks the t/f columns")
-        time_column, freshness_column = names[0], names[1]
-        from repro.storage.schema import Schema
+    with db.tracer.span("checkpoint.restore", path=str(directory)) as span:
+        rows_restored = 0
+        for name in manifest["tables"]:
+            snapshot = load_table(directory / f"{name}.jsonl")
+            schema = snapshot.schema
+            names = schema.names
+            if len(names) < 2:
+                raise SnapshotError(f"table {name!r} snapshot lacks the t/f columns")
+            time_column, freshness_column = names[0], names[1]
+            from repro.storage.schema import Schema
 
-        attributes = Schema(schema.columns[2:]) if len(names) > 2 else None
-        if attributes is None:
-            raise SnapshotError(f"table {name!r} has no attribute columns")
-        table = db.create_table(
-            name,
-            attributes,
-            fungus=fungi.get(name),
-            time_column=time_column,
-            freshness_column=freshness_column,
-            **table_options.get(name, {}),
-        )
-        for _, values in snapshot.iter_rows():
-            table.restore(dict(zip(names, values)))
-        ordinals = manifest.get("pinned", {}).get(name, [])
-        if ordinals:
-            rids = list(table.live_rows())
-            for ordinal in ordinals:
-                if not (0 <= ordinal < len(rids)):
-                    raise SnapshotError(
-                        f"table {name!r} pins ordinal {ordinal} but has "
-                        f"only {len(rids)} rows"
-                    )
-                table.pin(rids[ordinal])
+            attributes = Schema(schema.columns[2:]) if len(names) > 2 else None
+            if attributes is None:
+                raise SnapshotError(f"table {name!r} has no attribute columns")
+            table = db.create_table(
+                name,
+                attributes,
+                fungus=fungi.get(name),
+                time_column=time_column,
+                freshness_column=freshness_column,
+                **table_options.get(name, {}),
+            )
+            restored = 0
+            for _, values in snapshot.iter_rows():
+                table.restore(dict(zip(names, values)))
+                restored += 1
+            rows_restored += restored
+            ordinals = manifest.get("pinned", {}).get(name, [])
+            if ordinals:
+                rids = list(table.live_rows())
+                for ordinal in ordinals:
+                    if not (0 <= ordinal < len(rids)):
+                        raise SnapshotError(
+                            f"table {name!r} pins ordinal {ordinal} but has "
+                            f"only {len(rids)} rows"
+                        )
+                    table.pin(rids[ordinal])
+            db.bus.publish(RestoreCompleted(name, db.clock.now, rows=restored))
+        span.set(tables=len(manifest["tables"]), rows=rows_restored)
     return db

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import DecayError
+from repro.obs.tracing import NULL_TRACER
 
 
 class DecayClock:
@@ -19,11 +20,16 @@ class DecayClock:
     ``on_advance`` subscribers run once per whole tick crossed, in
     registration order — this is how :class:`~repro.core.policy.DecayPolicy`
     instances get driven.
+
+    ``tracer`` defaults to the no-op :data:`NULL_TRACER`;
+    :class:`~repro.obs.telemetry.Telemetry` swaps in a live tracer so
+    each tick's subscriber fan-out becomes a ``clock.advance`` span.
     """
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._subscribers: list[Callable[[int], None]] = []
+        self.tracer = NULL_TRACER
 
     @property
     def now(self) -> float:
@@ -58,12 +64,19 @@ class DecayClock:
         for _ in range(ticks):
             self._now += 1.0
             tick = int(self._now)
-            for callback in list(self._subscribers):
-                try:
-                    callback(tick)
-                except DecayError:
-                    raise
-                except Exception as exc:
-                    raise DecayError(
-                        f"clock subscriber {callback!r} failed at tick {tick}"
-                    ) from exc
+            with self.tracer.span("clock.advance", tick=tick) as span:
+                subscribers = list(self._subscribers)
+                span.set(subscribers=len(subscribers))
+                for callback in subscribers:
+                    try:
+                        callback(tick)
+                    except DecayError:
+                        raise
+                    except Exception as exc:
+                        # name, not repr: the default repr embeds a memory
+                        # address, which would make recorded traces differ
+                        # between identical seeded runs
+                        who = getattr(callback, "__qualname__", None) or repr(callback)
+                        raise DecayError(
+                            f"clock subscriber {who} failed at tick {tick}"
+                        ) from exc

@@ -35,6 +35,7 @@ from repro.core.policy import DecayPolicy, EvictionMode
 from repro.core.table import DecayingTable
 from repro.errors import CatalogError, DecayError
 from repro.fungi.wrappers import NullFungus
+from repro.obs.tracing import NULL_TRACER
 from repro.query.executor import QueryEngine
 from repro.query.result import ResultSet
 from repro.sketch.summary import SummaryConfig, TableSummary
@@ -67,6 +68,8 @@ class FungusDB:
         self.tables: dict[str, DecayingTable] = {}
         self.policies: dict[str, DecayPolicy] = {}
         self._distill_on_consume: dict[str, bool] = {}
+        self.tracer = NULL_TRACER
+        self.telemetry = None
         self.engine.add_consume_hook(self._before_consume)
         self.engine.add_access_hook(self._on_access)
 
@@ -164,11 +167,19 @@ class FungusDB:
         if ticks < 0:
             raise DecayError(f"cannot tick backwards ({ticks})")
         for _ in range(ticks):
-            self.clock.advance(1)
-            now = int(self.clock.now)
-            for name in sorted(self.policies):
-                self.policies[name].run_tick(now)
-            self.store.on_tick(now)  # the summary container rots too
+            with self.tracer.span("tick", clock=int(self.clock.now) + 1):
+                self.clock.advance(1)
+                now = int(self.clock.now)
+                for name in sorted(self.policies):
+                    with self.tracer.span("policy.cycle", table=name) as span:
+                        report = self.policies[name].run_tick(now)
+                        if report is not None:
+                            span.set(
+                                seeded=report.seeded,
+                                spread=report.spread,
+                                decayed=report.decayed,
+                            )
+                self.store.on_tick(now)  # the summary container rots too
 
     @property
     def now(self) -> float:
@@ -209,6 +220,44 @@ class FungusDB:
         policy = self.policies.get(table_name)
         if policy is not None:
             policy.note_access(matched)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def enable_telemetry(
+        self,
+        tracing: bool = False,
+        trace_path: str | None = None,
+        rate_tau: float = 10.0,
+        sample_every: int = 1,
+        profile: bool = False,
+    ):
+        """Attach the rot-telemetry layer; returns the :class:`Telemetry`.
+
+        Metrics collection starts immediately (a bus subscriber feeds
+        the registry); ``tracing=True`` (or a ``trace_path``) swaps a
+        live tracer onto the clock, query engine and checkpoint paths;
+        ``profile=True`` turns on the hot-path profiler. Idempotent:
+        a second call returns the existing attachment.
+        """
+        if self.telemetry is None:
+            from repro.obs.telemetry import Telemetry
+
+            self.telemetry = Telemetry(
+                self,
+                tracing=tracing,
+                trace_path=trace_path,
+                rate_tau=rate_tau,
+                sample_every=sample_every,
+                profile=profile,
+            )
+        return self.telemetry
+
+    def disable_telemetry(self) -> None:
+        """Detach telemetry (no-op when not enabled)."""
+        if self.telemetry is not None:
+            self.telemetry.close()
 
     # ------------------------------------------------------------------
     # introspection

@@ -12,6 +12,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Type, TypeVar
 
+from repro.errors import EventFanoutError
+
 
 @dataclass(frozen=True)
 class Event:
@@ -80,6 +82,19 @@ class TickCompleted(Event):
     evicted: int
 
 
+@dataclass(frozen=True)
+class RestoreCompleted(Event):
+    """A checkpoint restore finished re-inserting one table's rows.
+
+    Restoring replays one :class:`TupleInserted` per surviving row;
+    those rows are not *new*, so metrics consumers subtract ``rows``
+    from their insert totals when this event arrives (otherwise every
+    checkpoint/restore cycle would double-count the whole extent).
+    """
+
+    rows: int
+
+
 E = TypeVar("E", bound=Event)
 
 
@@ -103,7 +118,24 @@ class EventBus:
             pass
 
     def publish(self, event: Event) -> None:
-        """Deliver ``event`` to its type's handlers; count it either way."""
+        """Deliver ``event`` to its type's handlers; count it either way.
+
+        Fan-out is *complete*: a handler that raises cannot starve the
+        handlers registered after it (the decay bookkeeping in
+        :class:`~repro.core.policy.DecayPolicy` subscribes alongside
+        user probes and must always see every eviction). Failures are
+        collected and re-raised after the full fan-out — the original
+        exception when one handler failed, an
+        :class:`~repro.errors.EventFanoutError` when several did.
+        """
         self.counts[type(event).__name__] += 1
-        for handler in self._handlers.get(type(event), []):
-            handler(event)
+        failures: list[tuple[Callable[[Any], None], Exception]] = []
+        for handler in list(self._handlers.get(type(event), [])):
+            try:
+                handler(event)
+            except Exception as exc:
+                failures.append((handler, exc))
+        if failures:
+            if len(failures) == 1:
+                raise failures[0][1]
+            raise EventFanoutError(type(event).__name__, failures) from failures[0][1]

@@ -53,6 +53,28 @@ class DecayError(FungusError):
     """Misconfigured fungus or decay policy."""
 
 
+class EventFanoutError(FungusError):
+    """Multiple event-bus subscribers raised during one fan-out.
+
+    Carries every ``(handler, exception)`` pair in :attr:`failures`;
+    ``__cause__`` is the first failure. A single failing subscriber
+    re-raises its original exception instead.
+    """
+
+    def __init__(self, event_name: str, failures):
+        self.event_name = event_name
+        self.failures = list(failures)
+        handlers = ", ".join(repr(handler) for handler, _ in self.failures)
+        super().__init__(
+            f"{len(self.failures)} subscribers failed during {event_name} "
+            f"fan-out: {handlers}"
+        )
+
+
+class ObsError(FungusError):
+    """Observability misuse: bad metric/label name, corrupt trace."""
+
+
 class ConsumeError(FungusError):
     """Law-2 consume semantics violated or misused."""
 

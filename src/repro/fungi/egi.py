@@ -33,6 +33,7 @@ from typing import Mapping
 from repro.core.fungus import DecayReport, Fungus
 from repro.core.table import DecayingTable
 from repro.errors import DecayError
+from repro.obs.profile import PROFILER
 
 
 class EGIFungus(Fungus):
@@ -78,6 +79,16 @@ class EGIFungus(Fungus):
     # ------------------------------------------------------------------
 
     def cycle(self, table: DecayingTable, rng: random.Random) -> DecayReport:
+        if not PROFILER.enabled:
+            return self._cycle(table, rng)
+        start = PROFILER.time()
+        report = self._cycle(table, rng)
+        PROFILER.record(
+            "egi.cycle", rows=len(self._infected), seconds=PROFILER.time() - start
+        )
+        return report
+
+    def _cycle(self, table: DecayingTable, rng: random.Random) -> DecayReport:
         report = DecayReport(self.name, table.clock.now)
         self._infected = {rid for rid in self._infected if table.is_live(rid)}
 
@@ -109,6 +120,8 @@ class EGIFungus(Fungus):
                 self._infected.add(rid)
                 table.mark_infected(rid, self.name)
                 report.spread += 1
+            if PROFILER.enabled:
+                PROFILER.record("egi.spread", rows=len(frontier))
 
         # 3. decay: every infected element loses freshness at equal rate
         for rid in sorted(self._infected):

@@ -1,0 +1,62 @@
+"""``python -m repro.obs`` — observability utilities.
+
+Subcommands:
+
+``check-trace <file.jsonl>...``
+    Parse each JSONL trace and validate span-tree integrity (unique
+    ids, parents present and properly ordered, child intervals nested
+    within their parent). CI runs this over the traces the simulation
+    sweep records; exit status 1 means at least one trace is broken.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ObsError
+from repro.obs.tracing import read_trace, validate_spans
+
+
+def check_trace(paths: list[str]) -> int:
+    failures = 0
+    for path in paths:
+        try:
+            spans = read_trace(path)
+        except ObsError as exc:
+            print(f"{path}: UNREADABLE — {exc}")
+            failures += 1
+            continue
+        problems = validate_spans(spans)
+        if not spans:
+            problems = ["trace contains no spans"]
+        if problems:
+            failures += 1
+            print(f"{path}: {len(problems)} problem(s)")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            traces = len({span["trace_id"] for span in spans})
+            print(f"{path}: ok ({len(spans)} spans, {traces} traces)")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="FungusDB observability utilities.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    check = sub.add_parser(
+        "check-trace", help="validate JSONL trace files (span-tree integrity)"
+    )
+    check.add_argument("paths", nargs="+", metavar="FILE")
+    args = parser.parse_args(argv)
+    if args.command == "check-trace":
+        return check_trace(args.paths)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

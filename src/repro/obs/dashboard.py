@@ -1,0 +1,201 @@
+"""``python -m repro obs`` — a live rot dashboard in the terminal.
+
+Renders, once per tick batch, the observable rot state of every table
+in a running :class:`~repro.core.db.FungusDB`:
+
+* extent / exhausted / pinned / tombstone ratio per table;
+* freshness-band occupancy as a proportional bar
+  (``#`` fresh, ``+`` stale, ``.`` rotten);
+* a **rot map**: the allocated rid space downsampled to one character
+  per bucket (`` `` = hole, i.e. every row in the bucket tombstoned),
+  so EGI's contiguous "Blue Cheese" spots are visible as runs of
+  ``.`` melting into holes;
+* rot spots / holes counts from :func:`~repro.core.health.measure_health`;
+* eviction / consume EWMA rates when telemetry is attached.
+
+:func:`render_frame` is a pure function of the database state — the
+tests call it directly; :func:`main` wires it to a demo workload loop
+(insert rows, tick, redraw) and optionally dumps the Prometheus
+exposition to a file each frame.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.db import FungusDB
+from repro.core.freshness import FreshnessBand, band_of
+from repro.core.health import measure_health
+from repro.storage.schema import Schema
+
+BAND_CHARS = {
+    FreshnessBand.FRESH: "#",
+    FreshnessBand.STALE: "+",
+    FreshnessBand.ROTTEN: ".",
+}
+HOLE_CHAR = " "
+
+
+def _band_bar(counts: dict[FreshnessBand, int], width: int) -> str:
+    """Proportional occupancy bar, always exactly ``width`` chars."""
+    total = sum(counts.values())
+    if total == 0:
+        return "-" * width
+    cells: list[str] = []
+    for band in (FreshnessBand.FRESH, FreshnessBand.STALE, FreshnessBand.ROTTEN):
+        cells.extend(BAND_CHARS[band] * round(counts[band] / total * width))
+    # rounding can over/undershoot by a char or two; clamp to width
+    bar = "".join(cells)[:width]
+    return bar.ljust(width, BAND_CHARS[FreshnessBand.ROTTEN] if counts[FreshnessBand.ROTTEN] else "#")
+
+
+def _rot_map(table, width: int) -> str:
+    """The allocated rid space, one char per bucket of rids.
+
+    A bucket renders as a hole only when *every* row in it is gone;
+    otherwise it shows the band of its mean live freshness.
+    """
+    allocated = table.storage.allocated
+    if allocated == 0:
+        return "-" * width
+    width = min(width, allocated)
+    chars = []
+    for i in range(width):
+        lo = i * allocated // width
+        hi = max(lo + 1, (i + 1) * allocated // width)
+        values = [
+            table.freshness(rid)
+            for rid in range(lo, hi)
+            if table.storage.is_live(rid)
+        ]
+        if not values:
+            chars.append(HOLE_CHAR)
+        else:
+            chars.append(BAND_CHARS[band_of(sum(values) / len(values))])
+    return "".join(chars)
+
+
+def render_frame(db: FungusDB, width: int = 60) -> str:
+    """One dashboard frame for ``db``'s current state, as text."""
+    lines = [f"FungusDB rot dashboard — clock t={db.clock.now:g}"]
+    telemetry = getattr(db, "telemetry", None)
+    for name in sorted(db.tables):
+        table = db.tables[name]
+        health = measure_health(table)
+        ratio = (
+            table.storage.tombstones / table.storage.allocated
+            if table.storage.allocated
+            else 0.0
+        )
+        lines.append("")
+        lines.append(
+            f"table {name}: extent={health.extent} exhausted={health.exhausted} "
+            f"pinned={health.pinned} tombstones={ratio:.0%}"
+        )
+        bands = {
+            FreshnessBand.FRESH: health.fresh_count,
+            FreshnessBand.STALE: health.stale_count,
+            FreshnessBand.ROTTEN: health.rotten_count,
+        }
+        lines.append(
+            f"  bands [{_band_bar(bands, width)}] "
+            f"{health.fresh_count}#/{health.stale_count}+/{health.rotten_count}."
+        )
+        lines.append(f"  rotmap [{_rot_map(table, width)}]")
+        lines.append(
+            f"  spots={len(health.rot_spots)} (largest {health.largest_rot_spot}) "
+            f"holes={len(health.holes)} (largest {health.largest_hole}) "
+            f"edible={health.edible_fraction:.0%}"
+        )
+        if telemetry is not None:
+            registry = telemetry.registry
+            evict = registry.value("repro_eviction_rate", table=name)
+            consume = registry.value("repro_consume_rate", table=name)
+            lines.append(
+                f"  rates evict={evict:.3f}/tick consume={consume:.3f}/tick"
+            )
+    legend = f"legend: {BAND_CHARS[FreshnessBand.FRESH]}=fresh " \
+             f"{BAND_CHARS[FreshnessBand.STALE]}=stale " \
+             f"{BAND_CHARS[FreshnessBand.ROTTEN]}=rotten (space)=hole"
+    lines.append("")
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def build_demo_db(seed: int, fungus_spec: str) -> FungusDB:
+    """A one-table demo database driven by the CLI fungus spec."""
+    from repro.cli import parse_fungus_spec
+
+    db = FungusDB(seed=seed)
+    db.create_table(
+        "demo",
+        Schema.of(sensor="str", value="float"),
+        fungus=parse_fungus_spec(fungus_spec),
+    )
+    db.enable_telemetry()
+    return db
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dashboard entry point (``python -m repro obs``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="Live rot dashboard over a demo FungusDB decay loop.",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="demo RNG seed")
+    parser.add_argument("--ticks", type=int, default=60, help="total decay ticks")
+    parser.add_argument(
+        "--interval", type=float, default=0.25, help="seconds between frames"
+    )
+    parser.add_argument(
+        "--rows-per-tick", type=int, default=3, help="ingest rate of the demo feed"
+    )
+    parser.add_argument(
+        "--fungus", default="egi:2,0.2", help="fungus spec (see the repro shell help)"
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="render a single frame and exit"
+    )
+    parser.add_argument("--width", type=int, default=60, help="bar/map width")
+    parser.add_argument(
+        "--prom", metavar="PATH", help="also write the Prometheus exposition here"
+    )
+    parser.add_argument(
+        "--no-clear", action="store_true", help="append frames instead of redrawing"
+    )
+    args = parser.parse_args(argv)
+
+    db = build_demo_db(args.seed, args.fungus)
+    import random
+
+    rng = random.Random(args.seed)
+
+    def emit_frame() -> None:
+        frame = render_frame(db, width=args.width)
+        if not args.no_clear and sys.stdout.isatty():
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(frame)
+        if args.prom:
+            with open(args.prom, "w", encoding="utf-8") as fh:
+                fh.write(db.telemetry.exposition())
+
+    ticks = 1 if args.once else args.ticks
+    for tick in range(ticks):
+        for _ in range(args.rows_per_tick):
+            db.insert(
+                "demo",
+                {"sensor": f"s{rng.randrange(4)}", "value": round(rng.uniform(0, 100), 2)},
+            )
+        db.tick(1)
+        if tick % 7 == 6:  # an occasional Law-2 bite keeps holes visible
+            db.query("CONSUME SELECT * FROM demo WHERE value > 90")
+        emit_frame()
+        if not args.once and args.interval > 0:
+            time.sleep(args.interval)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Prometheus text exposition (version 0.0.4) for a metrics registry.
+
+:func:`render_prometheus` turns a
+:class:`~repro.obs.metrics.MetricsRegistry` into the classic
+``# HELP`` / ``# TYPE`` / sample-line text format::
+
+    # HELP repro_evictions_total Tuples evicted, by table and reason.
+    # TYPE repro_evictions_total counter
+    repro_evictions_total{table="logs",reason="decay"} 42
+
+EWMA rates are exposed as gauges (a rate *is* a gauge); histograms
+expand into cumulative ``_bucket{le=...}`` lines plus ``_sum`` and
+``_count``. :func:`parse_prometheus` is the matching strict reader the
+tests and CI use to prove the output round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.errors import ObsError
+from repro.obs.metrics import EWMARate, Histogram, MetricsRegistry
+
+_EXPOSED_TYPE = {"counter": "counter", "gauge": "gauge", "histogram": "histogram", "ewma": "gauge"}
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The full exposition for every family in ``registry``."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help_text:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help_text)}")
+        lines.append(f"# TYPE {family.name} {_EXPOSED_TYPE[family.kind]}")
+        for labels, child in family.samples():
+            if isinstance(child, Histogram):
+                for bound, cumulative in child.cumulative():
+                    le = "+Inf" if bound == math.inf else _format_value(bound)
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = le
+                    lines.append(
+                        f"{family.name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_labels_text(labels)} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{_labels_text(labels)} {child.count}")
+            elif isinstance(child, EWMARate):
+                lines.append(
+                    f"{family.name}{_labels_text(labels)} {_format_value(child.value)}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_labels_text(labels)} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# strict reader (round-trip validation)
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_TYPE_RE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$"
+)
+_HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$")
+
+SampleKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus(text: str) -> dict[SampleKey, float]:
+    """Parse an exposition back into ``{(name, labels): value}``.
+
+    Raises :class:`ObsError` on any line that is not a valid HELP,
+    TYPE, comment, or sample line — the tests use this as the format
+    validity oracle. Also enforces that every sample's base name was
+    announced by a preceding ``# TYPE`` line.
+    """
+    samples: dict[SampleKey, float] = {}
+    declared_types: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if _TYPE_RE.match(line):
+                match = _TYPE_RE.match(line)
+                declared_types[match.group(1)] = match.group(2)
+                continue
+            if _HELP_RE.match(line) or line.startswith("# "):
+                continue
+            raise ObsError(f"line {lineno}: malformed comment {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ObsError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels_text = match.group("labels") or ""
+        labels: list[tuple[str, str]] = []
+        if labels_text:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(labels_text):
+                labels.append((pair.group(1), pair.group(2)))
+                consumed = pair.end()
+            rest = labels_text[consumed:].strip().strip(",")
+            if rest:
+                raise ObsError(f"line {lineno}: malformed labels {labels_text!r}")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in declared_types and base not in declared_types:
+            raise ObsError(f"line {lineno}: sample {name!r} has no # TYPE line")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError as exc:
+            raise ObsError(f"line {lineno}: bad value {match.group('value')!r}") from exc
+        key = (name, tuple(labels))
+        if key in samples:
+            raise ObsError(f"line {lineno}: duplicate sample {name}{dict(labels)}")
+        samples[key] = value
+    return samples
+
+
+def sample_value(
+    samples: dict[SampleKey, float], name: str, **labels: object
+) -> float:
+    """Look up one parsed sample by name and exact label set."""
+    wanted = {k: str(v) for k, v in labels.items()}
+    for (sample_name, sample_labels), value in samples.items():
+        if sample_name == name and dict(sample_labels) == wanted:
+            return value
+    raise ObsError(f"no sample {name!r} with labels {labels}")

@@ -30,6 +30,7 @@ from repro.query.planner import (
     plan_insert,
     plan_select,
 )
+from repro.obs.tracing import NULL_TRACER
 from repro.query import operators as ops
 from repro.query.result import ExecutionStats, ResultSet
 from repro.storage.catalog import Catalog
@@ -37,6 +38,14 @@ from repro.storage.rowset import RowSet
 
 ConsumeHook = Callable[[str, RowSet], None]
 InsertDelegate = Callable[[Mapping[str, Any]], int]
+
+
+def _statement_kind(stmt: Statement) -> str:
+    if isinstance(stmt, InsertStmt):
+        return "insert"
+    if isinstance(stmt, DeleteStmt):
+        return "delete"
+    return "consume" if getattr(stmt, "consume", False) else "select"
 
 
 class QueryEngine:
@@ -49,6 +58,7 @@ class QueryEngine:
 
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
+        self.tracer = NULL_TRACER
         self._consume_hooks: list[ConsumeHook] = []
         self._access_hooks: list[ConsumeHook] = []
         self._insert_delegates: dict[str, InsertDelegate] = {}
@@ -91,12 +101,22 @@ class QueryEngine:
     def execute(self, query: str | Statement) -> ResultSet:
         """Parse (if needed), plan, and run one statement."""
         stmt = parse(query) if isinstance(query, str) else query
-        if isinstance(stmt, InsertStmt):
-            return self._run_insert(stmt)
-        if isinstance(stmt, DeleteStmt):
-            return self._run_delete(stmt)
-        plan = plan_select(stmt, self.catalog)
-        return self._run(plan)
+        kind = _statement_kind(stmt)
+        with self.tracer.span("query", kind=kind) as span:
+            if isinstance(stmt, InsertStmt):
+                result = self._run_insert(stmt)
+            elif isinstance(stmt, DeleteStmt):
+                result = self._run_delete(stmt)
+            else:
+                plan = plan_select(stmt, self.catalog)
+                result = self._run(plan)
+            span.set(
+                rows=len(result),
+                rows_scanned=result.stats.rows_scanned,
+                rows_matched=result.stats.rows_matched,
+                rows_consumed=result.stats.rows_consumed,
+            )
+            return result
 
     def explain(self, query: str | SelectStmt) -> SelectPlan:
         """Return the SELECT plan without executing (tests, curiosity)."""
@@ -179,9 +199,10 @@ class QueryEngine:
 
         if plan.consume and consumed:
             table_name = plan.source.table_name
-            for hook in self._consume_hooks:
-                hook(table_name, consumed)
-            ops.consume_rows(self.catalog.table(table_name), consumed)
+            with self.tracer.span("consume", table=table_name, rows=len(consumed)):
+                for hook in self._consume_hooks:
+                    hook(table_name, consumed)
+                ops.consume_rows(self.catalog.table(table_name), consumed)
             stats.rows_consumed = len(consumed)
 
         return ResultSet(

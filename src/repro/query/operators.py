@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Iterator
 
 from repro.errors import ExecutionError
+from repro.obs.profile import PROFILER
 from repro.query.ast_nodes import OrderItem, Projection
 from repro.query.expressions import evaluate, matches
 from repro.query.functions import aggregate_arity, make_aggregate
@@ -34,6 +35,24 @@ def scan(
     plan: ScanPlan, catalog: Catalog, stats: ExecutionStats
 ) -> Iterator[tuple[int, RowContext]]:
     """Yield ``(rid, context)`` for live rows matching the scan plan."""
+    if PROFILER.enabled:
+        # the drain time includes downstream operator work (this is a
+        # generator); rows_scanned is exact either way
+        start = PROFILER.time()
+        before = stats.rows_scanned
+        yield from _scan(plan, catalog, stats)
+        PROFILER.record(
+            "query.scan",
+            rows=stats.rows_scanned - before,
+            seconds=PROFILER.time() - start,
+        )
+        return
+    yield from _scan(plan, catalog, stats)
+
+
+def _scan(
+    plan: ScanPlan, catalog: Catalog, stats: ExecutionStats
+) -> Iterator[tuple[int, RowContext]]:
     table = catalog.table(plan.table_name)
     names = table.schema.names
     rids: Iterable[int]

@@ -49,6 +49,12 @@ def main(argv: list[str] | None = None) -> int:
         help="skip ddmin shrinking of failing schedules",
     )
     parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="record a span trace per seed to DIR/seed-<N>.jsonl "
+        "(the flight recorder for debugging a divergence)",
+    )
+    parser.add_argument(
         "--mutant",
         choices=sorted(mutants.MUTANTS),
         help="install a deliberately broken mutant first (the run "
@@ -65,8 +71,11 @@ def main(argv: list[str] | None = None) -> int:
         for seed in args.seed:
             config = SimConfig(seed=seed, steps=args.steps)
             ops = generate_ops(config)
-            report = Simulator(config).run(ops)
+            simulator = Simulator(config, trace_dir=args.trace_dir)
+            report = simulator.run(ops)
             print(report.describe())
+            if args.trace_dir and simulator.trace_path is not None:
+                print(f"  trace: {simulator.trace_path}")
             if args.verbose:
                 histogram = ", ".join(
                     f"{kind}={count}"

@@ -21,6 +21,11 @@ a clock tick).
 
 Any disagreement is recorded as a :class:`Divergence` carrying the
 step index and offending op — enough to replay and shrink it.
+
+Passing ``trace_dir`` records a full span trace of the run (one
+``sim.op`` span per step, with the tick/query/checkpoint spans the
+database emits nested inside it) to ``<trace_dir>/seed-<N>.jsonl`` —
+the flight recorder for post-mortem debugging of a divergence.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.db import FungusDB
 from repro.core.policy import EvictionMode
 from repro.errors import DecayError, SnapshotError
+from repro.obs.tracing import NULL_TRACER, JsonlTraceExporter, Tracer
 from repro.sim import faults
 from repro.sim.invariants import FreshnessTracker, check_conservation, check_table
 from repro.sim.oracle import ModelRow, Oracle
@@ -95,6 +101,7 @@ class Simulator:
         config: SimConfig,
         workdir: str | Path | None = None,
         stop_on_divergence: bool = True,
+        trace_dir: str | Path | None = None,
     ) -> None:
         self.config = config
         self._own_workdir = workdir is None
@@ -108,6 +115,11 @@ class Simulator:
         self._ckpt_serial = 0
         self.tracker = FreshnessTracker()
         self.report = SimReport(seed=config.seed, steps_run=0)
+        self.tracer = NULL_TRACER
+        self.trace_path: Path | None = None
+        if trace_dir is not None:
+            self.trace_path = Path(trace_dir) / f"seed-{config.seed}.jsonl"
+            self.tracer = Tracer(JsonlTraceExporter(self.trace_path))
         self.db = self._build_db()
         self.oracle = Oracle()
         for spec in config.tables:
@@ -128,7 +140,14 @@ class Simulator:
                 fungus=spec.fungus.build(),
                 **self._table_options(spec),
             )
+        self._wire_tracer(db)
         return db
+
+    def _wire_tracer(self, db: FungusDB) -> None:
+        """Share the sim's tracer with the db so its spans nest in ours."""
+        db.tracer = self.tracer
+        db.clock.tracer = self.tracer
+        db.engine.tracer = self.tracer
 
     def _table_options(self, spec) -> dict:
         return {
@@ -142,6 +161,7 @@ class Simulator:
         """Remove the checkpoint scratch directory (if we created it)."""
         if self._own_workdir:
             shutil.rmtree(self.workdir, ignore_errors=True)
+        self.tracer.close()
 
     # ------------------------------------------------------------------
     # run loop
@@ -168,7 +188,12 @@ class Simulator:
         # bookkeeping often manifests as a StorageError several ops
         # after the bug, and the report must survive to say so
         try:
-            problems = list(self._apply(op))
+            with self.tracer.span(
+                "sim.op", kind=op.kind, step=index, table=op.table
+            ) as span:
+                problems = list(self._apply(op))
+                if problems:
+                    span.set(problems=len(problems))
         except Exception as exc:
             problems = [f"op raised {type(exc).__name__}: {exc}"]
         try:
@@ -271,6 +296,7 @@ class Simulator:
             table_options={
                 spec.name: self._table_options(spec) for spec in self.config.tables
             },
+            tracer=self.tracer,  # the rebuilt db must keep recording
         )
         self.report.checkpoints += 1
         # the oracle is untouched: a checkpoint/restore cycle must be

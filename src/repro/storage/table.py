@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterator, Mapping, Protocol, Sequence
 
 from repro.errors import StorageError
+from repro.obs.profile import PROFILER
 from repro.storage.rowset import RowSet
 from repro.storage.schema import Schema
 
@@ -204,11 +205,17 @@ class Table:
         """Row ids of live rows matching ``predicate`` (all, if None)."""
         if predicate is None:
             return self.live_rowset()
+        profiling = PROFILER.enabled
+        start = PROFILER.time() if profiling else 0.0
         names = self.schema.names
         matches = []
+        scanned = 0
         for rid, values in self.iter_rows():
+            scanned += 1
             if predicate(dict(zip(names, values))):
                 matches.append(rid)
+        if profiling:
+            PROFILER.record("table.scan", rows=scanned, seconds=PROFILER.time() - start)
         return RowSet(matches)
 
     # ------------------------------------------------------------------

@@ -59,3 +59,60 @@ class TestEventBus:
 
         with pytest.raises(dataclasses.FrozenInstanceError):
             event.rid = 2
+
+
+class TestCompleteFanout:
+    """A raising subscriber must not starve handlers behind it."""
+
+    def _crash(self, event):
+        raise RuntimeError("subscriber died")
+
+    def test_later_handlers_still_run(self):
+        import pytest
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(TupleInserted, self._crash)
+        bus.subscribe(TupleInserted, seen.append)
+        event = TupleInserted("r", 0.0, rid=1)
+        with pytest.raises(RuntimeError, match="subscriber died"):
+            bus.publish(event)
+        assert seen == [event]
+
+    def test_single_failure_reraises_original(self):
+        import pytest
+
+        bus = EventBus()
+        bus.subscribe(TupleInserted, self._crash)
+        bus.subscribe(TupleInserted, lambda e: None)
+        with pytest.raises(RuntimeError, match="subscriber died"):
+            bus.publish(TupleInserted("r", 0.0, rid=1))
+
+    def test_multiple_failures_raise_fanout_error(self):
+        import pytest
+
+        from repro.errors import EventFanoutError
+
+        bus = EventBus()
+        seen = []
+
+        def crash_too(event):
+            raise ValueError("second casualty")
+
+        bus.subscribe(TupleInserted, self._crash)
+        bus.subscribe(TupleInserted, seen.append)
+        bus.subscribe(TupleInserted, crash_too)
+        with pytest.raises(EventFanoutError) as excinfo:
+            bus.publish(TupleInserted("r", 0.0, rid=1))
+        assert len(seen) == 1  # the healthy middle handler was reached
+        assert len(excinfo.value.failures) == 2
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_counts_increment_even_when_handler_raises(self):
+        import pytest
+
+        bus = EventBus()
+        bus.subscribe(TupleInserted, self._crash)
+        with pytest.raises(RuntimeError):
+            bus.publish(TupleInserted("r", 0.0, rid=1))
+        assert bus.counts["TupleInserted"] == 1

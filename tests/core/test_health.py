@@ -69,3 +69,50 @@ class TestMeasureHealth:
     def test_describe_empty(self, decaying):
         decaying.evict(RowSet(range(10)), "manual")
         assert "n/a" in measure_health(decaying).describe()
+
+
+class TestHealthEdgeCases:
+    """Degenerate tables the dashboard must render without surprises."""
+
+    def test_never_inserted_table(self, clock):
+        from repro.core.table import DecayingTable
+        from repro.storage import Schema
+
+        table = DecayingTable("empty", Schema.of(v="int"), clock)
+        health = measure_health(table)
+        assert health.extent == 0
+        assert health.allocated == 0
+        assert health.tombstones == 0
+        assert health.mean_freshness is None
+        assert health.min_freshness is None
+        assert health.edible_fraction == 1.0
+        assert health.rot_spots == ()
+        assert health.holes == ()
+        assert health.largest_rot_spot == 0
+        assert health.largest_hole == 0
+
+    def test_all_pinned_table(self, decaying):
+        for rid in range(10):
+            decaying.pin(rid)
+        decaying.set_freshness(3, 0.0)  # lowering a pinned row is ignored
+        health = measure_health(decaying)
+        assert health.pinned == 10
+        assert health.extent == 10
+        assert health.fresh_count == 10
+        assert health.rotten_count == 0
+        assert health.mean_freshness == 1.0
+        assert health.rot_spots == ()
+        assert health.holes == ()
+
+    def test_full_tombstone_table(self, decaying):
+        decaying.evict(RowSet(range(10)), "decay")
+        health = measure_health(decaying)
+        assert health.extent == 0
+        assert health.tombstones == 10
+        assert health.allocated == 10
+        # one hole spanning the whole allocated rid space
+        assert health.holes == ((0, 10),)
+        assert health.largest_hole == 10
+        assert health.rot_spots == ()
+        assert health.edible_fraction == 1.0
+        assert health.mean_freshness is None

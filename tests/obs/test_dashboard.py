@@ -1,0 +1,75 @@
+"""Tests for repro.obs.dashboard — the terminal rot dashboard."""
+
+from repro.core.db import FungusDB
+from repro.obs.dashboard import build_demo_db, main, render_frame
+from repro.storage.schema import Schema
+from repro.storage.rowset import RowSet
+
+
+class TestRenderFrame:
+    def test_empty_db_renders(self):
+        frame = render_frame(FungusDB(seed=1))
+        assert "rot dashboard" in frame
+        assert "legend" in frame
+
+    def test_table_sections_present(self):
+        db = FungusDB(seed=1)
+        db.create_table("r", Schema.of(v="int"))
+        for i in range(5):
+            db.insert("r", {"v": i})
+        frame = render_frame(db, width=20)
+        assert "table r: extent=5" in frame
+        assert "bands [" in frame
+        assert "rotmap [" in frame
+        assert "spots=0" in frame
+
+    def test_holes_render_as_spaces(self):
+        db = FungusDB(seed=1)
+        db.create_table("r", Schema.of(v="int"))
+        for i in range(10):
+            db.insert("r", {"v": i})
+        db.table("r").evict(RowSet(range(5)), "manual")
+        frame = render_frame(db, width=10)
+        rotmap = next(l for l in frame.splitlines() if "rotmap" in l)
+        assert "     " in rotmap  # the first half of the rid space is a hole
+        assert "holes=1" in frame
+
+    def test_rotten_rows_render_as_dots(self):
+        db = FungusDB(seed=1)
+        db.create_table("r", Schema.of(v="int"))
+        for i in range(4):
+            db.insert("r", {"v": i})
+        for rid in range(4):
+            db.table("r").set_freshness(rid, 0.05)
+        frame = render_frame(db, width=4)
+        rotmap = next(l for l in frame.splitlines() if "rotmap" in l)
+        assert "...." in rotmap
+        assert "spots=1" in frame
+
+    def test_rates_shown_with_telemetry(self):
+        db = FungusDB(seed=1)
+        db.create_table("r", Schema.of(v="int"))
+        db.enable_telemetry()
+        frame = render_frame(db)
+        assert "rates evict=" in frame
+
+
+class TestDemoAndMain:
+    def test_build_demo_db_has_telemetry(self):
+        db = build_demo_db(seed=3, fungus_spec="egi:2,0.2")
+        assert db.telemetry is not None
+        assert "demo" in db.tables
+
+    def test_main_once_writes_prometheus(self, tmp_path, capsys):
+        from repro.obs.export import parse_prometheus
+
+        prom = tmp_path / "m.prom"
+        assert main(["--once", "--no-clear", "--prom", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "rot dashboard" in out
+        assert parse_prometheus(prom.read_text())
+
+    def test_main_multi_tick_run(self, capsys):
+        assert main(["--ticks", "12", "--interval", "0", "--no-clear"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("rot dashboard") == 12

@@ -1,0 +1,100 @@
+"""Tests for repro.obs.export — Prometheus text round-trips."""
+
+import math
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.export import parse_prometheus, render_prometheus, sample_value
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    r = MetricsRegistry()
+    counter = r.counter("repro_rows_total", "Rows seen.", ("table",))
+    counter.labels(table="a").inc(3)
+    counter.labels(table="b").inc(1)
+    r.gauge("repro_extent", "Live rows.", ("table",)).labels(table="a").set(7)
+    hist = r.histogram("repro_batch", "Batch sizes.", buckets=(1, 10))
+    hist.observe(0.5)
+    hist.observe(99)
+    r.ewma("repro_rate", "A rate.", tau=10.0).mark(5.0, now=0.0)
+    return r
+
+
+class TestRender:
+    def test_help_and_type_lines(self, registry):
+        text = render_prometheus(registry)
+        assert "# HELP repro_rows_total Rows seen." in text
+        assert "# TYPE repro_rows_total counter" in text
+        assert "# TYPE repro_extent gauge" in text
+        assert "# TYPE repro_batch histogram" in text
+        # ewma is a derived rate: exposed as a plain gauge
+        assert "# TYPE repro_rate gauge" in text
+
+    def test_sample_lines(self, registry):
+        text = render_prometheus(registry)
+        assert 'repro_rows_total{table="a"} 3' in text
+        assert 'repro_batch_bucket{le="+Inf"} 2' in text
+        assert "repro_batch_count 2" in text
+
+    def test_label_escaping(self):
+        r = MetricsRegistry()
+        r.gauge("g", "", ("path",)).labels(path='a"b\\c\nd').set(1)
+        text = render_prometheus(r)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        # and the strict reader can round-trip the escaped value
+        parse_prometheus(text)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestRoundTrip:
+    def test_parse_recovers_every_sample(self, registry):
+        samples = parse_prometheus(render_prometheus(registry))
+        assert sample_value(samples, "repro_rows_total", table="a") == 3.0
+        assert sample_value(samples, "repro_rows_total", table="b") == 1.0
+        assert sample_value(samples, "repro_extent", table="a") == 7.0
+        assert sample_value(samples, "repro_batch_bucket", le="1") == 1.0
+        assert sample_value(samples, "repro_batch_bucket", le="+Inf") == 2.0
+        assert sample_value(samples, "repro_batch_sum") == pytest.approx(99.5)
+        assert sample_value(samples, "repro_rate") == pytest.approx(0.5)
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        samples = parse_prometheus(render_prometheus(registry))
+        b1 = sample_value(samples, "repro_batch_bucket", le="1")
+        binf = sample_value(samples, "repro_batch_bucket", le="+Inf")
+        assert b1 <= binf
+        assert binf == sample_value(samples, "repro_batch_count")
+
+    def test_missing_sample_raises(self, registry):
+        samples = parse_prometheus(render_prometheus(registry))
+        with pytest.raises(ObsError):
+            sample_value(samples, "repro_rows_total", table="zz")
+
+
+class TestStrictReader:
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ObsError, match="no # TYPE"):
+            parse_prometheus("orphan_total 3\n")
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ObsError, match="malformed sample"):
+            parse_prometheus("# TYPE x counter\nx{ 3\n")
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(ObsError, match="malformed labels"):
+            parse_prometheus('# TYPE x counter\nx{bad} 3\n')
+
+    def test_duplicate_sample_rejected(self):
+        text = "# TYPE x counter\nx 1\nx 2\n"
+        with pytest.raises(ObsError, match="duplicate"):
+            parse_prometheus(text)
+
+    def test_special_values(self):
+        text = "# TYPE x gauge\nx +Inf\n# TYPE y gauge\ny NaN\n"
+        samples = parse_prometheus(text)
+        assert samples[("x", ())] == math.inf
+        assert math.isnan(samples[("y", ())])

@@ -1,0 +1,85 @@
+"""Tests for repro.obs.profile — hot-path profiling hooks."""
+
+import pytest
+
+from repro.core.db import FungusDB
+from repro.fungi import EGIFungus
+from repro.obs.profile import PROFILER, HotPathProfiler
+from repro.storage.schema import Schema
+
+
+@pytest.fixture(autouse=True)
+def _clean_profiler():
+    """The PROFILER is process-wide: leave it as we found it."""
+    PROFILER.disable()
+    PROFILER.reset()
+    yield
+    PROFILER.disable()
+    PROFILER.reset()
+
+
+class TestHotPathProfiler:
+    def test_disabled_by_default(self):
+        assert HotPathProfiler().enabled is False
+
+    def test_record_accumulates(self):
+        p = HotPathProfiler()
+        p.record("x.scan", rows=10, seconds=0.5)
+        p.record("x.scan", rows=5, seconds=0.25)
+        stats = p.snapshot()["x.scan"]
+        assert stats.calls == 2
+        assert stats.rows == 15
+        assert stats.seconds == pytest.approx(0.75)
+
+    def test_reset_clears_but_keeps_flag(self):
+        p = HotPathProfiler()
+        p.enable()
+        p.record("s")
+        p.reset()
+        assert p.snapshot() == {}
+        assert p.enabled is True
+
+    def test_snapshot_is_a_copy(self):
+        p = HotPathProfiler()
+        p.record("s", rows=1)
+        snap = p.snapshot()
+        snap["s"].rows = 999
+        assert p.snapshot()["s"].rows == 1
+
+    def test_describe_mentions_sites(self):
+        p = HotPathProfiler()
+        p.record("egi.cycle", rows=3, seconds=0.001)
+        assert "egi.cycle" in p.describe()
+        assert "calls=1" in p.describe()
+
+
+class TestInstrumentedSites:
+    def _workload(self):
+        db = FungusDB(seed=3)
+        db.create_table(
+            "r", Schema.of(v="int"), fungus=EGIFungus(seeds_per_cycle=2, decay_rate=0.2)
+        )
+        for i in range(30):
+            db.insert("r", {"v": i})
+        db.tick(10)
+        db.query("SELECT v FROM r WHERE v > 5")
+        return db
+
+    def test_disabled_records_nothing(self):
+        self._workload()
+        assert PROFILER.snapshot() == {}
+
+    def test_enabled_records_egi_and_scan_sites(self):
+        PROFILER.enable()
+        self._workload()
+        snapshot = PROFILER.snapshot()
+        assert snapshot["egi.cycle"].calls == 10
+        assert "egi.spread" in snapshot
+        assert snapshot["query.scan"].rows > 0
+        assert snapshot["egi.cycle"].seconds > 0.0
+
+    def test_table_scan_site(self):
+        PROFILER.enable()
+        db = self._workload()
+        db.table("r").storage.scan(lambda row: row["v"] > 3)
+        assert PROFILER.snapshot()["table.scan"].rows > 0

@@ -152,3 +152,58 @@ class TestDivergenceReporting:
         report = _run(config, ops)
         assert not report.ok
         assert report.steps_run == 2
+
+
+class TestTraceRecording:
+    """The --trace-dir flight recorder: spans survive restores and
+    round-trip through the JSONL validator."""
+
+    def test_trace_records_valid_span_trees(self, tmp_path):
+        from repro.obs.tracing import validate_trace
+        from repro.sim.scheduler import generate_ops
+
+        config = SimConfig(seed=3, steps=60)
+        simulator = Simulator(config, trace_dir=tmp_path)
+        report = simulator.run(generate_ops(config))
+        assert report.ok
+        assert simulator.trace_path == tmp_path / "seed-3.jsonl"
+        assert validate_trace(simulator.trace_path) == []
+
+    def test_trace_spans_continue_after_checkpoint_restore(self, tmp_path):
+        from repro.obs.tracing import read_trace
+
+        config = _mini_config()
+        ops = [
+            Op("insert", "r", (1, 2, 3)),
+            Op("checkpoint_restore"),
+            Op("tick", payload=1),
+        ]
+        simulator = Simulator(config, trace_dir=tmp_path)
+        report = simulator.run(ops)
+        assert report.ok
+        spans = read_trace(simulator.trace_path)
+        names = [span["name"] for span in spans]
+        # the tick after the restore still records: the rebuilt db was
+        # re-wired onto the persistent tracer
+        assert "checkpoint.restore" in names
+        assert "tick" in names
+        assert names.count("sim.op") == 3
+
+    def test_no_trace_dir_records_nothing(self):
+        config = _mini_config()
+        simulator = Simulator(config)
+        assert simulator.trace_path is None
+        simulator.run([Op("insert", "r", (1,))])
+
+    def test_cli_trace_dir_flag(self, tmp_path, capsys):
+        from repro.obs.__main__ import main as obs_main
+        from repro.sim.__main__ import main as sim_main
+
+        assert sim_main(["--seed", "5", "--steps", "40",
+                         "--trace-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        trace = tmp_path / "seed-5.jsonl"
+        assert trace.exists()
+        assert obs_main(["check-trace", str(trace)]) == 0
+        assert "ok (" in capsys.readouterr().out
