@@ -53,6 +53,7 @@ def test_fungus_cycle(benchmark, name, make):
     def cycle():
         return fungus.cycle(table, rng)
 
+    benchmark.extra_info["rows"] = N
     report = benchmark.pedantic(cycle, iterations=1, rounds=5)
     assert report.fungus == fungus.name
     assert len(table) == N  # decay rates are ~0, nothing exhausted

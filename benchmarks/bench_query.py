@@ -46,6 +46,7 @@ def test_full_scan_filter(benchmark):
     def scan():
         return engine.execute("SELECT count(*) FROM r WHERE v % 7 = 0").scalar()
 
+    benchmark.extra_info["rows"] = N
     count = benchmark.pedantic(scan, iterations=1, rounds=3)
     assert count > 0
 
@@ -79,5 +80,6 @@ def test_consume(benchmark):
         res = engine.execute("CONSUME SELECT v FROM r WHERE t BETWEEN 0 AND 999")
         return len(res.consumed)
 
+    benchmark.extra_info["rows"] = 1_000
     consumed = benchmark.pedantic(consume, iterations=1, rounds=5)
     assert consumed == 1_000

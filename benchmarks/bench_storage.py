@@ -31,6 +31,7 @@ def test_append_plain(benchmark):
             table.append((float(i), 1.0, i, f"k{i % 100}"))
         return table
 
+    benchmark.extra_info["rows"] = N
     table = benchmark.pedantic(build, iterations=1, rounds=3)
     assert len(table) == N
 
@@ -45,6 +46,7 @@ def test_append_indexed(benchmark):
             table.append((float(i), 1.0, i, f"k{i % 100}"))
         return table
 
+    benchmark.extra_info["rows"] = N
     table = benchmark.pedantic(build, iterations=1, rounds=3)
     assert len(table) == N
 
@@ -58,6 +60,7 @@ def test_delete_and_compact(benchmark):
         table.compact()
         return len(table)
 
+    benchmark.extra_info["rows"] = N
     remaining = benchmark.pedantic(run, iterations=1, rounds=3)
     assert remaining == N // 2
 

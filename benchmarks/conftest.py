@@ -8,6 +8,11 @@ runs just these.
 
 Run the full paper-scale series (the numbers EXPERIMENTS.md records)
 with ``python -m repro.experiments paper``.
+
+Passing ``--json [DIR]`` additionally writes one ``BENCH_<suite>.json``
+snapshot per benchmark module (p50/p95/min/mean seconds, and rows/s
+for benchmarks that set ``benchmark.extra_info["rows"]``) — the
+machine-readable record CI uploads as an artifact.
 """
 
 from __future__ import annotations
@@ -16,6 +21,36 @@ import pytest
 
 from repro.bench.reporting import render_result
 from repro.bench.runner import ExperimentResult
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--json",
+        dest="bench_json",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="write BENCH_<suite>.json benchmark snapshots to DIR "
+        "(default: current directory)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    target = session.config.getoption("bench_json")
+    if target is None:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None)
+    if not benchmarks:
+        return
+    from repro.bench.snapshots import write_snapshots
+
+    paths = write_snapshots(benchmarks, target)
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        for path in paths:
+            reporter.write_line(f"benchmark snapshot written: {path}")
 
 
 def assert_checks(result: ExperimentResult) -> None:

@@ -1,0 +1,103 @@
+"""Benchmark JSON snapshots: ``BENCH_<suite>.json`` files.
+
+:func:`write_snapshots` turns the list of pytest-benchmark result
+objects a run collected into one JSON file per benchmark suite
+(``bench_storage.py`` → ``BENCH_storage.json``), each recording the
+per-benchmark p50/p95/min/mean latency in seconds plus a rows/s
+throughput figure for benchmarks that declare their workload size via
+``benchmark.extra_info["rows"]``. The ``--json [DIR]`` option in
+``benchmarks/conftest.py`` calls this at session end; CI uploads the
+snapshots as build artifacts so run-over-run numbers can be diffed
+without re-parsing terminal tables.
+
+Quantiles are computed here from the raw timing data rather than
+trusting any particular pytest-benchmark statistics version, with the
+nearest-rank method (no interpolation) so a 3-round benchmark's p95
+is its max, never an invented value.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+SNAPSHOT_PREFIX = "BENCH_"
+SNAPSHOT_VERSION = 1
+
+
+def quantile(data: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of ``data`` (q in [0, 1])."""
+    if not data:
+        raise ValueError("quantile of empty data")
+    ordered = sorted(data)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def suite_of(fullname: str) -> str:
+    """``"bench_storage.py::test_append"`` → ``"storage"``."""
+    module = fullname.split("::", 1)[0]
+    module = module.rsplit("/", 1)[-1]
+    if module.endswith(".py"):
+        module = module[:-3]
+    if module.startswith("bench_"):
+        module = module[len("bench_") :]
+    return module or "unknown"
+
+
+def summarise(bench: Any) -> dict[str, Any]:
+    """One pytest-benchmark result object → a snapshot entry."""
+    data = list(bench.stats.data)
+    entry: dict[str, Any] = {
+        "name": bench.name,
+        "fullname": bench.fullname,
+        "rounds": len(data),
+        "min_s": min(data),
+        "mean_s": sum(data) / len(data),
+        "p50_s": quantile(data, 0.50),
+        "p95_s": quantile(data, 0.95),
+    }
+    rows = dict(getattr(bench, "extra_info", {}) or {}).get("rows")
+    if rows:
+        entry["rows"] = rows
+        p50 = entry["p50_s"]
+        entry["rows_per_s"] = rows / p50 if p50 > 0 else None
+    return entry
+
+
+def group_by_suite(benchmarks: Iterable[Any]) -> dict[str, list[dict[str, Any]]]:
+    """Snapshot entries grouped by suite name, entries name-sorted."""
+    suites: dict[str, list[dict[str, Any]]] = {}
+    for bench in benchmarks:
+        if not getattr(bench.stats, "data", None):
+            continue  # skipped or errored benchmark: nothing to record
+        suites.setdefault(suite_of(bench.fullname), []).append(summarise(bench))
+    for entries in suites.values():
+        entries.sort(key=lambda e: e["fullname"])
+    return suites
+
+
+def write_snapshots(
+    benchmarks: Iterable[Any], directory: str | Path = "."
+) -> list[Path]:
+    """Write one ``BENCH_<suite>.json`` per suite; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    for suite, entries in sorted(group_by_suite(benchmarks).items()):
+        payload = {
+            "version": SNAPSHOT_VERSION,
+            "suite": suite,
+            "benchmarks": entries,
+        }
+        path = directory / f"{SNAPSHOT_PREFIX}{suite}.json"
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        paths.append(path)
+    return paths

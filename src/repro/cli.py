@@ -28,6 +28,7 @@ from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.db import FungusDB
 from repro.core.fungus import Fungus
 from repro.errors import FungusError
+from repro.obs.forensics import DEFAULT_RULES
 from repro.workload.trace import TraceRecorder, replay_trace
 from repro.fungi import (
     BlueCheeseFungus,
@@ -51,6 +52,14 @@ commands:
   metrics [prefix]                                Prometheus-style exposition
   summary <table>                                 what has been distilled
   save <dir> / load <dir>                         checkpoint the database
+  why <table> <rowid> [--fid]                     why did that tuple die?
+                                                  (infection lineage back to
+                                                  the seed; --fid looks up by
+                                                  stable forensic id)
+  alerts                                          firing rot alerts + log
+  alerts rules | add <rule> | rm <rule>           manage alert rules, e.g.
+                                                  alerts add eviction_rate > 2 for 5
+  alerts spots <table>                            reconstructed rot spots
   explain <select>                                show the query plan
   trace start | trace stop <file> | trace replay <file>
                                                   record/replay workloads
@@ -121,6 +130,7 @@ class FungusShell:
     def __init__(self, seed: int = 0) -> None:
         self.db = FungusDB(seed=seed)
         self.db.enable_telemetry()
+        self.db.enable_forensics(rules=DEFAULT_RULES)
         self._rng = random.Random(seed)
         self._commands: dict[str, Callable[[list[str]], str]] = {
             "create": self._cmd_create,
@@ -133,6 +143,8 @@ class FungusShell:
             "summary": self._cmd_summary,
             "save": self._cmd_save,
             "load": self._cmd_load,
+            "why": self._cmd_why,
+            "alerts": self._cmd_alerts,
             "explain": self._cmd_explain,
             "trace": self._cmd_trace,
             "help": lambda args: HELP,
@@ -366,10 +378,67 @@ class FungusShell:
     def _cmd_load(self, args: list[str]) -> str:
         if len(args) != 1:
             return "error: usage: load <dir>"
+        old_db = self.db
         self.db = load_checkpoint(args[0], telemetry=True)
+        # the restored forensics (or a fresh layer) closes out the live
+        # session being replaced: its rows die with cause "restored-over"
+        forensics = self.db.forensics
+        if forensics is None:
+            forensics = self.db.enable_forensics(rules=DEFAULT_RULES)
+        overwritten = forensics.record_restored_over(old_db)
+        old_db.disable_forensics()
+        old_db.disable_telemetry()
+        suffix = (
+            f"; {overwritten} live tuple(s) of the previous session recorded "
+            f"as restored-over" if overwritten else ""
+        )
         return (
             f"loaded {len(self.db.tables)} table(s); clock at {self.db.now:g} "
-            f"(fungi reset to none — recreate policies as needed)"
+            f"(fungi reset to none — recreate policies as needed){suffix}"
+        )
+
+    def _cmd_why(self, args: list[str]) -> str:
+        by_fid = "--fid" in args
+        args = [a for a in args if a != "--fid"]
+        if len(args) != 2:
+            return "error: usage: why <table> <rowid> [--fid]"
+        forensics = self.db.forensics
+        if forensics is None:
+            return "error: forensics not enabled on this database"
+        return forensics.why_text(args[0], int(args[1]), by_fid=by_fid)
+
+    def _cmd_alerts(self, args: list[str]) -> str:
+        forensics = self.db.forensics
+        if forensics is None:
+            return "error: forensics not enabled on this database"
+        if not args:
+            return forensics.alerts_text()
+        action = args[0]
+        if action == "rules":
+            rules = forensics.rules
+            if not rules:
+                return "no alert rules armed"
+            return "\n".join(f"{rule.text}" for rule in rules)
+        if action == "add":
+            if len(args) < 2:
+                return "error: usage: alerts add <signal> <op> <threshold> [for <N>]"
+            rule = forensics.add_rule(" ".join(args[1:]))
+            return f"armed rule: {rule.text}"
+        if action in ("rm", "remove"):
+            if len(args) < 2:
+                return "error: usage: alerts rm <rule text>"
+            text = " ".join(args[1:])
+            if forensics.remove_rule(text):
+                return f"removed rule: {' '.join(text.split())}"
+            return f"error: no such rule {text!r}"
+        if action == "spots":
+            if len(args) != 2:
+                return "error: usage: alerts spots <table>"
+            return forensics.spots_text(args[1])
+        return (
+            f"error: unknown alerts action {action!r}; "
+            f"try: alerts | alerts rules | alerts add <rule> | "
+            f"alerts rm <rule> | alerts spots <table>"
         )
 
 

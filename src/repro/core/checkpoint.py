@@ -70,6 +70,15 @@ def save_checkpoint(db: FungusDB, directory: str | Path) -> list[str]:
         with open(store_tmp, "w", encoding="utf-8") as fh:
             json.dump(db.store.to_dict(), fh)
         os.replace(store_tmp, directory / "summaries.json")
+        forensics = getattr(db, "forensics", None)
+        if forensics is not None:
+            # lineage survives the checkpoint: biographies in live-row
+            # ordinal order (rids are renumbered on restore), death
+            # records and alert rules/log verbatim
+            forensics_tmp = directory / "forensics.json.tmp"
+            with open(forensics_tmp, "w", encoding="utf-8") as fh:
+                json.dump(forensics.to_dict(), fh)
+            os.replace(forensics_tmp, directory / "forensics.json")
         manifest = {
             "manifest_version": MANIFEST_VERSION,
             "clock": db.clock.now,
@@ -77,6 +86,7 @@ def save_checkpoint(db: FungusDB, directory: str | Path) -> list[str]:
             "tables": tables,
             "pinned": pinned,
             "store": True,
+            "forensics": forensics is not None,
         }
         tmp = directory / (MANIFEST_NAME + ".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
@@ -91,6 +101,7 @@ def load_checkpoint(
     table_options: Mapping[str, Mapping[str, Any]] | None = None,
     telemetry: bool = False,
     tracer: Any | None = None,
+    forensics: bool | None = None,
 ) -> FungusDB:
     """Rebuild a FungusDB from :func:`save_checkpoint` output.
 
@@ -103,6 +114,14 @@ def load_checkpoint(
     the rebuilt database before the restore runs, so the
     ``checkpoint.restore`` span lands in the caller's trace (the sim
     driver's flight recorder survives restores this way).
+
+    ``forensics=None`` (the default) re-attaches the forensics layer
+    exactly when the checkpoint was saved with one — its lineage
+    store, alert rules and alert log come back from
+    ``forensics.json`` and the saved biographies are rebound to the
+    replayed rows (a restore is not a birth: no death records, no
+    insert attribution, no fid drift). ``True`` forces a (fresh)
+    layer, ``False`` suppresses it.
 
     After each table's rows are replayed, a
     :class:`~repro.core.events.RestoreCompleted` event is published on
@@ -158,6 +177,32 @@ def load_checkpoint(
         db.tracer = tracer
         db.clock.tracer = tracer
         db.engine.tracer = tracer
+
+    want_forensics = (
+        bool(manifest.get("forensics")) if forensics is None else forensics
+    )
+    if want_forensics:
+        forensics_path = directory / "forensics.json"
+        if manifest.get("forensics"):
+            try:
+                with open(forensics_path, encoding="utf-8") as fh:
+                    forensics_data = json.load(fh)
+            except OSError as exc:
+                raise SnapshotError(
+                    f"cannot read forensics state {forensics_path}: {exc}"
+                ) from exc
+            except json.JSONDecodeError as exc:
+                raise SnapshotError(
+                    f"corrupt forensics state {forensics_path}: {exc}"
+                ) from exc
+            from repro.obs.forensics import Forensics
+
+            # attach BEFORE row replay: the collector sees the replayed
+            # inserts and rebinds them to the saved biographies when each
+            # table's RestoreCompleted arrives
+            db.forensics = Forensics.from_saved(db, forensics_data)
+        else:
+            db.enable_forensics()
 
     with db.tracer.span("checkpoint.restore", path=str(directory)) as span:
         rows_restored = 0

@@ -70,6 +70,7 @@ class FungusDB:
         self._distill_on_consume: dict[str, bool] = {}
         self.tracer = NULL_TRACER
         self.telemetry = None
+        self.forensics = None
         self.engine.add_consume_hook(self._before_consume)
         self.engine.add_access_hook(self._on_access)
 
@@ -129,8 +130,17 @@ class FungusDB:
         return table
 
     def drop_table(self, name: str) -> None:
-        """Remove a relation entirely (its summaries survive)."""
-        self._table(name)  # raise early on unknown names
+        """Remove a relation entirely (its summaries survive).
+
+        The remaining extent is evicted with reason ``"truncate"``
+        first, so every tuple's departure is observable — forensics
+        records a ``truncated`` death for each, instead of the rows
+        silently vanishing with the catalog entry.
+        """
+        table = self._table(name)  # raise early on unknown names
+        live = table.rowset()
+        if live:
+            table.evict(live, reason="truncate")
         del self.tables[name]
         del self.policies[name]
         del self._distill_on_consume[name]
@@ -211,8 +221,11 @@ class FungusDB:
         if self._distill_on_consume.get(table_name, False):
             self.distiller.distill_rowset(table, consumed, reason="consume")
             self.policies[table_name].stats.tuples_distilled += len(consumed)
+        # the executor exposes the SQL text of the statement currently
+        # running — Law-2 death records carry the consuming query verbatim
+        query_text = self.engine.current_sql or "consume"
         for rid in consumed:
-            self.bus.publish(TupleConsumed(table_name, self.clock.now, rid, query="consume"))
+            self.bus.publish(TupleConsumed(table_name, self.clock.now, rid, query=query_text))
         table.set_eviction_reason("consume")
 
     def _on_access(self, table_name: str, matched: RowSet) -> None:
@@ -258,6 +271,41 @@ class FungusDB:
         """Detach telemetry (no-op when not enabled)."""
         if self.telemetry is not None:
             self.telemetry.close()
+
+    def enable_forensics(
+        self,
+        rules: Sequence[str] = (),
+        trajectory_len: int = 16,
+        max_deaths: int = 10_000,
+        max_alerts: int = 1_000,
+    ):
+        """Attach rot forensics; returns the :class:`Forensics` layer.
+
+        From this point every tuple leaving a relation closes into a
+        death record with full infection lineage, and the declarative
+        ``rules`` are evaluated against rot signals on every completed
+        tick. Idempotent: a second call returns the existing layer
+        (``rules`` from later calls are added to it).
+        """
+        from repro.obs.forensics import Forensics
+
+        if self.forensics is None:
+            self.forensics = Forensics(
+                self,
+                trajectory_len=trajectory_len,
+                max_deaths=max_deaths,
+                max_alerts=max_alerts,
+                rules=rules,
+            )
+        else:
+            for rule in rules:
+                self.forensics.add_rule(rule)
+        return self.forensics
+
+    def disable_forensics(self) -> None:
+        """Detach forensics (no-op when not enabled)."""
+        if self.forensics is not None:
+            self.forensics.close()
 
     # ------------------------------------------------------------------
     # introspection

@@ -32,10 +32,18 @@ class TupleInserted(Event):
 
 @dataclass(frozen=True)
 class TupleInfected(Event):
-    """A fungus seeded or spread onto a tuple."""
+    """A fungus seeded or spread onto a tuple.
+
+    ``origin`` is ``"seed"`` (age-biased selection landed here) or
+    ``"spread"`` (infection grew in from a neighbour); for spread
+    infections ``source`` is the row id of the infecting neighbour —
+    the edge the forensics layer chains into infection lineage.
+    """
 
     rid: int
     fungus: str
+    origin: str = "seed"
+    source: int | None = None
 
 
 @dataclass(frozen=True)
@@ -80,6 +88,48 @@ class TickCompleted(Event):
     seeded: int
     decayed: int
     evicted: int
+
+
+@dataclass(frozen=True)
+class TableCompacted(Event):
+    """Compaction renumbered a table's row space.
+
+    ``remap`` carries the ``(old_rid, new_rid)`` pairs of surviving
+    rows, so row-keyed subscribers (the forensics collector's live
+    biographies) can follow their subjects across the renumbering.
+    """
+
+    remap: tuple = field(default=())
+
+
+@dataclass(frozen=True)
+class DeathRecorded(Event):
+    """The forensics layer closed one tuple's biography.
+
+    Published after the corresponding :class:`TupleEvicted`, with the
+    forensic cause (``evicted``/``consumed``/``truncated``/
+    ``restored-over``) already resolved — the metrics collector feeds
+    ``repro_deaths_total`` from it.
+    """
+
+    rid: int
+    cause: str
+    fungus: str | None = None
+
+
+@dataclass(frozen=True)
+class AlertFired(Event):
+    """A rot-rate alert rule started firing for a table."""
+
+    rule: str
+    value: float
+
+
+@dataclass(frozen=True)
+class AlertResolved(Event):
+    """A previously firing rot-rate alert rule stopped matching."""
+
+    rule: str
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,7 @@ from typing import Any, Iterator, Mapping, Sequence
 from repro.core.clock import DecayClock
 from repro.core.events import (
     EventBus,
+    TableCompacted,
     TupleDecayed,
     TupleEvicted,
     TupleInfected,
@@ -154,9 +155,22 @@ class DecayingTable:
         """Full row (t, f, attributes) of a live row."""
         return self.storage.row_dict(rid)
 
-    def mark_infected(self, rid: int, fungus: str) -> None:
-        """Publish an infection event (fungi call this when seeding/spreading)."""
-        self.bus.publish(TupleInfected(self.name, self.clock.now, rid, fungus))
+    def mark_infected(
+        self,
+        rid: int,
+        fungus: str,
+        origin: str = "seed",
+        source: int | None = None,
+    ) -> None:
+        """Publish an infection event (fungi call this when seeding/spreading).
+
+        ``origin`` and ``source`` attribute the infection: a ``"seed"``
+        landed here directly, a ``"spread"`` grew in from neighbour row
+        ``source`` — the edges death provenance chains back to a seed.
+        """
+        self.bus.publish(
+            TupleInfected(self.name, self.clock.now, rid, fungus, origin, source)
+        )
 
     def pin(self, rid: int) -> None:
         """Make a row immune to decay (it can still be consumed/evicted).
@@ -306,6 +320,9 @@ class DecayingTable:
         """Keep exhausted/pinned sets valid across compaction."""
         self._exhausted = {remap[rid] for rid in self._exhausted if rid in remap}
         self._pinned = {remap[rid] for rid in self._pinned if rid in remap}
+        self.bus.publish(
+            TableCompacted(self.name, self.clock.now, remap=tuple(sorted(remap.items())))
+        )
 
     # ------------------------------------------------------------------
     # bulk views

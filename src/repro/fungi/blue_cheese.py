@@ -106,11 +106,13 @@ class BlueCheeseFungus(Fungus):
             right_edge = max(spot.members)
             prev_rid, _ = table.neighbours(left_edge) if table.is_live(left_edge) else (None, None)
             _, next_rid = table.neighbours(right_edge) if table.is_live(right_edge) else (None, None)
-            for frontier in (prev_rid, next_rid):
+            for frontier, edge in ((prev_rid, left_edge), (next_rid, right_edge)):
                 if frontier is not None and frontier not in infected_anywhere:
                     spot.members.add(frontier)
                     infected_anywhere.add(frontier)
-                    table.mark_infected(frontier, self.name)
+                    table.mark_infected(
+                        frontier, self.name, origin="spread", source=edge
+                    )
                     report.spread += 1
             # accelerating decay of all members
             rate = min(1.0, self.base_rate * (1.0 + self.acceleration * spot.age))

@@ -106,19 +106,21 @@ class EGIFungus(Fungus):
             return report
 
         # 2. spread: infect direct time-axis neighbours of every
-        #    currently infected element ("bi-directional growth")
+        #    currently infected element ("bi-directional growth").
+        #    Each frontier row remembers which neighbour infected it —
+        #    the provenance edge the forensics lineage chains on.
         if self.spread:
-            frontier: set[int] = set()
+            frontier: dict[int, int] = {}
             for rid in self._infected:
                 if not table.is_live(rid):
                     continue
                 prev_rid, next_rid = table.neighbours(rid)
                 for neighbour in (prev_rid, next_rid):
                     if neighbour is not None and neighbour not in self._infected:
-                        frontier.add(neighbour)
-            for rid in frontier:
+                        frontier.setdefault(neighbour, rid)
+            for rid, source in frontier.items():
                 self._infected.add(rid)
-                table.mark_infected(rid, self.name)
+                table.mark_infected(rid, self.name, origin="spread", source=source)
                 report.spread += 1
             if PROFILER.enabled:
                 PROFILER.record("egi.spread", rows=len(frontier))

@@ -7,12 +7,24 @@ Subcommands:
     ids, parents present and properly ordered, child intervals nested
     within their parent). CI runs this over the traces the simulation
     sweep records; exit status 1 means at least one trace is broken.
+
+``why <checkpoint-dir-or-forensics.json> <table> <ref>``
+    Offline death provenance: load the forensics state a checkpoint
+    persisted and print the ASCII infection-lineage tree for one
+    tuple. ``ref`` is a forensic id by default (stable across
+    restores); ``--rid`` switches to the save-time live-row ordinal.
+
+``alerts <checkpoint-dir-or-forensics.json>``
+    Print the persisted rot-rate alert rules and transition log, and
+    (``--spots``) the reconstructed rot spots per table.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.errors import ObsError
 from repro.obs.tracing import read_trace, validate_spans
@@ -41,6 +53,66 @@ def check_trace(paths: list[str]) -> int:
     return 1 if failures else 0
 
 
+def _load_forensics_state(path: str):
+    """``(store, rules)`` from a forensics.json or a checkpoint dir."""
+    from repro.obs.forensics.store import LineageStore
+
+    target = Path(path)
+    if target.is_dir():
+        target = target / "forensics.json"
+    try:
+        with open(target, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise ObsError(f"cannot read forensics state {target}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ObsError(f"corrupt forensics state {target}: {exc}") from exc
+    store, _ = LineageStore.from_dict(data["store"], bind_lives=True)
+    return store, list(data.get("rules", ()))
+
+
+def why(path: str, table: str, ref: int, by_rid: bool = False) -> int:
+    from repro.obs.forensics.render import render_chain
+
+    try:
+        store, _ = _load_forensics_state(path)
+    except ObsError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    chain = store.why(table, ref, by_fid=not by_rid)
+    if chain is None:
+        kind = "rid" if by_rid else "fid"
+        have = ", ".join(store.tables()) or "(no tables)"
+        print(
+            f"no forensic record for {table!r} {kind} {ref} — tables: {have}",
+            file=sys.stderr,
+        )
+        return 1
+    print(render_chain(chain, ref, by_fid=not by_rid))
+    return 0
+
+
+def alerts(path: str, spots: bool = False) -> int:
+    from repro.obs.forensics.render import render_alert_log, render_spots
+
+    try:
+        store, rules = _load_forensics_state(path)
+    except ObsError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    if rules:
+        print(f"{len(rules)} rule(s) armed:")
+        for rule in rules:
+            print(f"  {rule}")
+    else:
+        print("no alert rules armed")
+    print(render_alert_log(store.alert_log))
+    if spots:
+        for table in store.tables():
+            print(render_spots(table, store.spots(table)))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -51,9 +123,35 @@ def main(argv: list[str] | None = None) -> int:
         "check-trace", help="validate JSONL trace files (span-tree integrity)"
     )
     check.add_argument("paths", nargs="+", metavar="FILE")
+    why_parser = sub.add_parser(
+        "why", help="print one tuple's infection lineage from saved forensics"
+    )
+    why_parser.add_argument(
+        "path", metavar="CHECKPOINT", help="checkpoint directory or forensics.json"
+    )
+    why_parser.add_argument("table", help="table name")
+    why_parser.add_argument("ref", type=int, help="forensic id (or rid with --rid)")
+    why_parser.add_argument(
+        "--rid",
+        action="store_true",
+        help="treat REF as the save-time live-row ordinal instead of a fid",
+    )
+    alerts_parser = sub.add_parser(
+        "alerts", help="print saved alert rules, transition log, and rot spots"
+    )
+    alerts_parser.add_argument(
+        "path", metavar="CHECKPOINT", help="checkpoint directory or forensics.json"
+    )
+    alerts_parser.add_argument(
+        "--spots", action="store_true", help="also reconstruct rot spots per table"
+    )
     args = parser.parse_args(argv)
     if args.command == "check-trace":
         return check_trace(args.paths)
+    if args.command == "why":
+        return why(args.path, args.table, args.ref, by_rid=args.rid)
+    if args.command == "alerts":
+        return alerts(args.path, spots=args.spots)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

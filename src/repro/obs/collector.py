@@ -38,7 +38,15 @@ The full metric catalogue (all names prefixed ``repro_``):
 ``repro_pinned``                    gauge       table
 ``repro_tombstone_ratio``           gauge       table
 ``repro_band_occupancy``            gauge       table, band
+``repro_deaths_total``              counter     table, cause
+``repro_alerts_fired_total``        counter     table, rule
+``repro_alert_active``              gauge       table, rule
 ==================================  ==========  ===========================
+
+The last three are fed by the forensics layer (when enabled on the
+same database): ``repro_deaths_total`` counts closed biographies by
+resolved forensic cause, and the alert pair mirrors the rot-rate
+alert engine (``repro_alert_active`` is 1 while a rule fires).
 """
 
 from __future__ import annotations
@@ -46,6 +54,9 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.events import (
+    AlertFired,
+    AlertResolved,
+    DeathRecorded,
     RestoreCompleted,
     SummaryCreated,
     TickCompleted,
@@ -162,6 +173,21 @@ class BusCollector:
             "Live tuples per freshness band.",
             ("table", "band"),
         )
+        self.deaths = r.counter(
+            "repro_deaths_total",
+            "Closed tuple biographies, by forensic cause.",
+            ("table", "cause"),
+        )
+        self.alerts_fired = r.counter(
+            "repro_alerts_fired_total",
+            "Rot-rate alert rule firings.",
+            ("table", "rule"),
+        )
+        self.alert_active = r.gauge(
+            "repro_alert_active",
+            "1 while a rot-rate alert rule is firing.",
+            ("table", "rule"),
+        )
 
     # ------------------------------------------------------------------
     # wiring
@@ -181,6 +207,9 @@ class BusCollector:
             (SummaryCreated, self._on_summary),
             (TickCompleted, self._on_tick),
             (RestoreCompleted, self._on_restore),
+            (DeathRecorded, self._on_death),
+            (AlertFired, self._on_alert_fired),
+            (AlertResolved, self._on_alert_resolved),
         ]
         for event_type, handler in pairs:
             db.bus.subscribe(event_type, handler)
@@ -233,6 +262,16 @@ class BusCollector:
         self._ticks_seen[event.table] = seen
         if seen % self.sample_every == 0:
             self.sample_table(event.table)
+
+    def _on_death(self, event: DeathRecorded) -> None:
+        self.deaths.labels(table=event.table, cause=event.cause).inc()
+
+    def _on_alert_fired(self, event: AlertFired) -> None:
+        self.alerts_fired.labels(table=event.table, rule=event.rule).inc()
+        self.alert_active.labels(table=event.table, rule=event.rule).set(1)
+
+    def _on_alert_resolved(self, event: AlertResolved) -> None:
+        self.alert_active.labels(table=event.table, rule=event.rule).set(0)
 
     def _on_restore(self, event: RestoreCompleted) -> None:
         # the replayed TupleInserted events were counted as new inserts;

@@ -116,6 +116,26 @@ def render_frame(db: FungusDB, width: int = 60) -> str:
             lines.append(
                 f"  rates evict={evict:.3f}/tick consume={consume:.3f}/tick"
             )
+        forensics = getattr(db, "forensics", None)
+        if forensics is not None:
+            causes: dict[str, int] = {}
+            for record in forensics.deaths(name):
+                causes[record.cause] = causes.get(record.cause, 0) + 1
+            cause_text = (
+                " ".join(f"{cause}={n}" for cause, n in sorted(causes.items()))
+                or "none"
+            )
+            lines.append(f"  deaths {cause_text}")
+    forensics = getattr(db, "forensics", None)
+    if forensics is not None:
+        active = forensics.active_alerts()
+        lines.append("")
+        if active:
+            lines.append(f"ALERTS ({len(active)} firing):")
+            for table_name, rule, value in active:
+                lines.append(f"  [{table_name}] {rule}  (value {value:g})")
+        else:
+            lines.append(f"alerts: none firing ({len(forensics.rules)} rule(s) armed)")
     legend = f"legend: {BAND_CHARS[FreshnessBand.FRESH]}=fresh " \
              f"{BAND_CHARS[FreshnessBand.STALE]}=stale " \
              f"{BAND_CHARS[FreshnessBand.ROTTEN]}=rotten (space)=hole"
@@ -165,9 +185,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-clear", action="store_true", help="append frames instead of redrawing"
     )
+    parser.add_argument(
+        "--forensics",
+        action="store_true",
+        help="attach death provenance + the default rot-rate alert rules",
+    )
     args = parser.parse_args(argv)
 
     db = build_demo_db(args.seed, args.fungus)
+    if args.forensics:
+        from repro.obs.forensics import DEFAULT_RULES
+
+        db.enable_forensics(rules=DEFAULT_RULES)
     import random
 
     rng = random.Random(args.seed)

@@ -1,0 +1,147 @@
+"""ASCII rendering of forensic answers: why-trees, spots, alerts.
+
+Pure functions from store objects to text — the shell, the ``python
+-m repro.obs`` CLI and the dashboard all call these, so the formats
+stay identical everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.obs.forensics.store import (
+    AlertLogEntry,
+    Chain,
+    ChainLink,
+    RotSpot,
+    TERMINUS_CYCLE,
+    TERMINUS_EXPIRED,
+    TERMINUS_INSERTED,
+    TERMINUS_SEED,
+    TERMINUS_TRUNCATED,
+)
+
+_TERMINUS_NOTE = {
+    TERMINUS_SEED: "seed — chain complete",
+    TERMINUS_INSERTED: "never infected — died uninfected",
+    TERMINUS_EXPIRED: "ancestor record expired from the bounded store",
+    TERMINUS_TRUNCATED: "lineage truncated (no recorded source)",
+    TERMINUS_CYCLE: "lineage cycle detected (bug?)",
+}
+
+
+def _fmt_tick(tick: float | None) -> str:
+    if tick is None:
+        return "?"
+    if float(tick).is_integer():
+        return str(int(tick))
+    return f"{tick:g}"
+
+
+def _describe_link(link: ChainLink) -> str:
+    if link.alive:
+        life = link.life
+        head = f"fid {link.fid} [alive, rid {life.rid if life else '?'}]"
+    else:
+        record = link.record
+        head = f"fid {link.fid} [{record.cause} @{_fmt_tick(record.death_tick)}]"
+        if record.cause == "consumed" and record.query:
+            head += f' by "{record.query}"'
+    infection = link.infection
+    if infection is not None:
+        if infection.origin == "seed":
+            head += (
+                f" <- seeded by {infection.fungus} @{_fmt_tick(infection.tick)}"
+            )
+        else:
+            source = (
+                f"fid {infection.source_fid}"
+                if infection.source_fid is not None
+                else "unknown"
+            )
+            head += (
+                f" <- spread from {source}"
+                f" ({infection.fungus} @{_fmt_tick(infection.tick)})"
+            )
+    return head
+
+
+def _trajectory_line(points: Sequence[tuple[float, float]]) -> str | None:
+    if not points:
+        return None
+    shown = list(points)[-8:]
+    path = " ".join(f"{_fmt_tick(t)}:{f:.2f}" for t, f in shown)
+    prefix = "... " if len(points) > len(shown) else ""
+    return f"f trajectory: {prefix}{path}"
+
+
+def render_chain(chain: Chain, ref: int, by_fid: bool = False) -> str:
+    """The ``why`` answer: an ASCII lineage tree, subject first."""
+    kind = "fid" if by_fid else "rid"
+    lines = [f"why {chain.table} {kind} {ref}:"]
+    for depth, link in enumerate(chain.links):
+        indent = "   " * depth
+        branch = "└─ " if depth else ""
+        lines.append(f"{indent}{branch}{_describe_link(link)}")
+        body_indent = indent + ("   " if depth else "")
+        if depth == 0:
+            subject = link.record if link.record is not None else link.life
+            if subject is not None:
+                trajectory = _trajectory_line(tuple(subject.trajectory))
+                if trajectory:
+                    lines.append(f"{body_indent}   {trajectory}")
+    depth = len(chain.links)
+    indent = "   " * depth
+    note = _TERMINUS_NOTE.get(chain.terminus, chain.terminus)
+    lines.append(f"{indent}({note})")
+    return "\n".join(lines)
+
+
+def render_spots(table: str, spots: Sequence[RotSpot]) -> str:
+    """Rot-spot reconstruction as a fixed-width table + growth curves."""
+    if not spots:
+        return f"no rot spots reconstructed for {table!r}"
+    lines = [
+        f"rot spots in {table!r} ({len(spots)}):",
+        f"{'fid range':>12}  {'size':>4}  {'born':>6}  {'deaths':>13}  fungi",
+    ]
+    for spot in spots:
+        fid_range = (
+            f"{spot.fid_lo}-{spot.fid_hi}" if spot.fid_hi != spot.fid_lo else str(spot.fid_lo)
+        )
+        deaths = f"{_fmt_tick(spot.first_death)}..{_fmt_tick(spot.last_death)}"
+        lines.append(
+            f"{fid_range:>12}  {spot.size:>4}  {_fmt_tick(spot.birth_tick):>6}"
+            f"  {deaths:>13}  {','.join(spot.fungi) or '-'}"
+        )
+        curve = " ".join(f"{_fmt_tick(t)}:{n}" for t, n in spot.growth[:10])
+        more = " ..." if len(spot.growth) > 10 else ""
+        lines.append(f"{'':>12}  growth {curve}{more}")
+    return "\n".join(lines)
+
+
+def render_active_alerts(active: Sequence[tuple[str, str, float]]) -> str:
+    """Currently firing alerts, one line each."""
+    if not active:
+        return "no alerts firing"
+    lines = [f"{len(active)} alert(s) firing:"]
+    for table, rule, value in active:
+        value_text = "inf" if math.isinf(value) else f"{value:g}"
+        lines.append(f"  [{table}] {rule}  (value {value_text})")
+    return "\n".join(lines)
+
+
+def render_alert_log(entries: Iterable[AlertLogEntry], limit: int = 20) -> str:
+    """The most recent alert transitions, newest last."""
+    tail = list(entries)[-limit:]
+    if not tail:
+        return "alert log is empty"
+    lines = [f"last {len(tail)} alert transition(s):"]
+    for entry in tail:
+        value_text = "inf" if math.isinf(entry.value) else f"{entry.value:g}"
+        lines.append(
+            f"  t={_fmt_tick(entry.tick):>5} [{entry.table}] {entry.action:<8} "
+            f"{entry.rule}  (value {value_text})"
+        )
+    return "\n".join(lines)

@@ -59,6 +59,10 @@ class QueryEngine:
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
         self.tracer = NULL_TRACER
+        #: SQL text of the statement currently executing (None outside
+        #: execute()); consume hooks read it so Law-2 death provenance
+        #: records the consuming query verbatim.
+        self.current_sql: str | None = None
         self._consume_hooks: list[ConsumeHook] = []
         self._access_hooks: list[ConsumeHook] = []
         self._insert_delegates: dict[str, InsertDelegate] = {}
@@ -102,21 +106,25 @@ class QueryEngine:
         """Parse (if needed), plan, and run one statement."""
         stmt = parse(query) if isinstance(query, str) else query
         kind = _statement_kind(stmt)
-        with self.tracer.span("query", kind=kind) as span:
-            if isinstance(stmt, InsertStmt):
-                result = self._run_insert(stmt)
-            elif isinstance(stmt, DeleteStmt):
-                result = self._run_delete(stmt)
-            else:
-                plan = plan_select(stmt, self.catalog)
-                result = self._run(plan)
-            span.set(
-                rows=len(result),
-                rows_scanned=result.stats.rows_scanned,
-                rows_matched=result.stats.rows_matched,
-                rows_consumed=result.stats.rows_consumed,
-            )
-            return result
+        self.current_sql = query if isinstance(query, str) else None
+        try:
+            with self.tracer.span("query", kind=kind) as span:
+                if isinstance(stmt, InsertStmt):
+                    result = self._run_insert(stmt)
+                elif isinstance(stmt, DeleteStmt):
+                    result = self._run_delete(stmt)
+                else:
+                    plan = plan_select(stmt, self.catalog)
+                    result = self._run(plan)
+                span.set(
+                    rows=len(result),
+                    rows_scanned=result.stats.rows_scanned,
+                    rows_matched=result.stats.rows_matched,
+                    rows_consumed=result.stats.rows_consumed,
+                )
+                return result
+        finally:
+            self.current_sql = None
 
     def explain(self, query: str | SelectStmt) -> SelectPlan:
         """Return the SELECT plan without executing (tests, curiosity)."""

@@ -55,6 +55,13 @@ def main(argv: list[str] | None = None) -> int:
         "(the flight recorder for debugging a divergence)",
     )
     parser.add_argument(
+        "--forensics",
+        action="store_true",
+        help="enable death provenance: every eviction must resolve a "
+        "complete infection chain (audited at end of run; divergences "
+        "get a recent-deaths lineage dump)",
+    )
+    parser.add_argument(
         "--mutant",
         choices=sorted(mutants.MUTANTS),
         help="install a deliberately broken mutant first (the run "
@@ -71,7 +78,9 @@ def main(argv: list[str] | None = None) -> int:
         for seed in args.seed:
             config = SimConfig(seed=seed, steps=args.steps)
             ops = generate_ops(config)
-            simulator = Simulator(config, trace_dir=args.trace_dir)
+            simulator = Simulator(
+                config, trace_dir=args.trace_dir, forensics=args.forensics
+            )
             report = simulator.run(ops)
             print(report.describe())
             if args.trace_dir and simulator.trace_path is not None:

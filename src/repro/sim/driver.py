@@ -50,15 +50,26 @@ from repro.storage.schema import Schema
 
 @dataclass(frozen=True)
 class Divergence:
-    """One step where the two systems (or an invariant) disagreed."""
+    """One step where the two systems (or an invariant) disagreed.
+
+    When the run has forensics enabled, ``lineage`` carries the
+    rendered infection chains of the most recent deaths in the
+    offending table — the flight-recorder view of *which tuples died,
+    why, and who infected them* right before the disagreement.
+    """
 
     step: int
     op: Op
     problems: tuple[str, ...]
+    lineage: tuple[str, ...] = ()
 
     def describe(self) -> str:
         lines = [f"step {self.step} {self.op}:"]
         lines += [f"  - {problem}" for problem in self.problems]
+        if self.lineage:
+            lines.append("  recent deaths (forensics):")
+            for chain in self.lineage:
+                lines += [f"    {line}" for line in chain.splitlines()]
         return "\n".join(lines)
 
 
@@ -73,22 +84,36 @@ class SimReport:
     faults_injected: int = 0
     checkpoints: int = 0
     rows_inserted: int = 0
+    deaths_recorded: int = 0
+    forensic_problems: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.divergences
+        return not self.divergences and not self.forensic_problems
 
     def describe(self) -> str:
-        status = "ok" if self.ok else f"{len(self.divergences)} DIVERGENCES"
+        if self.ok:
+            status = "ok"
+        else:
+            status = (
+                f"{len(self.divergences)} DIVERGENCES, "
+                f"{len(self.forensic_problems)} FORENSIC PROBLEMS"
+            )
         line = (
             f"seed {self.seed}: {self.steps_run} steps, "
             f"{self.rows_inserted} rows inserted, "
             f"{self.faults_injected} faults, {self.checkpoints} checkpoints "
             f"-> {status}"
         )
+        if self.deaths_recorded:
+            line += f" ({self.deaths_recorded} deaths audited)"
         if self.ok:
             return line
-        return "\n".join([line] + [d.describe() for d in self.divergences])
+        return "\n".join(
+            [line]
+            + [d.describe() for d in self.divergences]
+            + [f"forensics: {p}" for p in self.forensic_problems]
+        )
 
 
 class Simulator:
@@ -102,8 +127,10 @@ class Simulator:
         workdir: str | Path | None = None,
         stop_on_divergence: bool = True,
         trace_dir: str | Path | None = None,
+        forensics: bool = False,
     ) -> None:
         self.config = config
+        self.forensics = forensics
         self._own_workdir = workdir is None
         self.workdir = (
             Path(tempfile.mkdtemp(prefix="repro-sim-"))
@@ -133,6 +160,8 @@ class Simulator:
 
     def _build_db(self) -> FungusDB:
         db = FungusDB(seed=self.config.seed)
+        if self.forensics:
+            db.enable_forensics()
         for spec in self.config.tables:
             db.create_table(
                 spec.name,
@@ -176,9 +205,29 @@ class Simulator:
                 diverged = self.step(index, op)
                 if diverged and self.stop_on_divergence:
                     break
+            self._forensic_audit()
         finally:
             self.close()
         return self.report
+
+    def _forensic_audit(self) -> None:
+        """End-of-run forensic contract check (forensics runs only).
+
+        Every death recorded across the whole run — checkpoint/restore
+        cycles included — must carry a known cause and an infection
+        chain that resolves back to a seed event (or an uninfected
+        insertion). Violations fail the report like a divergence.
+        """
+        if not self.forensics:
+            return
+        layer = self.db.forensics
+        if layer is None:
+            self.report.forensic_problems.append(
+                "forensics layer missing after run (lost across a restore?)"
+            )
+            return
+        self.report.deaths_recorded = layer.store.deaths_recorded
+        self.report.forensic_problems.extend(layer.audit())
 
     def step(self, index: int, op: Op) -> bool:
         """Apply one op to both systems, then diff them. True = diverged."""
@@ -201,9 +250,26 @@ class Simulator:
         except Exception as exc:
             problems.append(f"state check raised {type(exc).__name__}: {exc}")
         if problems:
-            self.report.divergences.append(Divergence(index, op, tuple(problems)))
+            self.report.divergences.append(
+                Divergence(
+                    index, op, tuple(problems), lineage=self._lineage_dump(op.table)
+                )
+            )
             return True
         return False
+
+    def _lineage_dump(self, table: str | None) -> tuple[str, ...]:
+        """Rendered chains of the last deaths in ``table`` (forensics on)."""
+        layer = self.db.forensics
+        if layer is None or table is None:
+            return ()
+        from repro.obs.forensics.render import render_chain
+
+        dumps = []
+        for record in layer.deaths(table)[-3:]:
+            chain = layer.store.resolve_chain(table, record)
+            dumps.append(render_chain(chain, record.fid, by_fid=True))
+        return tuple(dumps)
 
     # ------------------------------------------------------------------
     # op application

@@ -1,0 +1,113 @@
+"""Tests for the benchmark JSON snapshot writer (``--json``)."""
+
+import json
+
+import pytest
+
+from repro.bench.snapshots import (
+    SNAPSHOT_VERSION,
+    group_by_suite,
+    quantile,
+    suite_of,
+    summarise,
+    write_snapshots,
+)
+
+
+class _Stats:
+    def __init__(self, data):
+        self.data = list(data)
+
+
+class _Bench:
+    def __init__(self, name, fullname, data, rows=None):
+        self.name = name
+        self.fullname = fullname
+        self.stats = _Stats(data)
+        self.extra_info = {} if rows is None else {"rows": rows}
+
+
+class TestQuantile:
+    def test_nearest_rank_median(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_p95_of_few_rounds_is_the_max(self):
+        # nearest rank, no interpolation: 3 rounds → p95 is the max
+        assert quantile([0.1, 0.3, 0.2], 0.95) == 0.3
+
+    def test_q_zero_is_the_min(self):
+        assert quantile([5.0, 1.0], 0.0) == 1.0
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+
+class TestSuiteOf:
+    def test_strips_path_prefix_and_bench_stem(self):
+        assert suite_of("benchmarks/bench_storage.py::test_append") == "storage"
+
+    def test_bare_module(self):
+        assert suite_of("bench_query.py::test_scan[x]") == "query"
+
+    def test_non_bench_module_keeps_its_name(self):
+        assert suite_of("other.py::test_x") == "other"
+
+
+class TestSummarise:
+    def test_latency_fields(self):
+        entry = summarise(_Bench("t", "bench_a.py::t", [0.2, 0.1, 0.4]))
+        assert entry["rounds"] == 3
+        assert entry["min_s"] == 0.1
+        assert entry["p50_s"] == 0.2
+        assert entry["p95_s"] == 0.4
+        assert entry["mean_s"] == pytest.approx(0.7 / 3)
+        assert "rows" not in entry
+
+    def test_rows_per_s_from_extra_info(self):
+        entry = summarise(_Bench("t", "bench_a.py::t", [0.5, 0.25], rows=1000))
+        assert entry["rows"] == 1000
+        assert entry["rows_per_s"] == 1000 / 0.25  # p50 of 2 rounds is the min
+
+
+class TestGrouping:
+    def test_groups_by_suite_and_sorts(self):
+        suites = group_by_suite(
+            [
+                _Bench("b", "bench_x.py::b", [0.1]),
+                _Bench("a", "bench_x.py::a", [0.1]),
+                _Bench("c", "bench_y.py::c", [0.2]),
+            ]
+        )
+        assert sorted(suites) == ["x", "y"]
+        assert [e["name"] for e in suites["x"]] == ["a", "b"]
+
+    def test_errored_benchmarks_are_skipped(self):
+        suites = group_by_suite([_Bench("dead", "bench_x.py::dead", [])])
+        assert suites == {}
+
+
+class TestWriteSnapshots:
+    def test_one_file_per_suite(self, tmp_path):
+        paths = write_snapshots(
+            [
+                _Bench("a", "bench_storage.py::a", [0.1], rows=100),
+                _Bench("b", "bench_query.py::b", [0.2]),
+            ],
+            tmp_path,
+        )
+        assert [p.name for p in paths] == ["BENCH_query.json", "BENCH_storage.json"]
+        payload = json.loads((tmp_path / "BENCH_storage.json").read_text())
+        assert payload["version"] == SNAPSHOT_VERSION
+        assert payload["suite"] == "storage"
+        assert payload["benchmarks"][0]["rows_per_s"] == pytest.approx(1000.0)
+
+    def test_creates_the_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        paths = write_snapshots([_Bench("a", "bench_x.py::a", [0.1])], target)
+        assert paths[0].exists()
+        assert paths[0].parent == target
+
+    def test_no_benchmarks_writes_nothing(self, tmp_path):
+        assert write_snapshots([], tmp_path) == []
+        assert list(tmp_path.iterdir()) == []

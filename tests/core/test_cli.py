@@ -187,3 +187,79 @@ class TestErrorsAndNoise:
 
     def test_unbalanced_quotes(self, shell):
         assert "error" in shell.execute_line("insert r v='unclosed")
+
+
+class TestForensicsCommands:
+    def test_help_lists_why_and_alerts(self, shell):
+        out = shell.execute_line("help")
+        assert "why <table> <rowid>" in out
+        assert "alerts" in out
+
+    def test_why_usage(self, shell):
+        assert "usage: why" in shell.execute_line("why")
+        assert "usage: why" in shell.execute_line("why r")
+
+    def test_why_unknown_tuple(self, shell):
+        shell.execute_line("create r v:int")
+        assert "no forensic record" in shell.execute_line("why r 99")
+
+    def test_why_explains_a_consumed_tuple(self, shell):
+        shell.execute_line("create r v:int")
+        shell.execute_line("insert r v=5")
+        shell.execute_line("CONSUME SELECT v FROM r WHERE v = 5")
+        out = shell.execute_line("why r 0")
+        assert out.startswith("why r rid 0:")
+        assert "[consumed" in out
+        assert "CONSUME SELECT v FROM r WHERE v = 5" in out
+
+    def test_why_by_fid(self, shell):
+        shell.execute_line("create r v:int")
+        shell.execute_line("insert r v=1")
+        assert "why r fid 0:" in shell.execute_line("why r 0 --fid")
+
+    def test_why_explains_fungus_rot(self, shell):
+        shell.execute_line("create r v:int --fungus egi:2,0.5")
+        shell.execute_line("gen r 20")
+        shell.execute_line("tick 20")
+        deaths = shell.db.forensics.deaths("r")
+        assert deaths
+        out = shell.execute_line(f"why r {deaths[0].fid} --fid")
+        assert "egi" in out and "chain complete" in out
+
+    def test_alerts_default_shows_armed_rules(self, shell):
+        out = shell.execute_line("alerts")
+        assert "no alerts firing" in out
+        out = shell.execute_line("alerts rules")
+        assert "eviction_rate > 2 for 5" in out  # DEFAULT_RULES armed
+
+    def test_alerts_add_and_remove(self, shell):
+        assert "armed rule: extent > 3" in shell.execute_line("alerts add extent > 3")
+        shell.execute_line("create r v:int")
+        for i in range(5):
+            shell.execute_line(f"insert r v={i}")
+        shell.execute_line("tick 1")
+        assert "extent > 3" in shell.execute_line("alerts")
+        assert "removed rule" in shell.execute_line("alerts rm extent > 3")
+        assert "no such rule" in shell.execute_line("alerts rm extent > 3")
+
+    def test_alerts_add_rejects_garbage(self, shell):
+        assert "error" in shell.execute_line("alerts add humidity > 3")
+
+    def test_alerts_spots(self, shell):
+        shell.execute_line("create r v:int")
+        assert "no rot spots" in shell.execute_line("alerts spots r")
+        assert "usage" in shell.execute_line("alerts spots")
+
+    def test_alerts_unknown_action(self, shell):
+        assert "unknown alerts action" in shell.execute_line("alerts frob")
+
+    def test_load_records_restored_over(self, shell, tmp_path):
+        shell.execute_line("create r v:int")
+        shell.execute_line("insert r v=1")
+        shell.execute_line(f"save {tmp_path}")
+        shell.execute_line("insert r v=2")  # lives only in the session
+        out = shell.execute_line(f"load {tmp_path}")
+        assert "2 live tuple(s) of the previous session recorded as restored-over" in out
+        deaths = shell.db.forensics.deaths("r")
+        assert [d.cause for d in deaths] == ["restored-over", "restored-over"]
+        assert shell.db.forensics.audit() == []

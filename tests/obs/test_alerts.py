@@ -1,0 +1,219 @@
+"""Tests for the rot-rate alert engine: rules, streaks, signals.
+
+Covers the declarative rule grammar, for-N streak semantics, the
+half-life and ratio signals, and the integration path: AlertFired /
+AlertResolved events landing in the metrics registry
+(``repro_alert_active``), the alert log, and the dashboard text.
+"""
+
+import math
+
+import pytest
+
+from repro.core.db import FungusDB
+from repro.errors import ObsError
+from repro.fungi import LinearDecayFungus
+from repro.obs.forensics import DEFAULT_RULES
+from repro.obs.forensics.alerts import AlertEngine, AlertRule, SIGNALS
+from repro.storage.schema import Schema
+
+
+class TestRuleGrammar:
+    def test_parse_full_form(self):
+        rule = AlertRule.parse("eviction_rate > 2.5 for 5")
+        assert rule.signal == "eviction_rate"
+        assert rule.op == ">"
+        assert rule.threshold == 2.5
+        assert rule.for_ticks == 5
+
+    def test_for_defaults_to_one_tick(self):
+        assert AlertRule.parse("extent < 100").for_ticks == 1
+
+    def test_whitespace_is_canonicalised(self):
+        rule = AlertRule.parse("  extent   <=  3   for  2 ")
+        assert rule.text == "extent <= 3 for 2"
+
+    @pytest.mark.parametrize("op", [">", "<", ">=", "<="])
+    def test_all_operators(self, op):
+        rule = AlertRule.parse(f"extent {op} 1")
+        assert rule.op == op
+
+    def test_negative_threshold_allowed(self):
+        assert AlertRule.parse("extent > -1").threshold == -1.0
+
+    @pytest.mark.parametrize(
+        "bad", ["", "extent", "extent < ", "extent ~ 3", "extent < 3 for"]
+    )
+    def test_malformed_rules_rejected(self, bad):
+        with pytest.raises(ObsError, match="bad alert rule"):
+            AlertRule.parse(bad)
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ObsError, match="unknown alert signal"):
+            AlertRule.parse("humidity > 3")
+
+    def test_zero_for_rejected(self):
+        with pytest.raises(ObsError, match="for N"):
+            AlertRule.parse("extent > 3 for 0")
+
+    def test_default_rules_all_parse(self):
+        for text in DEFAULT_RULES:
+            assert AlertRule.parse(text).signal in SIGNALS
+
+
+def _engine(extents, transitions=None):
+    """An engine probing a mutable ``{table: (extent, exhausted)}``."""
+    return AlertEngine(
+        lambda table: extents.get(table),
+        None
+        if transitions is None
+        else lambda *args: transitions.append(args),
+    )
+
+
+class TestStreaks:
+    def test_fires_only_after_n_consecutive_ticks(self):
+        extents = {"r": (2, 0)}
+        transitions = []
+        engine = _engine(extents, transitions)
+        engine.add_rule("extent < 5 for 3")
+        engine.evaluate("r", 1.0)
+        engine.evaluate("r", 2.0)
+        assert engine.active() == []
+        engine.evaluate("r", 3.0)
+        assert engine.active() == [("r", "extent < 5 for 3", 2.0)]
+        assert transitions == [(3.0, "r", "extent < 5 for 3", "fired", 2.0)]
+
+    def test_streak_resets_when_condition_breaks(self):
+        extents = {"r": (2, 0)}
+        engine = _engine(extents)
+        engine.add_rule("extent < 5 for 3")
+        engine.evaluate("r", 1.0)
+        engine.evaluate("r", 2.0)
+        extents["r"] = (9, 0)  # condition breaks before the third tick
+        engine.evaluate("r", 3.0)
+        extents["r"] = (2, 0)
+        engine.evaluate("r", 4.0)
+        engine.evaluate("r", 5.0)
+        assert engine.active() == []  # streak restarted at tick 4
+
+    def test_resolves_and_can_refire(self):
+        extents = {"r": (2, 0)}
+        transitions = []
+        engine = _engine(extents, transitions)
+        engine.add_rule("extent < 5")
+        engine.evaluate("r", 1.0)
+        extents["r"] = (9, 0)
+        engine.evaluate("r", 2.0)
+        extents["r"] = (1, 0)
+        engine.evaluate("r", 3.0)
+        actions = [t[3] for t in transitions]
+        assert actions == ["fired", "resolved", "fired"]
+
+    def test_add_rule_is_idempotent_and_remove_clears_state(self):
+        engine = _engine({"r": (0, 0)})
+        engine.add_rule("extent < 5 for 2")
+        engine.add_rule("extent  <  5  for 2")  # same canonical text
+        assert len(engine.rules) == 1
+        engine.evaluate("r", 1.0)
+        assert engine.remove_rule("extent < 5 for 2") is True
+        assert engine.remove_rule("extent < 5 for 2") is False
+        assert engine.states() == []
+
+
+class TestSignals:
+    def test_exhausted_comes_from_the_probe(self):
+        engine = _engine({"r": (5, 3)})
+        assert engine.signal_value("r", "exhausted", 0.0) == 3.0
+        assert engine.signal_value("r", "extent", 0.0) == 5.0
+
+    def test_missing_table_probes_as_empty(self):
+        engine = _engine({})
+        assert engine.signal_value("gone", "extent", 0.0) == 0.0
+
+    def test_ratio_is_zero_until_the_first_eviction(self):
+        engine = _engine({"r": (5, 0)})
+        assert engine.signal_value("r", "consume_evict_ratio", 0.0) == 0.0
+        engine._table("r").consumed_total = 7
+        assert engine.signal_value("r", "consume_evict_ratio", 0.0) == 0.0
+        engine._table("r").evicted_total = 2
+        assert engine.signal_value("r", "consume_evict_ratio", 0.0) == 3.5
+
+    def test_half_life_is_inf_until_the_first_halving(self):
+        extents = {"r": (100, 0)}
+        engine = _engine(extents)
+        engine.evaluate("r", 1.0)  # records (1, 100)
+        assert math.isinf(engine.signal_value("r", "extent_half_life", 2.0))
+
+    def test_half_life_measures_ticks_since_double_extent(self):
+        extents = {"r": (100, 0)}
+        engine = _engine(extents)
+        engine.evaluate("r", 1.0)
+        engine.evaluate("r", 2.0)
+        extents["r"] = (50, 0)
+        # last sample with extent >= 2x current was at tick 2
+        assert engine.signal_value("r", "extent_half_life", 3.0) == 1.0
+
+    def test_half_life_of_an_emptied_table(self):
+        extents = {"r": (10, 0)}
+        engine = _engine(extents)
+        engine.evaluate("r", 1.0)
+        extents["r"] = (0, 0)
+        assert engine.signal_value("r", "extent_half_life", 4.0) == 3.0
+
+
+class TestIntegration:
+    def _db(self, rules):
+        db = FungusDB(seed=1)
+        db.create_table("r", Schema.of(v="int"))
+        db.enable_telemetry()
+        db.enable_forensics(rules=rules)
+        return db
+
+    def test_fired_alert_reaches_metrics_log_and_text(self):
+        db = self._db(["extent > 3"])
+        for i in range(5):
+            db.insert("r", {"v": i})
+        db.tick(1)
+        forensics = db.forensics
+        assert forensics.active_alerts() == [("r", "extent > 3", 5.0)]
+        registry = db.telemetry.registry
+        assert registry.value("repro_alert_active", table="r", rule="extent > 3") == 1.0
+        assert registry.value("repro_alerts_fired_total", table="r", rule="extent > 3") == 1.0
+        assert forensics.store.alert_log[-1].action == "fired"
+        assert "extent > 3" in forensics.alerts_text()
+
+    def test_resolved_alert_zeroes_the_gauge(self):
+        db = self._db(["extent > 3"])
+        for i in range(5):
+            db.insert("r", {"v": i})
+        db.tick(1)
+        db.query("CONSUME SELECT v FROM r")
+        db.tick(1)
+        forensics = db.forensics
+        assert forensics.active_alerts() == []
+        registry = db.telemetry.registry
+        assert registry.value("repro_alert_active", table="r", rule="extent > 3") == 0.0
+        actions = [e.action for e in forensics.store.alert_log]
+        assert actions == ["fired", "resolved"]
+
+    def test_eviction_rate_rule_fires_under_heavy_rot(self):
+        db = FungusDB(seed=2)
+        db.create_table(
+            "r", Schema.of(v="int"), fungus=LinearDecayFungus(rate=0.5)
+        )
+        db.enable_forensics(rules=["eviction_rate > 0.5 for 2"])
+        for i in range(30):
+            db.insert("r", {"v": i})
+        db.tick(4)
+        fired = [e for e in db.forensics.store.alert_log if e.action == "fired"]
+        assert fired
+        assert fired[0].rule == "eviction_rate > 0.5 for 2"
+
+    def test_consume_does_not_count_as_eviction_rate(self):
+        db = self._db(["eviction_rate > 0.1"])
+        for i in range(10):
+            db.insert("r", {"v": i})
+        db.query("CONSUME SELECT v FROM r")
+        db.tick(1)
+        assert db.forensics.active_alerts() == []

@@ -73,3 +73,35 @@ class TestDemoAndMain:
         assert main(["--ticks", "12", "--interval", "0", "--no-clear"]) == 0
         out = capsys.readouterr().out
         assert out.count("rot dashboard") == 12
+
+
+class TestForensicsOverlay:
+    def _db(self, rules=("extent > 3",)):
+        db = FungusDB(seed=1)
+        db.create_table("r", Schema.of(v="int"))
+        db.enable_forensics(rules=rules)
+        for i in range(5):
+            db.insert("r", {"v": i})
+        return db
+
+    def test_death_counts_per_table(self):
+        db = self._db(rules=())
+        db.query("CONSUME SELECT v FROM r WHERE v < 2")
+        frame = render_frame(db)
+        assert "deaths consumed=2" in frame
+
+    def test_firing_alerts_block(self):
+        db = self._db()
+        db.tick(1)
+        frame = render_frame(db)
+        assert "ALERTS (1 firing):" in frame
+        assert "extent > 3" in frame
+
+    def test_armed_but_quiet_rules_line(self):
+        db = self._db()
+        frame = render_frame(db)  # no tick yet: rule never evaluated
+        assert "alerts: none firing (1 rule(s) armed)" in frame
+
+    def test_no_forensics_no_alert_lines(self):
+        frame = render_frame(FungusDB(seed=1))
+        assert "alerts" not in frame.lower()

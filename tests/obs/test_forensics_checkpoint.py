@@ -1,0 +1,184 @@
+"""Forensics across checkpoints: persistence, rebinding, no drift.
+
+The lineage store must survive a save/restore cycle byte-for-byte
+(deaths, rules, alert log), rebind saved biographies to the replayed
+rows without minting death records or insert counts (a restore is not
+a birth and not a death), and keep the offline ``python -m repro.obs
+why``/``alerts`` CLI able to answer from the persisted state alone.
+"""
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.db import FungusDB
+from repro.errors import ObsError, SnapshotError
+from repro.fungi import EGIFungus
+from repro.obs import __main__ as obs_main
+from repro.obs.forensics import Forensics
+from repro.storage.schema import Schema
+
+RULE = "eviction_rate > 0.5 for 2"
+
+
+def _egi_db(seed=11, rows=40, rate=0.4):
+    db = FungusDB(seed=seed)
+    db.create_table(
+        "r",
+        Schema.of(v="int"),
+        fungus=EGIFungus(seeds_per_cycle=2, decay_rate=rate),
+    )
+    db.enable_forensics(rules=[RULE])
+    for i in range(rows):
+        db.insert("r", {"v": i})
+    return db
+
+
+class TestSaveFormat:
+    def test_forensics_json_written_when_enabled(self, tmp_path):
+        db = _egi_db()
+        db.tick(10)
+        save_checkpoint(db, tmp_path / "ckpt")
+        assert (tmp_path / "ckpt" / "forensics.json").exists()
+        manifest = json.loads((tmp_path / "ckpt" / "manifest.json").read_text())
+        assert manifest["forensics"] is True
+
+    def test_no_forensics_json_when_disabled(self, tmp_path):
+        db = FungusDB(seed=1)
+        db.create_table("r", Schema.of(v="int"))
+        save_checkpoint(db, tmp_path / "ckpt")
+        assert not (tmp_path / "ckpt" / "forensics.json").exists()
+        manifest = json.loads((tmp_path / "ckpt" / "manifest.json").read_text())
+        assert manifest["forensics"] is False
+
+
+class TestRestore:
+    def test_store_and_rules_come_back(self, tmp_path):
+        db = _egi_db()
+        db.tick(20)
+        saved_deaths = [(r.fid, r.cause) for r in db.forensics.deaths("r")]
+        saved_total = db.forensics.store.deaths_recorded
+        saved_log = len(db.forensics.store.alert_log)
+        assert saved_deaths
+        save_checkpoint(db, tmp_path / "ckpt")
+
+        restored = load_checkpoint(tmp_path / "ckpt")
+        forensics = restored.forensics
+        assert forensics is not None
+        assert [(r.fid, r.cause) for r in forensics.deaths("r")] == saved_deaths
+        assert forensics.store.deaths_recorded == saved_total
+        assert [rule.text for rule in forensics.rules] == [RULE]
+        assert len(forensics.store.alert_log) == saved_log
+
+    def test_restore_is_not_a_birth_and_not_a_death(self, tmp_path):
+        db = _egi_db(rate=0.15)
+        db.tick(10)
+        saved_total = db.forensics.store.deaths_recorded
+        assert saved_total > 0
+        live_fids = sorted(
+            life.fid for life in db.forensics.store._lives["r"].values()
+        )
+        assert live_fids, "need survivors to exercise the rebind path"
+        watermark = db.forensics.store._next_fid["r"]
+        save_checkpoint(db, tmp_path / "ckpt")
+
+        restored = load_checkpoint(tmp_path / "ckpt", telemetry=True)
+        store = restored.forensics.store
+        # replayed rows rebound to their saved biographies: same fids,
+        # no fresh ones minted, no deaths recorded, no insert counts
+        assert store.deaths_recorded == saved_total
+        assert sorted(l.fid for l in store._lives["r"].values()) == live_fids
+        assert store._next_fid["r"] == watermark
+        registry = restored.telemetry.registry
+        assert registry.value("repro_inserts_total", table="r") == 0.0
+        # the next genuine insert continues the fid sequence
+        rid = restored.insert("r", {"v": 999})
+        assert store.life("r", rid).fid == watermark
+
+    def test_forensics_flag_overrides(self, tmp_path):
+        db = _egi_db()
+        db.tick(5)
+        save_checkpoint(db, tmp_path / "with")
+        plain = FungusDB(seed=1)
+        plain.create_table("r", Schema.of(v="int"))
+        plain.insert("r", {"v": 1})
+        save_checkpoint(plain, tmp_path / "without")
+
+        assert load_checkpoint(tmp_path / "with", forensics=False).forensics is None
+        forced = load_checkpoint(tmp_path / "without", forensics=True)
+        assert forced.forensics is not None
+        assert forced.forensics.deaths("r") == []
+
+    def test_corrupt_forensics_json_raises(self, tmp_path):
+        db = _egi_db()
+        save_checkpoint(db, tmp_path / "ckpt")
+        (tmp_path / "ckpt" / "forensics.json").write_text("{not json")
+        with pytest.raises(SnapshotError, match="forensics"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_unknown_forensics_version_rejected(self):
+        db = FungusDB(seed=1)
+        with pytest.raises(ObsError, match="version"):
+            Forensics.from_saved(db, {"version": 99, "store": {}})
+
+
+class TestAcceptance:
+    """ISSUE contract: lineage survives a mid-run checkpoint cycle."""
+
+    def test_200_tick_run_with_restore_keeps_every_chain(self, tmp_path):
+        db = _egi_db(seed=42, rows=60, rate=0.25)
+        db.tick(100)
+        pre_restore_deaths = {r.fid for r in db.forensics.deaths("r")}
+        assert pre_restore_deaths
+        save_checkpoint(db, tmp_path / "mid")
+
+        db = load_checkpoint(
+            tmp_path / "mid",
+            fungi={"r": EGIFungus(seeds_per_cycle=2, decay_rate=0.25)},
+        )
+        db.tick(100)
+        forensics = db.forensics
+        store = forensics.store
+        assert forensics.audit() == []
+        # deaths recorded before the save are still answerable after it
+        assert pre_restore_deaths <= set(store._deaths["r"])
+        # every insertion ordinal is accounted for exactly once
+        live_fids = {life.fid for life in store._lives.get("r", {}).values()}
+        dead_fids = set(store._deaths["r"])
+        assert live_fids.isdisjoint(dead_fids)
+        assert live_fids | dead_fids == set(range(store._next_fid["r"]))
+        for record in forensics.deaths("r"):
+            assert store.resolve_chain("r", record).complete
+
+
+class TestOfflineCli:
+    def _checkpoint(self, tmp_path):
+        db = _egi_db()
+        db.tick(20)
+        fid = db.forensics.deaths("r")[0].fid
+        save_checkpoint(db, tmp_path / "ckpt")
+        return str(tmp_path / "ckpt"), fid
+
+    def test_why_prints_a_chain_from_saved_state(self, tmp_path, capsys):
+        path, fid = self._checkpoint(tmp_path)
+        assert obs_main.main(["why", path, "r", str(fid)]) == 0
+        out = capsys.readouterr().out
+        assert f"why r fid {fid}:" in out
+        assert "egi" in out
+
+    def test_why_unknown_ref_fails_with_hint(self, tmp_path, capsys):
+        path, _ = self._checkpoint(tmp_path)
+        assert obs_main.main(["why", path, "r", "99999"]) == 1
+        assert "no forensic record" in capsys.readouterr().err
+
+    def test_why_unreadable_state_fails(self, tmp_path, capsys):
+        assert obs_main.main(["why", str(tmp_path / "nope"), "r", "0"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_alerts_prints_rules_and_log(self, tmp_path, capsys):
+        path, _ = self._checkpoint(tmp_path)
+        assert obs_main.main(["alerts", path, "--spots"]) == 0
+        out = capsys.readouterr().out
+        assert "1 rule(s) armed:" in out
+        assert RULE in out

@@ -1,0 +1,87 @@
+"""Forensic replay in the simulation harness.
+
+With ``forensics=True`` the differential driver attaches the lineage
+store to the real engine and audits it at end of run: every evicted
+tuple must hold a DeathRecord with a known cause and a chain that
+resolves to a seed event — across whatever checkpoint/restore cycles
+the schedule injected. Divergence reports additionally carry the
+recent death chains of the diverging table.
+"""
+
+import pytest
+
+from repro.sim.driver import Divergence, Simulator
+from repro.sim.oracle import FungusSpec
+from repro.sim.scheduler import Op, SimConfig, SimPredicate, TableSpec
+
+
+def _mini_config(seed=1, steps=0, **kwargs):
+    tables = kwargs.pop(
+        "tables", (TableSpec("r", FungusSpec("linear", rate=0.2)),)
+    )
+    return SimConfig(seed=seed, steps=steps, tables=tables, **kwargs)
+
+
+class TestGeneratedSweeps:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_generated_schedules_audit_clean(self, seed):
+        config = SimConfig(seed=seed, steps=120)
+        report = Simulator(config, forensics=True).run()
+        assert report.ok, report.describe()
+        assert report.forensic_problems == []
+        assert report.deaths_recorded > 0
+        assert "deaths audited" in report.describe()
+
+    def test_forensics_off_reports_no_death_count(self):
+        report = Simulator(SimConfig(seed=1, steps=40)).run()
+        assert report.ok
+        assert report.deaths_recorded == 0
+        assert "deaths audited" not in report.describe()
+
+
+class TestCheckpointCycles:
+    def test_lineage_survives_an_injected_restore(self):
+        config = _mini_config()
+        ops = [
+            Op("insert", "r", [1, 2, 3, 4, 5, 6]),
+            Op("tick", payload=2),
+            Op("checkpoint_restore"),
+            Op("tick", payload=3),
+            Op("consume", "r", SimPredicate("v", ">", 0)),
+            Op("tick", payload=1),
+        ]
+        report = Simulator(config, forensics=True).run(ops)
+        assert report.ok, report.describe()
+        assert report.deaths_recorded >= 6  # every tuple left R eventually
+
+    def test_double_restore_keeps_the_contract(self):
+        config = _mini_config()
+        ops = [
+            Op("insert", "r", [10, 20, 30]),
+            Op("checkpoint_restore"),
+            Op("tick", payload=2),
+            Op("checkpoint_restore"),
+            Op("tick", payload=4),
+        ]
+        report = Simulator(config, forensics=True).run(ops)
+        assert report.ok, report.describe()
+        assert report.forensic_problems == []
+
+
+class TestDivergenceLineage:
+    def test_divergence_report_renders_recent_deaths(self):
+        divergence = Divergence(
+            step=3,
+            op=Op("tick", "r", payload=1),
+            problems=("extent mismatch",),
+            lineage=("why r fid 0:", "  (seed — chain complete)"),
+        )
+        text = divergence.describe()
+        assert "recent deaths (forensics):" in text
+        assert "why r fid 0:" in text
+
+    def test_no_lineage_section_without_forensics(self):
+        divergence = Divergence(
+            step=3, op=Op("tick", "r", payload=1), problems=("x",)
+        )
+        assert "recent deaths" not in divergence.describe()
