@@ -29,6 +29,7 @@ from repro.core.db import FungusDB
 from repro.core.fungus import Fungus
 from repro.errors import FungusError
 from repro.obs.forensics import DEFAULT_RULES
+from repro.query.planner import render_plan
 from repro.workload.trace import TraceRecorder, replay_trace
 from repro.fungi import (
     BlueCheeseFungus,
@@ -61,10 +62,15 @@ commands:
                                                   alerts add eviction_rate > 2 for 5
   alerts spots <table>                            reconstructed rot spots
   explain <select>                                show the query plan
+                                                  (explain CONSUME ... runs
+                                                  the Law-2 footprint
+                                                  analysis without consuming)
+  lint                                            rot-safety rule catalogue
   trace start | trace stop <file> | trace replay <file>
                                                   record/replay workloads
   help / quit                                     this text / leave
-anything starting with SELECT, CONSUME, INSERT or DELETE runs as SQL.
+anything starting with SELECT, CONSUME, INSERT, DELETE or EXPLAIN runs
+as SQL (EXPLAIN [CONSUME] SELECT ... plans/analyzes without executing).
 fungus SPECs: none | egi[:seeds,rate] | retention:age | linear:rate |
               exp:halflife | sigmoid:midlife[,steepness] |
               bluecheese[:spots,rate]
@@ -146,6 +152,7 @@ class FungusShell:
             "why": self._cmd_why,
             "alerts": self._cmd_alerts,
             "explain": self._cmd_explain,
+            "lint": self._cmd_lint,
             "trace": self._cmd_trace,
             "help": lambda args: HELP,
         }
@@ -158,8 +165,12 @@ class FungusShell:
             return ""
         upper = line.upper()
         # "INSERT INTO" is SQL; bare "insert <table> col=val" is the
-        # shell's own command, so require the INTO to disambiguate
-        if upper.startswith(("SELECT", "CONSUME", "INSERT INTO", "DELETE FROM")):
+        # shell's own command, so require the INTO to disambiguate.
+        # "EXPLAIN " (with the space) is SQL; bare "explain <select>"
+        # stays a shell command for backwards compatibility.
+        if upper.startswith(
+            ("SELECT", "CONSUME", "INSERT INTO", "DELETE FROM", "EXPLAIN ")
+        ):
             return self._run_query(line)
         try:
             parts = shlex.split(line)
@@ -183,6 +194,10 @@ class FungusShell:
             result = self.db.query(sql)
         except FungusError as exc:
             return f"error: {exc}"
+        if result.columns == ("explain",):
+            # EXPLAIN output is plan/analysis text, not a relation —
+            # and it executed nothing, so keep it out of the trace
+            return "\n".join(str(row[0]) for row in result.rows)
         if self._recorder is not None:
             self._recorder.query(sql)
         lines = [result.pretty()]
@@ -315,31 +330,23 @@ class FungusShell:
             return "error: usage: explain <select statement>"
         sql = " ".join(args)
         try:
+            if sql.lstrip().upper().startswith("CONSUME"):
+                # Tier-B: footprint analysis instead of a plan dump
+                return self.db.explain_consume(sql).describe()
             plan = self.db.engine.explain(sql)
         except FungusError as exc:
             return f"error: {exc}"
         lines = [f"plan for: {sql}"]
-        source = plan.source
-        if hasattr(source, "table_name"):
-            access = source.index.describe() if source.index else "full scan"
-            residual = source.residual.to_sql() if source.residual else "none"
-            lines.append(f"  scan {source.table_name} via {access}; residual {residual}")
-        else:
-            lines.append(
-                f"  hash join {source.left.table_name} x {source.right.table_name} "
-                f"on {source.left_key} = {source.right_key}"
-            )
-        if plan.aggregate:
-            lines.append(
-                f"  aggregate by {list(plan.aggregate.group_names) or 'ALL'} "
-                f"computing {[a.to_sql() for a in plan.aggregate.aggregates]}"
-            )
-        if plan.order_by:
-            lines.append(f"  sort by {[o.to_sql() for o in plan.order_by]}")
-        if plan.limit is not None:
-            lines.append(f"  limit {plan.limit}")
-        if plan.consume:
-            lines.append("  CONSUME: matching base rows are deleted (Law 2)")
+        lines += [f"  {line}" for line in render_plan(plan)]
+        return "\n".join(lines)
+
+    def _cmd_lint(self, args: list[str]) -> str:
+        from repro.lint import CATALOGUE_VERSION, default_rules
+
+        lines = [f"repro.lint rule catalogue v{CATALOGUE_VERSION}:"]
+        for rule in default_rules():
+            lines.append(f"  {rule.id}  {rule.title}")
+        lines.append("run it: python -m repro.lint [paths]")
         return "\n".join(lines)
 
     def _cmd_trace(self, args: list[str]) -> str:

@@ -28,7 +28,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.core.clock import DecayClock
 from repro.core.distill import Distiller, SummaryStore
-from repro.core.events import EventBus, TupleConsumed
+from repro.core.events import ConsumeAnalyzed, EventBus, TupleConsumed
 from repro.core.fungus import Fungus
 from repro.core.health import HealthReport, measure_health
 from repro.core.policy import DecayPolicy, EvictionMode
@@ -53,6 +53,7 @@ class FungusDB:
         summary_config: SummaryConfig | None = None,
         max_summaries_per_table: int = 0,
         store: SummaryStore | None = None,
+        strict_consume: bool = False,
     ) -> None:
         self.seed = seed
         self.clock = DecayClock()
@@ -73,6 +74,11 @@ class FungusDB:
         self.forensics = None
         self.engine.add_consume_hook(self._before_consume)
         self.engine.add_access_hook(self._on_access)
+        # Tier-B static analysis: EXPLAIN CONSUME + the strict gate see
+        # the freshness domain invariant, and every analysis is published
+        self.engine.strict_consume = strict_consume
+        self.engine.consume_domains = self._column_domains
+        self.engine.add_explain_hook(self._on_consume_analyzed)
 
     # ------------------------------------------------------------------
     # schema management
@@ -212,6 +218,49 @@ class FungusDB:
         if not result.stats.rows_consumed and not sql.strip().upper().startswith("CONSUME"):
             raise DecayError("consume() requires a CONSUME SELECT statement")
         return result
+
+    def explain_consume(self, sql: str):
+        """Statically analyze a consume statement without executing it.
+
+        Returns the Tier-B :class:`~repro.lint.analyze.ConsumeReport`
+        (verdict ``none``/``partial``/``total``/``invalid`` plus the
+        histogram-estimated footprint). Equivalent to running the SQL
+        ``EXPLAIN CONSUME SELECT ...`` but handing back the structured
+        report instead of text rows. Publishes :class:`ConsumeAnalyzed`.
+        """
+        from repro.query.parser import parse
+        from repro.query.ast_nodes import ExplainStmt
+
+        stmt = parse(sql)
+        if isinstance(stmt, ExplainStmt):
+            stmt = stmt.inner
+        return self.engine.analyze_consume(stmt)
+
+    def _column_domains(self, table_name: str) -> dict[str, tuple[float, float]] | None:
+        """Closed numeric domains the analyzer may assume for a table.
+
+        Freshness is clamped to ``[0, 1]`` by every sanctioned mutator,
+        so the invariant holds between analysis and execution. The time
+        column's ``t <= now`` bound is deliberately *not* offered — it
+        would go stale the moment the clock ticks.
+        """
+        table = self.tables.get(table_name)
+        if table is None:
+            return None
+        return {table.freshness_column: (0.0, 1.0)}
+
+    def _on_consume_analyzed(self, report) -> None:
+        """Explain hook: every Tier-B analysis becomes a bus event."""
+        estimated = -1 if report.estimated_rows is None else report.estimated_rows
+        self.bus.publish(
+            ConsumeAnalyzed(
+                report.table,
+                self.clock.now,
+                verdict=report.verdict,
+                estimated_rows=estimated,
+                sql=report.sql,
+            )
+        )
 
     def _before_consume(self, table_name: str, consumed: RowSet) -> None:
         """Consume hook: distill + label + notify, before deletion."""

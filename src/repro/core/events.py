@@ -74,6 +74,22 @@ class TupleConsumed(Event):
 
 
 @dataclass(frozen=True)
+class ConsumeAnalyzed(Event):
+    """Tier-B static analysis ran over a consume statement.
+
+    Published by ``EXPLAIN CONSUME`` and the ``strict_consume`` gate,
+    *before* (and regardless of whether) anything executes. ``verdict``
+    is the footprint classification (``none``/``partial``/``total``/
+    ``invalid``); ``estimated_rows`` is the histogram-based footprint
+    estimate (-1 when no estimate was possible).
+    """
+
+    verdict: str
+    estimated_rows: int = -1
+    sql: str = ""
+
+
+@dataclass(frozen=True)
 class SummaryCreated(Event):
     """A region was distilled into a TableSummary before leaving R."""
 

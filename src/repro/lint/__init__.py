@@ -1,0 +1,31 @@
+"""Rot-safety static analysis.
+
+Two tiers:
+
+* **Tier A** (:mod:`repro.lint.engine`, :mod:`repro.lint.rules`) — an
+  AST-walking linter over the codebase itself, enforcing the
+  invariants the paper's two Laws rest on: logical-clock-only time,
+  seeded-RNG-only randomness, chained raises, catalogued metric
+  names, sanctioned freshness mutation, published events. Run it with
+  ``python -m repro.lint [paths]``.
+* **Tier B** (:mod:`repro.lint.analyze`) — static analysis of
+  ``CONSUME SELECT`` statements before execution: contradiction and
+  tautology detection, column/type checks against the catalog, and a
+  histogram-estimated consumption footprint (``EXPLAIN CONSUME``).
+"""
+
+from repro.lint.analyze import ConsumeAnalyzer, ConsumeReport
+from repro.lint.engine import Finding, LintEngine, LintReport, ModuleSource, Rule
+from repro.lint.rules import CATALOGUE_VERSION, default_rules
+
+__all__ = [
+    "CATALOGUE_VERSION",
+    "ConsumeAnalyzer",
+    "ConsumeReport",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "ModuleSource",
+    "Rule",
+    "default_rules",
+]

@@ -1,0 +1,97 @@
+"""Command line entry points for the rot-safety linter.
+
+``python -m repro.lint [paths] [--format json] [--prom FILE]``
+    Tier-A lint. Defaults to ``src`` when no paths are given. Exits 1
+    on any unsuppressed finding. ``--prom`` writes the per-rule
+    finding counts as a ``repro_lint_findings_total{rule=...}``
+    Prometheus exposition (a process-local series; it never touches a
+    database's collector registry).
+
+``python -m repro.lint sql [paths]``
+    Tier-B scan of consume statements embedded in python sources
+    (defaults to ``examples``). Exits 1 if any statement is
+    statically **total** — a whole-extent consume under Law 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.engine import LintEngine, LintReport
+from repro.lint.rules import CATALOGUE_VERSION
+from repro.lint import sqlscan
+
+
+def _write_prom(report: LintReport, target: Path) -> None:
+    from repro.obs.export import render_prometheus
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    findings = registry.counter(
+        "repro_lint_findings_total",
+        "Unsuppressed lint findings from the last run, by rule.",
+        ("rule",),
+    )
+    for finding in report.findings:
+        findings.labels(rule=finding.rule).inc()
+    target.write_text(render_prometheus(registry), encoding="utf-8")
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    report = LintEngine().lint_paths(paths)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(f"repro.lint rule catalogue v{CATALOGUE_VERSION}")
+        print(report.human())
+    if args.prom is not None:
+        _write_prom(report, Path(args.prom))
+    return report.exit_code
+
+
+def _run_sql(args: argparse.Namespace) -> int:
+    paths = args.paths or (["examples"] if Path("examples").is_dir() else ["."])
+    results = sqlscan.scan(paths)
+    for item in results:
+        print(item.format())
+    totals = sum(1 for item in results if item.verdict == "total")
+    analyzed = sum(1 for item in results if item.sql is not None)
+    print(
+        f"{analyzed} consume statement(s) analyzed, {totals} statically total"
+    )
+    return 1 if totals else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sql":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro.lint sql",
+            description="analyze consume statements embedded in python files",
+        )
+        parser.add_argument("paths", nargs="*", help="files or directories")
+        return _run_sql(parser.parse_args(argv[1:]))
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="rot-safety AST lint (rule catalogue "
+        f"v{CATALOGUE_VERSION})",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human"
+    )
+    parser.add_argument(
+        "--prom",
+        metavar="FILE",
+        default=None,
+        help="write per-rule finding counts as Prometheus exposition",
+    )
+    return _run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Metric-catalogue loader for the RS004 lint rule.
+
+RS004 requires every metric name handed to the registry to be a
+literal ``repro_*`` string that DESIGN.md's "### Metric catalogue"
+table documents. This module parses that table with the same grammar
+the catalogue-consistency test uses (including the
+``repro_hotpath_calls/rows/seconds`` slash shorthand for families
+that share a stem), so the linter and the test can never disagree
+about what "catalogued" means.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Optional
+
+CATALOGUE_HEADING = "### Metric catalogue"
+
+_ROW_RE = re.compile(r"^\|\s*`(repro_[a-z_/]+)`\s*\|", flags=re.M)
+
+_cache: dict[Path, Optional[frozenset[str]]] = {}
+
+
+def parse_catalogue_names(text: str) -> Optional[frozenset[str]]:
+    """Extract the documented metric names from DESIGN.md text."""
+    if CATALOGUE_HEADING not in text:
+        return None
+    section = text.split(CATALOGUE_HEADING, 1)[1]
+    section = section.split("Design points:", 1)[0]
+    names: set[str] = set()
+    for raw in _ROW_RE.findall(section):
+        if "/" in raw:
+            stem, _, suffixes = raw.rpartition("_")
+            for suffix in suffixes.split("/"):
+                names.add(f"{stem}_{suffix}")
+        else:
+            names.add(raw)
+    return frozenset(names) if names else None
+
+
+def find_design_file(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` looking for a DESIGN.md with a catalogue."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate_dir in [current, *current.parents]:
+        candidate = candidate_dir / "DESIGN.md"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_metric_catalogue(start: Path) -> Optional[frozenset[str]]:
+    """Catalogued metric names for the repo containing ``start``.
+
+    Returns ``None`` when no DESIGN.md (or no catalogue table inside
+    one) can be found — RS004 then skips the membership check and
+    only enforces the literal-``repro_*`` shape.
+    """
+    design = find_design_file(start)
+    if design is None:
+        return None
+    if design not in _cache:
+        try:
+            _cache[design] = parse_catalogue_names(
+                design.read_text(encoding="utf-8")
+            )
+        except OSError:
+            _cache[design] = None
+    return _cache[design]

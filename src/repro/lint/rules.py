@@ -1,0 +1,439 @@
+"""The default RS rule set.
+
+Each rule guards an invariant the decaying-relation semantics depend
+on; the catalogue (ids, rationale, examples) is documented in
+DESIGN.md's "Static analysis" section. ``CATALOGUE_VERSION`` bumps
+whenever a rule is added, removed, or materially changes meaning.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import ClassVar, Iterator, Sequence
+
+from repro.lint.catalogue import load_metric_catalogue
+from repro.lint.engine import Finding, ModuleSource, Rule
+
+CATALOGUE_VERSION = "1.0"
+
+#: packages where simulated time and injected randomness are mandatory
+RESTRICTED_PACKAGES = ("core", "fungi", "query", "sim", "storage")
+
+#: the linter's own process-local exposition series — documented in
+#: DESIGN.md prose, deliberately outside the event-bus catalogue table
+#: (it is never registered on a database's collector).
+EXTRA_CATALOGUED = frozenset({"repro_lint_findings_total"})
+
+
+def _in_restricted_package(path: Path) -> bool:
+    posix = path.as_posix()
+    return any(f"repro/{package}/" in posix for package in RESTRICTED_PACKAGES)
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class NoWallClockRule(Rule):
+    """RS001 — decay logic must run on the injected logical clock."""
+
+    id: ClassVar[str] = "RS001"
+    title: ClassVar[str] = "no wall-clock time in decay-critical packages"
+    rationale: ClassVar[str] = (
+        "Law 1 ticks on a logical clock; wall-clock reads make decay "
+        "non-reproducible and break trace replay and model checking."
+    )
+
+    BANNED_CALLS = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.process_time",
+            "time.sleep",
+            "datetime.now",
+            "datetime.utcnow",
+            "datetime.today",
+            "date.today",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+    BANNED_IMPORT_LEAVES = frozenset(
+        {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "process_time",
+            "sleep",
+            "now",
+            "utcnow",
+            "today",
+        }
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        return _in_restricted_package(path)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted is not None and (
+                    dotted in self.BANNED_CALLS
+                    or ".".join(dotted.split(".")[-2:]) in self.BANNED_CALLS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"wall-clock call {dotted}() in a decay-critical "
+                        "package; use the injected LogicalClock",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in ("time", "datetime"):
+                    for alias in node.names:
+                        if alias.name in self.BANNED_IMPORT_LEAVES:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"importing {alias.name} from {node.module} "
+                                "exposes wall-clock time to decay logic",
+                            )
+
+
+class SeededRandomRule(Rule):
+    """RS002 — only injected, seeded ``random.Random`` instances."""
+
+    id: ClassVar[str] = "RS002"
+    title: ClassVar[str] = "no module-level random; seed a Random instance"
+    rationale: ClassVar[str] = (
+        "The shared module-level generator makes fungal spread depend "
+        "on import order and unrelated callers; every stochastic "
+        "component takes a seeded random.Random."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr != "Random"
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"module-level random.{func.attr}() call; use an "
+                        "injected seeded random.Random instance",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name != "Random":
+                        yield self.finding(
+                            module,
+                            node,
+                            f"importing {alias.name} from random binds the "
+                            "shared module-level generator",
+                        )
+
+
+class ChainedRaiseRule(Rule):
+    """RS003 — ``raise`` inside ``except`` must chain with ``from``."""
+
+    id: ClassVar[str] = "RS003"
+    title: ClassVar[str] = "raise inside except must chain with from"
+    rationale: ClassVar[str] = (
+        "Rot forensics walks __cause__ chains to attribute failures; an "
+        "unchained raise inside a handler severs the provenance trail."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+
+    def _check_handler(
+        self, module: ModuleSource, handler: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        for raise_node in self._raises(handler.body):
+            if raise_node.exc is None or raise_node.cause is not None:
+                continue
+            # re-raising the caught exception object itself keeps its
+            # provenance; only *new* exceptions need an explicit chain
+            if (
+                isinstance(raise_node.exc, ast.Name)
+                and handler.name is not None
+                and raise_node.exc.id == handler.name
+            ):
+                continue
+            yield self.finding(
+                module,
+                raise_node,
+                "raise inside except without 'from'; chain the cause "
+                "(or use 'from None' to suppress it deliberately)",
+            )
+
+    def _raises(self, body: Sequence[ast.stmt]) -> Iterator[ast.Raise]:
+        """Raises lexically in an except body, skipping nested scopes
+        and nested handlers (those get their own visit)."""
+        for stmt in body:
+            if isinstance(stmt, ast.Raise):
+                yield stmt
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            elif isinstance(stmt, ast.Try):
+                yield from self._raises(stmt.body)
+                yield from self._raises(stmt.orelse)
+                yield from self._raises(stmt.finalbody)
+            elif isinstance(stmt, (ast.If, ast.For, ast.AsyncFor, ast.While)):
+                yield from self._raises(stmt.body)
+                yield from self._raises(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                yield from self._raises(stmt.body)
+
+
+class CataloguedMetricRule(Rule):
+    """RS004 — metric names are literal ``repro_*`` catalogue entries."""
+
+    id: ClassVar[str] = "RS004"
+    title: ClassVar[str] = "metric names must be catalogued repro_* literals"
+    rationale: ClassVar[str] = (
+        "Dashboards and the catalogue-consistency test key on exact "
+        "series names; dynamic or undocumented names drift silently."
+    )
+
+    METRIC_METHODS = frozenset({"counter", "gauge", "histogram", "ewma"})
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        catalogue = load_metric_catalogue(module.path)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                not isinstance(func, ast.Attribute)
+                or func.attr not in self.METRIC_METHODS
+                or len(node.args) < 2
+            ):
+                continue
+            name_arg = node.args[0]
+            if not (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+            ):
+                yield self.finding(
+                    module,
+                    name_arg,
+                    f"metric name passed to .{func.attr}() must be a "
+                    "string literal",
+                )
+                continue
+            name = name_arg.value
+            if not name.startswith("repro_"):
+                yield self.finding(
+                    module,
+                    name_arg,
+                    f"metric name {name!r} is outside the repro_ namespace",
+                )
+            elif (
+                catalogue is not None
+                and name not in catalogue
+                and name not in EXTRA_CATALOGUED
+            ):
+                yield self.finding(
+                    module,
+                    name_arg,
+                    f"metric name {name!r} is not in DESIGN.md's metric "
+                    "catalogue table",
+                )
+
+
+class SanctionedFreshnessRule(Rule):
+    """RS005 — freshness is written only by the table's mutators."""
+
+    id: ClassVar[str] = "RS005"
+    title: ClassVar[str] = "no direct freshness writes outside core/table.py"
+    rationale: ClassVar[str] = (
+        "The sanctioned mutators clamp f into [0, 1] and publish decay "
+        "events; a raw storage write skips both, corrupting the domain "
+        "invariant Tier-B analysis and the metrics rely on."
+    )
+
+    SANCTIONED_FILE = "core/table.py"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.path.as_posix().endswith(self.SANCTIONED_FILE):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                not isinstance(func, ast.Attribute)
+                or func.attr != "update"
+                or len(node.args) != 3
+            ):
+                continue
+            column = node.args[1]
+            if self._is_freshness_column(column):
+                yield self.finding(
+                    module,
+                    node,
+                    "direct freshness write via storage.update(); go "
+                    "through the table's sanctioned mutators",
+                )
+
+    @staticmethod
+    def _is_freshness_column(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and node.value == "f":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "freshness_column":
+            return True
+        if isinstance(node, ast.Name) and node.id == "freshness_column":
+            return True
+        return False
+
+
+class PublishedEventRule(Rule):
+    """RS006 — constructed events must reach a ``publish`` call."""
+
+    id: ClassVar[str] = "RS006"
+    title: ClassVar[str] = "event constructed but never published"
+    rationale: ClassVar[str] = (
+        "An event instantiated and dropped is an invisible state "
+        "change: metrics, forensics and probes all miss it."
+    )
+
+    NON_EVENT_NAMES = frozenset({"Event", "EventBus"})
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        event_classes = self._imported_event_classes(module.tree)
+        if not event_classes:
+            return
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        published_names = self._published_names(module.tree)
+        escaped_names = self._escaped_names(module.tree)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in event_classes
+            ):
+                if self._reaches_publish(
+                    node, parents, published_names | escaped_names
+                ):
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"{node.func.id} constructed but never published to "
+                    "the event bus",
+                )
+
+    def _imported_event_classes(self, tree: ast.Module) -> frozenset[str]:
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "repro.core.events"
+            ):
+                for alias in node.names:
+                    if alias.name not in self.NON_EVENT_NAMES:
+                        names.add(alias.asname or alias.name)
+        return frozenset(names)
+
+    @staticmethod
+    def _published_names(tree: ast.Module) -> frozenset[str]:
+        """Names that appear inside the arguments of a publish call."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "publish"
+            ):
+                values = list(node.args) + [kw.value for kw in node.keywords]
+                for value in values:
+                    for sub in ast.walk(value):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+        return frozenset(names)
+
+    @staticmethod
+    def _escaped_names(tree: ast.Module) -> frozenset[str]:
+        """Names returned or yielded — they escape to a caller that
+        owns the publish decision."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            value: ast.expr | None = None
+            if isinstance(node, ast.Return):
+                value = node.value
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                value = node.value
+            if value is not None:
+                for sub in ast.walk(value):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        return frozenset(names)
+
+    @staticmethod
+    def _reaches_publish(
+        node: ast.Call,
+        parents: dict[ast.AST, ast.AST],
+        ok_names: frozenset[str],
+    ) -> bool:
+        current: ast.AST = node
+        while current in parents:
+            parent = parents[current]
+            if isinstance(parent, ast.Call):
+                func = parent.func
+                if isinstance(func, ast.Attribute) and func.attr == "publish":
+                    return True
+            elif isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+                return True
+            elif isinstance(parent, ast.Assign):
+                targets = [
+                    t.id for t in parent.targets if isinstance(t, ast.Name)
+                ]
+                return any(t in ok_names for t in targets)
+            elif isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+            current = parent
+        return False
+
+
+def default_rules() -> list[Rule]:
+    """The full RS rule set, in catalogue order."""
+    return [
+        NoWallClockRule(),
+        SeededRandomRule(),
+        ChainedRaiseRule(),
+        CataloguedMetricRule(),
+        SanctionedFreshnessRule(),
+        PublishedEventRule(),
+    ]

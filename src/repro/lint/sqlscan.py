@@ -1,0 +1,112 @@
+"""Scan python sources for embedded ``CONSUME SELECT`` statements.
+
+``python -m repro.lint sql <paths>`` pulls every string literal that
+*is* a consume statement (it must start with ``CONSUME SELECT`` or
+``EXPLAIN CONSUME SELECT``) out of the target files and runs Tier-B
+analysis over each, schema-less: contradictions and tautologies are
+still decidable from the predicate alone. The scan fails (exit 1) if
+any embedded statement is statically *total* — a whole-extent consume
+baked into an example or script is almost certainly a bug under
+Law 2.
+
+F-strings and concatenations that lead with ``CONSUME SELECT`` are
+reported as dynamic (not analyzable) without failing the scan.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.lint.analyze import ConsumeAnalyzer, ConsumeReport
+
+_CONSUME_RE = re.compile(r"\s*(EXPLAIN\s+)?CONSUME\s+SELECT\b", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class EmbeddedConsume:
+    """One consume statement found inside a python source file."""
+
+    path: str
+    line: int
+    sql: Optional[str]  # None for dynamic (f-string) statements
+    report: Optional[ConsumeReport] = None
+
+    @property
+    def verdict(self) -> str:
+        if self.sql is None:
+            return "dynamic"
+        assert self.report is not None
+        return self.report.verdict
+
+    def format(self) -> str:
+        if self.sql is None:
+            return (
+                f"{self.path}:{self.line}: dynamic consume statement "
+                "(f-string; not statically analyzable)"
+            )
+        assert self.report is not None
+        line = f"{self.path}:{self.line}: {self.report.verdict}"
+        if self.report.errors:
+            line += f" ({'; '.join(self.report.errors)})"
+        return f"{line} — {self.sql.strip()}"
+
+
+def iter_embedded(paths: Iterable[str | Path]) -> Iterator[EmbeddedConsume]:
+    """Yield embedded consume statements, unanalyzed (report=None)."""
+    for path in _python_files(paths):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError:
+            continue
+        fstring_parts = {
+            id(part)
+            for node in ast.walk(tree)
+            if isinstance(node, ast.JoinedStr)
+            for part in node.values
+        }
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in fstring_parts
+                and _CONSUME_RE.match(node.value)
+            ):
+                yield EmbeddedConsume(str(path), node.lineno, node.value)
+            elif isinstance(node, ast.JoinedStr):
+                head = node.values[0] if node.values else None
+                if (
+                    isinstance(head, ast.Constant)
+                    and isinstance(head.value, str)
+                    and _CONSUME_RE.match(head.value)
+                ):
+                    yield EmbeddedConsume(str(path), node.lineno, None)
+
+
+def scan(paths: Iterable[str | Path]) -> list[EmbeddedConsume]:
+    """Find and analyze every embedded consume under ``paths``."""
+    analyzer = ConsumeAnalyzer()
+    results: list[EmbeddedConsume] = []
+    for found in iter_embedded(paths):
+        if found.sql is None:
+            results.append(found)
+            continue
+        report = analyzer.analyze(found.sql)
+        results.append(
+            EmbeddedConsume(found.path, found.line, found.sql, report)
+        )
+    return results
+
+
+def _python_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files

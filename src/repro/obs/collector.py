@@ -27,6 +27,7 @@ The full metric catalogue (all names prefixed ``repro_``):
 ``repro_freshness_restored_total``  counter     table, fungus
 ``repro_evictions_total``           counter     table, reason
 ``repro_consumed_tuples_total``     counter     table
+``repro_consume_analyzed_total``    counter     table, verdict
 ``repro_summaries_total``           counter     table, reason
 ``repro_summarised_rows_total``     counter     table
 ``repro_ticks_total``               counter     table
@@ -56,6 +57,7 @@ from typing import Any
 from repro.core.events import (
     AlertFired,
     AlertResolved,
+    ConsumeAnalyzed,
     DeathRecorded,
     RestoreCompleted,
     SummaryCreated,
@@ -125,6 +127,11 @@ class BusCollector:
             "repro_consumed_tuples_total",
             "Tuples carried away by CONSUME SELECT (Law 2).",
             ("table",),
+        )
+        self.consume_analyzed = r.counter(
+            "repro_consume_analyzed_total",
+            "Tier-B static analyses of consume statements, by verdict.",
+            ("table", "verdict"),
         )
         self.summaries = r.counter(
             "repro_summaries_total",
@@ -204,6 +211,7 @@ class BusCollector:
             (TupleDecayed, self._on_decayed),
             (TupleEvicted, self._on_evicted),
             (TupleConsumed, self._on_consumed),
+            (ConsumeAnalyzed, self._on_consume_analyzed),
             (SummaryCreated, self._on_summary),
             (TickCompleted, self._on_tick),
             (RestoreCompleted, self._on_restore),
@@ -250,6 +258,9 @@ class BusCollector:
     def _on_consumed(self, event: TupleConsumed) -> None:
         self.consumed.labels(table=event.table).inc()
         self.consume_rate.labels(table=event.table).mark(1.0, now=event.tick)
+
+    def _on_consume_analyzed(self, event: ConsumeAnalyzed) -> None:
+        self.consume_analyzed.labels(table=event.table, verdict=event.verdict).inc()
 
     def _on_summary(self, event: SummaryCreated) -> None:
         self.summaries.labels(table=event.table, reason=event.reason).inc()

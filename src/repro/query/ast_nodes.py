@@ -315,4 +315,20 @@ class SelectStmt:
         return " ".join(parts)
 
 
-Statement = Union[SelectStmt, InsertStmt, DeleteStmt]
+@dataclass(frozen=True)
+class ExplainStmt:
+    """``EXPLAIN [CONSUME] SELECT ...`` — describe, never execute.
+
+    Wrapping a consuming select asks the Tier-B analyzer for the
+    statement's statically-estimated Law-2 footprint; wrapping a plain
+    select renders the physical plan. Either way the wrapped statement
+    is *not* run and no row is touched.
+    """
+
+    inner: SelectStmt
+
+    def to_sql(self) -> str:
+        return f"EXPLAIN {self.inner.to_sql()}"
+
+
+Statement = Union[SelectStmt, InsertStmt, DeleteStmt, ExplainStmt]

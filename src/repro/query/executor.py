@@ -17,9 +17,16 @@ from __future__ import annotations
 
 from typing import Callable
 
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
-from repro.query.ast_nodes import DeleteStmt, InsertStmt, SelectStmt, Statement
+from repro.errors import ConsumeError
+from repro.query.ast_nodes import (
+    DeleteStmt,
+    ExplainStmt,
+    InsertStmt,
+    SelectStmt,
+    Statement,
+)
 from repro.query.expressions import evaluate
 from repro.query.parser import parse
 from repro.query.planner import (
@@ -29,7 +36,11 @@ from repro.query.planner import (
     plan_delete,
     plan_insert,
     plan_select,
+    render_plan,
 )
+
+if TYPE_CHECKING:
+    from repro.lint.analyze import ConsumeAnalyzer, ConsumeReport, DomainsProvider
 from repro.obs.tracing import NULL_TRACER
 from repro.query import operators as ops
 from repro.query.result import ExecutionStats, ResultSet
@@ -45,6 +56,8 @@ def _statement_kind(stmt: Statement) -> str:
         return "insert"
     if isinstance(stmt, DeleteStmt):
         return "delete"
+    if isinstance(stmt, ExplainStmt):
+        return "explain"
     return "consume" if getattr(stmt, "consume", False) else "select"
 
 
@@ -63,8 +76,16 @@ class QueryEngine:
         #: execute()); consume hooks read it so Law-2 death provenance
         #: records the consuming query verbatim.
         self.current_sql: str | None = None
+        #: refuse statements the Tier-B analyzer proves would consume
+        #: the entire extent (FungusDB's ``strict_consume`` option)
+        self.strict_consume = False
+        #: table-name -> column-domain mapping fed to the analyzer
+        #: (FungusDB supplies the freshness invariant f in [0, 1])
+        self.consume_domains: "DomainsProvider | None" = None
+        self._analyzer: "ConsumeAnalyzer | None" = None
         self._consume_hooks: list[ConsumeHook] = []
         self._access_hooks: list[ConsumeHook] = []
+        self._explain_hooks: list[Callable[["ConsumeReport"], None]] = []
         self._insert_delegates: dict[str, InsertDelegate] = {}
         self._insert_default_columns: dict[str, tuple[str, ...]] = {}
 
@@ -102,6 +123,30 @@ class QueryEngine:
         except ValueError:
             pass
 
+    def add_explain_hook(self, hook: "Callable[[ConsumeReport], None]") -> None:
+        """Run ``hook(report)`` after every Tier-B consume analysis
+        (both ``EXPLAIN CONSUME`` and the strict-consume gate) — the
+        decay core publishes a ``ConsumeAnalyzed`` event from here."""
+        self._explain_hooks.append(hook)
+
+    @property
+    def analyzer(self) -> "ConsumeAnalyzer":
+        """The Tier-B consume analyzer bound to this engine's catalog."""
+        if self._analyzer is None:
+            from repro.lint.analyze import ConsumeAnalyzer
+
+            self._analyzer = ConsumeAnalyzer(
+                self.catalog, domains_provider=self.consume_domains
+            )
+        return self._analyzer
+
+    def analyze_consume(self, statement: "str | SelectStmt") -> "ConsumeReport":
+        """Statically analyze a consume statement; nothing is executed."""
+        report = self.analyzer.analyze(statement)
+        for hook in self._explain_hooks:
+            hook(report)
+        return report
+
     def execute(self, query: str | Statement) -> ResultSet:
         """Parse (if needed), plan, and run one statement."""
         stmt = parse(query) if isinstance(query, str) else query
@@ -109,11 +154,15 @@ class QueryEngine:
         self.current_sql = query if isinstance(query, str) else None
         try:
             with self.tracer.span("query", kind=kind) as span:
-                if isinstance(stmt, InsertStmt):
+                if isinstance(stmt, ExplainStmt):
+                    result = self._run_explain(stmt)
+                elif isinstance(stmt, InsertStmt):
                     result = self._run_insert(stmt)
                 elif isinstance(stmt, DeleteStmt):
                     result = self._run_delete(stmt)
                 else:
+                    if stmt.consume and self.strict_consume:
+                        self._enforce_strict_consume(stmt)
                     plan = plan_select(stmt, self.catalog)
                     result = self._run(plan)
                 span.set(
@@ -133,6 +182,25 @@ class QueryEngine:
         return plan_select(stmt, self.catalog)
 
     # ------------------------------------------------------------------
+
+    def _run_explain(self, stmt: ExplainStmt) -> ResultSet:
+        """EXPLAIN never executes: consume analysis or plan rendering."""
+        if stmt.inner.consume:
+            report = self.analyze_consume(stmt.inner)
+            lines = report.describe().splitlines()
+        else:
+            lines = render_plan(plan_select(stmt.inner, self.catalog))
+        return ResultSet(columns=("explain",), rows=[(line,) for line in lines])
+
+    def _enforce_strict_consume(self, stmt: SelectStmt) -> None:
+        """Refuse a consume the analyzer proves eats the whole extent."""
+        report = self.analyze_consume(stmt)
+        if report.is_total:
+            raise ConsumeError(
+                f"strict_consume: {report.sql!r} would consume the entire "
+                f"extent of {report.table!r} ({report.extent} rows); narrow "
+                f"the WHERE clause or use EXPLAIN CONSUME to inspect it"
+            )
 
     def _run_insert(self, stmt: InsertStmt) -> ResultSet:
         if not stmt.columns and stmt.table in self._insert_default_columns:

@@ -13,7 +13,7 @@ from typing import Any, Iterable, Iterator
 
 from repro.errors import ExecutionError
 from repro.obs.profile import PROFILER
-from repro.query.ast_nodes import OrderItem, Projection
+from repro.query.ast_nodes import Expression, OrderItem, Projection
 from repro.query.expressions import evaluate, matches
 from repro.query.functions import aggregate_arity, make_aggregate
 from repro.query.planner import AggregatePlan, IndexAccess, JoinPlan, ScanPlan
@@ -122,7 +122,11 @@ def hash_join(
             yield merged
 
 
-def apply_filter(rows: Iterable[RowContext], predicate, stats: ExecutionStats) -> Iterator[RowContext]:
+def apply_filter(
+    rows: Iterable[RowContext],
+    predicate: Expression | None,
+    stats: ExecutionStats,
+) -> Iterator[RowContext]:
     """Keep only contexts matching ``predicate`` (SQL NULL = no match)."""
     for ctx in rows:
         if matches(predicate, ctx):
@@ -248,6 +252,6 @@ def limit(rows: Iterable[tuple], n: int) -> Iterator[tuple]:
             return
 
 
-def consume_rows(table, rids: RowSet) -> None:
+def consume_rows(table: Any, rids: RowSet) -> None:
     """Law 2 enforcement: delete every answer-set row from the table."""
     table.delete_rows(rids)

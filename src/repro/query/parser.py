@@ -2,7 +2,8 @@
 
 Grammar (informal)::
 
-    statement   := [CONSUME] SELECT [DISTINCT] proj_list FROM table_ref
+    statement   := [EXPLAIN] select_stmt | insert_stmt | delete_stmt
+    select_stmt := [CONSUME] SELECT [DISTINCT] proj_list FROM table_ref
                    [JOIN table_ref ON column = column]
                    [WHERE or_expr]
                    [GROUP BY column_list] [HAVING or_expr]
@@ -30,6 +31,7 @@ from repro.query.ast_nodes import (
     BinaryOp,
     ColumnRef,
     DeleteStmt,
+    ExplainStmt,
     Expression,
     FuncCall,
     InList,
@@ -96,6 +98,10 @@ class _Parser:
     # -- statement -----------------------------------------------------
 
     def parse_statement(self) -> Statement:
+        if self.accept_keyword("EXPLAIN"):
+            if self.check_keyword("INSERT") or self.check_keyword("DELETE"):
+                self.fail("EXPLAIN supports only [CONSUME] SELECT")
+            return ExplainStmt(self.parse_select())
         if self.check_keyword("INSERT"):
             return self.parse_insert()
         if self.check_keyword("DELETE"):

@@ -491,3 +491,30 @@ def plan_insert(stmt: InsertStmt, catalog: Catalog) -> tuple[str, tuple[str, ...
             if _find_aggregates(value):
                 raise PlanError("aggregates are not allowed in INSERT values")
     return stmt.table, tuple(columns)
+
+
+def render_plan(plan: SelectPlan) -> list[str]:
+    """Human-readable plan lines (``EXPLAIN SELECT`` and the shell)."""
+    lines: list[str] = []
+    source = plan.source
+    if isinstance(source, ScanPlan):
+        access = source.index.describe() if source.index else "full scan"
+        residual = source.residual.to_sql() if source.residual else "none"
+        lines.append(f"scan {source.table_name} via {access}; residual {residual}")
+    else:
+        lines.append(
+            f"hash join {source.left.table_name} x {source.right.table_name} "
+            f"on {source.left_key} = {source.right_key}"
+        )
+    if plan.aggregate:
+        lines.append(
+            f"aggregate by {list(plan.aggregate.group_names) or 'ALL'} "
+            f"computing {[a.to_sql() for a in plan.aggregate.aggregates]}"
+        )
+    if plan.order_by:
+        lines.append(f"sort by {[o.to_sql() for o in plan.order_by]}")
+    if plan.limit is not None:
+        lines.append(f"limit {plan.limit}")
+    if plan.consume:
+        lines.append("CONSUME: matching base rows are deleted (Law 2)")
+    return lines

@@ -33,6 +33,7 @@ KEYWORDS = frozenset(
     {
         "SELECT",
         "CONSUME",
+        "EXPLAIN",
         "INSERT",
         "INTO",
         "VALUES",

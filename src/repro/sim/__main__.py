@@ -62,6 +62,14 @@ def main(argv: list[str] | None = None) -> int:
         "get a recent-deaths lineage dump)",
     )
     parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run Tier-B static analysis (EXPLAIN CONSUME) over every "
+        "consume before executing it and hold the verdict to what the "
+        "execution actually removed (none = 0 rows, total = the whole "
+        "extent)",
+    )
+    parser.add_argument(
         "--mutant",
         choices=sorted(mutants.MUTANTS),
         help="install a deliberately broken mutant first (the run "
@@ -79,7 +87,10 @@ def main(argv: list[str] | None = None) -> int:
             config = SimConfig(seed=seed, steps=args.steps)
             ops = generate_ops(config)
             simulator = Simulator(
-                config, trace_dir=args.trace_dir, forensics=args.forensics
+                config,
+                trace_dir=args.trace_dir,
+                forensics=args.forensics,
+                analyze=args.analyze,
             )
             report = simulator.run(ops)
             print(report.describe())

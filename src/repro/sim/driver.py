@@ -85,6 +85,7 @@ class SimReport:
     checkpoints: int = 0
     rows_inserted: int = 0
     deaths_recorded: int = 0
+    consumes_analyzed: int = 0
     forensic_problems: list[str] = field(default_factory=list)
 
     @property
@@ -107,6 +108,8 @@ class SimReport:
         )
         if self.deaths_recorded:
             line += f" ({self.deaths_recorded} deaths audited)"
+        if self.consumes_analyzed:
+            line += f" ({self.consumes_analyzed} consumes analyzed)"
         if self.ok:
             return line
         return "\n".join(
@@ -128,9 +131,11 @@ class Simulator:
         stop_on_divergence: bool = True,
         trace_dir: str | Path | None = None,
         forensics: bool = False,
+        analyze: bool = False,
     ) -> None:
         self.config = config
         self.forensics = forensics
+        self.analyze = analyze
         self._own_workdir = workdir is None
         self.workdir = (
             Path(tempfile.mkdtemp(prefix="repro-sim-"))
@@ -306,12 +311,35 @@ class Simulator:
 
     def _op_consume(self, op: Op) -> list[str]:
         pred: SimPredicate = op.payload
-        result = self.db.query(
-            f"CONSUME SELECT k FROM {op.table} WHERE {pred.to_sql()}"
-        )
+        sql = f"CONSUME SELECT k FROM {op.table} WHERE {pred.to_sql()}"
+        verdict: str | None = None
+        extent_before = 0
+        if self.analyze:
+            # Tier-B's static verdict is a *promise* about what the
+            # execution right below will do — hold it to that promise
+            verdict = self.db.explain_consume(sql).verdict
+            extent_before = self.db.extent(op.table)
+            self.report.consumes_analyzed += 1
+        result = self.db.query(sql)
         real = [row[0] for row in result.rows]
         model = self.oracle.consume(op.table, self._predicate_fn(pred))
         problems = []
+        if verdict is not None:
+            consumed = result.stats.rows_consumed
+            if verdict == "invalid":
+                problems.append(
+                    f"{op.table}: analyzer called {sql!r} invalid but it executed"
+                )
+            elif verdict == "none" and consumed != 0:
+                problems.append(
+                    f"{op.table}: verdict none but {consumed} rows consumed "
+                    f"by {sql!r}"
+                )
+            elif verdict == "total" and consumed != extent_before:
+                problems.append(
+                    f"{op.table}: verdict total but {consumed} of "
+                    f"{extent_before} rows consumed by {sql!r}"
+                )
         if real != model:
             problems.append(
                 f"{op.table}: CONSUME WHERE {pred.to_sql()} removed keys "

@@ -130,9 +130,23 @@ class SimConfig:
         return [spec.name for spec in self.tables]
 
 
+#: boundary predicates on the f ∈ [0, 1] invariant: the first two are
+#: statically *total*, the last two statically *none* — they keep the
+#: Tier-B verdict check (--analyze) from being vacuously all-partial
+_BOUNDARY_PREDICATES = (
+    SimPredicate("f", ">=", 0.0),
+    SimPredicate("f", "<=", 1.0),
+    SimPredicate("f", "<", 0.0),
+    SimPredicate("f", ">", 1.0),
+)
+
+
 def random_predicate(rng: random.Random) -> SimPredicate:
     """A predicate over v (payload) or f (freshness)."""
-    if rng.random() < 0.75:
+    roll = rng.random()
+    if roll < 0.1:
+        return rng.choice(_BOUNDARY_PREDICATES)
+    if roll < 0.75:
         op = rng.choice(COMPARISONS)
         return SimPredicate("v", op, rng.randrange(100))
     op = rng.choice(COMPARISONS[:4])  # float equality would be vacuous

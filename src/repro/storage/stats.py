@@ -4,16 +4,101 @@ The bench harness reports these, and experiment F1 uses
 :func:`estimate_bytes` as its storage-footprint metric (an honest
 Python-object estimate — the paper's point is about growth *shape*,
 not absolute bytes).
+
+Numeric columns additionally carry an equi-width
+:class:`ColumnHistogram`, which the ``EXPLAIN CONSUME`` analyzer uses
+to estimate how many rows a Law-2 predicate would destroy before
+anything is actually consumed.
 """
 
 from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional, Sequence
 
 from repro.storage.schema import DataType
 from repro.storage.table import Table
+
+#: Bin count for equi-width histograms; small tables get exact counts
+#: anyway because each distinct value lands in its own bin.
+DEFAULT_HISTOGRAM_BINS = 32
+
+#: Column types the histogram builder understands (timestamps are the
+#: logical clock's integers).
+_NUMERIC_DTYPES = (DataType.INT, DataType.FLOAT, DataType.TIMESTAMP)
+
+
+@dataclass(frozen=True)
+class ColumnHistogram:
+    """Equi-width histogram over the non-null numeric values of a column.
+
+    ``counts[i]`` holds values in ``[low + i*width, low + (i+1)*width)``
+    with the final bin closed on the right so ``high`` is included.
+    """
+
+    low: float
+    high: float
+    counts: tuple[int, ...]
+    total: int
+
+    @property
+    def bins(self) -> int:
+        return len(self.counts)
+
+    @property
+    def width(self) -> float:
+        return (self.high - self.low) / self.bins if self.bins else 0.0
+
+    def fraction_le(self, value: float) -> float:
+        """Estimated fraction of binned values that are ``<= value``.
+
+        Linear interpolation inside the containing bin — the standard
+        uniform-within-bin assumption.
+        """
+        if self.total == 0 or value < self.low:
+            return 0.0
+        if value >= self.high:
+            return 1.0
+        if self.width == 0.0:
+            # all mass at a single point == self.low <= value < high
+            return 1.0
+        index = min(int((value - self.low) / self.width), self.bins - 1)
+        below = sum(self.counts[:index])
+        bin_low = self.low + index * self.width
+        inside = self.counts[index] * (value - bin_low) / self.width
+        return (below + inside) / self.total
+
+    def fraction_between(self, low: float, high: float) -> float:
+        """Estimated fraction of values in the closed range ``[low, high]``."""
+        if high < low:
+            return 0.0
+        return max(0.0, self.fraction_le(high) - self.fraction_le(low))
+
+
+def build_histogram(
+    values: Sequence[Any], bins: int = DEFAULT_HISTOGRAM_BINS
+) -> Optional[ColumnHistogram]:
+    """Equi-width histogram of the numeric values in ``values``.
+
+    Returns ``None`` when there is nothing to bin (no non-null numeric
+    values, or a non-numeric column).
+    """
+    numeric = [
+        float(v)
+        for v in values
+        if v is not None and isinstance(v, (int, float)) and not isinstance(v, bool)
+    ]
+    if not numeric or len(numeric) != sum(1 for v in values if v is not None):
+        return None
+    low, high = min(numeric), max(numeric)
+    if low == high:
+        return ColumnHistogram(low=low, high=high, counts=(len(numeric),), total=len(numeric))
+    width = (high - low) / bins
+    counts = [0] * bins
+    for v in numeric:
+        counts[min(int((v - low) / width), bins - 1)] += 1
+    return ColumnHistogram(low=low, high=high, counts=tuple(counts), total=len(numeric))
 
 
 @dataclass(frozen=True)
@@ -27,6 +112,7 @@ class ColumnStats:
     distinct: int
     min_value: Any
     max_value: Any
+    histogram: Optional[ColumnHistogram] = None
 
 
 @dataclass(frozen=True)
@@ -73,6 +159,11 @@ def collect_stats(table: Table) -> TableStats:
                 distinct=len(set(non_null)),
                 min_value=min(comparable) if comparable else None,
                 max_value=max(comparable) if comparable else None,
+                histogram=(
+                    build_histogram(values)
+                    if col_def.dtype in _NUMERIC_DTYPES
+                    else None
+                ),
             )
         )
     return TableStats(

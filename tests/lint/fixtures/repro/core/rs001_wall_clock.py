@@ -1,0 +1,16 @@
+"""Known-bad fixture: wall-clock reads in a decay-critical package.
+
+The path (``repro/core/``) puts this file inside RS001's restricted
+scope; every timestamp below must be flagged.
+"""
+
+import time
+from datetime import datetime
+from time import monotonic  # flagged: exposes wall-clock via import
+
+
+def decay_tick() -> float:
+    started = time.time()  # flagged
+    stamp = datetime.now()  # flagged
+    time.sleep(0.1)  # flagged
+    return started + stamp.timestamp() + monotonic()

@@ -1,0 +1,16 @@
+"""Known-bad fixture: module-level random usage.
+
+The shared generator makes fungal spread depend on import order; only
+injected seeded ``random.Random`` instances are allowed.
+"""
+
+import random
+from random import choice  # flagged: binds the module-level generator
+
+GOOD_RNG = random.Random(42)  # fine: explicit seeded instance
+
+
+def pick_victim(rids: list) -> object:
+    if random.random() < 0.5:  # flagged
+        return random.choice(rids)  # flagged
+    return choice(rids)

@@ -1,0 +1,30 @@
+"""Known-bad fixture: raise inside except without ``from``.
+
+Rot forensics walks ``__cause__`` chains; the unchained raise below
+severs the trail. The chained and re-raise forms are fine.
+"""
+
+
+class AppError(Exception):
+    pass
+
+
+def convert(value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise AppError(f"bad value {value!r}")  # flagged: no 'from'
+
+
+def convert_chained(value: str) -> int:
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise AppError(f"bad value {value!r}") from exc  # fine
+
+
+def convert_reraise(value: str) -> int:
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise exc  # fine: same exception keeps its provenance

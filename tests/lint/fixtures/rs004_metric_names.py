@@ -1,0 +1,18 @@
+"""Known-bad fixture: metric names outside the catalogue contract.
+
+Every registry call below violates RS004 a different way: dynamic
+name, wrong namespace, repro_* but undocumented in DESIGN.md.
+"""
+
+
+def register_metrics(registry, suffix: str) -> None:
+    registry.counter("repro_" + suffix, "dynamic name", ("table",))  # flagged
+    registry.gauge("app_extent", "wrong namespace", ("table",))  # flagged
+    registry.counter(
+        "repro_totally_undocumented_total",  # flagged: not in DESIGN.md
+        "missing from the catalogue table",
+        ("table",),
+    )
+    registry.counter(  # fine: literal, namespaced, catalogued
+        "repro_inserts_total", "Tuples inserted.", ("table",)
+    )

@@ -1,0 +1,11 @@
+"""Known-bad fixture: direct freshness writes outside core/table.py.
+
+Raw storage writes skip the [0, 1] clamp and the decay events the
+sanctioned mutators provide.
+"""
+
+
+def rot_faster(table, rid: int) -> None:
+    table.storage.update(rid, "f", -3.0)  # flagged: raw write, bad domain
+    table.storage.update(rid, table.freshness_column, 0.5)  # flagged
+    table.storage.update(rid, "v", 7)  # fine: not the freshness column

@@ -1,0 +1,23 @@
+"""Known-bad fixture: an event constructed but never published.
+
+A dropped event is an invisible state change — metrics, forensics and
+probes all miss it.
+"""
+
+from repro.core.events import TupleEvicted, TupleInserted
+
+
+def evict(bus, table: str, tick: float, rid: int) -> None:
+    TupleEvicted(table, tick, rid=rid, reason="decay")  # flagged: dropped
+    event = TupleInserted(table, tick, rid=rid)  # flagged: never published
+    del event
+
+
+def evict_published(bus, table: str, tick: float, rid: int) -> None:
+    bus.publish(TupleEvicted(table, tick, rid=rid, reason="decay"))  # fine
+    pending = TupleInserted(table, tick, rid=rid)  # fine: published below
+    bus.publish(pending)
+
+
+def make_event(table: str, tick: float, rid: int) -> TupleInserted:
+    return TupleInserted(table, tick, rid=rid)  # fine: escapes to caller

@@ -1,0 +1,94 @@
+"""``python -m repro.lint sql`` — embedded consume scanning."""
+
+from pathlib import Path
+
+from repro.lint import sqlscan
+from repro.lint.__main__ import main as lint_main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def write(tmp_path: Path, name: str, text: str) -> Path:
+    target = tmp_path / name
+    target.write_text(text)
+    return target
+
+
+class TestExtraction:
+    def test_finds_literal_consumes(self, tmp_path):
+        write(
+            tmp_path,
+            "job.py",
+            'SQL = "CONSUME SELECT v FROM r WHERE v > 3"\n'
+            'OTHER = "SELECT v FROM r"\n',
+        )
+        found = list(sqlscan.iter_embedded([tmp_path]))
+        assert len(found) == 1
+        assert found[0].sql == "CONSUME SELECT v FROM r WHERE v > 3"
+        assert found[0].line == 1
+
+    def test_fstring_consume_is_dynamic_not_duplicated(self, tmp_path):
+        write(
+            tmp_path,
+            "job.py",
+            'def q(t):\n    return f"CONSUME SELECT v FROM r WHERE v > {t}"\n',
+        )
+        found = list(sqlscan.iter_embedded([tmp_path]))
+        assert len(found) == 1
+        assert found[0].sql is None
+        assert found[0].verdict == "dynamic"
+
+    def test_prose_mentioning_consume_is_ignored(self, tmp_path):
+        write(
+            tmp_path,
+            "doc.py",
+            '"""The 500s are CONSUMEd during review; see CONSUME docs."""\n',
+        )
+        assert list(sqlscan.iter_embedded([tmp_path])) == []
+
+
+class TestVerdicts:
+    def test_total_consume_fails_the_scan(self, tmp_path, capsys):
+        write(tmp_path, "bad.py", 'SQL = "CONSUME SELECT v FROM r"\n')
+        assert lint_main(["sql", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "total" in out
+
+    def test_tautology_consume_fails_schemaless(self, tmp_path):
+        write(
+            tmp_path,
+            "bad.py",
+            'SQL = "CONSUME SELECT v FROM r WHERE 1 = 1"\n',
+        )
+        results = sqlscan.scan([tmp_path])
+        assert [r.verdict for r in results] == ["total"]
+
+    def test_partial_consume_passes(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "good.py",
+            'SQL = "CONSUME SELECT v FROM r WHERE v > 3"\n',
+        )
+        assert lint_main(["sql", str(tmp_path)]) == 0
+        assert "partial" in capsys.readouterr().out
+
+    def test_contradiction_is_reported_none(self, tmp_path):
+        write(
+            tmp_path,
+            "noop.py",
+            'SQL = "CONSUME SELECT v FROM r WHERE v > 5 AND v < 2"\n',
+        )
+        results = sqlscan.scan([tmp_path])
+        assert [r.verdict for r in results] == ["none"]
+
+
+class TestRepoExamples:
+    def test_shipped_examples_have_no_total_consumes(self, capsys):
+        """The CI smoke contract: every example consume is bounded."""
+        assert lint_main(["sql", str(REPO / "examples")]) == 0
+        out = capsys.readouterr().out
+        assert "0 statically total" in out
+
+    def test_shipped_examples_actually_contain_consumes(self):
+        results = sqlscan.scan([REPO / "examples"])
+        assert len([r for r in results if r.sql is not None]) >= 4
