@@ -1,0 +1,45 @@
+"""CLI for the benchmark regression gate.
+
+Usage::
+
+    python -m repro.bench regress --baseline benchmarks/baselines \\
+        --current bench-snapshots [--threshold 1.25]
+
+Exit code 0 when no benchmark's p50 regressed past the threshold,
+1 otherwise (each regression printed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.regression import compare
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench")
+    sub = parser.add_subparsers(dest="command", required=True)
+    regress = sub.add_parser(
+        "regress", help="compare BENCH_*.json snapshots against baselines"
+    )
+    regress.add_argument("--baseline", required=True, metavar="DIR")
+    regress.add_argument("--current", required=True, metavar="DIR")
+    regress.add_argument("--threshold", type=float, default=1.25)
+    args = parser.parse_args(argv)
+
+    result = compare(args.baseline, args.current, threshold=args.threshold)
+    for line in result.lines():
+        print(line)
+    if result.ok:
+        print("benchmark regression gate: OK")
+        return 0
+    print(
+        f"benchmark regression gate: {len(result.regressions)} regression(s)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Benchmark regression gate over ``BENCH_<suite>.json`` snapshots.
+
+Compares a current snapshot directory (fresh ``pytest benchmarks/
+--json DIR`` output) against committed baselines: a benchmark
+regresses when its p50 latency exceeds the baseline p50 by more than
+the allowed factor (default 1.25, i.e. >25% slower). New benchmarks
+(no baseline entry) and removed ones are reported but never fail the
+gate — only a measured slowdown does.
+
+Latency thresholds across unlike machines are noisy by nature; the
+default factor is deliberately loose, and the gate compares *shape*
+(same machine ran both suites in one CI job where possible).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.bench.snapshots import SNAPSHOT_PREFIX
+
+
+@dataclass
+class Comparison:
+    """Outcome of one baseline-vs-current snapshot sweep."""
+
+    regressions: list[str] = field(default_factory=list)
+    improvements: list[str] = field(default_factory=list)
+    unchanged: list[str] = field(default_factory=list)
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def lines(self) -> Iterator[str]:
+        for label, entries in (
+            ("REGRESSED", self.regressions),
+            ("improved", self.improvements),
+            ("within threshold", self.unchanged),
+            ("new (no baseline)", self.added),
+            ("missing from current run", self.removed),
+        ):
+            for entry in entries:
+                yield f"{label}: {entry}"
+
+
+def load_snapshots(directory: str | Path) -> dict[str, dict]:
+    """``{fullname: entry}`` across every ``BENCH_*.json`` in a dir."""
+    entries: dict[str, dict] = {}
+    for path in sorted(Path(directory).glob(f"{SNAPSHOT_PREFIX}*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        for entry in payload.get("benchmarks", ()):
+            entries[entry["fullname"]] = entry
+    return entries
+
+
+def compare(
+    baseline_dir: str | Path,
+    current_dir: str | Path,
+    threshold: float = 1.25,
+) -> Comparison:
+    """Compare p50 latencies; slower than ``threshold``x regresses."""
+    baseline = load_snapshots(baseline_dir)
+    current = load_snapshots(current_dir)
+    result = Comparison()
+    for fullname, entry in sorted(current.items()):
+        base = baseline.get(fullname)
+        if base is None:
+            result.added.append(fullname)
+            continue
+        base_p50, cur_p50 = base["p50_s"], entry["p50_s"]
+        ratio = cur_p50 / base_p50 if base_p50 > 0 else float("inf")
+        detail = (
+            f"{fullname}: p50 {base_p50 * 1e3:.3f}ms -> {cur_p50 * 1e3:.3f}ms "
+            f"({ratio:.2f}x, threshold {threshold:.2f}x)"
+        )
+        if ratio > threshold:
+            result.regressions.append(detail)
+        elif ratio < 1.0:
+            result.improvements.append(detail)
+        else:
+            result.unchanged.append(detail)
+    for fullname in sorted(set(baseline) - set(current)):
+        result.removed.append(fullname)
+    return result

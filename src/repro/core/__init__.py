@@ -28,19 +28,21 @@ from repro.core.events import (
     TickCompleted,
     TupleConsumed,
     TupleDecayed,
+    TupleDecayedBatch,
     TupleEvicted,
     TupleInfected,
     TupleInserted,
 )
 from repro.core.freshness import FreshnessBand, band_of, clamp_freshness
 from repro.core.fungus import DecayReport, Fungus
-from repro.core.table import DecayingTable
+from repro.core.table import BatchOutcome, DecayingTable
 from repro.core.policy import DecayPolicy, EvictionMode
 from repro.core.distill import Distiller, SummaryStore
 from repro.core.health import HealthReport, measure_health
 from repro.core.db import FungusDB
 
 __all__ = [
+    "BatchOutcome",
     "DecayClock",
     "DecayPolicy",
     "DecayReport",
@@ -57,6 +59,7 @@ __all__ = [
     "TickCompleted",
     "TupleConsumed",
     "TupleDecayed",
+    "TupleDecayedBatch",
     "TupleEvicted",
     "TupleInfected",
     "TupleInserted",

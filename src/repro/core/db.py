@@ -98,11 +98,15 @@ class FungusDB:
         time_index: bool = True,
         time_column: str = "t",
         freshness_column: str = "f",
+        kernels: bool | None = None,
     ) -> DecayingTable:
         """Create a decaying relation ``R(t, f, A1..An)``.
 
         ``fungus=None`` installs the :class:`NullFungus` control —
         a table that never rots (but still supports consume).
+        ``kernels`` selects the decay-kernel backend: ``None`` uses
+        numpy-backed ``t``/``f`` columns when numpy is importable,
+        ``True`` requires them, ``False`` forces the pure-python path.
         """
         if name in self.tables:
             raise CatalogError(f"table {name!r} already exists")
@@ -113,6 +117,7 @@ class FungusDB:
             self.bus,
             time_column=time_column,
             freshness_column=freshness_column,
+            kernels=kernels,
         )
         self.catalog.register(table.storage)
         if time_index:
@@ -146,7 +151,7 @@ class FungusDB:
         table = self._table(name)  # raise early on unknown names
         live = table.rowset()
         if live:
-            table.evict(live, reason="truncate")
+            table.evict(live, reason="truncate", collect_values=False)
         del self.tables[name]
         del self.policies[name]
         del self._distill_on_consume[name]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Callable, Type, TypeVar
+from typing import Any, Callable, Iterator, Type, TypeVar
 
 from repro.errors import EventFanoutError
 
@@ -54,6 +54,30 @@ class TupleDecayed(Event):
     old_freshness: float
     new_freshness: float
     fungus: str
+
+
+@dataclass(frozen=True)
+class TupleDecayedBatch(Event):
+    """One batch mutator pass changed many tuples' freshness at once.
+
+    The coalesced form of :class:`TupleDecayed`: ``rids`` is ascending,
+    ``old_freshness``/``new_freshness`` align with it, and only rows
+    whose freshness actually changed are included. Subscribers that
+    need per-tuple provenance (metrics, forensics trajectories) call
+    :meth:`expand` and handle each row exactly as they would a scalar
+    :class:`TupleDecayed` — the expansion order (ascending rid) matches
+    the order the scalar path would have published in.
+    """
+
+    rids: tuple
+    old_freshness: tuple
+    new_freshness: tuple
+    fungus: str
+
+    def expand(self) -> Iterator["TupleDecayed"]:
+        """Per-tuple :class:`TupleDecayed` events, ascending rid order."""
+        for rid, old, new in zip(self.rids, self.old_freshness, self.new_freshness):
+            yield TupleDecayed(self.table, self.tick, rid, old, new, self.fungus)
 
 
 @dataclass(frozen=True)
@@ -183,6 +207,27 @@ class EventBus:
         except ValueError:
             pass
 
+    def has_subscribers(self, event_type: Type[E]) -> bool:
+        """True when at least one handler listens for ``event_type``.
+
+        Publishers use this to skip building expensive event payloads
+        (eviction value dicts) nobody would see.
+        """
+        return bool(self._handlers.get(event_type))
+
+    def publish_lazy(self, event_type: Type[E], factory: Callable[[], E]) -> None:
+        """Publish ``factory()`` only if someone listens for ``event_type``.
+
+        The event still lands in :attr:`counts` either way, so the
+        ledger is identical whether or not the (possibly expensive)
+        payload was ever built — batch mutators use this to skip
+        assembling per-row tuples nobody would see.
+        """
+        if self._handlers.get(event_type):
+            self.publish(factory())
+            return
+        self.counts[event_type.__name__] += 1
+
     def publish(self, event: Event) -> None:
         """Deliver ``event`` to its type's handlers; count it either way.
 
@@ -195,8 +240,11 @@ class EventBus:
         :class:`~repro.errors.EventFanoutError` when several did.
         """
         self.counts[type(event).__name__] += 1
+        handlers = self._handlers.get(type(event))
+        if not handlers:
+            return
         failures: list[tuple[Callable[[Any], None], Exception]] = []
-        for handler in list(self._handlers.get(type(event), [])):
+        for handler in list(handlers):
             try:
                 handler(event)
             except Exception as exc:

@@ -19,7 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.core.table import DecayingTable
+from repro.core.table import BatchOutcome, DecayingTable
 
 
 @dataclass
@@ -71,7 +71,11 @@ class Fungus:
     def _decay(
         self, table: DecayingTable, rid: int, amount: float, report: DecayReport
     ) -> float:
-        """Apply ``amount`` of decay to ``rid`` and account for it."""
+        """Apply ``amount`` of decay to ``rid`` and account for it.
+
+        The scalar sibling of the batch mutators — kept for one-off
+        mutations and as the seam the fault-injection mutants patch.
+        """
         old = table.freshness(rid)
         new = table.decay(rid, amount, self.name)
         report.decayed += 1
@@ -79,6 +83,12 @@ class Fungus:
         if old > 0.0 and new <= 0.0:
             report.newly_exhausted += 1
         return new
+
+    def _account(self, outcome: BatchOutcome, report: DecayReport) -> None:
+        """Fold one batch mutator pass into the cycle report."""
+        report.decayed += outcome.processed
+        report.freshness_removed += outcome.removed
+        report.newly_exhausted += outcome.newly_exhausted
 
 
 @dataclass

@@ -15,6 +15,7 @@ when exhausted rows actually leave (eager vs lazy ablation, F6).
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Any, Iterator, Mapping, Sequence
 
 from repro.core.clock import DecayClock
@@ -22,6 +23,7 @@ from repro.core.events import (
     EventBus,
     TableCompacted,
     TupleDecayed,
+    TupleDecayedBatch,
     TupleEvicted,
     TupleInfected,
     TupleInserted,
@@ -31,6 +33,34 @@ from repro.errors import DecayError
 from repro.storage.rowset import RowSet
 from repro.storage.schema import ColumnDef, DataType, Schema
 from repro.storage.table import Table
+from repro.storage.vector import numpy
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Accounting totals of one batch freshness pass.
+
+    ``processed`` counts every row the pass touched (pinned no-ops
+    included — matching what a scalar loop of ``_decay`` calls would
+    report), ``changed`` the rows whose freshness actually moved,
+    ``removed`` the total freshness delta (negative when a pass raised
+    freshness), ``newly_exhausted`` the rows that crossed f>0 → f==0.
+    """
+
+    processed: int = 0
+    changed: int = 0
+    removed: float = 0.0
+    newly_exhausted: int = 0
+
+
+_EMPTY_OUTCOME = BatchOutcome()
+
+#: batches smaller than this run the scalar kernel even on the numpy
+#: backend — per-ufunc dispatch overhead beats the python loop there.
+#: Both kernels produce bit-identical freshness, exhausted sets and
+#: events, so this is purely a latency heuristic (tests pin it to 0 to
+#: force the vector kernel).
+_SMALL_BATCH = 32
 
 
 class DecayingTable:
@@ -44,6 +74,7 @@ class DecayingTable:
         bus: EventBus | None = None,
         time_column: str = "t",
         freshness_column: str = "f",
+        kernels: bool | None = None,
     ) -> None:
         if time_column in attributes or freshness_column in attributes:
             raise DecayError(
@@ -61,7 +92,15 @@ class DecayingTable:
             ColumnDef(freshness_column, DataType.FLOAT),
             *attributes.columns,
         ]
-        self.storage = Table(Schema(full), name=name)
+        # t and f ride on float64 arrays when numpy is available
+        # (kernels=None auto-detects; False forces the scalar fallback)
+        self.storage = Table(
+            Schema(full),
+            name=name,
+            vector_columns=(time_column, freshness_column),
+            kernels=kernels,
+            freshness_column=freshness_column,
+        )
         self._t_pos = 0
         self._f_pos = 1
         self._exhausted: set[int] = set()
@@ -168,8 +207,9 @@ class DecayingTable:
         landed here directly, a ``"spread"`` grew in from neighbour row
         ``source`` — the edges death provenance chains back to a seed.
         """
-        self.bus.publish(
-            TupleInfected(self.name, self.clock.now, rid, fungus, origin, source)
+        self.bus.publish_lazy(
+            TupleInfected,
+            lambda: TupleInfected(self.name, self.clock.now, rid, fungus, origin, source),
         )
 
     def pin(self, rid: int) -> None:
@@ -231,6 +271,235 @@ class DecayingTable:
         return self.storage.column_values(self.freshness_column)
 
     # ------------------------------------------------------------------
+    # batch freshness mutation (the vectorized decay kernels)
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_kernels(self) -> bool:
+        """True when batch mutators run on numpy arrays here."""
+        return self.storage.vectorized
+
+    def freshness_of_many(self, rids: Sequence[int]) -> Any:
+        """Freshness values aligned with ``rids`` (array when vectorized)."""
+        return self.storage.read_rows(self.freshness_column, rids)
+
+    def ages_of(self, rids: Sequence[int]) -> Any:
+        """Ages on the decay clock aligned with ``rids``."""
+        times = self.storage.read_rows(self.time_column, rids)
+        now = self.clock.now
+        if self.supports_kernels:
+            return now - times
+        return [now - t for t in times]
+
+    def live_positive_rows(self) -> Any:
+        """Live row ids with freshness > 0, ascending (array when
+        vectorized, list on the fallback backend — test emptiness with
+        ``len``, not truthiness)."""
+        if self.supports_kernels:
+            mask = self.storage.live_mask() & (self.storage.freshness_array() > 0.0)
+            return numpy.flatnonzero(mask)
+        freshness = self.storage.freshness_array()
+        return [rid for rid in self.storage.live_rows() if freshness[rid] > 0.0]
+
+    def positive_rows_in(self, lo: int, hi: int) -> Any:
+        """Live rows with freshness > 0 inside ``[lo, hi]``, ascending.
+
+        Returns an array for wide spans on the vectorized backend and a
+        plain list otherwise — test emptiness with ``len``, not
+        truthiness, and don't rely on the container type."""
+        if lo > hi:
+            return []
+        if self.supports_kernels:
+            hi = min(hi, self.storage.allocated - 1)
+            lo = max(lo, 0)
+            if lo > hi:
+                return []
+            live = self.storage.live_mask()
+            freshness = self.storage.freshness_array()
+            if hi - lo < _SMALL_BATCH:
+                # a handful of ufunc dispatches costs more than scanning
+                # a tiny span by direct element access
+                return [
+                    rid for rid in range(lo, hi + 1) if live[rid] and freshness[rid] > 0.0
+                ]
+            segment = live[lo : hi + 1] & (freshness[lo : hi + 1] > 0.0)
+            return numpy.flatnonzero(segment) + lo
+        freshness = self.storage.freshness_array()
+        return [
+            rid
+            for rid in range(max(lo, 0), min(hi, self.storage.allocated - 1) + 1)
+            if self.storage.is_live(rid) and freshness[rid] > 0.0
+        ]
+
+    def set_freshness_many(
+        self, rids: Sequence[int], values: Sequence[float], fungus: str = "manual"
+    ) -> BatchOutcome:
+        """Batch :meth:`set_freshness`: clamp, honour pins, maintain the
+        exhausted set and publish one coalesced event in a single pass.
+
+        ``rids`` must be live rows in ascending order; ``values`` aligns
+        with it. Publishes at most one :class:`TupleDecayedBatch`
+        carrying only the rows whose freshness actually changed, in rid
+        order — collectors expand it back into per-tuple provenance.
+        Both backends perform the same IEEE-754 operations, so the
+        resulting freshness values are bit-identical.
+        """
+        count = len(rids)
+        if count == 0:
+            return _EMPTY_OUTCOME
+        if self.supports_kernels and count >= _SMALL_BATCH:
+            rid_arr = numpy.asarray(rids, dtype=numpy.intp)
+            self.storage.check_live_many(rid_arr)
+            old = self.storage.freshness_array()[rid_arr]
+            target = numpy.asarray(values, dtype=numpy.float64)
+            return self._apply_batch_vec(rid_arr, old, target, fungus)
+        old = self._freshness_list(rids)
+        return self._apply_batch_py(
+            [int(r) for r in rids], old, [float(v) for v in values], fungus
+        )
+
+    def decay_many(self, rids: Sequence[int], amount: float, fungus: str) -> BatchOutcome:
+        """Batch :meth:`decay`: lower every row's freshness by ``amount``."""
+        if amount < 0:
+            raise DecayError(f"decay amount must be non-negative, got {amount}")
+        count = len(rids)
+        if count == 0:
+            return _EMPTY_OUTCOME
+        if self.supports_kernels and count >= _SMALL_BATCH:
+            rid_arr = numpy.asarray(rids, dtype=numpy.intp)
+            self.storage.check_live_many(rid_arr)
+            old = self.storage.freshness_array()[rid_arr]
+            return self._apply_batch_vec(rid_arr, old, old - amount, fungus)
+        old = self._freshness_list(rids)
+        return self._apply_batch_py(
+            [int(r) for r in rids], old, [o - amount for o in old], fungus
+        )
+
+    def scale_many(self, rids: Sequence[int], factor: float, fungus: str) -> BatchOutcome:
+        """Batch :meth:`scale_freshness`: multiply freshness by ``factor``."""
+        if not (0.0 <= factor <= 1.0):
+            raise DecayError(f"scale factor must be in [0,1], got {factor}")
+        count = len(rids)
+        if count == 0:
+            return _EMPTY_OUTCOME
+        if self.supports_kernels and count >= _SMALL_BATCH:
+            rid_arr = numpy.asarray(rids, dtype=numpy.intp)
+            self.storage.check_live_many(rid_arr)
+            old = self.storage.freshness_array()[rid_arr]
+            return self._apply_batch_vec(rid_arr, old, old * factor, fungus)
+        old = self._freshness_list(rids)
+        return self._apply_batch_py(
+            [int(r) for r in rids], old, [o * factor for o in old], fungus
+        )
+
+    def _freshness_list(self, rids: Sequence[int]) -> list[float]:
+        """Current freshness of ``rids`` as plain python floats.
+
+        Feeds the scalar batch kernel; ``tolist`` round-trips float64
+        bits exactly, so the arithmetic downstream is unchanged.
+        """
+        old = self.storage.read_rows(self.freshness_column, rids)
+        return old if isinstance(old, list) else old.tolist()
+
+    def _apply_batch_vec(
+        self, rid_arr: Any, old: Any, target: Any, fungus: str
+    ) -> BatchOutcome:
+        """Vector kernel shared by the batch mutators.
+
+        Mirrors the scalar :meth:`set_freshness` semantics exactly:
+        clamp into [0, 1]; a pinned row whose freshness would drop is
+        left untouched (no exhausted-set update either); the exhausted
+        set tracks the post-write value; only changed rows are evented.
+        """
+        new = numpy.minimum(numpy.maximum(target, 0.0), 1.0)
+        if self._pinned:
+            pinned = numpy.isin(
+                rid_arr, numpy.fromiter(self._pinned, dtype=numpy.intp)
+            )
+            skip = pinned & (new < old)
+            if skip.any():
+                new = numpy.where(skip, old, new)
+        self.storage.freshness_array()[rid_arr] = new
+        dead = new <= 0.0
+        if dead.any():
+            self._exhausted.update(rid_arr[dead].tolist())
+        if self._exhausted:
+            self._exhausted.difference_update(rid_arr[~dead].tolist())
+        changed = new != old
+        changed_count = int(numpy.count_nonzero(changed))
+        if changed_count:
+            self.bus.publish_lazy(
+                TupleDecayedBatch,
+                lambda: TupleDecayedBatch(
+                    self.name,
+                    self.clock.now,
+                    tuple(rid_arr[changed].tolist()),
+                    tuple(old[changed].tolist()),
+                    tuple(new[changed].tolist()),
+                    fungus,
+                ),
+            )
+        return BatchOutcome(
+            processed=int(rid_arr.size),
+            changed=changed_count,
+            removed=float(numpy.sum(old - new)),
+            newly_exhausted=int(numpy.count_nonzero((old > 0.0) & dead)),
+        )
+
+    def _apply_batch_py(
+        self, rids: list[int], old: Sequence[float], targets: Sequence[float], fungus: str
+    ) -> BatchOutcome:
+        """Pure-Python fallback of :meth:`_apply_batch_vec`.
+
+        Performs the identical arithmetic per row so freshness columns,
+        exhausted sets and event payloads match the vector kernel
+        bit-for-bit.
+        """
+        pinned = self._pinned
+        exhausted = self._exhausted
+        written: list[float] = []
+        changed_rids: list[int] = []
+        changed_old: list[float] = []
+        changed_new: list[float] = []
+        removed = 0.0
+        newly_exhausted = 0
+        for rid, o, target in zip(rids, old, targets):
+            n = min(max(target, 0.0), 1.0)
+            if n < o and rid in pinned:
+                n = o
+            written.append(n)
+            if n <= 0.0:
+                exhausted.add(rid)
+            else:
+                exhausted.discard(rid)
+            if n != o:
+                changed_rids.append(rid)
+                changed_old.append(o)
+                changed_new.append(n)
+            removed += o - n
+            if o > 0.0 and n <= 0.0:
+                newly_exhausted += 1
+        self.storage.write_rows(self.freshness_column, rids, written)
+        if changed_rids:
+            self.bus.publish_lazy(
+                TupleDecayedBatch,
+                lambda: TupleDecayedBatch(
+                    self.name,
+                    self.clock.now,
+                    tuple(changed_rids),
+                    tuple(changed_old),
+                    tuple(changed_new),
+                    fungus,
+                ),
+            )
+        return BatchOutcome(
+            processed=len(rids),
+            changed=len(changed_rids),
+            removed=removed,
+            newly_exhausted=newly_exhausted,
+        )
+
+    # ------------------------------------------------------------------
     # navigation and sampling (what fungi grow along)
     # ------------------------------------------------------------------
 
@@ -260,7 +529,9 @@ class DecayingTable:
                     picked.add(rid)
             if len(picked) == k:
                 return sorted(picked)
-        return sorted(rng.sample(list(self.storage.live_rows()), k))
+        # the live list is cached per liveness version on the storage
+        # table, so tombstone-heavy phases don't rebuild it every call
+        return sorted(rng.sample(self.storage.live_list(), k))
 
     def oldest_live(self) -> int | None:
         """The live row with the smallest insertion time (lowest rid)."""
@@ -270,23 +541,48 @@ class DecayingTable:
     # eviction (policies and Law 2)
     # ------------------------------------------------------------------
 
-    def evict(self, rows: RowSet, reason: str) -> list[dict[str, Any]]:
+    def evict(
+        self,
+        rows: RowSet,
+        reason: str,
+        collect_values: bool | None = None,
+    ) -> list[dict[str, Any]]:
         """Remove ``rows`` from R; returns their last values as dicts.
 
         Publishes one :class:`TupleEvicted` per row (with values, so
-        distillers can cook them without a second read).
+        distillers can cook them without a second read). The *returned*
+        dicts are built lazily: ``collect_values=None`` materialises
+        them only when the bus has :class:`TupleEvicted` subscribers
+        (someone is watching evictions at all); hot paths that ignore
+        the return value pass ``False`` explicitly, callers that need
+        the dicts pass ``True``.
         """
-        names = self.storage.schema.names
+        rids = list(rows)
+        if collect_values is None:
+            collect_values = self.bus.has_subscribers(TupleEvicted)
         evicted: list[dict[str, Any]] = []
+        if collect_values:
+            names = self.storage.schema.names
+            evicted = [dict(zip(names, self.storage.row(rid))) for rid in rids]
         self._pending_reason = reason
         try:
-            for rid in rows:
-                values = self.storage.row(rid)
-                evicted.append(dict(zip(names, values)))
-                self.storage.delete(rid)
+            self.storage.delete_many(rids)
         finally:
             self._pending_reason = "external"
         return evicted
+
+    def evict_exhausted_batch(self, reason: str = "decay") -> int:
+        """Evict every exhausted row in one batch; returns the count.
+
+        The LAZY-collection fast path: one :meth:`evict` pass (mask
+        flip + per-row events) over the whole exhausted set, with no
+        value dicts built.
+        """
+        rids = sorted(self._exhausted)
+        if not rids:
+            return 0
+        self.evict(RowSet(rids), reason, collect_values=False)
+        return len(rids)
 
     def set_eviction_reason(self, reason: str) -> None:
         """Label upcoming storage-level deletions (Law 2 consume path).

@@ -18,8 +18,12 @@ how to decay":
 * :class:`~repro.fungi.wrappers.PredicateFungus` — *what* to decay.
 * :class:`~repro.fungi.wrappers.CompositeFungus` — several at once.
 * :class:`~repro.fungi.wrappers.NullFungus` — the no-decay control.
+
+:class:`~repro.fungi.spotset.SpotSet` is the shared rot-spot interval
+structure EGI and Blue Cheese keep their membership in.
 """
 
+from repro.fungi.spotset import SpotSet
 from repro.fungi.retention import RetentionFungus
 from repro.fungi.linear import LinearDecayFungus
 from repro.fungi.exponential import ExponentialDecayFungus
@@ -40,4 +44,5 @@ __all__ = [
     "PredicateFungus",
     "RetentionFungus",
     "SigmoidDecayFungus",
+    "SpotSet",
 ]

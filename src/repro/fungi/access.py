@@ -52,13 +52,18 @@ class AccessRefreshFungus(Fungus):
         self.inner.on_compacted(remap)
 
     def cycle(self, table: DecayingTable, rng: random.Random) -> DecayReport:
-        for rid in sorted(self._pending):
-            if table.is_live(rid):
-                current = table.freshness(rid)
-                boosted = min(self.max_freshness, current + self.boost)
+        alive = [rid for rid in sorted(self._pending) if table.is_live(rid)]
+        if alive:
+            selected: list[int] = []
+            boosts: list[float] = []
+            for rid, current in zip(alive, table.freshness_of_many(alive)):
+                boosted = min(self.max_freshness, float(current) + self.boost)
                 if boosted > current:
-                    table.set_freshness(rid, boosted, self.name)
-                    self.total_refreshed += 1
+                    selected.append(rid)
+                    boosts.append(boosted)
+            if selected:
+                table.set_freshness_many(selected, boosts, self.name)
+                self.total_refreshed += len(selected)
         self._pending.clear()
         report = self.inner.cycle(table, rng)
         return DecayReport(

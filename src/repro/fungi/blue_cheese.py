@@ -13,6 +13,11 @@ explores a different corner of the design space than EGI:
   ``base_rate × (1 + acceleration × spot_age)`` per cycle, so young
   veins are mild and old veins aggressive — the "remains edible for a
   long time" shape.
+
+Each vein keeps its membership in its own
+:class:`~repro.fungi.spotset.SpotSet` (a vein can fragment around
+evicted interiors), so growth touches only span endpoints and the
+accelerating decay is one batch mutator call per span.
 """
 
 from __future__ import annotations
@@ -24,13 +29,14 @@ from typing import Mapping
 from repro.core.fungus import DecayReport, Fungus
 from repro.core.table import DecayingTable
 from repro.errors import DecayError
+from repro.fungi.spotset import SpotSet
 
 
 @dataclass
 class _Spot:
-    """One rot vein: its member rows and its age in cycles."""
+    """One rot vein: its member intervals and its age in cycles."""
 
-    members: set[int] = field(default_factory=set)
+    members: SpotSet = field(default_factory=SpotSet)
     age: int = 0
 
 
@@ -63,70 +69,77 @@ class BlueCheeseFungus(Fungus):
     @property
     def spots(self) -> list[frozenset[int]]:
         """Member sets of the active spots."""
-        return [frozenset(s.members) for s in self._spots]
+        return [frozenset(s.members.members()) for s in self._spots]
 
     def reset(self) -> None:
         self._spots.clear()
 
     def on_evicted(self, rid: int) -> None:
         for spot in self._spots:
-            spot.members.discard(rid)
+            spot.members.remove(rid)
 
     def on_compacted(self, remap: Mapping[int, int]) -> None:
         for spot in self._spots:
-            spot.members = {remap[rid] for rid in spot.members if rid in remap}
+            spot.members.remap(remap)
+
+    def _covered_anywhere(self, rid: int) -> bool:
+        return any(spot.members.covers(rid) for spot in self._spots)
 
     # ------------------------------------------------------------------
 
     def cycle(self, table: DecayingTable, rng: random.Random) -> DecayReport:
         report = DecayReport(self.name, table.clock.now)
 
-        # spots whose members all rotted away are finished veins
-        for spot in self._spots:
-            spot.members = {rid for rid in spot.members if table.is_live(rid)}
-        self._spots = [s for s in self._spots if s.members or s.age == 0]
+        # spots whose members all rotted away are finished veins (with
+        # no tombstones anywhere there is nothing stale to trim)
+        if table.storage.tombstones:
+            for spot in self._spots:
+                spot.members.replace(
+                    run
+                    for lo, hi in spot.members.spans()
+                    for run in table.storage.live_runs(lo, hi)
+                )
+            self._spots = [s for s in self._spots if s.members or s.age == 0]
 
         # seed a new vein if below budget (age-biased, like EGI)
         if len(self._spots) < self.max_spots:
             seed = self._select_seed(table, rng)
             if seed is not None:
-                self._spots.append(_Spot(members={seed}))
+                self._spots.append(_Spot(members=SpotSet([(seed, seed)])))
                 table.mark_infected(seed, self.name)
                 report.seeded += 1
-
-        infected_anywhere = set()
-        for spot in self._spots:
-            infected_anywhere |= spot.members
 
         for spot in self._spots:
             if not spot.members:
                 continue
             # grow one tuple outward on each side of the vein
-            left_edge = min(spot.members)
-            right_edge = max(spot.members)
-            prev_rid, _ = table.neighbours(left_edge) if table.is_live(left_edge) else (None, None)
-            _, next_rid = table.neighbours(right_edge) if table.is_live(right_edge) else (None, None)
+            spans = spot.members.spans()
+            left_edge = spans[0][0]
+            right_edge = spans[-1][1]
+            prev_rid = table.storage.prev_live(left_edge)
+            next_rid = table.storage.next_live(right_edge)
             for frontier, edge in ((prev_rid, left_edge), (next_rid, right_edge)):
-                if frontier is not None and frontier not in infected_anywhere:
+                if frontier is not None and not self._covered_anywhere(frontier):
                     spot.members.add(frontier)
-                    infected_anywhere.add(frontier)
                     table.mark_infected(
                         frontier, self.name, origin="spread", source=edge
                     )
                     report.spread += 1
-            # accelerating decay of all members
+            # accelerating decay of all members — one kernel call per span
             rate = min(1.0, self.base_rate * (1.0 + self.acceleration * spot.age))
-            for rid in sorted(spot.members):
-                if table.is_live(rid) and table.freshness(rid) > 0.0:
-                    self._decay(table, rid, rate, report)
+            for lo, hi in spot.members.spans():
+                rids = table.positive_rows_in(lo, hi)
+                if len(rids):
+                    self._account(table.decay_many(rids, rate, self.name), report)
             spot.age += 1
         return report
 
     def _select_seed(self, table: DecayingTable, rng: random.Random) -> int | None:
-        taken = set()
-        for spot in self._spots:
-            taken |= spot.members
-        sample = [rid for rid in table.sample_live(rng, self.age_bias) if rid not in taken]
+        sample = [
+            rid
+            for rid in table.sample_live(rng, self.age_bias)
+            if not self._covered_anywhere(rid)
+        ]
         if not sample:
             return None
         return min(sample)

@@ -23,6 +23,12 @@ oldest of n tuples is k times likelier than uniform), which realises
 "inversely randomly correlated with its age" without an O(n) weighted
 draw per cycle. ``exact_age_weighting=True`` switches to a true
 age-proportional draw for tests and small tables.
+
+Membership lives in a :class:`~repro.fungi.spotset.SpotSet`, making
+the infection structure explicit: spread is O(#spots) endpoint
+extension (only spot edges can grow — interior members' neighbours
+are already infected), and the decay step is one batch mutator call
+per spot instead of a per-member ``set_freshness`` loop.
 """
 
 from __future__ import annotations
@@ -33,7 +39,9 @@ from typing import Mapping
 from repro.core.fungus import DecayReport, Fungus
 from repro.core.table import DecayingTable
 from repro.errors import DecayError
+from repro.fungi.spotset import SpotSet
 from repro.obs.profile import PROFILER
+from repro.storage.vector import numpy
 
 
 class EGIFungus(Fungus):
@@ -60,21 +68,26 @@ class EGIFungus(Fungus):
         self.spread = spread
         self.age_bias = age_bias
         self.exact_age_weighting = exact_age_weighting
-        self._infected: set[int] = set()
+        self._spots = SpotSet()
 
     @property
     def infected(self) -> frozenset[int]:
         """Currently infected row ids (live rows only)."""
-        return frozenset(self._infected)
+        return frozenset(self._spots.members())
+
+    @property
+    def spot_spans(self) -> list[tuple[int, int]]:
+        """The rot spots as inclusive ``(lo, hi)`` rid intervals."""
+        return self._spots.spans()
 
     def reset(self) -> None:
-        self._infected.clear()
+        self._spots.clear()
 
     def on_evicted(self, rid: int) -> None:
-        self._infected.discard(rid)
+        self._spots.remove(rid)
 
     def on_compacted(self, remap: Mapping[int, int]) -> None:
-        self._infected = {remap[rid] for rid in self._infected if rid in remap}
+        self._spots.remap(remap)
 
     # ------------------------------------------------------------------
 
@@ -84,62 +97,84 @@ class EGIFungus(Fungus):
         start = PROFILER.time()
         report = self._cycle(table, rng)
         PROFILER.record(
-            "egi.cycle", rows=len(self._infected), seconds=PROFILER.time() - start
+            "egi.cycle", rows=len(self._spots), seconds=PROFILER.time() - start
         )
         return report
 
     def _cycle(self, table: DecayingTable, rng: random.Random) -> DecayReport:
         report = DecayReport(self.name, table.clock.now)
-        self._infected = {rid for rid in self._infected if table.is_live(rid)}
+        # drop dead members: intersect every spot with the live runs it
+        # still covers (splits spots around evicted interiors). With no
+        # tombstones anywhere there is nothing stale to drop.
+        if table.storage.tombstones:
+            self._spots.replace(
+                run
+                for lo, hi in self._spots.spans()
+                for run in table.storage.live_runs(lo, hi)
+            )
 
         # 1. seed: age-biased selection of new infection sites
         for _ in range(self.seeds_per_cycle):
             seed = self._select_seed(table, rng)
             if seed is None:
                 break
-            if seed not in self._infected:
-                self._infected.add(seed)
+            if self._spots.add(seed):
                 table.mark_infected(seed, self.name)
                 report.seeded += 1
 
-        if not self._infected:
+        if not self._spots:
             return report
 
-        # 2. spread: infect direct time-axis neighbours of every
-        #    currently infected element ("bi-directional growth").
-        #    Each frontier row remembers which neighbour infected it —
-        #    the provenance edge the forensics lineage chains on.
+        # 2. spread: "bi-directional growth" — only the spot edges have
+        #    uninfected live neighbours, so extending each span's
+        #    endpoints infects exactly the scalar frontier. The edge row
+        #    is recorded as the infection source — the provenance edge
+        #    forensics lineage chains on.
         if self.spread:
-            frontier: dict[int, int] = {}
-            for rid in self._infected:
-                if not table.is_live(rid):
-                    continue
-                prev_rid, next_rid = table.neighbours(rid)
-                for neighbour in (prev_rid, next_rid):
-                    if neighbour is not None and neighbour not in self._infected:
-                        frontier.setdefault(neighbour, rid)
-            for rid, source in frontier.items():
-                self._infected.add(rid)
-                table.mark_infected(rid, self.name, origin="spread", source=source)
-                report.spread += 1
+            grown = 0
+            for lo, hi in self._spots.spans():
+                prev_rid = table.storage.prev_live(lo)
+                if prev_rid is not None and not self._spots.covers(prev_rid):
+                    self._spots.add(prev_rid)
+                    table.mark_infected(prev_rid, self.name, origin="spread", source=lo)
+                    grown += 1
+                next_rid = table.storage.next_live(hi)
+                if next_rid is not None and not self._spots.covers(next_rid):
+                    self._spots.add(next_rid)
+                    table.mark_infected(next_rid, self.name, origin="spread", source=hi)
+                    grown += 1
+            report.spread += grown
             if PROFILER.enabled:
-                PROFILER.record("egi.spread", rows=len(frontier))
+                PROFILER.record("egi.spread", rows=grown)
 
-        # 3. decay: every infected element loses freshness at equal rate
-        for rid in sorted(self._infected):
-            if table.is_live(rid) and table.freshness(rid) > 0.0:
-                self._decay(table, rid, self.decay_rate, report)
+        # 3. decay: every infected element loses freshness at equal
+        #    rate — one batch kernel call across all spots; spans are
+        #    disjoint and ascending, so the concatenation is the same
+        #    ascending rid order the scalar member loop used
+        parts = [table.positive_rows_in(lo, hi) for lo, hi in self._spots.spans()]
+        if table.supports_kernels and len(parts) > 1:
+            rids = numpy.concatenate(
+                [numpy.asarray(part, dtype=numpy.intp) for part in parts]
+            )
+        elif len(parts) == 1:
+            rids = parts[0]
+        else:
+            rids = [rid for part in parts for rid in part]
+        if len(rids):
+            self._account(table.decay_many(rids, self.decay_rate, self.name), report)
         return report
 
     def _select_seed(self, table: DecayingTable, rng: random.Random) -> int | None:
         if self.exact_age_weighting:
-            candidates = [rid for rid in table.live_rows() if rid not in self._infected]
+            candidates = [
+                rid for rid in table.live_rows() if not self._spots.covers(rid)
+            ]
             if not candidates:
                 return None
             ages = [table.age(rid) + 1.0 for rid in candidates]
             return rng.choices(candidates, weights=ages, k=1)[0]
         sample = table.sample_live(rng, self.age_bias)
-        sample = [rid for rid in sample if rid not in self._infected]
+        sample = [rid for rid in sample if not self._spots.covers(rid)]
         if not sample:
             return None
         # the lowest rid is the oldest (insertion order = time order)

@@ -13,6 +13,7 @@ import random
 from repro.core.fungus import DecayReport, Fungus
 from repro.core.table import DecayingTable
 from repro.errors import DecayError
+from repro.storage.vector import numpy
 
 
 class ExponentialDecayFungus(Fungus):
@@ -31,12 +32,23 @@ class ExponentialDecayFungus(Fungus):
 
     def cycle(self, table: DecayingTable, rng: random.Random) -> DecayReport:
         report = DecayReport(self.name, table.clock.now)
-        for rid in list(table.live_rows()):
-            current = table.freshness(rid)
-            if current <= 0.0:
-                continue
-            new = current * self.factor
-            if new < self.evict_below:
-                new = 0.0
-            self._decay(table, rid, current - new, report)
+        rids = table.live_positive_rows()
+        if len(rids) == 0:
+            return report
+        old = table.freshness_of_many(rids)
+        # both branches compute current - (current - current*factor) —
+        # the exact float dance the scalar path performed — so the
+        # written freshness is bit-identical either way
+        if table.supports_kernels:
+            new = old * self.factor
+            new = numpy.where(new < self.evict_below, 0.0, new)
+            targets = old - (old - new)
+        else:
+            targets = []
+            for current in old:
+                new_value = current * self.factor
+                if new_value < self.evict_below:
+                    new_value = 0.0
+                targets.append(current - (current - new_value))
+        self._account(table.set_freshness_many(rids, targets, self.name), report)
         return report

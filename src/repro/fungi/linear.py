@@ -25,7 +25,7 @@ class LinearDecayFungus(Fungus):
 
     def cycle(self, table: DecayingTable, rng: random.Random) -> DecayReport:
         report = DecayReport(self.name, table.clock.now)
-        for rid in list(table.live_rows()):
-            if table.freshness(rid) > 0.0:
-                self._decay(table, rid, self.rate, report)
+        rids = table.live_positive_rows()
+        if len(rids):
+            self._account(table.decay_many(rids, self.rate, self.name), report)
         return report

@@ -14,6 +14,7 @@ import random
 from repro.core.fungus import DecayReport, Fungus
 from repro.core.table import DecayingTable
 from repro.errors import DecayError
+from repro.storage.vector import numpy
 
 
 class RetentionFungus(Fungus):
@@ -28,9 +29,34 @@ class RetentionFungus(Fungus):
 
     def cycle(self, table: DecayingTable, rng: random.Random) -> DecayReport:
         report = DecayReport(self.name, table.clock.now)
-        for rid in list(table.live_rows()):
-            target = max(0.0, 1.0 - table.age(rid) / self.max_age)
-            current = table.freshness(rid)
-            if target < current:
-                self._decay(table, rid, current - target, report)
+        rids = table.storage.live_list()
+        if not rids:
+            return report
+        if table.supports_kernels:
+            ages = table.ages_of(rids)
+            current = table.freshness_of_many(rids)
+            target = numpy.maximum(0.0, 1.0 - ages / self.max_age)
+            mask = target < current
+            if not mask.any():
+                return report
+            selected = numpy.asarray(rids, dtype=numpy.intp)[mask].tolist()
+            cur = current[mask]
+            targets = cur - (cur - target[mask])
+            self._account(
+                table.set_freshness_many(selected, targets, self.name), report
+            )
+            return report
+        selected: list[int] = []
+        targets: list[float] = []
+        for rid in rids:
+            age = table.age(rid)
+            target_value = max(0.0, 1.0 - age / self.max_age)
+            current_value = table.freshness(rid)
+            if target_value < current_value:
+                selected.append(rid)
+                targets.append(current_value - (current_value - target_value))
+        if selected:
+            self._account(
+                table.set_freshness_many(selected, targets, self.name), report
+            )
         return report

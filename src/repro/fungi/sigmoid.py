@@ -54,11 +54,23 @@ class SigmoidDecayFungus(Fungus):
 
     def cycle(self, table: DecayingTable, rng: random.Random) -> DecayReport:
         report = DecayReport(self.name, table.clock.now)
-        for rid in list(table.live_rows()):
-            current = table.freshness(rid)
-            if current <= 0.0:
-                continue
-            target = self.target_freshness(table.age(rid))
-            if target < current:
-                self._decay(table, rid, current - target, report)
+        rids = table.live_positive_rows()
+        if len(rids) == 0:
+            return report
+        # the logistic targets stay per-row python: math.exp and
+        # numpy.exp differ in the last ulp, and the differential oracle
+        # demands bit-identical freshness on both backends
+        ages = [float(a) for a in table.ages_of(rids)]
+        current = [float(f) for f in table.freshness_of_many(rids)]
+        selected: list[int] = []
+        targets: list[float] = []
+        for rid, age, cur in zip(rids, ages, current):
+            target = self.target_freshness(age)
+            if target < cur:
+                selected.append(rid)
+                targets.append(cur - (cur - target))
+        if selected:
+            self._account(
+                table.set_freshness_many(selected, targets, self.name), report
+            )
         return report

@@ -1,0 +1,168 @@
+"""SpotSet: rot spots as sorted disjoint rid intervals.
+
+The paper's EGI fungus produces rot *spots* — contiguous insertion
+ranges whose freshness melts away together. Tracking membership as a
+``set[int]`` makes every cycle O(infected): each member is probed for
+neighbours even though only the spot *edges* can grow. A
+:class:`SpotSet` stores the same membership as sorted disjoint
+inclusive ``[lo, hi]`` intervals instead, so
+
+* spreading is O(#spots) endpoint extension,
+* the decay step is one batch mutator call per interval, and
+* liveness maintenance intersects intervals with the storage table's
+  live runs instead of filtering members one by one.
+
+Invariants (checked by the test suite, relied on everywhere):
+
+* spans are sorted ascending and pairwise disjoint;
+* no two spans are rid-adjacent (``end + 1 < next start``) — adjacency
+  merges on :meth:`add`;
+* every rid inside a span is a member; there is no partial occupancy.
+
+A span may cover rids that died since the last sync — callers refresh
+with :meth:`replace` (from ``Table.live_runs``) at the top of each
+cycle, exactly where the scalar fungi filtered their member sets.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, Mapping
+
+
+class SpotSet:
+    """Sorted disjoint inclusive ``[lo, hi]`` rid intervals."""
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self, spans: Iterable[tuple[int, int]] = ()) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        for lo, hi in spans:
+            self.add_span(lo, hi)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Total member count across all spans."""
+        return sum(hi - lo + 1 for lo, hi in zip(self._starts, self._ends))
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __repr__(self) -> str:
+        return f"SpotSet({self.spans()!r})"
+
+    def spans(self) -> list[tuple[int, int]]:
+        """The intervals, ascending: ``[(lo, hi), ...]`` inclusive."""
+        return list(zip(self._starts, self._ends))
+
+    def members(self) -> Iterator[int]:
+        """Every member rid, ascending."""
+        for lo, hi in zip(self._starts, self._ends):
+            yield from range(lo, hi + 1)
+
+    def covers(self, rid: int) -> bool:
+        """True when ``rid`` is a member of some span."""
+        i = bisect_right(self._starts, rid) - 1
+        return i >= 0 and rid <= self._ends[i]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, rid: int) -> bool:
+        """Add one rid; merges with rid-adjacent spans. False if present."""
+        starts, ends = self._starts, self._ends
+        i = bisect_right(starts, rid) - 1
+        if i >= 0 and rid <= ends[i]:
+            return False
+        joins_left = i >= 0 and ends[i] == rid - 1
+        joins_right = i + 1 < len(starts) and starts[i + 1] == rid + 1
+        if joins_left and joins_right:
+            ends[i] = ends[i + 1]
+            del starts[i + 1]
+            del ends[i + 1]
+        elif joins_left:
+            ends[i] = rid
+        elif joins_right:
+            starts[i + 1] = rid
+        else:
+            starts.insert(i + 1, rid)
+            ends.insert(i + 1, rid)
+        return True
+
+    def add_span(self, lo: int, hi: int) -> None:
+        """Add the inclusive range ``[lo, hi]`` (merging as needed)."""
+        if lo > hi:
+            raise ValueError(f"invalid span [{lo}, {hi}]")
+        for rid in range(lo, hi + 1):
+            self.add(rid)
+
+    def remove(self, rid: int) -> bool:
+        """Remove one rid, splitting its span; False if not a member."""
+        starts, ends = self._starts, self._ends
+        i = bisect_right(starts, rid) - 1
+        if i < 0 or rid > ends[i]:
+            return False
+        lo, hi = starts[i], ends[i]
+        if lo == hi:
+            del starts[i]
+            del ends[i]
+        elif rid == lo:
+            starts[i] = rid + 1
+        elif rid == hi:
+            ends[i] = rid - 1
+        else:
+            ends[i] = rid - 1
+            starts.insert(i + 1, rid + 1)
+            ends.insert(i + 1, hi)
+        return True
+
+    def clear(self) -> None:
+        """Forget all spans."""
+        self._starts.clear()
+        self._ends.clear()
+
+    def replace(self, spans: Iterable[tuple[int, int]]) -> None:
+        """Replace the whole structure with pre-sorted disjoint spans.
+
+        The liveness-sync fast path: ``Table.live_runs`` already emits
+        sorted disjoint non-adjacent runs, so no per-rid merging is
+        needed. Falls back to :meth:`add_span` when an input span
+        touches its predecessor (defensive, O(members) only then).
+        """
+        starts: list[int] = []
+        ends: list[int] = []
+        for lo, hi in spans:
+            if lo > hi:
+                raise ValueError(f"invalid span [{lo}, {hi}]")
+            if starts and lo <= ends[-1] + 1:
+                ends[-1] = max(ends[-1], hi)
+                continue
+            starts.append(lo)
+            ends.append(hi)
+        self._starts = starts
+        self._ends = ends
+
+    def remap(self, remap: Mapping[int, int]) -> None:
+        """Translate members through a compaction remap.
+
+        Members missing from ``remap`` died before compaction and are
+        dropped. Compaction preserves relative order and only closes
+        gaps, so surviving members regroup into (possibly fewer,
+        possibly merged) contiguous spans — rebuilt here in one
+        ascending sweep.
+        """
+        new_ids = sorted(
+            remap[rid] for rid in self.members() if rid in remap
+        )
+        runs: list[tuple[int, int]] = []
+        for rid in new_ids:
+            if runs and rid == runs[-1][1] + 1:
+                runs[-1] = (runs[-1][0], rid)
+            else:
+                runs.append((rid, rid))
+        self.replace(runs)

@@ -52,11 +52,13 @@ class PredicateFungus(Fungus):
 
     def cycle(self, table: DecayingTable, rng: random.Random) -> DecayReport:
         report = DecayReport(self.name, table.clock.now)
-        for rid in list(table.live_rows()):
-            if table.freshness(rid) <= 0.0:
-                continue
-            if self.predicate(table.attributes_of(rid)):
-                self._decay(table, rid, self.rate, report)
+        matching = [
+            rid
+            for rid in table.live_positive_rows()
+            if self.predicate(table.attributes_of(rid))
+        ]
+        if matching:
+            self._account(table.decay_many(matching, self.rate, self.name), report)
         return report
 
 

@@ -15,7 +15,7 @@ from typing import ClassVar, Iterator, Sequence
 from repro.lint.catalogue import load_metric_catalogue
 from repro.lint.engine import Finding, ModuleSource, Rule
 
-CATALOGUE_VERSION = "1.0"
+CATALOGUE_VERSION = "1.1"
 
 #: packages where simulated time and injected randomness are mandatory
 RESTRICTED_PACKAGES = ("core", "fungi", "query", "sim", "storage")
@@ -317,7 +317,11 @@ class SanctionedFreshnessRule(Rule):
 
 
 class PublishedEventRule(Rule):
-    """RS006 — constructed events must reach a ``publish`` call."""
+    """RS006 — constructed events must reach a ``publish`` call.
+
+    ``publish_lazy`` counts: an event built inside its factory callback
+    is published exactly when someone listens, and still lands in the
+    bus's count ledger when nobody does."""
 
     id: ClassVar[str] = "RS006"
     title: ClassVar[str] = "event constructed but never published"
@@ -375,7 +379,7 @@ class PublishedEventRule(Rule):
             if (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "publish"
+                and node.func.attr in ("publish", "publish_lazy")
             ):
                 values = list(node.args) + [kw.value for kw in node.keywords]
                 for value in values:
@@ -412,7 +416,10 @@ class PublishedEventRule(Rule):
             parent = parents[current]
             if isinstance(parent, ast.Call):
                 func = parent.func
-                if isinstance(func, ast.Attribute) and func.attr == "publish":
+                if isinstance(func, ast.Attribute) and func.attr in (
+                    "publish",
+                    "publish_lazy",
+                ):
                     return True
             elif isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
                 return True
@@ -427,6 +434,69 @@ class PublishedEventRule(Rule):
         return False
 
 
+class BatchMutatorRule(Rule):
+    """RS007 — hot decay paths use batch mutators, not per-row loops."""
+
+    id: ClassVar[str] = "RS007"
+    title: ClassVar[str] = "no per-row freshness loops in fungi or policy"
+    rationale: ClassVar[str] = (
+        "A scalar set_freshness/decay call inside a loop re-pays "
+        "validation, pin checks and event publication per row; the "
+        "batch mutators (decay_many, scale_many, set_freshness_many) "
+        "do one vectorized pass and publish one coalesced event."
+    )
+
+    SCALAR_MUTATORS = frozenset(
+        {"set_freshness", "decay", "scale_freshness", "_decay"}
+    )
+    LOOP_NODES = (
+        ast.For,
+        ast.AsyncFor,
+        ast.While,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        posix = path.as_posix()
+        return "repro/fungi/" in posix or posix.endswith("repro/core/policy.py")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.SCALAR_MUTATORS
+            ):
+                continue
+            if self._inside_loop(node, parents):
+                yield self.finding(
+                    module,
+                    node,
+                    f"per-row {node.func.attr}() inside a loop; use the "
+                    "batch mutators (decay_many/scale_many/"
+                    "set_freshness_many) instead",
+                )
+
+    def _inside_loop(
+        self, node: ast.AST, parents: dict[ast.AST, ast.AST]
+    ) -> bool:
+        current = node
+        while current in parents:
+            current = parents[current]
+            if isinstance(current, self.LOOP_NODES):
+                return True
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+        return False
+
+
 def default_rules() -> list[Rule]:
     """The full RS rule set, in catalogue order."""
     return [
@@ -436,4 +506,5 @@ def default_rules() -> list[Rule]:
         CataloguedMetricRule(),
         SanctionedFreshnessRule(),
         PublishedEventRule(),
+        BatchMutatorRule(),
     ]

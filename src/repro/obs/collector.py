@@ -64,6 +64,7 @@ from repro.core.events import (
     TickCompleted,
     TupleConsumed,
     TupleDecayed,
+    TupleDecayedBatch,
     TupleEvicted,
     TupleInfected,
     TupleInserted,
@@ -209,6 +210,7 @@ class BusCollector:
             (TupleInserted, self._on_inserted),
             (TupleInfected, self._on_infected),
             (TupleDecayed, self._on_decayed),
+            (TupleDecayedBatch, self._on_decayed_batch),
             (TupleEvicted, self._on_evicted),
             (TupleConsumed, self._on_consumed),
             (ConsumeAnalyzed, self._on_consume_analyzed),
@@ -250,6 +252,12 @@ class BusCollector:
             self.freshness_removed.labels(table=event.table, fungus=event.fungus).inc(delta)
         else:
             self.freshness_restored.labels(table=event.table, fungus=event.fungus).inc(-delta)
+
+    def _on_decayed_batch(self, event: TupleDecayedBatch) -> None:
+        # per-tuple provenance is preserved: a coalesced batch counts
+        # exactly as its expansion would have, row by row
+        for sub in event.expand():
+            self._on_decayed(sub)
 
     def _on_evicted(self, event: TupleEvicted) -> None:
         self.evictions.labels(table=event.table, reason=event.reason).inc()

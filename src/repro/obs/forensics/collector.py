@@ -28,6 +28,7 @@ from repro.core.events import (
     TableCompacted,
     TupleConsumed,
     TupleDecayed,
+    TupleDecayedBatch,
     TupleEvicted,
     TupleInfected,
     TupleInserted,
@@ -57,6 +58,7 @@ class ForensicsCollector:
             (TupleInserted, self._on_inserted),
             (TupleInfected, self._on_infected),
             (TupleDecayed, self._on_decayed),
+            (TupleDecayedBatch, self._on_decayed_batch),
             (TupleConsumed, self._on_consumed),
             (TupleEvicted, self._on_evicted),
             (TableCompacted, self._on_compacted),
@@ -99,6 +101,12 @@ class ForensicsCollector:
 
     def _on_decayed(self, event: TupleDecayed) -> None:
         self.store.decayed(event.table, event.rid, event.tick, event.new_freshness)
+
+    def _on_decayed_batch(self, event: TupleDecayedBatch) -> None:
+        # expansion keeps biographies bit-identical to the scalar path:
+        # same per-row trajectory points, same ascending-rid order
+        for sub in event.expand():
+            self._on_decayed(sub)
 
     def _on_consumed(self, event: TupleConsumed) -> None:
         self.store.note_consume(event.table, event.rid, event.query)

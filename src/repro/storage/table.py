@@ -10,6 +10,17 @@ navigation.
 Observers (secondary indexes, decay bookkeeping) register through
 :meth:`Table.add_observer` and are told about every append, delete and
 compaction, so they never go stale.
+
+Decay kernels: selected columns (in practice ``t`` and ``f``) can be
+backed by ``float64`` arrays (:mod:`repro.storage.vector`), in which
+case the table also maintains a boolean live mask and exposes bulk
+primitives — :meth:`freshness_array`, :meth:`decay_rows`,
+:meth:`scale_rows`, :meth:`live_mask`, :meth:`live_runs`,
+:meth:`delete_many` — that apply Law 1 as array operations instead of
+per-row Python calls. A pure-Python fallback is selected at
+construction when numpy is unavailable (or ``kernels=False``); the
+fallback implements the same primitives with loops so callers never
+branch on the backend for correctness, only for speed.
 """
 
 from __future__ import annotations
@@ -19,7 +30,8 @@ from typing import Any, Callable, Iterator, Mapping, Protocol, Sequence
 from repro.errors import StorageError
 from repro.obs.profile import PROFILER
 from repro.storage.rowset import RowSet
-from repro.storage.schema import Schema
+from repro.storage.schema import DataType, Schema
+from repro.storage.vector import HAVE_NUMPY, BoolColumn, FloatColumn, numpy
 
 
 class TableObserver(Protocol):
@@ -40,6 +52,10 @@ class TableObserver(Protocol):
         """The table compacted; ``remap`` maps old live rid -> new rid."""
 
 
+#: column dtypes eligible for float64 vector backing
+_VECTORIZABLE = (DataType.FLOAT, DataType.TIMESTAMP)
+
+
 class Table:
     """Columnar table with tombstone deletes and stable row ids.
 
@@ -48,15 +64,56 @@ class Table:
     simple mutable structure with observer hooks is the honest substrate.
     """
 
-    def __init__(self, schema: Schema, name: str = "R") -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        name: str = "R",
+        vector_columns: Sequence[str] = (),
+        kernels: bool | None = None,
+        freshness_column: str | None = None,
+    ) -> None:
         self.schema = schema
         self.name = name
-        self._columns: list[list[Any]] = [[] for _ in schema]
-        self._live: list[bool] = []
+        self.freshness_column = freshness_column
+        requested = tuple(vector_columns)
+        if kernels is None:
+            use_kernels = HAVE_NUMPY and bool(requested)
+        elif kernels:
+            if not HAVE_NUMPY:
+                raise StorageError(
+                    f"table {name!r}: vectorized kernels requested but numpy "
+                    "is not available"
+                )
+            if not requested:
+                raise StorageError(
+                    f"table {name!r}: kernels=True needs at least one vector column"
+                )
+            use_kernels = True
+        else:
+            use_kernels = False
+        positions: set[int] = set()
+        if use_kernels:
+            for column in requested:
+                pos = schema.index_of(column)
+                dtype = schema.column(column).dtype
+                if dtype not in _VECTORIZABLE:
+                    raise StorageError(
+                        f"table {name!r}: column {column!r} has dtype "
+                        f"{dtype.value}; only float/timestamp columns vectorize"
+                    )
+                positions.add(pos)
+        self._vector_positions = frozenset(positions)
+        self._columns: list[Any] = [
+            FloatColumn() if pos in positions else []
+            for pos in range(len(schema))
+        ]
+        self._live: Any = BoolColumn() if use_kernels else []
         self._live_count = 0
         self._next_rid = 0
         self._observers: list[TableObserver] = []
         self._generation = 0  # bumped on compaction; indexes check it
+        self._version = 0  # bumped on every liveness change; caches check it
+        self._live_cache: tuple[int, list[int]] | None = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -87,6 +144,11 @@ class Table:
         """Compaction counter; row ids are only comparable within one."""
         return self._generation
 
+    @property
+    def vectorized(self) -> bool:
+        """True when the decay kernels run on numpy arrays here."""
+        return bool(self._vector_positions)
+
     def is_live(self, rid: int) -> bool:
         """True when ``rid`` exists and has not been deleted."""
         return 0 <= rid < self._next_rid and self._live[rid]
@@ -96,6 +158,40 @@ class Table:
             raise StorageError(f"row id {rid} out of range [0, {self._next_rid}) in {self.name!r}")
         if not self._live[rid]:
             raise StorageError(f"row id {rid} is deleted in table {self.name!r}")
+
+    def check_live_many(self, rids: Sequence[int]) -> None:
+        """Raise :class:`StorageError` unless every rid is a live row."""
+        if self.vectorized:
+            if len(rids) < 32:
+                # ufunc reductions cost ~2us of fixed dispatch each;
+                # for a handful of rids a direct loop is far cheaper
+                live = self._live.array()
+                upper = self._next_rid
+                for rid in rids:
+                    rid = int(rid)
+                    if not 0 <= rid < upper:
+                        raise StorageError(
+                            f"row id {rid} out of range [0, {upper}) in {self.name!r}"
+                        )
+                    if not live[rid]:
+                        raise StorageError(
+                            f"row id {rid} is deleted in table {self.name!r}"
+                        )
+                return
+            arr = numpy.asarray(rids, dtype=numpy.intp)
+            if arr.size == 0:
+                return
+            if int(arr.min()) < 0 or int(arr.max()) >= self._next_rid:
+                bad = next(r for r in rids if not 0 <= r < self._next_rid)
+                raise StorageError(
+                    f"row id {bad} out of range [0, {self._next_rid}) in {self.name!r}"
+                )
+            if not self._live.array()[arr].all():
+                bad = next(r for r in rids if not self._live[r])
+                raise StorageError(f"row id {bad} is deleted in table {self.name!r}")
+            return
+        for rid in rids:
+            self._check_live(rid)
 
     # ------------------------------------------------------------------
     # observers
@@ -125,6 +221,7 @@ class Table:
         self._live.append(True)
         self._next_rid += 1
         self._live_count += 1
+        self._version += 1
         for obs in self._observers:
             obs.on_append(rid, values)
         return rid
@@ -142,13 +239,43 @@ class Table:
         values = tuple(col[rid] for col in self._columns)
         self._live[rid] = False
         self._live_count -= 1
+        self._version += 1
         for obs in self._observers:
             obs.on_delete(rid, values)
 
+    def delete_many(self, rids: Sequence[int]) -> None:
+        """Tombstone many live rows in one pass.
+
+        Validates every rid up front (so a bad batch deletes nothing),
+        flips the whole live mask in one vectorized write, then
+        notifies observers once per row in the order given — per-row
+        eviction provenance is preserved while the mask work is O(1)
+        Python calls.
+        """
+        ordered = list(rids)
+        if not ordered:
+            return
+        self.check_live_many(ordered)
+        if len(set(ordered)) != len(ordered):
+            raise StorageError(f"duplicate row ids in batch delete on {self.name!r}")
+        captured = [
+            (rid, tuple(col[rid] for col in self._columns)) for rid in ordered
+        ]
+        if self.vectorized:
+            self._live.array()[numpy.asarray(ordered, dtype=numpy.intp)] = False
+        else:
+            live = self._live
+            for rid in ordered:
+                live[rid] = False
+        self._live_count -= len(ordered)
+        self._version += 1
+        for rid, values in captured:
+            for obs in self._observers:
+                obs.on_delete(rid, values)
+
     def delete_rows(self, rows: RowSet) -> None:
         """Tombstone every row in ``rows`` (all must be live)."""
-        for rid in rows:
-            self.delete(rid)
+        self.delete_many(list(rows))
 
     def update(self, rid: int, column: str, value: Any) -> None:
         """Overwrite one cell of a live row (used for freshness decay)."""
@@ -196,6 +323,23 @@ class Table:
         """All live row ids as a :class:`RowSet`."""
         return RowSet(self.live_rows())
 
+    def live_list(self) -> list[int]:
+        """All live row ids, ascending, cached per liveness version.
+
+        The returned list is shared with the cache — callers must not
+        mutate it. Any append/delete/compaction invalidates it.
+        """
+        cache = self._live_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
+        if self.vectorized:
+            rows = numpy.flatnonzero(self._live.array()).tolist()
+        else:
+            live = self._live
+            rows = [rid for rid in range(self._next_rid) if live[rid]]
+        self._live_cache = (self._version, rows)
+        return rows
+
     def iter_rows(self) -> Iterator[tuple[int, tuple]]:
         """Yield ``(rid, values)`` for every live row in time order."""
         for rid in self.live_rows():
@@ -219,6 +363,147 @@ class Table:
         return RowSet(matches)
 
     # ------------------------------------------------------------------
+    # bulk decay primitives (vector fast path + list fallback)
+    # ------------------------------------------------------------------
+
+    def column_array(self, column: str) -> Any:
+        """The raw float64 view of a vector-backed column.
+
+        Only meaningful on the vectorized backend; the view covers the
+        whole allocated row space (tombstoned slots hold stale values —
+        mask with :meth:`live_mask`). Writes through the view bypass
+        event publication, so only the sanctioned freshness mutators in
+        ``core/table.py`` may mutate it.
+        """
+        pos = self.schema.index_of(column)
+        if pos not in self._vector_positions:
+            raise StorageError(
+                f"column {column!r} of {self.name!r} is not vector-backed"
+            )
+        return self._columns[pos].array()
+
+    def freshness_array(self) -> Any:
+        """Bulk view of the freshness column.
+
+        Vectorized: the mutable float64 array view (length
+        :attr:`allocated`). Fallback: a fresh list copy of the same
+        values — positionally identical, but writes do not stick.
+        """
+        if self.freshness_column is None:
+            raise StorageError(f"table {self.name!r} has no freshness column")
+        if self.vectorized:
+            return self.column_array(self.freshness_column)
+        col = self._columns[self.schema.index_of(self.freshness_column)]
+        return list(col)
+
+    def live_mask(self) -> Any:
+        """Boolean liveness per allocated row slot.
+
+        Vectorized: the shared boolean array view (do not mutate).
+        Fallback: a fresh list of bools.
+        """
+        if self.vectorized:
+            return self._live.array()
+        return list(self._live)
+
+    def read_rows(self, column: str, rids: Sequence[int]) -> Any:
+        """Values of ``column`` for live ``rids`` (array when vectorized)."""
+        self.check_live_many(rids)
+        pos = self.schema.index_of(column)
+        col = self._columns[pos]
+        if pos in self._vector_positions:
+            return col.array()[numpy.asarray(rids, dtype=numpy.intp)]
+        return [col[rid] for rid in rids]
+
+    def write_rows(self, column: str, rids: Sequence[int], values: Any) -> None:
+        """Overwrite ``column`` for live ``rids`` with ``values``.
+
+        The bulk counterpart of :meth:`update` for vector-backed
+        columns; values must already be floats (no per-cell coercion).
+        """
+        self.check_live_many(rids)
+        pos = self.schema.index_of(column)
+        col = self._columns[pos]
+        if pos in self._vector_positions:
+            col.array()[numpy.asarray(rids, dtype=numpy.intp)] = values
+            return
+        for rid, value in zip(rids, values):
+            col[rid] = value
+
+    def decay_rows(self, rids: Sequence[int], amount: float) -> tuple[Any, Any]:
+        """Clamped freshness drop ``f := min(max(f - amount, 0), 1)``.
+
+        Returns ``(old, new)`` value sequences aligned with ``rids``.
+        Pure storage arithmetic: pins, exhausted bookkeeping and event
+        publication live in ``core/table.py`` on top of this.
+        """
+        old = self.read_rows(self._freshness_name(), rids)
+        if self.vectorized:
+            new = numpy.minimum(numpy.maximum(old - amount, 0.0), 1.0)
+        else:
+            new = [min(max(o - amount, 0.0), 1.0) for o in old]
+        self.write_rows(self._freshness_name(), rids, new)
+        return old, new
+
+    def scale_rows(self, rids: Sequence[int], factor: float) -> tuple[Any, Any]:
+        """Clamped freshness scale ``f := min(max(f * factor, 0), 1)``.
+
+        Returns ``(old, new)`` value sequences aligned with ``rids``.
+        """
+        old = self.read_rows(self._freshness_name(), rids)
+        if self.vectorized:
+            new = numpy.minimum(numpy.maximum(old * factor, 0.0), 1.0)
+        else:
+            new = [min(max(o * factor, 0.0), 1.0) for o in old]
+        self.write_rows(self._freshness_name(), rids, new)
+        return old, new
+
+    def _freshness_name(self) -> str:
+        if self.freshness_column is None:
+            raise StorageError(f"table {self.name!r} has no freshness column")
+        return self.freshness_column
+
+    def live_runs(self, lo: int, hi: int) -> list[tuple[int, int]]:
+        """Maximal contiguous runs of live rids within ``[lo, hi]``.
+
+        Returned as inclusive ``(start, end)`` pairs in ascending
+        order — the shape rot spots keep their membership in.
+        """
+        lo = max(lo, 0)
+        hi = min(hi, self._next_rid - 1)
+        if lo > hi:
+            return []
+        if self.vectorized:
+            segment = self._live.array()[lo : hi + 1]
+            # fast path for the common sync case: the whole range is
+            # still alive (spot interiors between eviction batches)
+            if segment.all():
+                return [(lo, hi)]
+            idx = numpy.flatnonzero(segment)
+            if idx.size == 0:
+                return []
+            gaps = numpy.flatnonzero(numpy.diff(idx) > 1)
+            starts = numpy.concatenate(([0], gaps + 1))
+            ends = numpy.concatenate((gaps, [idx.size - 1]))
+            return [
+                (int(idx[s]) + lo, int(idx[e]) + lo)
+                for s, e in zip(starts.tolist(), ends.tolist())
+            ]
+        runs: list[tuple[int, int]] = []
+        live = self._live
+        start: int | None = None
+        for rid in range(lo, hi + 1):
+            if live[rid]:
+                if start is None:
+                    start = rid
+            elif start is not None:
+                runs.append((start, rid - 1))
+                start = None
+        if start is not None:
+            runs.append((start, hi))
+        return runs
+
+    # ------------------------------------------------------------------
     # neighbour navigation (EGI's spread axis)
     # ------------------------------------------------------------------
 
@@ -230,6 +515,18 @@ class Table:
         """
         if not (0 <= rid < self._next_rid):
             raise StorageError(f"row id {rid} out of range in {self.name!r}")
+        if self.vectorized:
+            if rid == 0:
+                return None
+            live = self._live.array()
+            # adjacency fast path: without a tombstone gap the previous
+            # row id is simply rid - 1 (the overwhelmingly common case)
+            if live[rid - 1]:
+                return rid - 1
+            # reversed view; bool argmax short-circuits at the first hit
+            before = live[rid - 1 :: -1]
+            pos = int(numpy.argmax(before))
+            return rid - 1 - pos if before[pos] else None
         for cand in range(rid - 1, -1, -1):
             if self._live[cand]:
                 return cand
@@ -239,6 +536,17 @@ class Table:
         """The nearest live row id strictly after ``rid``, or None."""
         if not (0 <= rid < self._next_rid):
             raise StorageError(f"row id {rid} out of range in {self.name!r}")
+        if self.vectorized:
+            if rid + 1 >= self._next_rid:
+                return None
+            live = self._live.array()
+            if live[rid + 1]:
+                return rid + 1
+            after = live[rid + 2 :]
+            if after.size == 0:
+                return None
+            pos = int(numpy.argmax(after))
+            return rid + 2 + pos if after[pos] else None
         for cand in range(rid + 1, self._next_rid):
             if self._live[cand]:
                 return cand
@@ -260,20 +568,22 @@ class Table:
         """
         if self.tombstones == 0:
             return {}
-        remap: dict[int, int] = {}
-        new_columns: list[list[Any]] = [[] for _ in self.schema]
-        new_rid = 0
-        for rid in range(self._next_rid):
-            if self._live[rid]:
-                remap[rid] = new_rid
-                for src, dst in zip(self._columns, new_columns):
-                    dst.append(src[rid])
-                new_rid += 1
-        self._columns = new_columns
-        self._live = [True] * new_rid
-        self._next_rid = new_rid
-        self._live_count = new_rid
+        survivors = self.live_list()
+        remap = {old: new for new, old in enumerate(survivors)}
+        for pos, col in enumerate(self._columns):
+            if pos in self._vector_positions:
+                self._columns[pos] = col.take(survivors)
+            else:
+                self._columns[pos] = [col[rid] for rid in survivors]
+        count = len(survivors)
+        self._live = (
+            BoolColumn(count, fill=True) if self.vectorized else [True] * count
+        )
+        self._next_rid = count
+        self._live_count = count
         self._generation += 1
+        self._version += 1
+        self._live_cache = None
         for obs in self._observers:
             obs.on_compact(remap)
         return remap

@@ -1,0 +1,143 @@
+"""numpy-backed column primitives for the vectorized decay kernels.
+
+The storage :class:`~repro.storage.table.Table` keeps most columns as
+plain Python lists, but the two columns Law 1 hammers every tick —
+``t`` (insertion time) and ``f`` (freshness) — can be backed by
+growable ``float64`` arrays instead. :class:`FloatColumn` and
+:class:`BoolColumn` expose just enough of the list protocol
+(``append``/``__getitem__``/``__setitem__``/``__len__``/``__iter__``)
+that the scalar code paths keep working unchanged, while the batch
+kernels reach the raw array through :meth:`FloatColumn.array`.
+
+numpy is load-bearing for the vectorized path but deliberately *not*
+required: ``HAVE_NUMPY`` gates kernel selection, and every consumer
+falls back to pure-Python lists when the import is missing.
+
+Float semantics: elementwise ``float64`` arithmetic is bit-identical
+to Python ``float`` arithmetic (both are IEEE-754 doubles), which is
+what lets the differential oracle stay at zero divergences with
+kernels on. Scalar reads convert back through ``float()`` so values
+that escape into events, snapshots and query results are plain Python
+floats either way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+try:  # pragma: no cover - exercised implicitly by both backends
+    import numpy
+except ImportError:  # pragma: no cover - the container ships numpy
+    numpy = None  # type: ignore[assignment]
+
+HAVE_NUMPY = numpy is not None
+
+#: initial capacity of a freshly created vector column
+_INITIAL_CAPACITY = 16
+
+
+def _require_numpy() -> None:
+    if not HAVE_NUMPY:
+        raise RuntimeError(
+            "numpy is required for vectorized columns but is not installed"
+        )
+
+
+class FloatColumn:
+    """Growable ``float64`` column with list-like scalar access."""
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        _require_numpy()
+        seed = numpy.asarray(list(values), dtype=numpy.float64)
+        capacity = max(_INITIAL_CAPACITY, len(seed))
+        self._data = numpy.zeros(capacity, dtype=numpy.float64)
+        self._data[: len(seed)] = seed
+        self._size = len(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._size:
+            raise IndexError(f"column index {index} out of range [0, {self._size})")
+
+    def __getitem__(self, index: int) -> float:
+        self._check(index)
+        return float(self._data[index])
+
+    def __setitem__(self, index: int, value: float) -> None:
+        self._check(index)
+        self._data[index] = value
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._data[: self._size].tolist())
+
+    def append(self, value: float) -> None:
+        if self._size == len(self._data):
+            grown = numpy.zeros(len(self._data) * 2, dtype=numpy.float64)
+            grown[: self._size] = self._data
+            self._data = grown
+        self._data[self._size] = value
+        self._size += 1
+
+    def array(self) -> Any:
+        """The live ``float64`` view (length == rows ever appended).
+
+        Mutating the view mutates the column; only the sanctioned
+        batch mutators in ``core/table.py`` (and the table's own
+        ``decay_rows``/``scale_rows``) may write through it.
+        """
+        return self._data[: self._size]
+
+    def take(self, indices: Iterable[int]) -> "FloatColumn":
+        """A new column holding ``self[i]`` for each index (compaction)."""
+        picked = self._data[: self._size][
+            numpy.asarray(list(indices), dtype=numpy.intp)
+        ]
+        return FloatColumn(picked)
+
+
+class BoolColumn:
+    """Growable boolean column; backs the live mask when vectorized."""
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, size: int = 0, fill: bool = True) -> None:
+        _require_numpy()
+        capacity = max(_INITIAL_CAPACITY, size)
+        self._data = numpy.zeros(capacity, dtype=numpy.bool_)
+        if size:
+            self._data[:size] = fill
+        self._size = size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._size:
+            raise IndexError(f"mask index {index} out of range [0, {self._size})")
+
+    def __getitem__(self, index: int) -> bool:
+        self._check(index)
+        return bool(self._data[index])
+
+    def __setitem__(self, index: int, value: bool) -> None:
+        self._check(index)
+        self._data[index] = value
+
+    def __iter__(self) -> Iterator[bool]:
+        return iter(self._data[: self._size].tolist())
+
+    def append(self, value: bool) -> None:
+        if self._size == len(self._data):
+            grown = numpy.zeros(len(self._data) * 2, dtype=numpy.bool_)
+            grown[: self._size] = self._data
+            self._data = grown
+        self._data[self._size] = value
+        self._size += 1
+
+    def array(self) -> Any:
+        """The live boolean view (shared, do not mutate outside Table)."""
+        return self._data[: self._size]

@@ -1,0 +1,116 @@
+"""Tests for the benchmark p50 regression gate (``repro.bench regress``)."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.regression import compare, load_snapshots
+
+
+def _write_snapshot(directory, suite, entries):
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": 1,
+        "suite": suite,
+        "benchmarks": [
+            {"fullname": fullname, "p50_s": p50} for fullname, p50 in entries
+        ],
+    }
+    (directory / f"BENCH_{suite}.json").write_text(
+        json.dumps(payload), encoding="utf-8"
+    )
+
+
+class TestLoadSnapshots:
+    def test_merges_all_suites_by_fullname(self, tmp_path):
+        _write_snapshot(tmp_path, "a", [("bench_a.py::one", 0.1)])
+        _write_snapshot(tmp_path, "b", [("bench_b.py::two", 0.2)])
+        entries = load_snapshots(tmp_path)
+        assert sorted(entries) == ["bench_a.py::one", "bench_b.py::two"]
+
+    def test_ignores_non_snapshot_files(self, tmp_path):
+        (tmp_path / "notes.json").write_text("{}", encoding="utf-8")
+        assert load_snapshots(tmp_path) == {}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self, tmp_path):
+        _write_snapshot(tmp_path / "base", "k", [("f::x", 0.100)])
+        _write_snapshot(tmp_path / "cur", "k", [("f::x", 0.120)])
+        result = compare(tmp_path / "base", tmp_path / "cur")
+        assert result.ok
+        assert len(result.unchanged) == 1
+
+    def test_slowdown_past_threshold_regresses(self, tmp_path):
+        _write_snapshot(tmp_path / "base", "k", [("f::x", 0.100)])
+        _write_snapshot(tmp_path / "cur", "k", [("f::x", 0.130)])
+        result = compare(tmp_path / "base", tmp_path / "cur", threshold=1.25)
+        assert not result.ok
+        assert "1.30x" in result.regressions[0]
+
+    def test_speedup_reported_as_improvement(self, tmp_path):
+        _write_snapshot(tmp_path / "base", "k", [("f::x", 0.100)])
+        _write_snapshot(tmp_path / "cur", "k", [("f::x", 0.050)])
+        result = compare(tmp_path / "base", tmp_path / "cur")
+        assert result.ok
+        assert len(result.improvements) == 1
+
+    def test_added_and_removed_never_fail(self, tmp_path):
+        _write_snapshot(tmp_path / "base", "k", [("f::old", 0.1)])
+        _write_snapshot(tmp_path / "cur", "k", [("f::new", 0.1)])
+        result = compare(tmp_path / "base", tmp_path / "cur")
+        assert result.ok
+        assert result.added == ["f::new"]
+        assert result.removed == ["f::old"]
+
+    def test_zero_baseline_counts_as_regression(self, tmp_path):
+        _write_snapshot(tmp_path / "base", "k", [("f::x", 0.0)])
+        _write_snapshot(tmp_path / "cur", "k", [("f::x", 0.1)])
+        assert not compare(tmp_path / "base", tmp_path / "cur").ok
+
+
+class TestCli:
+    def test_exit_zero_on_clean_run(self, tmp_path, capsys):
+        _write_snapshot(tmp_path / "base", "k", [("f::x", 0.1)])
+        code = main(
+            [
+                "regress",
+                "--baseline",
+                str(tmp_path / "base"),
+                "--current",
+                str(tmp_path / "base"),
+            ]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        _write_snapshot(tmp_path / "base", "k", [("f::x", 0.1)])
+        _write_snapshot(tmp_path / "cur", "k", [("f::x", 0.2)])
+        code = main(
+            [
+                "regress",
+                "--baseline",
+                str(tmp_path / "base"),
+                "--current",
+                str(tmp_path / "cur"),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "regression(s)" in captured.err
+
+    def test_custom_threshold_respected(self, tmp_path):
+        _write_snapshot(tmp_path / "base", "k", [("f::x", 0.100)])
+        _write_snapshot(tmp_path / "cur", "k", [("f::x", 0.150)])
+        args = [
+            "regress",
+            "--baseline",
+            str(tmp_path / "base"),
+            "--current",
+            str(tmp_path / "cur"),
+        ]
+        assert main(args) == 1
+        assert main(args + ["--threshold", "2.0"]) == 0

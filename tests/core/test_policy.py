@@ -144,7 +144,7 @@ class TestEvents:
     def test_fungus_notified_of_external_evictions(self, decaying):
         fungus = EGIFungus(seeds_per_cycle=1, decay_rate=0.1)
         DecayPolicy(decaying, fungus, seed=1)
-        fungus._infected.add(4)
+        fungus._spots.add(4)
         decaying.evict(RowSet([4]), "consume")
         assert 4 not in fungus.infected
 

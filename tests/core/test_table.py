@@ -144,9 +144,20 @@ class TestPinning:
 
 class TestEviction:
     def test_evict_returns_rows(self, decaying):
-        rows = decaying.evict(RowSet([1, 2]), "decay")
+        rows = decaying.evict(RowSet([1, 2]), "decay", collect_values=True)
         assert [r["v"] for r in rows] == [1, 2]
         assert len(decaying) == 8
+
+    def test_evict_return_dicts_are_lazy(self, decaying):
+        # nobody subscribes to TupleEvicted here, so the default skips
+        # materialising the value dicts entirely
+        assert decaying.evict(RowSet([1]), "decay") == []
+        assert len(decaying) == 9
+        seen = []
+        decaying.bus.subscribe(TupleEvicted, seen.append)
+        rows = decaying.evict(RowSet([2]), "decay")
+        assert [r["v"] for r in rows] == [2]
+        assert len(seen) == 1
 
     def test_evict_publishes_reason(self, decaying):
         seen = []

@@ -123,7 +123,7 @@ class TestEGISeedIsAgeBiased:
     def test_infected_rows_excluded_from_seeding(self):
         table = make_aged_table([3.0, 2.0, 1.0])
         fungus = EGIFungus(exact_age_weighting=True)
-        fungus._infected = {0, 1}
+        fungus._spots.add_span(0, 1)
         rng = random.Random(1)
         assert all(fungus._select_seed(table, rng) == 2 for _ in range(50))
 

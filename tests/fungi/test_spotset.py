@@ -1,0 +1,137 @@
+"""SpotSet invariants: sorted disjoint non-adjacent inclusive spans."""
+
+import random
+
+import pytest
+
+from repro.fungi import SpotSet
+
+
+def check_invariants(spots: SpotSet) -> None:
+    spans = spots.spans()
+    for lo, hi in spans:
+        assert lo <= hi
+    for (_, prev_hi), (next_lo, _) in zip(spans, spans[1:]):
+        assert prev_hi + 1 < next_lo, f"adjacent/overlapping spans: {spans}"
+
+
+class TestAdd:
+    def test_single_member(self):
+        s = SpotSet()
+        assert s.add(5)
+        assert s.spans() == [(5, 5)]
+        assert s.covers(5)
+        assert not s.covers(4) and not s.covers(6)
+
+    def test_add_existing_is_noop(self):
+        s = SpotSet([(3, 7)])
+        assert not s.add(5)
+        assert s.spans() == [(3, 7)]
+
+    def test_adjacent_left_extends(self):
+        s = SpotSet([(3, 5)])
+        assert s.add(6)
+        assert s.spans() == [(3, 6)]
+
+    def test_adjacent_right_extends(self):
+        s = SpotSet([(3, 5)])
+        assert s.add(2)
+        assert s.spans() == [(2, 5)]
+
+    def test_bridging_member_merges_two_spans(self):
+        s = SpotSet([(1, 3), (5, 8)])
+        assert s.add(4)
+        assert s.spans() == [(1, 8)]
+
+    def test_isolated_member_opens_new_span(self):
+        s = SpotSet([(1, 2)])
+        assert s.add(10)
+        assert s.spans() == [(1, 2), (10, 10)]
+
+    def test_len_and_bool(self):
+        s = SpotSet()
+        assert not s and len(s) == 0
+        s.add_span(4, 6)
+        s.add(9)
+        assert s and len(s) == 4
+
+    def test_members_ascending(self):
+        s = SpotSet([(5, 6), (1, 2)])
+        assert list(s.members()) == [1, 2, 5, 6]
+
+    def test_add_span_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            SpotSet().add_span(5, 3)
+
+
+class TestRemove:
+    def test_remove_non_member(self):
+        s = SpotSet([(3, 5)])
+        assert not s.remove(9)
+        assert s.spans() == [(3, 5)]
+
+    def test_remove_singleton_drops_span(self):
+        s = SpotSet([(4, 4), (8, 9)])
+        assert s.remove(4)
+        assert s.spans() == [(8, 9)]
+
+    def test_remove_edge_trims(self):
+        s = SpotSet([(3, 6)])
+        assert s.remove(3)
+        assert s.spans() == [(4, 6)]
+        assert s.remove(6)
+        assert s.spans() == [(4, 5)]
+
+    def test_remove_interior_splits(self):
+        s = SpotSet([(3, 8)])
+        assert s.remove(5)
+        assert s.spans() == [(3, 4), (6, 8)]
+        check_invariants(s)
+
+
+class TestReplaceAndRemap:
+    def test_replace_trusts_sorted_runs(self):
+        s = SpotSet([(1, 20)])
+        s.replace([(2, 4), (9, 11)])
+        assert s.spans() == [(2, 4), (9, 11)]
+
+    def test_replace_merges_touching_input(self):
+        s = SpotSet()
+        s.replace([(1, 3), (4, 6), (9, 9)])
+        assert s.spans() == [(1, 6), (9, 9)]
+
+    def test_remap_drops_dead_and_merges(self):
+        s = SpotSet([(2, 4), (8, 9)])
+        # rows 3 and 8 died; survivors close ranks
+        remap = {2: 0, 4: 1, 9: 2}
+        s.remap(remap)
+        assert s.spans() == [(0, 2)]
+
+    def test_remap_empty(self):
+        s = SpotSet([(2, 4)])
+        s.remap({})
+        assert not s
+
+    def test_clear(self):
+        s = SpotSet([(1, 5)])
+        s.clear()
+        assert not s and s.spans() == []
+
+
+class TestAgainstSetModel:
+    def test_random_mutations_match_a_plain_set(self):
+        """SpotSet is an interval-coded set: same semantics as set[int]."""
+        rng = random.Random(7)
+        spots, model = SpotSet(), set()
+        for _ in range(2000):
+            rid = rng.randrange(80)
+            if rng.random() < 0.55:
+                assert spots.add(rid) == (rid not in model)
+                model.add(rid)
+            else:
+                assert spots.remove(rid) == (rid in model)
+                model.discard(rid)
+            assert spots.covers(rid) == (rid in model)
+        assert list(spots.members()) == sorted(model)
+        assert len(spots) == len(model)
+        check_invariants(spots)

@@ -82,10 +82,10 @@ class TestComposite:
 
         inner = EGIFungus(seeds_per_cycle=1, decay_rate=0.1)
         fungus = CompositeFungus([inner])
-        inner._infected.add(3)
+        inner._spots.add(3)
         fungus.on_evicted(3)
         assert 3 not in inner.infected
-        inner._infected.add(5)
+        inner._spots.add(5)
         fungus.on_compacted({5: 1})
         assert inner.infected == frozenset([1])
         fungus.reset()

@@ -1,0 +1,19 @@
+"""Known-bad fixture: per-row freshness loops in a fungus.
+
+The path (``repro/fungi/``) puts this file inside RS007's scope; both
+scalar-mutator loops below must be flagged. The batch call at the end
+is the sanctioned shape and must pass.
+"""
+
+
+def cycle(table, members):
+    for rid in members:
+        table.set_freshness(rid, 0.5, "fixture")  # flagged: per-row loop
+    drained = [table.decay(rid, 0.1, "fixture") for rid in members]  # flagged
+    table.decay_many(members, 0.1, "fixture")  # sanctioned batch mutator
+    return drained
+
+
+def seed(table, rid):
+    # a scalar call outside any loop is fine (one-off administrative use)
+    table.set_freshness(rid, 1.0, "fixture")

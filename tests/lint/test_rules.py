@@ -13,6 +13,7 @@ import pytest
 
 from repro.lint.engine import LintEngine, ModuleSource, SYNTAX_RULE_ID
 from repro.lint.rules import (
+    BatchMutatorRule,
     CataloguedMetricRule,
     ChainedRaiseRule,
     NoWallClockRule,
@@ -32,6 +33,7 @@ FIXTURE_BY_RULE = {
     "RS004": FIXTURES / "rs004_metric_names.py",
     "RS005": FIXTURES / "rs005_freshness_write.py",
     "RS006": FIXTURES / "rs006_dropped_event.py",
+    "RS007": FIXTURES / "repro" / "fungi" / "rs007_per_row_decay.py",
 }
 
 EXPECTED_COUNTS = {
@@ -41,6 +43,7 @@ EXPECTED_COUNTS = {
     "RS004": 3,  # dynamic, wrong namespace, undocumented
     "RS005": 2,  # literal "f" and table.freshness_column
     "RS006": 2,  # dropped expression and never-published assignment
+    "RS007": 2,  # for-loop set_freshness and comprehension decay
 }
 
 
@@ -118,7 +121,15 @@ class TestEngine:
 
     def test_default_rules_cover_the_catalogue(self):
         ids = [rule.id for rule in default_rules()]
-        assert ids == ["RS001", "RS002", "RS003", "RS004", "RS005", "RS006"]
+        assert ids == [
+            "RS001",
+            "RS002",
+            "RS003",
+            "RS004",
+            "RS005",
+            "RS006",
+            "RS007",
+        ]
         for rule in default_rules():
             assert rule.title and rule.rationale
 
@@ -130,6 +141,7 @@ class TestEngine:
             CataloguedMetricRule,
             SanctionedFreshnessRule,
             PublishedEventRule,
+            BatchMutatorRule,
         ):
             assert rule_cls.id.startswith("RS")
 

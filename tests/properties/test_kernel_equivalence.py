@@ -1,0 +1,247 @@
+"""Dual-backend equivalence of the vectorized decay kernels.
+
+The numpy kernels (``kernels=True``) and the pure-python scalar
+fallback (``kernels=False``) must be *bit-identical*: same freshness
+columns, same exhausted sets, same per-tuple decay event streams —
+across random schedules of batch mutations, pins, evictions and
+mid-run compaction. ``_SMALL_BATCH`` is pinned to 0 in half the cases
+so even tiny batches exercise the vector kernel rather than being
+routed to the scalar one.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.table as core_table
+from repro.core.clock import DecayClock
+from repro.core.events import TupleDecayed, TupleDecayedBatch
+from repro.core.table import DecayingTable
+from repro.fungi import BlueCheeseFungus, EGIFungus
+from repro.storage import RowSet, Schema
+from repro.storage.vector import HAVE_NUMPY
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="vectorized backend needs numpy"
+)
+
+_DEFAULT_SMALL_BATCH = core_table._SMALL_BATCH
+
+
+@contextmanager
+def small_batch(threshold: int):
+    """Temporarily set the scalar-routing threshold (0 = always vector)."""
+    core_table._SMALL_BATCH = threshold
+    try:
+        yield
+    finally:
+        core_table._SMALL_BATCH = _DEFAULT_SMALL_BATCH
+
+
+def _build(kernels: bool, n_rows: int) -> tuple[DecayingTable, list]:
+    clock = DecayClock()
+    table = DecayingTable("r", Schema.of(v="int"), clock, kernels=kernels)
+    events: list = []
+    table.bus.subscribe(TupleDecayed, events.append)
+    table.bus.subscribe(TupleDecayedBatch, lambda e: events.extend(e.expand()))
+    for i in range(n_rows):
+        table.insert({"v": i})
+        clock.advance(1)
+    return table, events
+
+
+def _freshness_state(table: DecayingTable) -> list[tuple[int, float]]:
+    return [
+        (rid, table.freshness(rid))
+        for rid in range(table.storage.allocated)
+        if table.storage.is_live(rid)
+    ]
+
+
+def _drain_exhausted(table: DecayingTable, fungus) -> None:
+    dead = sorted(table.exhausted)
+    if dead:
+        table.evict_exhausted_batch(reason="decay")
+        for rid in dead:
+            fungus.on_evicted(rid)
+
+
+# one mutation step of a schedule: (op, rid-offsets, operand)
+_STEP = st.tuples(
+    st.sampled_from(["decay", "scale", "set", "pin", "unpin", "evict", "compact"]),
+    st.lists(st.integers(min_value=0, max_value=59), min_size=0, max_size=20),
+    st.floats(min_value=-0.5, max_value=1.5, allow_nan=False, width=64),
+)
+
+
+def _apply(table: DecayingTable, steps, n_rows: int) -> None:
+    for op, offsets, operand in steps:
+        live = [rid for rid in offsets if rid < n_rows and table.storage.is_live(rid)]
+        rids = sorted(set(live))
+        if op == "decay":
+            table.decay_many(rids, abs(operand), "sched")
+        elif op == "scale":
+            table.scale_many(rids, min(abs(operand), 1.0), "sched")
+        elif op == "set":
+            table.set_freshness_many(rids, [operand] * len(rids), "sched")
+        elif op == "pin":
+            for rid in rids:
+                table.pin(rid)
+        elif op == "unpin":
+            for rid in rids:
+                table.unpin(rid)
+        elif op == "evict" and rids:
+            table.evict(RowSet(rids[:3]), reason="manual")
+        elif op == "compact":
+            table.compact()
+
+
+class TestScheduleEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        steps=st.lists(_STEP, min_size=1, max_size=15),
+        n_rows=st.integers(min_value=1, max_value=60),
+        force_vector=st.booleans(),
+    )
+    def test_batch_mutator_schedules_are_backend_identical(
+        self, steps, n_rows, force_vector
+    ):
+        """Random mutation schedules leave both backends bit-identical."""
+        with small_batch(0 if force_vector else _DEFAULT_SMALL_BATCH):
+            vec, vec_events = _build(True, n_rows)
+            py, py_events = _build(False, n_rows)
+            assert vec.supports_kernels and not py.supports_kernels
+
+            _apply(vec, steps, n_rows)
+            _apply(py, steps, n_rows)
+
+        assert _freshness_state(vec) == _freshness_state(py)
+        assert sorted(vec.exhausted) == sorted(py.exhausted)
+        assert vec_events == py_events
+        assert vec.bus.counts == py.bus.counts
+
+
+class TestFungusEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=1, max_value=80),
+        ticks=st.integers(min_value=1, max_value=25),
+        seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.sampled_from([0.05, 0.2, 0.6]),
+        force_vector=st.booleans(),
+    )
+    def test_egi_spread_is_backend_identical(
+        self, n_rows, ticks, seed, rate, force_vector
+    ):
+        """EGI on the SpotSet engine evolves identically on both backends."""
+        states = []
+        with small_batch(0 if force_vector else _DEFAULT_SMALL_BATCH):
+            for kernels in (True, False):
+                table, events = _build(kernels, n_rows)
+                fungus = EGIFungus(seeds_per_cycle=2, decay_rate=rate)
+                rng = random.Random(seed)
+                for _ in range(ticks):
+                    fungus.cycle(table, rng)
+                    # evict exhausted rows so spots fragment on tombstones
+                    _drain_exhausted(table, fungus)
+                states.append(
+                    (
+                        _freshness_state(table),
+                        sorted(table.exhausted),
+                        events,
+                        fungus.infected,
+                    )
+                )
+        assert states[0] == states[1]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=1, max_value=60),
+        ticks=st.integers(min_value=1, max_value=15),
+        seed=st.integers(min_value=0, max_value=2**16),
+        force_vector=st.booleans(),
+    )
+    def test_blue_cheese_is_backend_identical(
+        self, n_rows, ticks, seed, force_vector
+    ):
+        states = []
+        with small_batch(0 if force_vector else _DEFAULT_SMALL_BATCH):
+            for kernels in (True, False):
+                table, events = _build(kernels, n_rows)
+                fungus = BlueCheeseFungus(
+                    max_spots=2, base_rate=0.15, acceleration=0.5
+                )
+                rng = random.Random(seed)
+                for _ in range(ticks):
+                    fungus.cycle(table, rng)
+                    _drain_exhausted(table, fungus)
+                states.append(
+                    (_freshness_state(table), sorted(table.exhausted), events)
+                )
+        assert states[0] == states[1]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=1, max_value=60),
+        ticks=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**16),
+        compact_every=st.integers(min_value=1, max_value=5),
+    )
+    def test_egi_with_midrun_compaction_is_backend_identical(
+        self, n_rows, ticks, seed, compact_every
+    ):
+        """Compaction remaps spots identically on both backends."""
+        states = []
+        with small_batch(0):
+            for kernels in (True, False):
+                table, _ = _build(kernels, n_rows)
+                fungus = EGIFungus(seeds_per_cycle=2, decay_rate=0.5)
+                rng = random.Random(seed)
+                for step in range(ticks):
+                    fungus.cycle(table, rng)
+                    _drain_exhausted(table, fungus)
+                    if step % compact_every == compact_every - 1:
+                        remap = table.compact()
+                        if remap:
+                            fungus.on_compacted(remap)
+                states.append(
+                    (
+                        _freshness_state(table),
+                        sorted(table.exhausted),
+                        fungus.infected,
+                    )
+                )
+        assert states[0] == states[1]
+
+
+class TestPinEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=1, max_value=50),
+        pin_offsets=st.lists(st.integers(min_value=0, max_value=49), max_size=10),
+        amount=st.floats(
+            min_value=0.0, max_value=1.5, allow_nan=False, width=64
+        ),
+        force_vector=st.booleans(),
+    )
+    def test_pins_are_honoured_identically(
+        self, n_rows, pin_offsets, amount, force_vector
+    ):
+        """Pinned rows never lose freshness, on either backend."""
+        results = []
+        with small_batch(0 if force_vector else _DEFAULT_SMALL_BATCH):
+            for kernels in (True, False):
+                table, _ = _build(kernels, n_rows)
+                pinned = sorted({o for o in pin_offsets if o < n_rows})
+                for rid in pinned:
+                    table.pin(rid)
+                table.decay_many(list(range(n_rows)), amount, "sched")
+                results.append(_freshness_state(table))
+                for rid in pinned:
+                    assert table.freshness(rid) == 1.0
+        assert results[0] == results[1]
