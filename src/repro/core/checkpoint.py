@@ -174,9 +174,9 @@ def load_checkpoint(
     if telemetry:
         db.enable_telemetry()
     if tracer is not None:
+        # the tracer property fans out to clock, engine and tables —
+        # including tables created *after* this restore returns
         db.tracer = tracer
-        db.clock.tracer = tracer
-        db.engine.tracer = tracer
 
     want_forensics = (
         bool(manifest.get("forensics")) if forensics is None else forensics

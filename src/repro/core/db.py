@@ -24,6 +24,7 @@ Quickstart::
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Mapping, Sequence
 
 from repro.core.clock import DecayClock
@@ -69,7 +70,7 @@ class FungusDB:
         self.tables: dict[str, DecayingTable] = {}
         self.policies: dict[str, DecayPolicy] = {}
         self._distill_on_consume: dict[str, bool] = {}
-        self.tracer = NULL_TRACER
+        self._tracer = NULL_TRACER
         self.telemetry = None
         self.forensics = None
         self.engine.add_consume_hook(self._before_consume)
@@ -79,6 +80,32 @@ class FungusDB:
         self.engine.strict_consume = strict_consume
         self.engine.consume_domains = self._column_domains
         self.engine.add_explain_hook(self._on_consume_analyzed)
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The tracer every instrumented component records spans on."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        """Wire one tracer everywhere, atomically from the caller's view.
+
+        Assigning ``db.tracer`` propagates to the clock, the query
+        engine and every *existing* table; :meth:`create_table` hands
+        the same tracer to tables created later — so a tracer passed
+        to ``load_checkpoint`` also covers tables born after the
+        restore, and the flight recorder never loses spans to wiring
+        order.
+        """
+        self._tracer = tracer
+        self.clock.tracer = tracer
+        self.engine.tracer = tracer
+        for table in self.tables.values():
+            table.tracer = tracer
 
     # ------------------------------------------------------------------
     # schema management
@@ -130,8 +157,12 @@ class FungusDB:
             lazy_batch=lazy_batch,
             distiller=self.distiller if distill_on_evict else None,
             compact_every=compact_every,
-            seed=hash((self.seed, name)) & 0xFFFFFFFF,
+            # crc32, not hash(): str hashing is salted per process
+            # (PYTHONHASHSEED), and a seeded database must produce the
+            # same decay schedule in every process
+            seed=zlib.crc32(f"{self.seed}:{name}".encode()) & 0xFFFFFFFF,
         )
+        table.tracer = self._tracer
         self.tables[name] = table
         self.policies[name] = policy
         self._distill_on_consume[name] = distill_on_consume
@@ -276,8 +307,11 @@ class FungusDB:
             self.distiller.distill_rowset(table, consumed, reason="consume")
             self.policies[table_name].stats.tuples_distilled += len(consumed)
         # the executor exposes the SQL text of the statement currently
-        # running — Law-2 death records carry the consuming query verbatim
+        # running — Law-2 death records carry the consuming query verbatim,
+        # plus the acting session when one is set (the network server)
         query_text = self.engine.current_sql or "consume"
+        if self.engine.current_actor is not None:
+            query_text = f"{query_text} @{self.engine.current_actor}"
         for rid in consumed:
             self.bus.publish(TupleConsumed(table_name, self.clock.now, rid, query=query_text))
         table.set_eviction_reason("consume")

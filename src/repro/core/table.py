@@ -30,6 +30,7 @@ from repro.core.events import (
 )
 from repro.core.freshness import clamp_freshness
 from repro.errors import DecayError
+from repro.obs.tracing import NULL_TRACER
 from repro.storage.rowset import RowSet
 from repro.storage.schema import ColumnDef, DataType, Schema
 from repro.storage.table import Table
@@ -109,6 +110,9 @@ class DecayingTable:
         # against the storage table; observing our own storage keeps the
         # decay bookkeeping consistent no matter who deletes.
         self._pending_reason = "external"
+        #: set by FungusDB's tracer property so tables created at any
+        #: point — before or after a checkpoint restore — record spans
+        self.tracer = NULL_TRACER
         self.storage.add_observer(self)
 
     # ------------------------------------------------------------------
@@ -597,7 +601,12 @@ class DecayingTable:
 
     def compact(self) -> dict[int, int]:
         """Reclaim tombstones; remaps bookkeeping via the storage remap."""
-        return self.storage.compact()
+        with self.tracer.span(
+            "table.compact", table=self.name, tombstones=self.storage.tombstones
+        ) as span:
+            remap = self.storage.compact()
+            span.set(remapped=len(remap))
+        return remap
 
     # -- TableObserver protocol (self-observation of storage) ----------
 

@@ -1,12 +1,19 @@
 """Metric-catalogue loader for the RS004 lint rule.
 
 RS004 requires every metric name handed to the registry to be a
-literal ``repro_*`` string that DESIGN.md's "### Metric catalogue"
-table documents. This module parses that table with the same grammar
-the catalogue-consistency test uses (including the
-``repro_hotpath_calls/rows/seconds`` slash shorthand for families
-that share a stem), so the linter and the test can never disagree
-about what "catalogued" means.
+literal ``repro_*`` string that a DESIGN.md catalogue table documents.
+This module parses those tables with the same grammar the
+catalogue-consistency tests use (including the
+``repro_hotpath_calls/rows/seconds`` slash shorthand for families that
+share a stem), so the linter and the tests can never disagree about
+what "catalogued" means.
+
+There may be more than one catalogue: the engine's event-driven series
+live under "### Metric catalogue" and the network front-end's under
+"Server metric catalogue" (inside the "Server & sessions" section).
+Any heading ending in "metric catalogue" (case-insensitive) opens a
+table; each table is read up to the next heading or a "Design points:"
+terminator.
 """
 
 from __future__ import annotations
@@ -17,25 +24,41 @@ from typing import Optional
 
 CATALOGUE_HEADING = "### Metric catalogue"
 
+_HEADING_RE = re.compile(r"^#{2,5}\s.*metric catalogue\s*$", flags=re.M | re.I)
+_NEXT_HEADING_RE = re.compile(r"^#{1,5}\s", flags=re.M)
 _ROW_RE = re.compile(r"^\|\s*`(repro_[a-z_/]+)`\s*\|", flags=re.M)
 
 _cache: dict[Path, Optional[frozenset[str]]] = {}
 
 
+def _section_body(text: str, start: int) -> str:
+    """The slice from ``start`` to the next heading / "Design points:"."""
+    section = text[start:]
+    stop = len(section)
+    next_heading = _NEXT_HEADING_RE.search(section)
+    if next_heading is not None:
+        stop = next_heading.start()
+    terminator = section.find("Design points:")
+    if 0 <= terminator < stop:
+        stop = terminator
+    return section[:stop]
+
+
 def parse_catalogue_names(text: str) -> Optional[frozenset[str]]:
-    """Extract the documented metric names from DESIGN.md text."""
-    if CATALOGUE_HEADING not in text:
-        return None
-    section = text.split(CATALOGUE_HEADING, 1)[1]
-    section = section.split("Design points:", 1)[0]
+    """Extract the documented metric names from DESIGN.md text.
+
+    Collects rows from *every* ``... metric catalogue`` section, so the
+    server's table contributes alongside the engine's.
+    """
     names: set[str] = set()
-    for raw in _ROW_RE.findall(section):
-        if "/" in raw:
-            stem, _, suffixes = raw.rpartition("_")
-            for suffix in suffixes.split("/"):
-                names.add(f"{stem}_{suffix}")
-        else:
-            names.add(raw)
+    for match in _HEADING_RE.finditer(text):
+        for raw in _ROW_RE.findall(_section_body(text, match.end())):
+            if "/" in raw:
+                stem, _, suffixes = raw.rpartition("_")
+                for suffix in suffixes.split("/"):
+                    names.add(f"{stem}_{suffix}")
+            else:
+                names.add(raw)
     return frozenset(names) if names else None
 
 

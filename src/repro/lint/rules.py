@@ -15,7 +15,7 @@ from typing import ClassVar, Iterator, Sequence
 from repro.lint.catalogue import load_metric_catalogue
 from repro.lint.engine import Finding, ModuleSource, Rule
 
-CATALOGUE_VERSION = "1.1"
+CATALOGUE_VERSION = "1.2"
 
 #: packages where simulated time and injected randomness are mandatory
 RESTRICTED_PACKAGES = ("core", "fungi", "query", "sim", "storage")
@@ -497,6 +497,82 @@ class BatchMutatorRule(Rule):
         return False
 
 
+class BlockingAsyncRule(Rule):
+    """RS008 — no blocking I/O inside ``async def`` under the server."""
+
+    id: ClassVar[str] = "RS008"
+    title: ClassVar[str] = "no blocking I/O inside async server code"
+    rationale: ClassVar[str] = (
+        "The server's event loop multiplexes every connection on one "
+        "thread; a time.sleep, synchronous socket call or file "
+        "read/write inside an async def stalls all of them at once. "
+        "Blocking work belongs on the engine worker (run_in_executor) "
+        "or behind asyncio's own primitives."
+    )
+
+    #: pathlib's blocking file I/O methods (the asyncio StreamWriter's
+    #: .write() is a buffer append, not I/O, and stays legal)
+    BLOCKING_FILE_METHODS = frozenset(
+        {"write_text", "write_bytes", "read_text", "read_bytes"}
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        return "repro/server/" in path.as_posix()
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                for call, reason in self._blocking_calls(node):
+                    yield self.finding(module, call, reason)
+
+    def _blocking_calls(
+        self, fn: ast.AsyncFunctionDef
+    ) -> Iterator[tuple[ast.Call, str]]:
+        """Blocking calls lexically inside ``fn``'s own async body.
+
+        Nested function definitions are skipped: a sync helper defined
+        inline runs on whichever thread later calls it, and a nested
+        async def gets its own visit from the outer walk.
+        """
+        stack = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                reason = self._blocking_reason(node)
+                if reason is not None:
+                    yield node, reason
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _blocking_reason(self, node: ast.Call) -> str | None:
+        dotted = _dotted_name(node.func)
+        if dotted == "time.sleep":
+            return (
+                "time.sleep() inside async def stalls the event loop; "
+                "use asyncio.sleep()"
+            )
+        if dotted is not None and dotted.startswith("socket."):
+            return (
+                f"synchronous socket call {dotted}() inside async def; "
+                "use asyncio streams"
+            )
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            return (
+                "blocking file open() inside async def; do file I/O on "
+                "the worker via run_in_executor"
+            )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in self.BLOCKING_FILE_METHODS
+        ):
+            return (
+                f"blocking file I/O .{node.func.attr}() inside async "
+                "def; do file I/O on the worker via run_in_executor"
+            )
+        return None
+
+
 def default_rules() -> list[Rule]:
     """The full RS rule set, in catalogue order."""
     return [
@@ -507,4 +583,5 @@ def default_rules() -> list[Rule]:
         SanctionedFreshnessRule(),
         PublishedEventRule(),
         BatchMutatorRule(),
+        BlockingAsyncRule(),
     ]

@@ -56,16 +56,11 @@ class Telemetry:
             self.tracer: Any = Tracer(exporter=exporter)
         else:
             self.tracer = NULL_TRACER
-        self._wire_tracer(db, self.tracer)
+        # the db's tracer property fans out to clock, engine and tables
+        db.tracer = self.tracer
         if profile:
             PROFILER.enable()
         self._owns_profiler = profile
-
-    @staticmethod
-    def _wire_tracer(db: Any, tracer: Any) -> None:
-        db.tracer = tracer
-        db.clock.tracer = tracer
-        db.engine.tracer = tracer
 
     @property
     def tracing_enabled(self) -> bool:
@@ -100,7 +95,7 @@ class Telemetry:
         """Detach from the bus, un-wire the tracer, close the exporter."""
         self.collector.detach()
         self.tracer.close()
-        self._wire_tracer(self.db, NULL_TRACER)
+        self.db.tracer = NULL_TRACER
         if self._owns_profiler:
             PROFILER.disable()
         if self.db is not None and getattr(self.db, "telemetry", None) is self:

@@ -18,6 +18,8 @@ The span taxonomy instrumented across the codebase:
 ``checkpoint.save``       one checkpoint write
 ``checkpoint.restore``    one checkpoint load (rows re-inserted)
 ``sim.op``                one simulator schedule step (fault steps included)
+``table.compact``         one tombstone-reclaim pass on a decaying table
+``server.request``        one network frame's engine work (worker thread)
 ========================  =====================================================
 
 The disabled path is :data:`NULL_TRACER`: every instrumented call site

@@ -76,6 +76,10 @@ class QueryEngine:
         #: execute()); consume hooks read it so Law-2 death provenance
         #: records the consuming query verbatim.
         self.current_sql: str | None = None
+        #: who is running the current statement (a server session id);
+        #: death provenance appends it to the consuming-query text so
+        #: forensics can attribute a consume to a network principal
+        self.current_actor: str | None = None
         #: refuse statements the Tier-B analyzer proves would consume
         #: the entire extent (FungusDB's ``strict_consume`` option)
         self.strict_consume = False

@@ -1,0 +1,293 @@
+"""``python -m repro.serve``: run, poke, and benchmark the network front-end.
+
+Three subcommands:
+
+``serve``
+    Start a :class:`~repro.server.server.FungusServer` on a host/port,
+    with tables declared on the command line
+    (``--table readings=sensor:int,temp:float@linear:0.05``), an
+    optional grant list (``--grant token:principal:readings=read+insert``),
+    and a background decay tick.
+
+``client``
+    A line-oriented shell against a running server: plain lines run as
+    strong SQL, ``\\s SELECT ...`` reads from the latest tick snapshot,
+    ``.tick`` / ``.stats`` / ``.metrics`` hit the admin ops.
+
+``loadgen``
+    The qps/p50/p99 benchmark behind ``benchmarks/baselines/
+    BENCH_server.json`` — see :mod:`repro.server.loadgen`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Any
+
+from repro.cli import parse_fungus_spec
+from repro.core.db import FungusDB
+from repro.errors import FungusError
+from repro.server.auth import AuthRegistry, Grant
+from repro.server.client import FungusClient, ServerError
+from repro.server.loadgen import LoadgenConfig, run_loadgen
+from repro.server.server import FungusServer, ServerConfig
+from repro.storage.schema import Schema
+
+
+def _parse_table(spec: str) -> tuple[str, Schema, Any]:
+    """``name=col:type,col:type[@fungus-spec]`` → (name, schema, fungus)."""
+    name, sep, rest = spec.partition("=")
+    if not sep or not name:
+        raise SystemExit(f"bad --table {spec!r}: want name=col:type,...[@fungus]")
+    columns, _, fungus_spec = rest.partition("@")
+    named: dict[str, str] = {}
+    for piece in columns.split(","):
+        col, col_sep, type_name = piece.partition(":")
+        if not col_sep or not col or not type_name:
+            raise SystemExit(f"bad --table column {piece!r}: want name:type")
+        named[col.strip()] = type_name.strip()
+    try:
+        schema = Schema.of(**named)
+        fungus = parse_fungus_spec(fungus_spec) if fungus_spec else None
+    except FungusError as exc:
+        raise SystemExit(f"bad --table {spec!r}: {exc}") from exc
+    return name, schema, fungus
+
+
+def _parse_grant(spec: str) -> tuple[str, Grant]:
+    """``token:principal[:table=r+r][:admin][:expires=N]`` → (token, Grant)."""
+    parts = spec.split(":")
+    if len(parts) < 2:
+        raise SystemExit(f"bad --grant {spec!r}: want token:principal[:...]")
+    token, principal, *extras = parts
+    rights: dict[str, frozenset[str]] = {}
+    admin = False
+    expires: float | None = None
+    for extra in extras:
+        if extra == "admin":
+            admin = True
+        elif extra.startswith("expires="):
+            expires = float(extra[len("expires="):])
+        elif "=" in extra:
+            table, _, right_spec = extra.partition("=")
+            rights[table] = frozenset(right_spec.split("+"))
+        else:
+            raise SystemExit(f"bad --grant segment {extra!r} in {spec!r}")
+    grant = Grant(principal=principal, rights=rights, admin=admin, expires_at=expires)
+    return token, grant
+
+
+def _build_db(args: argparse.Namespace) -> FungusDB:
+    db = FungusDB(seed=args.seed)
+    for spec in args.table:
+        name, schema, fungus = _parse_table(spec)
+        db.create_table(name, schema, fungus=fungus)
+    return db
+
+
+async def _cmd_serve(args: argparse.Namespace) -> int:
+    auth = None
+    if args.grant:
+        auth = AuthRegistry()
+        for spec in args.grant:
+            token, grant = _parse_grant(spec)
+            auth.issue(token, grant)
+    db = _build_db(args)
+    server = FungusServer(
+        db,
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            tick_interval=args.tick_interval,
+            auth=auth,
+        ),
+    )
+    await server.start()
+    print(
+        f"fungusdb serving on {args.host}:{server.port} "
+        f"(tables: {', '.join(sorted(db.tables)) or 'none'}; "
+        f"tick every {args.tick_interval}s; "
+        f"auth: {'token' if auth else 'open'})"
+    )
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
+async def _cmd_client(args: argparse.Namespace) -> int:
+    try:
+        client = await FungusClient.connect(args.host, args.port, token=args.token)
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot connect to {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    print(f"connected as {client.principal} (session {client.session}); .help for help")
+    loop = asyncio.get_running_loop()
+    try:
+        while True:
+            try:
+                line = await loop.run_in_executor(None, input, "fungus> ")
+            except (EOFError, KeyboardInterrupt):
+                break
+            line = line.strip()
+            if not line:
+                continue
+            if line in (".quit", ".exit"):
+                break
+            try:
+                await _client_command(client, line)
+            except ServerError as exc:
+                print(f"[{exc.code}] {exc.message}")
+            except (ConnectionError, OSError) as exc:
+                print(f"connection lost: {exc}", file=sys.stderr)
+                return 1
+    finally:
+        await client.close()
+    return 0
+
+
+async def _client_command(client: FungusClient, line: str) -> None:
+    if line == ".help":
+        print(
+            "SQL runs at strong consistency; \\s SELECT ... reads the tick\n"
+            "snapshot; .tick [n] advances decay; .stats / .metrics /\n"
+            ".sessions inspect the server; .quit leaves"
+        )
+        return
+    if line.startswith("\\s "):
+        response = await client.query(line[3:], consistency="snapshot")
+        _print_result(response)
+        return
+    if line.startswith(".tick"):
+        _, _, n = line.partition(" ")
+        now = await client.tick(int(n) if n.strip() else 1)
+        print(f"tick -> {now:g}")
+        return
+    if line == ".stats":
+        response = await client.request({"op": "stats"})
+        print(json.dumps(response["stats"], indent=2, sort_keys=True))
+        return
+    if line == ".metrics":
+        response = await client.request({"op": "metrics"})
+        print(response["exposition"], end="")
+        return
+    if line == ".sessions":
+        response = await client.request({"op": "sessions"})
+        print(json.dumps(response["sessions"], indent=2))
+        return
+    response = await client.query(line)
+    _print_result(response)
+
+
+def _print_result(response: dict[str, Any]) -> None:
+    columns = response.get("columns", [])
+    rows = response.get("rows", [])
+    print(" | ".join(str(c) for c in columns))
+    for row in rows:
+        print(" | ".join(str(v) for v in row))
+    tail = f"({len(rows)} rows, tick {response.get('tick', '?')}"
+    if response.get("consumed"):
+        tail += f", consumed {response['consumed']}"
+    print(tail + f", {response.get('consistency', 'strong')})")
+
+
+async def _cmd_loadgen(args: argparse.Namespace) -> int:
+    config = LoadgenConfig(
+        connections=args.connections,
+        duration=args.duration,
+        tick_interval=args.tick_interval,
+        queue_limit=args.queue_limit,
+        token=args.token,
+    )
+    report = await run_loadgen(config, host=args.host, port=args.port)
+    print(
+        f"{report.connections} connections, {report.duration_s:.1f}s: "
+        f"{report.requests} requests ({report.qps:.0f} qps), "
+        f"p50 {report.p50_s * 1e3:.2f}ms p95 {report.p95_s * 1e3:.2f}ms "
+        f"p99 {report.p99_s * 1e3:.2f}ms; "
+        f"{report.busy} busy, {report.errors} errors, "
+        f"{report.ticks:g} ticks"
+    )
+    if args.out:
+        path = report.write_snapshot(args.out)
+        print(f"wrote {path}")
+    if report.requests == 0:
+        print("no requests completed", file=sys.stderr)
+        return 1
+    if report.errors:
+        # BUSY rejections are counted separately and are expected under
+        # saturation; anything in `errors` is a genuine failure.
+        print(f"{report.errors} request(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__.split("\n", 1)[0]
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    serve = sub.add_parser("serve", help="run the server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7474)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--queue-limit", type=int, default=64)
+    serve.add_argument("--tick-interval", type=float, default=1.0)
+    serve.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=COL:TYPE,...[@FUNGUS]",
+        help="declare a decaying table, e.g. readings=sensor:int,temp:float@linear:0.05",
+    )
+    serve.add_argument(
+        "--grant",
+        action="append",
+        default=[],
+        metavar="TOKEN:PRINCIPAL[:TABLE=R+R][:admin][:expires=N]",
+        help="issue a token; omitting all --grant flags runs the server open",
+    )
+
+    client = sub.add_parser("client", help="interactive shell against a server")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7474)
+    client.add_argument("--token", default=None)
+
+    loadgen = sub.add_parser("loadgen", help="qps/p50/p99 load benchmark")
+    loadgen.add_argument("--connections", type=int, default=1000)
+    loadgen.add_argument("--duration", type=float, default=10.0)
+    loadgen.add_argument("--tick-interval", type=float, default=0.25)
+    loadgen.add_argument("--queue-limit", type=int, default=256)
+    loadgen.add_argument("--host", default=None, help="target a running server")
+    loadgen.add_argument("--token", default=None, help="auth token for --host")
+    loadgen.add_argument("--port", type=int, default=None)
+    loadgen.add_argument("--out", default=None, metavar="DIR", help="write BENCH_server.json here")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command is None:
+        build_parser().print_help()
+        return 2
+    runner = {
+        "serve": _cmd_serve,
+        "client": _cmd_client,
+        "loadgen": _cmd_loadgen,
+    }[args.command]
+    try:
+        return asyncio.run(runner(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

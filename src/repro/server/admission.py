@@ -1,0 +1,58 @@
+"""Bounded-queue admission control with explicit backpressure.
+
+The engine worker is a single thread; when clients submit strong
+operations faster than it drains them, *something* has to give. This
+controller makes the give explicit: at most ``limit`` operations may
+be admitted-but-unfinished at once, and the request that would exceed
+the bound is answered ``BUSY`` immediately — on the event loop, within
+microseconds — instead of being buried in an unbounded queue where it
+would time out invisibly.
+
+Two refinements matter for correctness:
+
+* **Admission is a promise.** Once :meth:`try_admit` says yes, the
+  operation will run to completion even if the server starts draining
+  a moment later — draining only refuses *new* work. The backpressure
+  tests hold the server to this: fill the queue, drain, and every
+  admitted request still answers.
+* **Ticks bypass admission.** Law 1 is the server's own metabolism,
+  not client work; a saturated queue must not starve decay, so the
+  background ticker submits outside the bound.
+"""
+
+from __future__ import annotations
+
+
+class AdmissionController:
+    """Counts in-flight admitted operations against a hard bound."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"admission limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.in_flight = 0
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.draining = False
+
+    def try_admit(self) -> bool:
+        """Admit one operation, or refuse because the queue is full."""
+        if self.in_flight >= self.limit:
+            self.rejected_total += 1
+            return False
+        self.in_flight += 1
+        self.admitted_total += 1
+        return True
+
+    def release(self) -> None:
+        """An admitted operation finished (successfully or not)."""
+        assert self.in_flight > 0, "release() without a matching try_admit()"
+        self.in_flight -= 1
+
+    def start_drain(self) -> None:
+        """Refuse new strong operations; in-flight ones run to completion."""
+        self.draining = True
+
+    @property
+    def idle(self) -> bool:
+        return self.in_flight == 0

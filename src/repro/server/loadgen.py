@@ -1,0 +1,247 @@
+"""Load generator: qps and tail latency at 1k+ concurrent connections.
+
+Spins up an in-process :class:`~repro.server.server.FungusServer` (or
+targets a remote one), opens ``connections`` client sessions, and has
+each run a closed loop of the benchmark mix — mostly snapshot reads,
+a slice of inserts, strong reads and consumes — for ``duration``
+seconds, timing every round trip with ``perf_counter``.
+
+The result is written as ``BENCH_server.json`` in the exact payload
+shape :mod:`repro.bench.snapshots` produces, so ``repro.bench
+regress`` gates the server's p50 the same way it gates the kernel
+benchmarks; p95/p99/qps/connections ride along as extra keys the
+comparator ignores.
+
+Wall-clock timing is the *point* here (we are measuring a network
+server), which is why this module lives under the server package —
+outside the lint catalogue's no-wall-clock jurisdiction — and why the
+clients use ``time.perf_counter`` directly rather than the logical
+clock everything engine-side answers to.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.bench.snapshots import SNAPSHOT_VERSION, quantile
+from repro.core.db import FungusDB
+from repro.fungi import LinearDecayFungus
+from repro.server.client import FungusClient, ServerError
+from repro.server.server import FungusServer, ServerConfig
+from repro.storage.schema import Schema
+
+
+@dataclass
+class LoadgenConfig:
+    connections: int = 1000
+    duration: float = 10.0
+    tick_interval: float = 0.25
+    queue_limit: int = 256
+    #: per-100-request mix; the remainder is snapshot reads
+    inserts_per_100: int = 20
+    strong_per_100: int = 10
+    consumes_per_100: int = 2
+    seed_rows: int = 500
+    #: presented to a remote server at hello; in-process runs are open
+    token: str | None = None
+
+
+@dataclass
+class LoadgenReport:
+    connections: int
+    duration_s: float
+    requests: int
+    errors: int
+    busy: int
+    qps: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    ticks: float
+    latencies: list[float] = field(repr=False, default_factory=list)
+
+    def bench_entries(self) -> list[dict[str, Any]]:
+        """Snapshot entries in the shape ``repro.bench regress`` reads."""
+        base = {
+            "rounds": self.requests,
+            "connections": self.connections,
+            "qps": self.qps,
+            "errors": self.errors,
+            "busy": self.busy,
+        }
+        return [
+            {
+                "name": "test_server_request_latency",
+                "fullname": "bench_server.py::test_server_request_latency",
+                "min_s": min(self.latencies) if self.latencies else 0.0,
+                "mean_s": (
+                    sum(self.latencies) / len(self.latencies)
+                    if self.latencies
+                    else 0.0
+                ),
+                "p50_s": self.p50_s,
+                "p95_s": self.p95_s,
+                "p99_s": self.p99_s,
+                **base,
+            }
+        ]
+
+    def write_snapshot(self, directory: str | Path) -> Path:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": SNAPSHOT_VERSION,
+            "suite": "server",
+            "benchmarks": self.bench_entries(),
+        }
+        path = directory / "BENCH_server.json"
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+
+def _raise_fd_limit(connections: int) -> None:
+    """An in-process run needs ~2 fds per connection; ask for headroom."""
+    try:
+        import resource
+    except ImportError:
+        return
+    want = max(connections * 3 + 256, 4096)
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft >= want:
+        return
+    try:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (min(want, hard), hard))
+    except (ValueError, OSError):
+        pass  # keep whatever we have; connect errors will be counted
+
+
+def _seed_db(config: LoadgenConfig) -> FungusDB:
+    db = FungusDB(seed=1729)
+    db.create_table(
+        "readings",
+        Schema.of(sensor="int", temp="float"),
+        fungus=LinearDecayFungus(rate=0.01),
+    )
+    for i in range(config.seed_rows):
+        db.insert("readings", {"sensor": i % 32, "temp": 15.0 + (i % 200) / 10.0})
+    return db
+
+
+async def _client_loop(
+    host: str,
+    port: int,
+    index: int,
+    config: LoadgenConfig,
+    deadline: float,
+    out: dict[str, Any],
+) -> None:
+    try:
+        client = await FungusClient.connect(host, port, token=config.token)
+    except (ConnectionError, OSError, ServerError):
+        # ServerError here means the hello was refused (bad/missing
+        # token): count it instead of crashing the whole run
+        out["errors"] += 1
+        return
+    mix_insert = config.inserts_per_100
+    mix_strong = mix_insert + config.strong_per_100
+    mix_consume = mix_strong + config.consumes_per_100
+    n = index  # stagger the mix phase across clients
+    try:
+        while time.perf_counter() < deadline:
+            slot = n % 100
+            n += 1
+            start = time.perf_counter()
+            try:
+                if slot < mix_insert:
+                    await client.insert(
+                        "readings", {"sensor": n % 32, "temp": 20.0 + (n % 100) / 9.0}
+                    )
+                elif slot < mix_strong:
+                    await client.query(
+                        f"SELECT count(*) FROM readings WHERE sensor = {n % 32}"
+                    )
+                elif slot < mix_consume:
+                    await client.query(
+                        f"CONSUME SELECT sensor FROM readings "
+                        f"WHERE f < 0.02 AND sensor = {n % 32}"
+                    )
+                else:
+                    await client.query(
+                        f"SELECT count(*) FROM readings WHERE sensor = {n % 32}",
+                        consistency="snapshot",
+                    )
+            except ServerError as exc:
+                if exc.code == "BUSY":
+                    out["busy"] += 1
+                else:
+                    out["errors"] += 1
+                continue
+            out["latencies"].append(time.perf_counter() - start)
+    except (ConnectionError, OSError):
+        out["errors"] += 1
+    finally:
+        try:
+            await client.close()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_loadgen(
+    config: LoadgenConfig,
+    host: str | None = None,
+    port: int | None = None,
+) -> LoadgenReport:
+    """Run the benchmark; in-process server unless ``host`` is given."""
+    _raise_fd_limit(config.connections)
+    server: FungusServer | None = None
+    if host is None:
+        db = _seed_db(config)
+        server = FungusServer(
+            db,
+            ServerConfig(
+                queue_limit=config.queue_limit,
+                tick_interval=config.tick_interval,
+            ),
+        )
+        await server.start()
+        host, port = server.config.host, server.port
+    assert port is not None
+    out: dict[str, Any] = {"latencies": [], "errors": 0, "busy": 0}
+    started = time.perf_counter()
+    deadline = started + config.duration
+    try:
+        await asyncio.gather(
+            *(
+                _client_loop(host, port, i, config, deadline, out)
+                for i in range(config.connections)
+            )
+        )
+    finally:
+        elapsed = time.perf_counter() - started
+        ticks = server.db.clock.now if server is not None else -1.0
+        if server is not None:
+            await server.stop()
+    latencies = out["latencies"]
+    return LoadgenReport(
+        connections=config.connections,
+        duration_s=elapsed,
+        requests=len(latencies),
+        errors=out["errors"],
+        busy=out["busy"],
+        qps=len(latencies) / elapsed if elapsed > 0 else 0.0,
+        p50_s=quantile(latencies, 0.50) if latencies else 0.0,
+        p95_s=quantile(latencies, 0.95) if latencies else 0.0,
+        p99_s=quantile(latencies, 0.99) if latencies else 0.0,
+        ticks=ticks,
+        latencies=latencies,
+    )

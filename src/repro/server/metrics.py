@@ -1,0 +1,75 @@
+"""Server metric families: the ``repro_server_*`` series.
+
+These live in their *own* :class:`~repro.obs.metrics.MetricsRegistry`,
+deliberately separate from the engine's
+:class:`~repro.obs.collector.BusCollector` registry: the collector's
+series are defined by bus events and checked docstring-to-registry by
+the consistency tests, while these are defined by the network front
+end and documented in DESIGN.md's "Server metric catalogue" table —
+``tests/server/test_metrics_catalogue.py`` holds the two together the
+same way.
+
+Catalogue (name · kind · labels):
+
+* ``repro_server_connections_total`` · counter · — lifetime accepted
+  connections;
+* ``repro_server_sessions_active`` · gauge · — sessions past hello,
+  not yet closed;
+* ``repro_server_requests_total`` · counter · ``op, status`` — every
+  answered frame (``status`` is ``ok`` or the error code);
+* ``repro_server_rejected_total`` · counter · ``reason`` — admission
+  refusals (``busy``/``draining``);
+* ``repro_server_queue_depth`` · gauge · — admitted-but-unfinished
+  strong operations right now;
+* ``repro_server_ticks_total`` · counter · — background Law-1 ticks
+  the server itself drove;
+* ``repro_server_snapshot_reads_total`` · counter · — queries served
+  from a tick snapshot instead of the worker.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+class ServerMetrics:
+    """The front-end's registry, pre-registered so exposition is stable."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.connections = self.registry.counter(
+            "repro_server_connections_total", "lifetime accepted connections"
+        )
+        self.sessions_active = self.registry.gauge(
+            "repro_server_sessions_active", "sessions past hello and still open"
+        )
+        self.requests = self.registry.counter(
+            "repro_server_requests_total",
+            "answered frames by operation and outcome",
+            labelnames=("op", "status"),
+        )
+        self.rejected = self.registry.counter(
+            "repro_server_rejected_total",
+            "admission refusals by reason",
+            labelnames=("reason",),
+        )
+        self.queue_depth = self.registry.gauge(
+            "repro_server_queue_depth", "admitted but unfinished strong operations"
+        )
+        self.ticks = self.registry.counter(
+            "repro_server_ticks_total", "background decay ticks driven by the server"
+        )
+        self.snapshot_reads = self.registry.counter(
+            "repro_server_snapshot_reads_total", "queries served from a tick snapshot"
+        )
+
+    def request(self, op: str, status: str) -> None:
+        self.requests.labels(op=op, status=status).inc()
+
+    def reject(self, reason: str) -> None:
+        self.rejected.labels(reason=reason).inc()
+
+    def exposition(self) -> str:
+        """Prometheus text rendering of the server registry."""
+        return render_prometheus(self.registry)

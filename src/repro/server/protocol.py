@@ -1,0 +1,123 @@
+"""Length-prefixed JSON frame protocol.
+
+Wire format, in full: every frame is a 4-byte big-endian unsigned
+length ``n`` followed by exactly ``n`` bytes of UTF-8 JSON encoding a
+single object. Requests carry ``{"op": ..., ...}``; responses carry
+``{"ok": true, ...}`` or ``{"ok": false, "code": ..., "error": ...}``.
+There is no pipelining within a connection: the server reads one
+frame, answers it, then reads the next, which is what gives clients
+their per-connection response-ordering guarantee.
+
+The codec is deliberately strict. A frame longer than
+:data:`MAX_FRAME` is refused before the payload is read (the header
+alone convicts it), a body that is not valid UTF-8 JSON — or is JSON
+but not an object — is a ``BAD_FRAME``, and every failure maps to a
+structured error code from :class:`Code` so fuzzed garbage produces a
+diagnosable response or a clean close, never a traceback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+#: Hard ceiling on a single frame body, in bytes. Large enough for a
+#: several-thousand-row result, small enough that a hostile header
+#: cannot make the server buffer gigabytes.
+MAX_FRAME = 1 << 20
+
+HEADER = struct.Struct(">I")
+
+
+class Code:
+    """Structured error codes carried in ``{"ok": false, "code": ...}``."""
+
+    BAD_FRAME = "BAD_FRAME"
+    OVERSIZED = "OVERSIZED"
+    BAD_REQUEST = "BAD_REQUEST"
+    AUTH_REQUIRED = "AUTH_REQUIRED"
+    AUTH_FAILED = "AUTH_FAILED"
+    AUTH_EXPIRED = "AUTH_EXPIRED"
+    DENIED = "DENIED"
+    BUSY = "BUSY"
+    DRAINING = "DRAINING"
+    QUERY_ERROR = "QUERY_ERROR"
+    INTERNAL = "INTERNAL"
+
+
+class FrameError(Exception):
+    """A frame that cannot be decoded; ``code`` names the refusal."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Serialize one payload to its on-wire bytes (header + JSON body)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise FrameError(Code.OVERSIZED, f"frame body {len(body)}B exceeds {MAX_FRAME}B")
+    return HEADER.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict[str, Any]:
+    """Decode a frame body into a payload object, or raise :class:`FrameError`."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(Code.BAD_FRAME, f"frame body is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError(
+            Code.BAD_FRAME, f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME
+) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF mid-header or mid-body — the peer hung up inside a frame — is
+    a ``BAD_FRAME``, because the stream can no longer be trusted to be
+    frame-aligned.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise FrameError(
+            Code.BAD_FRAME, f"connection closed mid-header ({len(exc.partial)}/4B)"
+        ) from exc
+    (length,) = HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameError(Code.OVERSIZED, f"declared length {length}B exceeds {max_frame}B")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            Code.BAD_FRAME,
+            f"connection closed mid-body ({len(exc.partial)}/{length}B)",
+        ) from exc
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
+    """Encode and flush one response frame."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+def ok(**fields: Any) -> dict[str, Any]:
+    """Build a success response body."""
+    return {"ok": True, **fields}
+
+
+def error(code: str, message: str, **fields: Any) -> dict[str, Any]:
+    """Build a structured error response body."""
+    return {"ok": False, "code": code, "error": message, **fields}

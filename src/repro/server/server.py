@@ -1,0 +1,480 @@
+""":class:`FungusServer`: the asyncio front-end over one FungusDB.
+
+Ownership rules, stated once and enforced everywhere:
+
+* The **event loop** owns connections, framing, auth, admission, the
+  session table, the metrics registry, and reads against the published
+  :class:`~repro.server.snapshot.TickSnapshot`.
+* The **worker thread** (a one-thread executor) owns the engine. Every
+  strong operation — INSERT, strong SELECT, CONSUME, tick — is a job
+  on that thread, so engine state keeps the single-writer discipline
+  the storage layer documents. The gatekeeper also runs *inside* the
+  job, immediately before execution, so policy is checked against the
+  exact catalog state the statement will run on.
+* The snapshot crosses from worker to loop by a single attribute
+  assignment — atomic under the interpreter — and is immutable after
+  publication.
+
+Each connection's frames are handled strictly sequentially, which is
+the per-client response-ordering guarantee the concurrency suite
+asserts; throughput comes from many connections, not from pipelining
+within one.
+
+The worker also appends every strong operation to ``oplog`` in actual
+execution order. Replaying that log single-threaded into a fresh
+FungusDB with the same seed must reproduce the server's final state
+bit-for-bit — the differential oracle the concurrency tests run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import FungusError
+from repro.server.admission import AdmissionController
+from repro.server.auth import AuthError, AuthRegistry, Grant
+from repro.server.metrics import ServerMetrics
+from repro.server.policy import AccessDenied, Gatekeeper
+from repro.server.protocol import (
+    Code,
+    FrameError,
+    MAX_FRAME,
+    error,
+    ok,
+    read_frame,
+    write_frame,
+)
+from repro.server.session import Session, SessionManager
+from repro.server.snapshot import TickSnapshot
+
+if TYPE_CHECKING:
+    from repro.core.db import FungusDB
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`FungusServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = let the kernel pick (tests); real deploys set one
+    queue_limit: int = 64
+    tick_interval: float | None = None  # seconds between background ticks
+    max_frame: int = MAX_FRAME
+    auth: AuthRegistry | None = None
+    #: enable the ``debug_sleep`` op — tests use it to hold the worker
+    #: busy and deterministically fill the admission queue
+    debug_ops: bool = False
+
+
+#: ops a session may call before (or without) admin rights
+ADMIN_OPS = frozenset({"tick", "drain", "sessions"})
+
+
+class FungusServer:
+    """Serve one :class:`~repro.core.db.FungusDB` over TCP frames."""
+
+    def __init__(self, db: "FungusDB", config: ServerConfig | None = None) -> None:
+        self.db = db
+        self.config = config or ServerConfig()
+        self.sessions = SessionManager()
+        self.admission = AdmissionController(self.config.queue_limit)
+        self.metrics = ServerMetrics()
+        self.gatekeeper = Gatekeeper(db.engine)
+        #: every strong op in worker execution order: ("insert", table,
+        #: row) | ("query", sql) | ("tick", n) — the replay oracle's input
+        self.oplog: list[tuple[Any, ...]] = []
+        self.snapshot: TickSnapshot | None = None
+        self._worker = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="fungus-engine"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._ticker: asyncio.Task[None] | None = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "FungusServer":
+        """Bind, publish the initial snapshot, start the background ticker."""
+        self.snapshot = await self._run_strong(lambda: TickSnapshot.capture(self.db))
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            backlog=2048,  # the loadgen opens 1k+ connections in one burst
+        )
+        if self.config.tick_interval is not None:
+            self._ticker = asyncio.ensure_future(self._tick_loop())
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "server not started"
+        await self._server.serve_forever()
+
+    async def drain(self) -> int:
+        """Refuse new strong ops, wait for admitted ones, return count drained."""
+        self.admission.start_drain()
+        drained = self.admission.in_flight
+        while not self.admission.idle:
+            await asyncio.sleep(0.005)
+        return drained
+
+    async def stop(self) -> None:
+        """Stop ticking, close the listener, finish in-flight work."""
+        self._stopping = True
+        if self._ticker is not None:
+            self._ticker.cancel()
+            try:
+                await self._ticker
+            except asyncio.CancelledError:
+                pass
+            self._ticker = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        while not self.admission.idle:
+            await asyncio.sleep(0.005)
+        self._worker.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # the background Law-1 ticker
+    # ------------------------------------------------------------------
+
+    async def _tick_loop(self) -> None:
+        assert self.config.tick_interval is not None
+        while True:
+            await asyncio.sleep(self.config.tick_interval)
+            await self._run_tick(1)
+
+    async def _run_tick(self, ticks: int) -> float:
+        """Advance the clock in the worker and publish the new snapshot.
+
+        Submitted *outside* admission control on purpose: decay is the
+        server's metabolism, and a saturated client queue must not be
+        able to starve Law 1.
+        """
+        def job() -> float:
+            self.db.tick(ticks)
+            self.oplog.append(("tick", ticks))
+            self.snapshot = TickSnapshot.capture(self.db)
+            return self.db.clock.now
+
+        now = await self._run_strong(job)
+        self.metrics.ticks.inc(ticks)
+        return now
+
+    async def _run_strong(self, fn: Callable[[], Any]) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._worker, fn)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.connections.inc()
+        session: Session | None = None
+        try:
+            while True:
+                try:
+                    payload = await read_frame(reader, self.config.max_frame)
+                except FrameError as exc:
+                    # a mid-frame failure poisons the stream: answer
+                    # once (best effort) and close
+                    await self._safe_write(
+                        writer, error(exc.code, exc.message)
+                    )
+                    self.metrics.request("frame", exc.code)
+                    return
+                if payload is None:
+                    return  # clean close between frames
+                response, session, keep_open = await self._dispatch(
+                    payload, session, writer
+                )
+                if "id" in payload:
+                    response["id"] = payload["id"]
+                await self._safe_write(writer, response)
+                if not keep_open:
+                    return
+        finally:
+            if session is not None:
+                self.sessions.close(session)
+                self.metrics.sessions_active.set(self.sessions.active)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _safe_write(
+        self, writer: asyncio.StreamWriter, payload: dict[str, Any]
+    ) -> None:
+        try:
+            await write_frame(writer, payload)
+        except (ConnectionError, OSError):
+            pass  # peer already gone; the close path cleans up
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(
+        self,
+        payload: dict[str, Any],
+        session: Session | None,
+        writer: asyncio.StreamWriter,
+    ) -> tuple[dict[str, Any], Session | None, bool]:
+        """Handle one frame; returns (response, session, keep_open)."""
+        op = payload.get("op")
+        if not isinstance(op, str):
+            self.metrics.request("?", Code.BAD_REQUEST)
+            return error(Code.BAD_REQUEST, "frame needs a string 'op'"), session, True
+        try:
+            if op == "hello":
+                response, session = self._op_hello(payload, writer)
+            elif op == "ping":
+                response = ok(pong=True, tick=self.db.clock.now)
+            elif op == "bye":
+                self.metrics.request(op, "ok")
+                return ok(bye=True), session, False
+            else:
+                if session is None:
+                    raise AuthError(Code.AUTH_REQUIRED, "say hello first")
+                if session.grant.expired(self.db.clock.now):
+                    raise AuthError(
+                        Code.AUTH_EXPIRED,
+                        f"token for {session.principal!r} expired at tick "
+                        f"{session.grant.expires_at:g}",
+                    )
+                if op in ADMIN_OPS and not session.grant.admin:
+                    raise AccessDenied(
+                        Code.DENIED, f"op {op!r} requires the admin grant"
+                    )
+                session.requests += 1
+                response = await self._op(op, payload, session)
+        except (AuthError, AccessDenied, FrameError) as exc:
+            if session is not None:
+                session.errors += 1
+            self.metrics.request(op, exc.code)
+            return error(exc.code, exc.message), session, True
+        except FungusError as exc:
+            if session is not None:
+                session.errors += 1
+            self.metrics.request(op, Code.QUERY_ERROR)
+            return error(Code.QUERY_ERROR, str(exc)), session, True
+        except Exception as exc:  # the contract: never a raw traceback
+            if session is not None:
+                session.errors += 1
+            self.metrics.request(op, Code.INTERNAL)
+            return (
+                error(Code.INTERNAL, f"{type(exc).__name__}: {exc}"),
+                session,
+                True,
+            )
+        self.metrics.request(op, "ok")
+        return response, session, True
+
+    def _op_hello(
+        self, payload: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> tuple[dict[str, Any], Session]:
+        token = payload.get("token")
+        if token is not None and not isinstance(token, str):
+            raise AuthError(Code.AUTH_FAILED, "token must be a string")
+        now = self.db.clock.now
+        if self.config.auth is not None:
+            grant = self.config.auth.authenticate(token, now)
+        else:
+            grant = Grant.open_grant()
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        session = self.sessions.open(grant, peer, now)
+        self.metrics.sessions_active.set(self.sessions.active)
+        return (
+            ok(session=session.id, principal=grant.principal, tick=now),
+            session,
+        )
+
+    async def _op(
+        self, op: str, payload: dict[str, Any], session: Session
+    ) -> dict[str, Any]:
+        if op == "query":
+            return await self._op_query(payload, session)
+        if op == "insert":
+            return await self._op_insert(payload, session)
+        if op == "tick":
+            ticks = payload.get("n", 1)
+            if not isinstance(ticks, int) or ticks < 1:
+                raise FrameError(Code.BAD_REQUEST, f"bad tick count {ticks!r}")
+            now = await self._run_tick(ticks)
+            return ok(tick=now)
+        if op == "stats":
+            return await self._admitted(session, self._job_stats(session))
+        if op == "metrics":
+            return ok(exposition=self.metrics.exposition())
+        if op == "sessions":
+            return ok(sessions=self.sessions.describe())
+        if op == "drain":
+            drained = await self.drain()
+            return ok(drained=drained)
+        if op == "debug_sleep" and self.config.debug_ops:
+            seconds = float(payload.get("seconds", 0.05))
+            return await self._admitted(session, lambda: _worker_nap(seconds))
+        raise FrameError(Code.BAD_REQUEST, f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    # the two data-path ops
+    # ------------------------------------------------------------------
+
+    async def _op_query(
+        self, payload: dict[str, Any], session: Session
+    ) -> dict[str, Any]:
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise FrameError(Code.BAD_REQUEST, "query needs a non-empty 'sql'")
+        consistency = payload.get("consistency", "strong")
+        if consistency == "snapshot":
+            return self._snapshot_query(sql, session)
+        if consistency != "strong":
+            raise FrameError(
+                Code.BAD_REQUEST, f"unknown consistency {consistency!r}"
+            )
+        return await self._admitted(session, self._job_query(sql, session))
+
+    def _snapshot_query(self, sql: str, session: Session) -> dict[str, Any]:
+        """Serve a read from the published snapshot, loop-side.
+
+        Never touches the worker, so it answers even while a decay tick
+        (or a long consume) is mid-flight — the "readers never block"
+        half of snapshot-at-tick.
+        """
+        snapshot = self.snapshot
+        assert snapshot is not None, "server not started"
+        gatekeeper = Gatekeeper(snapshot.materialized())
+        admission = gatekeeper.admit(sql, session.grant)
+        if admission.kind != "select":
+            raise AccessDenied(
+                Code.BAD_REQUEST,
+                f"snapshot consistency serves SELECT only, not {admission.kind}",
+            )
+        result = snapshot.query(admission.statement, sql)
+        self.metrics.snapshot_reads.inc()
+        return ok(
+            columns=list(result.columns),
+            rows=[list(row) for row in result.rows],
+            tick=snapshot.tick,
+            consistency="snapshot",
+        )
+
+    def _job_query(
+        self, sql: str, session: Session
+    ) -> Callable[[], dict[str, Any]]:
+        def job() -> dict[str, Any]:
+            admission = self.gatekeeper.admit(sql, session.grant)
+            engine = self.db.engine
+            with self.db.tracer.span(
+                "server.request", session=session.id, op=admission.kind
+            ):
+                engine.current_actor = session.id
+                try:
+                    # execute the raw SQL, not the parsed statement:
+                    # current_sql must carry the text so Law-2 death
+                    # provenance records the consuming query verbatim
+                    result = self.db.query(sql)
+                finally:
+                    engine.current_actor = None
+            self.oplog.append(("query", sql))
+            session.rows_consumed += result.stats.rows_consumed
+            return ok(
+                columns=list(result.columns),
+                rows=[list(row) for row in result.rows],
+                consumed=result.stats.rows_consumed,
+                tick=self.db.clock.now,
+                consistency="strong",
+                verdict=admission.verdict,
+            )
+
+        return job
+
+    def _op_insert_check(self, payload: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        table = payload.get("table")
+        row = payload.get("row")
+        if not isinstance(table, str) or not isinstance(row, dict):
+            raise FrameError(
+                Code.BAD_REQUEST, "insert needs 'table' (str) and 'row' (object)"
+            )
+        return table, row
+
+    async def _op_insert(
+        self, payload: dict[str, Any], session: Session
+    ) -> dict[str, Any]:
+        table, row = self._op_insert_check(payload)
+        if not session.grant.allows(table, "insert"):
+            raise AccessDenied(
+                Code.DENIED,
+                f"{session.principal!r} lacks 'insert' on table {table!r}",
+            )
+
+        def job() -> dict[str, Any]:
+            with self.db.tracer.span(
+                "server.request", session=session.id, op="insert"
+            ):
+                rid = self.db.insert(table, row)
+            self.oplog.append(("insert", table, dict(row)))
+            return ok(rid=rid, tick=self.db.clock.now)
+
+        return await self._admitted(session, job)
+
+    def _job_stats(self, session: Session) -> Callable[[], dict[str, Any]]:
+        def job() -> dict[str, Any]:
+            stats = self.db.stats()
+            return ok(stats=stats)
+
+        return job
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    async def _admitted(
+        self, session: Session, job: Callable[[], dict[str, Any]]
+    ) -> dict[str, Any]:
+        """Run one strong op through admission control.
+
+        The refusals happen *here*, on the loop, before the job ever
+        reaches the worker — which is why BUSY comes back in
+        microseconds even when the worker is pinned.
+        """
+        if self.admission.draining:
+            self.metrics.reject("draining")
+            raise AccessDenied(Code.DRAINING, "server is draining; retry elsewhere")
+        if not self.admission.try_admit():
+            self.metrics.reject("busy")
+            raise AccessDenied(
+                Code.BUSY,
+                f"admission queue full ({self.admission.limit} in flight); retry",
+            )
+        self.metrics.queue_depth.set(self.admission.in_flight)
+        try:
+            return await self._run_strong(job)
+        finally:
+            self.admission.release()
+            self.metrics.queue_depth.set(self.admission.in_flight)
+
+
+def _worker_nap(seconds: float) -> dict[str, Any]:
+    """Hold the engine worker busy (test hook; runs in the worker thread)."""
+    time.sleep(min(seconds, 2.0))
+    return ok(slept=seconds)

@@ -1,0 +1,84 @@
+"""Per-connection session state.
+
+A :class:`Session` is born when a connection completes the ``hello``
+handshake and dies with the connection. It carries the resolved
+:class:`~repro.server.auth.Grant`, a short stable id (``s1``, ``s2``,
+...) that forensics death-provenance records use to attribute consumes
+to a network principal, and per-session counters that the ``sessions``
+admin op reports.
+
+Session ids are sequential rather than random on purpose: the op-log
+replay oracle needs runs to be reproducible byte-for-byte, and a uuid
+in the attribution string would differ across replays of the same
+seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.server.auth import Grant
+
+
+@dataclass
+class Session:
+    """One authenticated connection's state."""
+
+    id: str
+    grant: Grant
+    peer: str = "?"
+    connected_at: float = 0.0  # logical tick at hello
+    requests: int = 0
+    rows_consumed: int = 0
+    errors: int = 0
+    closed: bool = False
+
+    @property
+    def principal(self) -> str:
+        return self.grant.principal
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "id": self.id,
+            "principal": self.principal,
+            "peer": self.peer,
+            "connected_at": self.connected_at,
+            "requests": self.requests,
+            "rows_consumed": self.rows_consumed,
+            "errors": self.errors,
+        }
+
+
+class SessionManager:
+    """Issues sequential session ids and tracks the live set."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._live: dict[str, Session] = {}
+        self.total_opened = 0
+
+    def open(self, grant: Grant, peer: str, now: float) -> Session:
+        self._next += 1
+        session = Session(
+            id=f"s{self._next}", grant=grant, peer=peer, connected_at=now
+        )
+        self._live[session.id] = session
+        self.total_opened += 1
+        return session
+
+    def close(self, session: Session) -> None:
+        session.closed = True
+        self._live.pop(session.id, None)
+
+    @property
+    def active(self) -> int:
+        return len(self._live)
+
+    def describe(self) -> list[dict[str, object]]:
+        return [
+            self._live[sid].describe() for sid in sorted(self._live, key=_session_key)
+        ]
+
+
+def _session_key(sid: str) -> int:
+    return int(sid[1:])

@@ -174,14 +174,10 @@ class Simulator:
                 fungus=spec.fungus.build(),
                 **self._table_options(spec),
             )
-        self._wire_tracer(db)
-        return db
-
-    def _wire_tracer(self, db: FungusDB) -> None:
-        """Share the sim's tracer with the db so its spans nest in ours."""
+        # the db's tracer property fans out to clock, engine and every
+        # table — current and future — so sim spans nest in ours
         db.tracer = self.tracer
-        db.clock.tracer = self.tracer
-        db.engine.tracer = self.tracer
+        return db
 
     def _table_options(self, spec) -> dict:
         return {

@@ -1,0 +1,40 @@
+"""Known-bad fixture for RS008: blocking I/O inside ``async def``.
+
+Lives under a ``repro/server/`` path on purpose — the rule is scoped
+to the asyncio front-end, where one blocked coroutine stalls every
+connection on the loop.
+"""
+
+import asyncio
+import socket
+import time
+from pathlib import Path
+
+
+async def handle_frame(path: Path) -> bytes:
+    time.sleep(0.1)  # BAD: stalls the event loop
+    conn = socket.create_connection(("127.0.0.1", 7474))  # BAD: sync socket
+    with open("/tmp/rot.log") as fh:  # BAD: blocking file open
+        fh.read()
+    payload = path.read_bytes()  # BAD: blocking pathlib I/O
+    conn.close()
+    return payload
+
+
+async def polite_handler(loop: asyncio.AbstractEventLoop, path: Path) -> bytes:
+    await asyncio.sleep(0.1)  # fine: yields to the loop
+    return await loop.run_in_executor(None, path.read_bytes)  # fine: off-loop
+
+
+async def with_sync_helper() -> None:
+    def drain_to_disk(blob: bytes) -> None:
+        # fine: a nested sync def runs on whichever thread calls it
+        Path("/tmp/spool").write_bytes(blob)
+
+    await asyncio.get_running_loop().run_in_executor(None, drain_to_disk, b"x")
+
+
+def sync_setup(path: Path) -> str:
+    # fine: not async — module setup may block
+    time.sleep(0.0)
+    return path.read_text()

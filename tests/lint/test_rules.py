@@ -14,6 +14,7 @@ import pytest
 from repro.lint.engine import LintEngine, ModuleSource, SYNTAX_RULE_ID
 from repro.lint.rules import (
     BatchMutatorRule,
+    BlockingAsyncRule,
     CataloguedMetricRule,
     ChainedRaiseRule,
     NoWallClockRule,
@@ -34,6 +35,7 @@ FIXTURE_BY_RULE = {
     "RS005": FIXTURES / "rs005_freshness_write.py",
     "RS006": FIXTURES / "rs006_dropped_event.py",
     "RS007": FIXTURES / "repro" / "fungi" / "rs007_per_row_decay.py",
+    "RS008": FIXTURES / "repro" / "server" / "rs008_blocking_async.py",
 }
 
 EXPECTED_COUNTS = {
@@ -44,6 +46,7 @@ EXPECTED_COUNTS = {
     "RS005": 2,  # literal "f" and table.freshness_column
     "RS006": 2,  # dropped expression and never-published assignment
     "RS007": 2,  # for-loop set_freshness and comprehension decay
+    "RS008": 4,  # sleep, sync socket, open(), pathlib read; helpers pass
 }
 
 
@@ -129,6 +132,7 @@ class TestEngine:
             "RS005",
             "RS006",
             "RS007",
+            "RS008",
         ]
         for rule in default_rules():
             assert rule.title and rule.rationale
@@ -142,6 +146,7 @@ class TestEngine:
             SanctionedFreshnessRule,
             PublishedEventRule,
             BatchMutatorRule,
+            BlockingAsyncRule,
         ):
             assert rule_cls.id.startswith("RS")
 
@@ -153,6 +158,35 @@ class TestShippedTreeIsClean:
         assert report.findings == [], report.human()
         assert report.suppressed == 0
         assert report.files > 100  # the whole tree was actually walked
+
+
+class TestRS008Scope:
+    def test_only_bites_under_the_server_package(self):
+        rule = BlockingAsyncRule()
+        assert rule.applies_to(Path("src/repro/server/server.py"))
+        assert not rule.applies_to(Path("src/repro/core/db.py"))
+        assert not rule.applies_to(Path("src/repro/obs/export.py"))
+
+    def test_sync_defs_and_asyncio_sleep_pass(self):
+        source = (
+            "import asyncio, time\n"
+            "async def ok():\n"
+            "    await asyncio.sleep(0.1)\n"
+            "def setup():\n"
+            "    time.sleep(0.1)\n"
+        )
+        findings, _ = LintEngine(rules=[BlockingAsyncRule()]).lint_source(
+            Path("repro/server/x.py"), source
+        )
+        assert findings == []
+
+    def test_time_sleep_in_async_def_fails(self):
+        source = "import time\nasync def bad():\n    time.sleep(1)\n"
+        findings, _ = LintEngine(rules=[BlockingAsyncRule()]).lint_source(
+            Path("repro/server/x.py"), source
+        )
+        assert [f.rule for f in findings] == ["RS008"]
+        assert "asyncio.sleep" in findings[0].message
 
 
 class TestRS006Patterns:

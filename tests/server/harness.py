@@ -1,0 +1,94 @@
+"""Shared helpers for the server suite: in-process servers, raw sockets.
+
+Every test here runs a real :class:`~repro.server.server.FungusServer`
+on an OS-assigned loopback port inside ``asyncio.run`` — no
+pytest-asyncio, no mocks of the transport. ``running_server`` owns the
+lifecycle so a failing assertion can't leak a listener (or the engine
+worker thread) into the next test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from typing import Any, AsyncIterator
+
+from repro.core.db import FungusDB
+from repro.fungi import ExponentialDecayFungus, LinearDecayFungus
+from repro.server import FungusClient, FungusServer, ServerConfig
+from repro.storage.schema import Schema
+
+HOST = "127.0.0.1"
+
+
+@asynccontextmanager
+async def running_server(
+    db: FungusDB, **config: Any
+) -> AsyncIterator[FungusServer]:
+    """Start a server on port 0, yield it, always stop it."""
+    server = FungusServer(db, ServerConfig(host=HOST, port=0, **config))
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+def seeded_db(seed: int = 7, fungus: str = "linear") -> FungusDB:
+    """A FungusDB with one decaying table ``r(k int, v int)``.
+
+    The fungus is deterministic (linear or exponential) so the op-log
+    replay oracle can demand bit-identical freshness.
+    """
+    db = FungusDB(seed=seed)
+    if fungus == "linear":
+        spore = LinearDecayFungus(rate=0.1)
+    elif fungus == "exponential":
+        spore = ExponentialDecayFungus(half_life=3.0, evict_below=0.05)
+    else:
+        raise ValueError(f"unknown fixture fungus {fungus!r}")
+    db.create_table("r", Schema.of(k="int", v="int"), fungus=spore)
+    return db
+
+
+async def raw_connection(
+    port: int,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """A bare stream pair, for tests that speak (or corrupt) the wire."""
+    return await asyncio.open_connection(HOST, port)
+
+
+async def connect(server: FungusServer, token: str | None = None) -> FungusClient:
+    return await FungusClient.connect(HOST, server.port, token=token)
+
+
+def table_state(db: FungusDB, name: str) -> list[tuple[Any, ...]]:
+    """Every live row of ``name`` as (t, f, *attrs), insertion order.
+
+    This is the whole data state of a decaying relation — the replay
+    oracle compares it with plain ``==`` so floats must match bit for
+    bit, not approximately.
+    """
+    storage = db.tables[name].storage
+    rows = storage.live_list()
+    columns = [storage.column_values(col) for col in storage.schema.names]
+    assert all(len(col) == len(rows) for col in columns)
+    return [tuple(col[i] for col in columns) for i in range(len(rows))]
+
+
+def replay_oplog(
+    oplog: list[tuple[Any, ...]], seed: int, fungus: str = "linear"
+) -> FungusDB:
+    """Re-execute a server op log single-threaded into a fresh engine."""
+    db = seeded_db(seed=seed, fungus=fungus)
+    for entry in oplog:
+        if entry[0] == "insert":
+            _, table, row = entry
+            db.insert(table, row)
+        elif entry[0] == "query":
+            db.query(entry[1])
+        elif entry[0] == "tick":
+            db.tick(entry[1])
+        else:  # pragma: no cover - corrupt log means a server bug
+            raise AssertionError(f"unknown oplog entry {entry!r}")
+    return db

@@ -1,0 +1,212 @@
+"""Admission control: BUSY is fast, a promise is a promise.
+
+The deterministic lever is the ``debug_sleep`` op (enabled via
+``ServerConfig.debug_ops``): it parks the engine worker in a plain
+``time.sleep`` so the loop keeps answering while the queue provably
+cannot drain. With the worker pinned, admission outcomes stop being
+racy — the first ``queue_limit`` strong ops are admitted, the next is
+``BUSY`` within a deadline, and draining completes exactly the
+admitted ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.server import AdmissionController, Code
+from repro.server.protocol import read_frame, write_frame
+
+from tests.server.harness import connect, raw_connection, running_server, seeded_db
+
+DEADLINE = 5.0
+
+
+class TestController:
+    def test_limit_is_enforced(self):
+        controller = AdmissionController(limit=2)
+        assert controller.try_admit() and controller.try_admit()
+        assert not controller.try_admit()
+        assert controller.rejected_total == 1
+        controller.release()
+        assert controller.try_admit()
+
+    def test_drain_refuses_new_only(self):
+        controller = AdmissionController(limit=4)
+        assert controller.try_admit()
+        controller.start_drain()
+        assert controller.draining
+        assert not controller.idle
+        controller.release()
+        assert controller.idle
+
+    def test_rejects_nonsense_limits(self):
+        with pytest.raises(ValueError):
+            AdmissionController(limit=0)
+
+
+def _pin_worker(client_writer, seconds: float):
+    """Frame that parks the engine worker (no response awaited here)."""
+    return write_frame(
+        client_writer, {"op": "debug_sleep", "seconds": seconds, "id": "nap"}
+    )
+
+
+class TestBackpressure:
+    def test_busy_within_deadline_and_counted(self):
+        """Queue full → BUSY in well under a second, metric incremented."""
+
+        async def scenario():
+            db = seeded_db()
+            async with running_server(
+                db, queue_limit=2, debug_ops=True
+            ) as server:
+                # two connections whose strong ops will sit on the
+                # pinned worker, occupying the whole queue
+                sleepers = []
+                for _ in range(2):
+                    reader, writer = await raw_connection(server.port)
+                    await write_frame(writer, {"op": "hello"})
+                    assert (await read_frame(reader))["ok"]
+                    await _pin_worker(writer, 0.5)
+                    sleepers.append((reader, writer))
+                # give the loop a moment to admit both
+                for _ in range(100):
+                    if server.admission.in_flight == 2:
+                        break
+                    await asyncio.sleep(0.005)
+                assert server.admission.in_flight == 2
+
+                probe = await connect(server)
+                started = time.perf_counter()
+                raw = await asyncio.wait_for(
+                    probe.request_raw(
+                        {"op": "insert", "table": "r", "row": {"k": 1, "v": 1}}
+                    ),
+                    DEADLINE,
+                )
+                elapsed = time.perf_counter() - started
+                assert raw["ok"] is False
+                assert raw["code"] == Code.BUSY
+                assert elapsed < 0.4, f"BUSY took {elapsed:.3f}s"
+                assert (
+                    server.metrics.rejected.labels(reason="busy").value >= 1
+                )
+                assert server.admission.rejected_total >= 1
+
+                # snapshot reads bypass admission: still answered
+                snap = await probe.query("SELECT k FROM r", consistency="snapshot")
+                assert snap["consistency"] == "snapshot"
+
+                # and once the worker wakes, the sleepers' answers arrive
+                for reader, writer in sleepers:
+                    response = await asyncio.wait_for(read_frame(reader), DEADLINE)
+                    assert response["ok"] and response["id"] == "nap"
+                    writer.close()
+                    await writer.wait_closed()
+                await probe.close()
+
+        asyncio.run(scenario())
+
+    def test_drain_finishes_admitted_work_and_refuses_new(self):
+        """Backpressure promise: admitted ops complete across a drain."""
+
+        async def scenario():
+            db = seeded_db()
+            async with running_server(
+                db, queue_limit=4, debug_ops=True
+            ) as server:
+                # one connection handles frames sequentially, so the
+                # pinned nap and the queued insert need separate
+                # connections to both be *admitted* before the drain
+                reader, writer = await raw_connection(server.port)
+                await write_frame(writer, {"op": "hello"})
+                assert (await read_frame(reader))["ok"]
+                await _pin_worker(writer, 0.3)
+                ins_reader, ins_writer = await raw_connection(server.port)
+                await write_frame(ins_writer, {"op": "hello"})
+                assert (await read_frame(ins_reader))["ok"]
+                await write_frame(
+                    ins_writer,
+                    {"op": "insert", "table": "r", "row": {"k": 7, "v": 7}, "id": "i"},
+                )
+                for _ in range(100):
+                    if server.admission.in_flight >= 2:
+                        break
+                    await asyncio.sleep(0.005)
+                assert server.admission.in_flight >= 2
+
+                admin = await connect(server)
+                drain_task = asyncio.ensure_future(
+                    admin.request({"op": "drain"})
+                )
+                await asyncio.sleep(0.01)
+
+                # new strong work is refused while draining...
+                probe = await connect(server)
+                raw = await probe.request_raw(
+                    {"op": "insert", "table": "r", "row": {"k": 8, "v": 8}}
+                )
+                assert raw["ok"] is False
+                assert raw["code"] == Code.DRAINING
+                assert (
+                    server.metrics.rejected.labels(reason="draining").value >= 1
+                )
+
+                # ...but the admitted insert still lands
+                nap = await asyncio.wait_for(read_frame(reader), DEADLINE)
+                assert nap["ok"] and nap["id"] == "nap"
+                inserted = await asyncio.wait_for(read_frame(ins_reader), DEADLINE)
+                assert inserted["ok"] and inserted["id"] == "i"
+                await asyncio.wait_for(drain_task, DEADLINE)
+                assert any(
+                    entry == ("insert", "r", {"k": 7, "v": 7})
+                    for entry in server.oplog
+                )
+
+                writer.close()
+                await writer.wait_closed()
+                ins_writer.close()
+                await ins_writer.wait_closed()
+                await probe.close()
+                await admin.close()
+
+        asyncio.run(scenario())
+
+    def test_recovered_server_admits_again(self):
+        """After the pinned burst drains, fresh work flows normally."""
+
+        async def scenario():
+            db = seeded_db()
+            async with running_server(
+                db, queue_limit=1, debug_ops=True
+            ) as server:
+                reader, writer = await raw_connection(server.port)
+                await write_frame(writer, {"op": "hello"})
+                assert (await read_frame(reader))["ok"]
+                await _pin_worker(writer, 0.2)
+                for _ in range(100):
+                    if server.admission.in_flight == 1:
+                        break
+                    await asyncio.sleep(0.005)
+
+                probe = await connect(server)
+                busy = await probe.request_raw(
+                    {"op": "insert", "table": "r", "row": {"k": 1, "v": 1}}
+                )
+                assert busy["code"] == Code.BUSY
+
+                # wait out the nap; the same connection then succeeds
+                nap = await asyncio.wait_for(read_frame(reader), DEADLINE)
+                assert nap["ok"]
+                rid = await probe.insert("r", {"k": 2, "v": 2})
+                assert rid >= 0
+                assert server.admission.idle
+
+                writer.close()
+                await writer.wait_closed()
+                await probe.close()
+
+        asyncio.run(scenario())

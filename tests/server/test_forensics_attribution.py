@@ -1,0 +1,51 @@
+"""Death provenance over the network names the consuming session.
+
+When a consume arrives through the server, the worker sets
+``engine.current_actor`` to the session id for the duration of the
+statement, and ``_before_consume`` appends `` @<session-id>`` to the
+recorded query text — so ``why`` can answer not just *which* statement
+carried a tuple away, but *who* sent it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from tests.server.harness import connect, running_server, seeded_db
+
+
+def test_consumed_death_records_carry_the_session_id():
+    async def scenario():
+        db = seeded_db(seed=9)
+        forensics = db.enable_forensics()
+        async with running_server(db) as server:
+            first = await connect(server)   # s1
+            second = await connect(server)  # s2
+            try:
+                for k in range(4):
+                    await first.insert("r", {"k": k, "v": k})
+                sql = "CONSUME SELECT k FROM r WHERE v < 2"
+                await second.query(sql)
+            finally:
+                await first.close()
+                await second.close()
+        consumed = [r for r in forensics.deaths("r") if r.cause == "consumed"]
+        assert len(consumed) == 2
+        for record in consumed:
+            assert record.query == f"{sql} @s2", record.query
+
+    asyncio.run(scenario())
+
+
+def test_embedded_consumes_stay_unattributed():
+    """Without a session the query text is recorded verbatim — the
+    attribution suffix is strictly a network-boundary annotation."""
+    db = seeded_db(seed=9)
+    forensics = db.enable_forensics()
+    for k in range(2):
+        db.insert("r", {"k": k, "v": k})
+    sql = "CONSUME SELECT k FROM r WHERE v < 1"
+    db.query(sql)
+    consumed = [r for r in forensics.deaths("r") if r.cause == "consumed"]
+    assert len(consumed) == 1
+    assert consumed[0].query == sql

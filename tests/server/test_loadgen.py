@@ -1,0 +1,61 @@
+"""Load-generator smoke: the benchmark harness itself must not rot.
+
+A short closed-loop run (small connection count, ~a second) proves the
+full path — in-process server, client mix, latency capture, snapshot
+write — and that the emitted ``BENCH_server.json`` speaks the exact
+payload dialect ``repro.bench regress`` gates on. The 1k-connection
+number lives in CI's ``server-smoke`` job and the committed baseline,
+not here; a unit suite has no business pinning ulimits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.bench.regression import compare
+from repro.bench.snapshots import SNAPSHOT_VERSION
+from repro.server.loadgen import LoadgenConfig, LoadgenReport, run_loadgen
+
+
+def _short_run() -> LoadgenReport:
+    return asyncio.run(
+        run_loadgen(
+            LoadgenConfig(
+                connections=16,
+                duration=1.0,
+                tick_interval=0.1,
+                seed_rows=100,
+            )
+        )
+    )
+
+
+class TestLoadgen:
+    def test_smoke_run_completes_cleanly(self):
+        report = _short_run()
+        assert report.requests > 0
+        assert report.errors == 0
+        assert report.qps > 0
+        assert 0 < report.p50_s <= report.p95_s <= report.p99_s
+        # the background ticker really drove Law 1 during the run
+        assert report.ticks > 0
+
+    def test_snapshot_payload_feeds_the_regression_gate(self, tmp_path):
+        report = _short_run()
+        current = tmp_path / "current"
+        path = report.write_snapshot(current)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == SNAPSHOT_VERSION
+        assert payload["suite"] == "server"
+        (entry,) = payload["benchmarks"]
+        assert entry["fullname"] == "bench_server.py::test_server_request_latency"
+        assert entry["p50_s"] > 0
+        assert entry["connections"] == 16
+
+        # self-compare: same file as baseline and current → no regression
+        baseline = tmp_path / "baseline"
+        report.write_snapshot(baseline)
+        result = compare(baseline, current)
+        assert not result.regressions
+        assert not result.added and not result.removed

@@ -1,0 +1,69 @@
+"""DESIGN.md's "Server metric catalogue" table must match the registry.
+
+Same contract as ``tests/obs/test_catalog_consistency.py`` holds for
+the engine series, in both directions: a ``repro_server_*`` family
+registered in code without a catalogue row fails, and so does a row
+whose family no longer exists. The lint layer's RS004 additionally
+requires every registered name to appear in *some* catalogue table,
+so this test and the linter convict the same drift.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs.export import parse_prometheus
+from repro.server.metrics import ServerMetrics
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def registry_series() -> dict[str, tuple[str, tuple[str, ...]]]:
+    return {
+        family.name: (family.kind, tuple(family.labelnames))
+        for family in ServerMetrics().registry.families()
+    }
+
+
+def design_catalogue() -> dict[str, tuple[str, tuple[str, ...]]]:
+    text = (REPO / "DESIGN.md").read_text()
+    section = text.split("### Server metric catalogue", 1)[1]
+    section = section.split("\n## ", 1)[0]
+    rows = re.findall(
+        r"^\|\s*`(repro_server_[a-z_]+)`\s*\|\s*([^|]+?)\s*\|\s*([^|]+?)\s*\|",
+        section,
+        flags=re.M,
+    )
+    assert rows, "DESIGN.md server metric catalogue table not found"
+    catalogue: dict[str, tuple[str, tuple[str, ...]]] = {}
+    for name, kind, labels in rows:
+        if labels.strip() in ("—", "-"):
+            label_tuple: tuple[str, ...] = ()
+        else:
+            label_tuple = tuple(l.strip() for l in labels.split(",") if l.strip())
+        catalogue[name] = (kind, label_tuple)
+    return catalogue
+
+
+def test_catalogue_matches_registry_exactly():
+    assert design_catalogue() == registry_series()
+
+
+def test_docstring_names_the_same_series():
+    """The in-code catalogue (the module docstring) must not drift."""
+    doc = __import__("repro.server.metrics", fromlist=["x"]).__doc__
+    documented = set(re.findall(r"``(repro_server_[a-z_]+)``", doc))
+    assert documented == set(registry_series())
+
+
+def test_exposition_is_valid_and_complete():
+    """One touched child per family → one parsed sample per family."""
+    metrics = ServerMetrics()
+    metrics.connections.inc()
+    metrics.sessions_active.set(1)
+    metrics.request("query", "ok")
+    metrics.reject("busy")
+    metrics.queue_depth.set(0)
+    metrics.ticks.inc()
+    metrics.snapshot_reads.inc()
+    parsed = parse_prometheus(metrics.exposition())
+    assert {name for name, _ in parsed} == set(registry_series())

@@ -1,0 +1,54 @@
+"""A seeded database must decay identically in every process.
+
+Per-table RNG seeds were once derived with ``hash((seed, name))`` —
+but str hashing is salted per process (PYTHONHASHSEED), so the same
+seeded workload grew different rot spots from run to run and the
+sim harness's "replay the seed locally" promise silently lied.
+Table seeds now come from a process-independent digest; this test
+pins that by replaying one EGI workload under two adversarial hash
+seeds in subprocesses and demanding bit-identical survivors.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+WORKLOAD = """
+import json, sys
+from repro.core.db import FungusDB
+from repro.fungi import EGIFungus
+from repro.storage.schema import Schema
+
+db = FungusDB(seed=3)
+db.create_table(
+    "r", Schema.of(v="int"), fungus=EGIFungus(seeds_per_cycle=2, decay_rate=0.2)
+)
+for i in range(30):
+    db.insert("r", {"v": i})
+db.tick(10)
+storage = db.table("r").storage
+rids = sorted(storage.live_rows())
+rows = list(zip(rids, storage.column_values("f", rids)))
+json.dump(rows, sys.stdout)
+"""
+
+
+def _run(hash_seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=SRC)
+    result = subprocess.run(
+        [sys.executable, "-c", WORKLOAD],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return result.stdout
+
+
+def test_decay_schedule_survives_hash_randomization():
+    # 14 is a known adversarial salt for the old hash()-derived seeds
+    outputs = {_run(seed) for seed in ("0", "14", "random")}
+    assert len(outputs) == 1, "decay schedule depends on PYTHONHASHSEED"
