@@ -30,7 +30,7 @@ from typing import Any
 from repro.cli import parse_fungus_spec
 from repro.core.db import FungusDB
 from repro.errors import FungusError
-from repro.server.auth import AuthRegistry, Grant
+from repro.server.auth import RIGHTS, AuthRegistry, Grant
 from repro.server.client import FungusClient, ServerError
 from repro.server.loadgen import LoadgenConfig, run_loadgen
 from repro.server.server import FungusServer, ServerConfig
@@ -73,7 +73,15 @@ def _parse_grant(spec: str) -> tuple[str, Grant]:
             expires = float(extra[len("expires="):])
         elif "=" in extra:
             table, _, right_spec = extra.partition("=")
-            rights[table] = frozenset(right_spec.split("+"))
+            granted = frozenset(r.strip() for r in right_spec.split("+") if r.strip())
+            unknown = granted - set(RIGHTS)
+            if unknown:
+                raise SystemExit(
+                    f"bad --grant {spec!r}: unknown right(s) "
+                    f"{', '.join(sorted(unknown))} for table {table!r} "
+                    f"(valid: {', '.join(RIGHTS)})"
+                )
+            rights[table] = granted
         else:
             raise SystemExit(f"bad --grant segment {extra!r} in {spec!r}")
     grant = Grant(principal=principal, rights=rights, admin=admin, expires_at=expires)

@@ -15,6 +15,11 @@ the entire extent) requires the admin grant — per-table consume rights
 cover partial harvests only. The verdict rides back to the caller in
 the refusal, so a denied client learns not just "no" but "the analyzer
 proved this consumes all of ``orders``".
+
+DELETE is held to the same total-extent bar: a bare ``DELETE FROM t``
+— or one whose WHERE is provably a tautology — removes every live row
+just as a total consume does, so it too demands the admin grant; the
+per-table ``consume`` right covers partial removals only.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from repro.query.ast_nodes import (
     SelectStmt,
     Statement,
 )
+from repro.query.normalize import Truth, classify
 from repro.query.parser import parse
 from repro.query.planner import JoinPlan, ScanPlan, plan_select
 from repro.server.auth import Grant
@@ -55,7 +61,7 @@ class Admission:
     statement: Statement
     kind: str  # "select" | "consume" | "insert" | "delete" | "explain"
     tables: tuple[str, ...]
-    verdict: str | None = None  # Tier-B verdict for consume statements
+    verdict: str | None = None  # Tier-B verdict for consume/delete statements
     required: tuple[tuple[str, str], ...] = field(default_factory=tuple)
 
 
@@ -100,6 +106,8 @@ class Gatekeeper:
         verdict = None
         if kind == "consume":
             verdict = self._analyze(stmt, grant, tables)
+        elif kind == "delete":
+            verdict = self._analyze_delete(stmt, grant)
         return Admission(
             statement=stmt,
             kind=kind,
@@ -160,3 +168,31 @@ class Gatekeeper:
                 f"require the admin grant",
             )
         return report.verdict
+
+    def _analyze_delete(self, stmt: DeleteStmt, grant: Grant) -> str:
+        """Total-extent gate for DELETE: wiping a table needs admin.
+
+        ``DELETE FROM t`` with no WHERE — or a WHERE the classifier
+        proves always true — removes every live row, the same outcome a
+        total consume is gated on, so it is held to the same bar.
+        """
+        try:
+            table = self.engine.catalog.table(stmt.table)
+        except FungusError as exc:
+            raise AccessDenied(Code.QUERY_ERROR, str(exc)) from exc
+        domains = None
+        if self.engine.consume_domains is not None:
+            domains = self.engine.consume_domains(stmt.table)
+        truth = classify(stmt.where, schema=table.schema, domains=domains)
+        verdict = {
+            Truth.ALWAYS_FALSE: "none",
+            Truth.ALWAYS_TRUE: "total",
+            Truth.CONTINGENT: "partial",
+        }[truth]
+        if verdict == "total" and not grant.admin:
+            raise AccessDenied(
+                Code.DENIED,
+                f"this DELETE removes the entire extent of {stmt.table!r} "
+                f"({len(table)} rows); total deletes require the admin grant",
+            )
+        return verdict

@@ -56,11 +56,11 @@ class FrameError(Exception):
         self.message = message
 
 
-def encode_frame(payload: dict[str, Any]) -> bytes:
+def encode_frame(payload: dict[str, Any], max_frame: int = MAX_FRAME) -> bytes:
     """Serialize one payload to its on-wire bytes (header + JSON body)."""
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    if len(body) > MAX_FRAME:
-        raise FrameError(Code.OVERSIZED, f"frame body {len(body)}B exceeds {MAX_FRAME}B")
+    if len(body) > max_frame:
+        raise FrameError(Code.OVERSIZED, f"frame body {len(body)}B exceeds {max_frame}B")
     return HEADER.pack(len(body)) + body
 
 
@@ -107,9 +107,13 @@ async def read_frame(
     return decode_frame(body)
 
 
-async def write_frame(writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    payload: dict[str, Any],
+    max_frame: int = MAX_FRAME,
+) -> None:
     """Encode and flush one response frame."""
-    writer.write(encode_frame(payload))
+    writer.write(encode_frame(payload, max_frame))
     await writer.drain()
 
 

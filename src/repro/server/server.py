@@ -70,7 +70,7 @@ class ServerConfig:
     debug_ops: bool = False
 
 
-#: ops a session may call before (or without) admin rights
+#: ops that require the admin grant
 ADMIN_OPS = frozenset({"tick", "drain", "sessions"})
 
 
@@ -223,7 +223,19 @@ class FungusServer:
         self, writer: asyncio.StreamWriter, payload: dict[str, Any]
     ) -> None:
         try:
-            await write_frame(writer, payload)
+            await write_frame(writer, payload, self.config.max_frame)
+        except FrameError as exc:
+            # the response itself won't frame (a strong SELECT whose
+            # result outgrows max_frame): the connection still gets a
+            # structured error, never an escaped exception
+            self.metrics.request("write", exc.code)
+            fallback = error(exc.code, exc.message)
+            if "id" in payload:
+                fallback["id"] = payload["id"]
+            try:
+                await write_frame(writer, fallback, self.config.max_frame)
+            except (FrameError, ConnectionError, OSError):
+                pass
         except (ConnectionError, OSError):
             pass  # peer already gone; the close path cleans up
 
@@ -244,7 +256,7 @@ class FungusServer:
             return error(Code.BAD_REQUEST, "frame needs a string 'op'"), session, True
         try:
             if op == "hello":
-                response, session = self._op_hello(payload, writer)
+                response, session = self._op_hello(payload, session, writer)
             elif op == "ping":
                 response = ok(pong=True, tick=self.db.clock.now)
             elif op == "bye":
@@ -288,7 +300,10 @@ class FungusServer:
         return response, session, True
 
     def _op_hello(
-        self, payload: dict[str, Any], writer: asyncio.StreamWriter
+        self,
+        payload: dict[str, Any],
+        previous: Session | None,
+        writer: asyncio.StreamWriter,
     ) -> tuple[dict[str, Any], Session]:
         token = payload.get("token")
         if token is not None and not isinstance(token, str):
@@ -298,6 +313,11 @@ class FungusServer:
             grant = self.config.auth.authenticate(token, now)
         else:
             grant = Grant.open_grant()
+        if previous is not None:
+            # a re-hello replaces the session; close the old one only
+            # after the new token authenticates, so a failed re-auth
+            # leaves the caller in the session it already had
+            self.sessions.close(previous)
         peername = writer.get_extra_info("peername")
         peer = f"{peername[0]}:{peername[1]}" if peername else "?"
         session = self.sessions.open(grant, peer, now)

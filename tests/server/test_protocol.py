@@ -265,6 +265,15 @@ class TestAuthMatrix:
         ("t-admin", {"op": "query", "sql": "CONSUME SELECT k FROM r"}, None),
         ("t-admin", {"op": "tick"}, None),
         ("t-admin", {"op": "sessions"}, None),
+        (
+            # a bare DELETE wipes the extent: same admin bar as a
+            # total consume, not just the per-table consume right
+            "t-eater",
+            {"op": "query", "sql": "DELETE FROM r"},
+            Code.DENIED,
+        ),
+        ("t-eater", {"op": "query", "sql": "DELETE FROM r WHERE v < 5"}, None),
+        ("t-admin", {"op": "query", "sql": "DELETE FROM r"}, None),
     ]
 
     def test_matrix(self):
@@ -371,3 +380,180 @@ class TestAuthMatrix:
                     await client.close()
 
         asyncio.run(scenario())
+
+
+class TestTotalDeleteGate:
+    """DELETE is held to the total-extent bar, same as CONSUME."""
+
+    def test_bare_delete_is_refused_before_execution(self):
+        async def scenario():
+            db = _auth_db()
+            async with running_server(db, auth=_registry()) as server:
+                client = await connect(server, token="t-eater")
+                try:
+                    raw = await client.request_raw(
+                        {"op": "query", "sql": "DELETE FROM r"}
+                    )
+                    assert raw["ok"] is False
+                    assert raw["code"] == Code.DENIED
+                    assert "admin grant" in raw["error"]
+                finally:
+                    await client.close()
+                assert len(db.tables["r"]) == 1  # nothing was deleted
+                assert all(entry[0] != "query" for entry in server.oplog)
+
+        asyncio.run(scenario())
+
+    def test_tautological_where_is_still_total(self):
+        """f ∈ [0, 1] is an invariant, so ``f >= 0.0`` matches every row.
+
+        The classifier, not just the missing WHERE clause, is what
+        convicts a delete — a tautology disguised as a restriction gets
+        the same refusal as the bare statement.
+        """
+
+        async def scenario():
+            db = _auth_db()
+            async with running_server(db, auth=_registry()) as server:
+                client = await connect(server, token="t-eater")
+                try:
+                    raw = await client.request_raw(
+                        {"op": "query", "sql": "DELETE FROM r WHERE f >= 0.0"}
+                    )
+                    assert raw["ok"] is False
+                    assert raw["code"] == Code.DENIED
+                finally:
+                    await client.close()
+                assert len(db.tables["r"]) == 1
+
+        asyncio.run(scenario())
+
+    def test_partial_delete_needs_only_consume_rights(self):
+        async def scenario():
+            db = _auth_db()
+            async with running_server(db, auth=_registry()) as server:
+                client = await connect(server, token="t-eater")
+                try:
+                    response = await client.query("DELETE FROM r WHERE v = 10")
+                    assert response["ok"]
+                finally:
+                    await client.close()
+                assert len(db.tables["r"]) == 0
+
+        asyncio.run(scenario())
+
+    def test_admin_may_run_a_total_delete(self):
+        async def scenario():
+            db = _auth_db()
+            async with running_server(db, auth=_registry()) as server:
+                client = await connect(server, token="t-admin")
+                try:
+                    response = await client.query("DELETE FROM r")
+                    assert response["ok"]
+                finally:
+                    await client.close()
+                assert len(db.tables["r"]) == 0
+
+        asyncio.run(scenario())
+
+
+class TestOversizedResponse:
+    """A result too big for max_frame yields OVERSIZED, not a dead pipe."""
+
+    def test_structured_error_and_surviving_connection(self):
+        async def scenario():
+            db = seeded_db()
+            for k in range(600):
+                db.insert("r", {"k": k, "v": k})
+            async with running_server(db, max_frame=2048) as server:
+                client = await connect(server)
+                try:
+                    raw = await client.request_raw(
+                        {"op": "query", "sql": "SELECT k, v FROM r"}
+                    )
+                    assert raw["ok"] is False
+                    assert raw["code"] == Code.OVERSIZED
+                    assert "Traceback" not in raw["error"]
+                    # the connection survives the oversized answer
+                    pong = await client.request({"op": "ping"})
+                    assert pong["ok"]
+                finally:
+                    await client.close()
+
+        asyncio.run(scenario())
+
+
+class TestRehello:
+    """A second hello replaces the session instead of leaking the first."""
+
+    def test_second_hello_closes_the_first_session(self):
+        async def scenario():
+            async with running_server(seeded_db()) as server:
+                reader, writer = await raw_connection(server.port)
+                try:
+                    await write_frame(writer, {"op": "hello"})
+                    first = await asyncio.wait_for(read_frame(reader), DEADLINE)
+                    assert first is not None and first["ok"]
+                    await write_frame(writer, {"op": "hello"})
+                    second = await asyncio.wait_for(read_frame(reader), DEADLINE)
+                    assert second is not None and second["ok"]
+                    assert second["session"] != first["session"]
+                    assert server.sessions.active == 1
+                    live = [s["id"] for s in server.sessions.describe()]
+                    assert live == [second["session"]]
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                for _ in range(200):  # the close path reaps the survivor
+                    if server.sessions.active == 0:
+                        break
+                    await asyncio.sleep(0.01)
+                assert server.sessions.active == 0
+
+        asyncio.run(scenario())
+
+    def test_failed_rehello_keeps_the_old_session(self):
+        async def scenario():
+            async with running_server(_auth_db(), auth=_registry()) as server:
+                reader, writer = await raw_connection(server.port)
+                try:
+                    await write_frame(writer, {"op": "hello", "token": "t-reader"})
+                    first = await asyncio.wait_for(read_frame(reader), DEADLINE)
+                    assert first is not None and first["ok"]
+                    await write_frame(writer, {"op": "hello", "token": "t-wrong"})
+                    second = await asyncio.wait_for(read_frame(reader), DEADLINE)
+                    assert second is not None and second["ok"] is False
+                    assert second["code"] == Code.AUTH_FAILED
+                    assert server.sessions.active == 1
+                    # and the original session still answers
+                    await write_frame(
+                        writer, {"op": "query", "sql": "SELECT k FROM r"}
+                    )
+                    answer = await asyncio.wait_for(read_frame(reader), DEADLINE)
+                    assert answer is not None and answer["ok"]
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+        asyncio.run(scenario())
+
+
+class TestGrantSpecParsing:
+    """--grant right names are validated at startup, not at use time."""
+
+    def test_typoed_right_fails_at_startup(self):
+        from repro.serve import _parse_grant
+
+        with pytest.raises(SystemExit) as excinfo:
+            _parse_grant("tok:ana:orders=raed+consume")
+        assert "raed" in str(excinfo.value)
+
+    def test_valid_spec_round_trips(self):
+        from repro.serve import _parse_grant
+
+        token, grant = _parse_grant("tok:ana:orders=read+consume:admin:expires=9")
+        assert token == "tok"
+        assert grant.principal == "ana"
+        assert grant.rights["orders"] == frozenset({"read", "consume"})
+        assert grant.admin
+        assert grant.expires_at == 9.0
