@@ -15,7 +15,7 @@ from typing import ClassVar, Iterator, Sequence
 from repro.lint.catalogue import load_metric_catalogue
 from repro.lint.engine import Finding, ModuleSource, Rule
 
-CATALOGUE_VERSION = "1.2"
+CATALOGUE_VERSION = "1.3"
 
 #: packages where simulated time and injected randomness are mandatory
 RESTRICTED_PACKAGES = ("core", "fungi", "query", "sim", "storage")
@@ -573,6 +573,50 @@ class BlockingAsyncRule(Rule):
         return None
 
 
+class SpanContextManagerRule(Rule):
+    """RS009 — spans must be opened via the context-manager API."""
+
+    id: ClassVar[str] = "RS009"
+    title: ClassVar[str] = "spans open via with, never manually"
+    rationale: ClassVar[str] = (
+        "A span opened outside a with block leaks on any exception "
+        "path: it never closes, never exports, and poisons interval "
+        "nesting for every later span in the trace. The opener methods "
+        "(span/root_span/stage_span/anchor_span) must be the context "
+        "expression of a with statement; only the one-shot record_span "
+        "— which returns an already-finished span — may stand alone."
+    )
+
+    #: tracer methods that return an *open* span needing a close
+    OPENERS = frozenset({"span", "root_span", "stage_span", "anchor_span"})
+
+    def applies_to(self, path: Path) -> bool:
+        posix = path.as_posix()
+        return "repro/server/" in posix or "repro/obs/" in posix
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        managed: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    managed.add(id(item.context_expr))
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.OPENERS
+                and id(node) not in managed
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f".{node.func.attr}() opens a span outside a with "
+                    "block; wrap it (with tracer."
+                    f"{node.func.attr}(...) as span:) so every exit "
+                    "path closes it",
+                )
+
+
 def default_rules() -> list[Rule]:
     """The full RS rule set, in catalogue order."""
     return [
@@ -584,4 +628,5 @@ def default_rules() -> list[Rule]:
         PublishedEventRule(),
         BatchMutatorRule(),
         BlockingAsyncRule(),
+        SpanContextManagerRule(),
     ]

@@ -36,6 +36,7 @@ _EXPORTS = {
     "PROFILER": "repro.obs.profile",
     "Span": "repro.obs.tracing",
     "Telemetry": "repro.obs.telemetry",
+    "TraceContext": "repro.obs.tracing",
     "Tracer": "repro.obs.tracing",
     "parse_prometheus": "repro.obs.export",
     "read_trace": "repro.obs.tracing",

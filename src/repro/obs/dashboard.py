@@ -17,6 +17,16 @@ in a running :class:`~repro.core.db.FungusDB`:
 tests call it directly; :func:`main` wires it to a demo workload loop
 (insert rows, tick, redraw) and optionally dumps the Prometheus
 exposition to a file each frame.
+
+With ``--server http://HOST:OPS_PORT`` the dashboard also scrapes a
+running server's ops endpoint each frame and overlays a live panel —
+qps (requests-total delta over the frame interval), queue depth,
+ticker lag, sessions, and the slow-request count.
+:func:`fetch_server_stats` does the scrape (through the strict
+:func:`~repro.obs.export.parse_prometheus` oracle, so a malformed
+exposition is an error, not a garbage panel);
+:func:`render_server_panel` is pure and test-driven like
+:func:`render_frame`.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ import time
 from repro.core.db import FungusDB
 from repro.core.freshness import FreshnessBand, band_of
 from repro.core.health import measure_health
+from repro.obs.export import parse_prometheus
 from repro.storage.schema import Schema
 
 BAND_CHARS = {
@@ -144,6 +155,54 @@ def render_frame(db: FungusDB, width: int = 60) -> str:
     return "\n".join(lines)
 
 
+def fetch_server_stats(url: str) -> dict[str, float]:
+    """Scrape ``url``/metrics into the handful of panel-worthy numbers.
+
+    Counters with labels (requests, slow) are summed across label sets;
+    gauges are read as-is (0.0 when the family has no samples yet).
+    """
+    import urllib.request
+
+    with urllib.request.urlopen(url.rstrip("/") + "/metrics", timeout=5.0) as fh:
+        text = fh.read().decode("utf-8")
+    samples = parse_prometheus(text)
+
+    def total(family: str) -> float:
+        return sum(v for (name, _), v in samples.items() if name == family)
+
+    return {
+        "requests": total("repro_server_requests_total"),
+        "rejected": total("repro_server_rejected_total"),
+        "slow": total("repro_server_slow_requests_total"),
+        "queue_depth": total("repro_server_queue_depth"),
+        "sessions": total("repro_server_sessions_active"),
+        "ticker_lag": total("repro_server_ticker_lag_seconds"),
+    }
+
+
+def render_server_panel(
+    stats: dict[str, float],
+    previous: dict[str, float] | None,
+    interval: float,
+) -> str:
+    """The live-server overlay for one frame, as text (pure).
+
+    qps is the requests-total delta against the ``previous`` scrape over
+    ``interval`` seconds; the first frame (no previous) shows ``--``.
+    """
+    if previous is not None and interval > 0:
+        delta = max(0.0, stats["requests"] - previous["requests"])
+        qps = f"{delta / interval:.0f}"
+    else:
+        qps = "--"
+    return (
+        f"server: qps={qps} queue={stats['queue_depth']:g} "
+        f"sessions={stats['sessions']:g} slow={stats['slow']:g} "
+        f"rejected={stats['rejected']:g} "
+        f"ticker_lag={stats['ticker_lag'] * 1e3:.1f}ms"
+    )
+
+
 def build_demo_db(seed: int, fungus_spec: str) -> FungusDB:
     """A one-table demo database driven by the CLI fungus spec."""
     from repro.cli import parse_fungus_spec
@@ -190,6 +249,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="attach death provenance + the default rot-rate alert rules",
     )
+    parser.add_argument(
+        "--server",
+        metavar="URL",
+        help="overlay live qps/queue/slow stats scraped from a running "
+        "server's ops endpoint, e.g. http://127.0.0.1:9474",
+    )
     args = parser.parse_args(argv)
 
     db = build_demo_db(args.seed, args.fungus)
@@ -201,11 +266,22 @@ def main(argv: list[str] | None = None) -> int:
 
     rng = random.Random(args.seed)
 
+    previous_stats: dict[str, float] | None = None
+
     def emit_frame() -> None:
+        nonlocal previous_stats
         frame = render_frame(db, width=args.width)
         if not args.no_clear and sys.stdout.isatty():
             sys.stdout.write("\x1b[2J\x1b[H")
         print(frame)
+        if args.server:
+            try:
+                stats = fetch_server_stats(args.server)
+            except OSError as exc:
+                print(f"server: scrape failed ({exc})")
+            else:
+                print(render_server_panel(stats, previous_stats, args.interval))
+                previous_stats = stats
         if args.prom:
             with open(args.prom, "w", encoding="utf-8") as fh:
                 fh.write(db.telemetry.exposition())

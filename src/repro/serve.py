@@ -25,11 +25,13 @@ import argparse
 import asyncio
 import json
 import sys
+from pathlib import Path
 from typing import Any
 
 from repro.cli import parse_fungus_spec
 from repro.core.db import FungusDB
 from repro.errors import FungusError
+from repro.obs.tracing import JsonlTraceExporter, Tracer, validate_trace
 from repro.server.auth import RIGHTS, AuthRegistry, Grant
 from repro.server.client import FungusClient, ServerError
 from repro.server.loadgen import LoadgenConfig, run_loadgen
@@ -104,6 +106,8 @@ async def _cmd_serve(args: argparse.Namespace) -> int:
             token, grant = _parse_grant(spec)
             auth.issue(token, grant)
     db = _build_db(args)
+    if args.trace:
+        db.tracer = Tracer(JsonlTraceExporter(args.trace))
     server = FungusServer(
         db,
         ServerConfig(
@@ -112,6 +116,8 @@ async def _cmd_serve(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             tick_interval=args.tick_interval,
             auth=auth,
+            ops_port=args.ops_port,
+            slow_threshold=args.slow_threshold,
         ),
     )
     await server.start()
@@ -121,12 +127,15 @@ async def _cmd_serve(args: argparse.Namespace) -> int:
         f"tick every {args.tick_interval}s; "
         f"auth: {'token' if auth else 'open'})"
     )
+    if args.ops_port is not None:
+        print(f"ops endpoint on http://{args.host}:{server.ops_port}/metrics")
     try:
         await server.serve_forever()
     except asyncio.CancelledError:
         pass
     finally:
         await server.stop()
+        db.tracer.close()
     return 0
 
 
@@ -213,6 +222,9 @@ async def _cmd_loadgen(args: argparse.Namespace) -> int:
         tick_interval=args.tick_interval,
         queue_limit=args.queue_limit,
         token=args.token,
+        trace=args.trace,
+        trace_sample=args.trace_sample,
+        scrape_ops=args.scrape_ops,
     )
     report = await run_loadgen(config, host=args.host, port=args.port)
     print(
@@ -223,9 +235,29 @@ async def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"{report.busy} busy, {report.errors} errors, "
         f"{report.ticks:g} ticks"
     )
+    for stage, stats in sorted(report.stages.items()):
+        print(
+            f"  stage {stage:<16} p50 {stats['p50_s'] * 1e3:8.3f}ms "
+            f"p95 {stats['p95_s'] * 1e3:8.3f}ms "
+            f"p99 {stats['p99_s'] * 1e3:8.3f}ms "
+            f"({stats['count']:.0f} spans)"
+        )
+    if report.scraped_samples >= 0:
+        print(f"mid-run /metrics scrape: {report.scraped_samples} samples, parse ok")
     if args.out:
         path = report.write_snapshot(args.out)
         print(f"wrote {path}")
+        if args.trace:
+            trace_path = Path(args.out) / "TRACE_server.jsonl"
+            written = report.write_trace(trace_path)
+            problems = validate_trace(trace_path)
+            if problems:
+                print(
+                    f"trace {trace_path} failed validation: {problems[:3]}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"wrote {trace_path} ({written} spans, validate_spans clean)")
     if report.requests == 0:
         print("no requests completed", file=sys.stderr)
         return 1
@@ -263,6 +295,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TOKEN:PRINCIPAL[:TABLE=R+R][:admin][:expires=N]",
         help="issue a token; omitting all --grant flags runs the server open",
     )
+    serve.add_argument(
+        "--ops-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /healthz, /readyz, /debug/* here (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="export request spans as JSONL to this file",
+    )
+    serve.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="requests slower than this land in /debug/slow (default 0.25)",
+    )
 
     client = sub.add_parser("client", help="interactive shell against a server")
     client.add_argument("--host", default="127.0.0.1")
@@ -278,6 +330,25 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--token", default=None, help="auth token for --host")
     loadgen.add_argument("--port", type=int, default=None)
     loadgen.add_argument("--out", default=None, metavar="DIR", help="write BENCH_server.json here")
+    loadgen.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace sampled requests; adds per-stage quantiles and, with "
+        "--out, writes TRACE_server.jsonl",
+    )
+    loadgen.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="fraction of requests to trace (default 0.05)",
+    )
+    loadgen.add_argument(
+        "--scrape-ops",
+        action="store_true",
+        help="scrape /metrics mid-run through the ops listener and "
+        "parse-check the exposition",
+    )
     return parser
 
 

@@ -18,8 +18,12 @@ network boundary in front of the embedded engine:
   tick and never observe a torn one;
 * :mod:`repro.server.server` — :class:`FungusServer`, wiring it all to
   an :mod:`asyncio` TCP listener (``python -m repro.serve``);
+* :mod:`repro.server.ops` — the ops plane: the slow-query ring and the
+  embedded HTTP listener serving ``/metrics``, ``/healthz``,
+  ``/readyz`` and the ``/debug/*`` views;
 * :mod:`repro.server.loadgen` — the qps/p50/p99 load generator behind
-  ``benchmarks/baselines/BENCH_server.json``.
+  ``benchmarks/baselines/BENCH_server.json``, now also the trace
+  sampler feeding the per-stage latency entries.
 
 Threading model (the whole design in one paragraph): the event loop
 owns connections, framing, auth and admission; a single worker thread
@@ -34,6 +38,7 @@ responsive while Law 1 grinds through a large relation.
 from repro.server.auth import AuthError, AuthRegistry, Grant
 from repro.server.admission import AdmissionController
 from repro.server.client import FungusClient, ServerError
+from repro.server.ops import OpsServer, SlowQueryLog
 from repro.server.policy import AccessDenied, Gatekeeper
 from repro.server.protocol import (
     Code,
@@ -60,9 +65,11 @@ __all__ = [
     "ServerError",
     "Grant",
     "MAX_FRAME",
+    "OpsServer",
     "ServerConfig",
     "Session",
     "SessionManager",
+    "SlowQueryLog",
     "TickSnapshot",
     "decode_frame",
     "encode_frame",

@@ -56,3 +56,13 @@ class AdmissionController:
     @property
     def idle(self) -> bool:
         return self.in_flight == 0
+
+    def describe(self) -> dict[str, object]:
+        """A point-in-time snapshot for the ops plane."""
+        return {
+            "limit": self.limit,
+            "in_flight": self.in_flight,
+            "admitted_total": self.admitted_total,
+            "rejected_total": self.rejected_total,
+            "draining": self.draining,
+        }

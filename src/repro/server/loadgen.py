@@ -32,9 +32,22 @@ from typing import Any
 from repro.bench.snapshots import SNAPSHOT_VERSION, quantile
 from repro.core.db import FungusDB
 from repro.fungi import LinearDecayFungus
+from repro.obs.export import parse_prometheus
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.server.client import FungusClient, ServerError
 from repro.server.server import FungusServer, ServerConfig
 from repro.storage.schema import Schema
+
+#: server stage-span names → the stage label used in bench entries
+#: (mirrors the server's histogram labels)
+STAGE_SPANS = {
+    "frame.decode": "decode",
+    "admission.wait": "admission.wait",
+    "policy.analyze": "policy.analyze",
+    "worker.exec": "worker.exec",
+    "snapshot.read": "snapshot.read",
+    "reply": "reply",
+}
 
 
 @dataclass
@@ -50,6 +63,14 @@ class LoadgenConfig:
     seed_rows: int = 500
     #: presented to a remote server at hello; in-process runs are open
     token: str | None = None
+    #: trace the run (in-process only): clients mint sampled roots, the
+    #: server continues them, and per-stage quantiles land in the report
+    trace: bool = False
+    #: fraction of client requests that mint a trace (deterministic)
+    trace_sample: float = 0.05
+    #: start the ops listener and scrape /metrics mid-run through the
+    #: strict parse_prometheus oracle (in-process only)
+    scrape_ops: bool = False
 
 
 @dataclass
@@ -65,6 +86,13 @@ class LoadgenReport:
     p99_s: float
     ticks: float
     latencies: list[float] = field(repr=False, default_factory=list)
+    #: stage label → {count, min_s, mean_s, p50_s, p95_s, p99_s}, from
+    #: the traced run's server stage spans (empty when tracing is off)
+    stages: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: every retained span, export shape (empty when tracing is off)
+    trace_spans: list[dict[str, Any]] = field(repr=False, default_factory=list)
+    #: samples parsed from the mid-run /metrics scrape (-1 = no scrape)
+    scraped_samples: int = -1
 
     def bench_entries(self) -> list[dict[str, Any]]:
         """Snapshot entries in the shape ``repro.bench regress`` reads."""
@@ -75,7 +103,7 @@ class LoadgenReport:
             "errors": self.errors,
             "busy": self.busy,
         }
-        return [
+        entries = [
             {
                 "name": "test_server_request_latency",
                 "fullname": "bench_server.py::test_server_request_latency",
@@ -91,6 +119,38 @@ class LoadgenReport:
                 **base,
             }
         ]
+        for stage, stats in sorted(self.stages.items()):
+            slug = stage.replace(".", "_")
+            name = f"test_server_stage_{slug}"
+            entries.append(
+                {
+                    "name": name,
+                    "fullname": f"bench_server.py::{name}",
+                    "rounds": int(stats["count"]),
+                    "min_s": stats["min_s"],
+                    "mean_s": stats["mean_s"],
+                    "p50_s": stats["p50_s"],
+                    "p95_s": stats["p95_s"],
+                    "p99_s": stats["p99_s"],
+                }
+            )
+        return entries
+
+    def write_trace(self, path: str | Path) -> int:
+        """Write the retained spans as JSONL; returns spans written.
+
+        Only *complete* traces are written: the tracer's ring may have
+        evicted a parent whose child survived, and a dangling parent
+        reference would (rightly) fail ``validate_spans``.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        spans = _complete_traces(self.trace_spans)
+        with open(path, "w", encoding="utf-8") as fh:
+            for span in spans:
+                json.dump(span, fh, separators=(",", ":"), default=str)
+                fh.write("\n")
+        return len(spans)
 
     def write_snapshot(self, directory: str | Path) -> Path:
         directory = Path(directory)
@@ -107,6 +167,68 @@ class LoadgenReport:
             fh.write("\n")
         os.replace(tmp, path)
         return path
+
+
+def _complete_traces(spans: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Drop traces with evicted parents; keep the rest, input order."""
+    members: dict[Any, list[dict[str, Any]]] = {}
+    ids: dict[Any, set[Any]] = {}
+    for span in spans:
+        members.setdefault(span["trace_id"], []).append(span)
+        ids.setdefault(span["trace_id"], set()).add(span["span_id"])
+    whole = {
+        trace_id
+        for trace_id, group in members.items()
+        if all(s["parent_id"] is None or s["parent_id"] in ids[trace_id] for s in group)
+    }
+    return [span for span in spans if span["trace_id"] in whole]
+
+
+def _stage_quantiles(spans: list[dict[str, Any]]) -> dict[str, dict[str, float]]:
+    """Per-stage latency stats from the server's stage spans."""
+    durations: dict[str, list[float]] = {}
+    for span in spans:
+        stage = STAGE_SPANS.get(span["name"])
+        if stage is not None:
+            durations.setdefault(stage, []).append(float(span["duration"]))
+    return {
+        stage: {
+            "count": float(len(values)),
+            "min_s": min(values),
+            "mean_s": sum(values) / len(values),
+            "p50_s": quantile(values, 0.50),
+            "p95_s": quantile(values, 0.95),
+            "p99_s": quantile(values, 0.99),
+        }
+        for stage, values in durations.items()
+    }
+
+
+async def _scrape_metrics(host: str, port: int) -> int:
+    """GET /metrics over asyncio streams; returns parsed sample count.
+
+    Raises if the exposition fails the strict ``parse_prometheus``
+    oracle — a mid-run scrape that does not parse is a bug, not a
+    degraded datapoint.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET /metrics HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = head.split(b" ", 2)[1:2]
+    if status != [b"200"]:
+        raise ConnectionError(f"/metrics answered {head.splitlines()[0]!r}")
+    return len(parse_prometheus(body.decode("utf-8")))
 
 
 def _raise_fd_limit(connections: int) -> None:
@@ -144,9 +266,16 @@ async def _client_loop(
     config: LoadgenConfig,
     deadline: float,
     out: dict[str, Any],
+    tracer: Any = NULL_TRACER,
 ) -> None:
     try:
-        client = await FungusClient.connect(host, port, token=config.token)
+        client = await FungusClient.connect(
+            host,
+            port,
+            token=config.token,
+            tracer=tracer,
+            trace_sample=config.trace_sample,
+        )
     except (ConnectionError, OSError, ServerError):
         # ServerError here means the hello was refused (bad/missing
         # token): count it instead of crashing the whole run
@@ -204,13 +333,21 @@ async def run_loadgen(
     """Run the benchmark; in-process server unless ``host`` is given."""
     _raise_fd_limit(config.connections)
     server: FungusServer | None = None
+    tracer: Any = NULL_TRACER
     if host is None:
         db = _seed_db(config)
+        if config.trace:
+            # in-memory ring only, no exporter: span export must never
+            # add file I/O to the event loop mid-benchmark; the JSONL
+            # is written synchronously after the run by write_trace
+            tracer = Tracer(max_finished=500_000)
+            db.tracer = tracer
         server = FungusServer(
             db,
             ServerConfig(
                 queue_limit=config.queue_limit,
                 tick_interval=config.tick_interval,
+                ops_port=0 if config.scrape_ops else None,
             ),
         )
         await server.start()
@@ -219,19 +356,28 @@ async def run_loadgen(
     out: dict[str, Any] = {"latencies": [], "errors": 0, "busy": 0}
     started = time.perf_counter()
     deadline = started + config.duration
+    scrape: asyncio.Task[int] | None = None
+    if server is not None and config.scrape_ops:
+        scrape = asyncio.ensure_future(
+            _delayed_scrape(server.config.host, server.ops_port, config.duration / 2)
+        )
     try:
         await asyncio.gather(
             *(
-                _client_loop(host, port, i, config, deadline, out)
+                _client_loop(host, port, i, config, deadline, out, tracer)
                 for i in range(config.connections)
             )
         )
     finally:
         elapsed = time.perf_counter() - started
         ticks = server.db.clock.now if server is not None else -1.0
+        scraped = -1
+        if scrape is not None:
+            scraped = await scrape
         if server is not None:
             await server.stop()
     latencies = out["latencies"]
+    trace_spans = tracer.to_dicts() if tracer.enabled else []
     return LoadgenReport(
         connections=config.connections,
         duration_s=elapsed,
@@ -244,4 +390,13 @@ async def run_loadgen(
         p99_s=quantile(latencies, 0.99) if latencies else 0.0,
         ticks=ticks,
         latencies=latencies,
+        stages=_stage_quantiles(trace_spans),
+        trace_spans=trace_spans,
+        scraped_samples=scraped,
     )
+
+
+async def _delayed_scrape(host: str, port: int, delay: float) -> int:
+    """Scrape /metrics once, mid-run."""
+    await asyncio.sleep(delay)
+    return await _scrape_metrics(host, port)

@@ -24,13 +24,28 @@ Catalogue (name · kind · labels):
 * ``repro_server_ticks_total`` · counter · — background Law-1 ticks
   the server itself drove;
 * ``repro_server_snapshot_reads_total`` · counter · — queries served
-  from a tick snapshot instead of the worker.
+  from a tick snapshot instead of the worker;
+* ``repro_server_stage_seconds`` · histogram · ``op, stage`` — per-op
+  request-stage latency (decode, admission.wait, policy.analyze,
+  worker.exec, snapshot.read, reply);
+* ``repro_server_ticker_lag_seconds`` · gauge · — how far behind its
+  interval the background ticker ran on its latest cycle;
+* ``repro_server_slow_requests_total`` · counter · ``op`` — requests
+  over the slow-query threshold (captured in ``/debug/slow``).
 """
 
 from __future__ import annotations
 
 from repro.obs.export import render_prometheus
 from repro.obs.metrics import MetricsRegistry
+
+#: Buckets tuned for request *stages*, not row counts: the fast edge
+#: resolves a sub-millisecond decode, the slow edge still brackets a
+#: multi-second admission-queue wait under saturation.
+STAGE_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
 
 
 class ServerMetrics:
@@ -63,12 +78,30 @@ class ServerMetrics:
         self.snapshot_reads = self.registry.counter(
             "repro_server_snapshot_reads_total", "queries served from a tick snapshot"
         )
+        self.stage_seconds = self.registry.histogram(
+            "repro_server_stage_seconds",
+            "request-stage latency by operation and stage",
+            labelnames=("op", "stage"),
+            buckets=STAGE_BUCKETS,
+        )
+        self.ticker_lag = self.registry.gauge(
+            "repro_server_ticker_lag_seconds",
+            "background ticker lag behind its interval, latest cycle",
+        )
+        self.slow_requests = self.registry.counter(
+            "repro_server_slow_requests_total",
+            "requests over the slow-query threshold",
+            labelnames=("op",),
+        )
 
     def request(self, op: str, status: str) -> None:
         self.requests.labels(op=op, status=status).inc()
 
     def reject(self, reason: str) -> None:
         self.rejected.labels(reason=reason).inc()
+
+    def stage(self, op: str, stage: str, seconds: float) -> None:
+        self.stage_seconds.labels(op=op, stage=stage).observe(seconds)
 
     def exposition(self) -> str:
         """Prometheus text rendering of the server registry."""

@@ -1,0 +1,195 @@
+"""The ops plane: slow-query log and the ``/metrics`` HTTP listener.
+
+Two pieces, both deliberately tiny:
+
+:class:`SlowQueryLog`
+    A bounded ring of the most recent requests that ran longer than a
+    configurable threshold. Each entry keeps what an operator needs to
+    act — the SQL, the principal, the per-stage latency breakdown, and
+    the EXPLAIN CONSUME verdict — rather than the raw request, in the
+    paper's cook-don't-hoard spirit: the distilled record is retained,
+    the short-lived raw event is not.
+
+:class:`OpsServer`
+    An aiohttp-free HTTP/1.0 listener living inside
+    :class:`~repro.server.server.FungusServer`, serving:
+
+    * ``GET /metrics`` — Prometheus text exposition of the
+      ``repro_server_*`` registry (round-trips through the strict
+      :func:`~repro.obs.export.parse_prometheus` oracle);
+    * ``GET /healthz`` — liveness (200 while the process serves);
+    * ``GET /readyz`` — readiness, drain-aware: 503 once a drain has
+      begun so load balancers stop routing here;
+    * ``GET /debug/sessions`` — the live session table (per-op
+      counters, last activity, in-flight requests), JSON;
+    * ``GET /debug/slow`` — the slow-query ring, JSON, newest first.
+
+    Everything it serves is loop-owned state — the registry, the
+    session table, the slow ring — so no handler ever touches the
+    engine worker; scraping ``/metrics`` cannot perturb the very
+    latency it reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.server.server import FungusServer
+
+
+class SlowQueryLog:
+    """Bounded ring of distilled slow-request records, newest first."""
+
+    def __init__(self, threshold: float, size: int = 128) -> None:
+        self.threshold = threshold
+        self._ring: deque[dict[str, Any]] = deque(maxlen=max(1, size))
+        self.total = 0
+
+    def record(
+        self,
+        *,
+        op: str,
+        duration_s: float,
+        session: str,
+        principal: str,
+        sql: str | None,
+        stages: dict[str, float],
+        verdict: str | None,
+        trace: str | None,
+        tick: float,
+    ) -> None:
+        """Retain one over-threshold request (already measured)."""
+        self.total += 1
+        self._ring.append(
+            {
+                "op": op,
+                "duration_s": round(duration_s, 6),
+                "session": session,
+                "principal": principal,
+                "sql": sql,
+                "stages": {name: round(s, 6) for name, s in stages.items()},
+                "verdict": verdict,
+                "trace": trace,
+                "tick": tick,
+            }
+        )
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Retained records, most recent first."""
+        return list(reversed(self._ring))
+
+
+_REASONS = {200: "OK", 404: "Not Found", 405: "Method Not Allowed", 503: "Service Unavailable"}
+
+
+class OpsServer:
+    """The HTTP ops listener; owns nothing, reads the server's state."""
+
+    def __init__(self, server: "FungusServer", host: str, port: int) -> None:
+        self._fungus = server
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self._port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self._host, port=self._port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0], parts[1]
+            # drain headers up to the blank line; none of them matter
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if method != "GET":
+                await self._respond(writer, 405, "text/plain", "method not allowed\n")
+                return
+            await self._route(writer, path)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, writer: asyncio.StreamWriter, path: str) -> None:
+        fungus = self._fungus
+        if path == "/metrics":
+            await self._respond(
+                writer,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                fungus.metrics.exposition(),
+            )
+        elif path == "/healthz":
+            await self._respond(writer, 200, "text/plain", "ok\n")
+        elif path == "/readyz":
+            if fungus.accepting:
+                await self._respond(writer, 200, "text/plain", "ready\n")
+            else:
+                await self._respond(writer, 503, "text/plain", "draining\n")
+        elif path == "/debug/sessions":
+            await self._respond_json(
+                writer,
+                {
+                    "sessions": fungus.sessions.describe(),
+                    "admission": fungus.admission.describe(),
+                },
+            )
+        elif path == "/debug/slow":
+            await self._respond_json(
+                writer,
+                {
+                    "threshold_s": fungus.slow_log.threshold,
+                    "total": fungus.slow_log.total,
+                    "entries": fungus.slow_log.entries(),
+                },
+            )
+        else:
+            await self._respond(writer, 404, "text/plain", "not found\n")
+
+    async def _respond_json(self, writer: asyncio.StreamWriter, payload: Any) -> None:
+        await self._respond(
+            writer, 200, "application/json", json.dumps(payload, sort_keys=True)
+        )
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, ctype: str, body: str
+    ) -> None:
+        data = body.encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status} {_REASONS[status]}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + data)
+        await writer.drain()

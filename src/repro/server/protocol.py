@@ -8,6 +8,12 @@ There is no pipelining within a connection: the server reads one
 frame, answers it, then reads the next, which is what gives clients
 their per-connection response-ordering guarantee.
 
+Requests may carry an optional ``trace`` field: a W3C-traceparent-
+shaped string (``00-<32 hex trace-id>-<16 hex span-id>-01``) minted by
+the client's root span. The server parses it tolerantly — a missing or
+malformed ``trace`` never fails the request, it just means the server
+mints its own root span instead of continuing the client's trace.
+
 The codec is deliberately strict. A frame longer than
 :data:`MAX_FRAME` is refused before the payload is read (the header
 alone convicts it), a body that is not valid UTF-8 JSON — or is JSON
@@ -77,14 +83,16 @@ def decode_frame(body: bytes) -> dict[str, Any]:
     return payload
 
 
-async def read_frame(
+async def read_frame_body(
     reader: asyncio.StreamReader, max_frame: int = MAX_FRAME
-) -> dict[str, Any] | None:
-    """Read one frame; ``None`` on clean EOF at a frame boundary.
+) -> bytes | None:
+    """Read one frame's raw body bytes; ``None`` on clean EOF.
 
     EOF mid-header or mid-body — the peer hung up inside a frame — is
     a ``BAD_FRAME``, because the stream can no longer be trusted to be
-    frame-aligned.
+    frame-aligned. The server reads bodies this way so its request
+    root span can open before decode and time ``frame.decode`` as a
+    stage of its own.
     """
     try:
         header = await reader.readexactly(HEADER.size)
@@ -98,12 +106,21 @@ async def read_frame(
     if length > max_frame:
         raise FrameError(Code.OVERSIZED, f"declared length {length}B exceeds {max_frame}B")
     try:
-        body = await reader.readexactly(length)
+        return await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise FrameError(
             Code.BAD_FRAME,
             f"connection closed mid-body ({len(exc.partial)}/{length}B)",
         ) from exc
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME
+) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    body = await read_frame_body(reader, max_frame)
+    if body is None:
+        return None
     return decode_frame(body)
 
 

@@ -24,28 +24,40 @@ The worker also appends every strong operation to ``oplog`` in actual
 execution order. Replaying that log single-threaded into a fresh
 FungusDB with the same seed must reproduce the server's final state
 bit-for-bit — the differential oracle the concurrency tests run.
+
+Every frame is also an observability unit. The loop opens a detached
+``server.request`` root span per frame (continuing the client's trace
+when the payload carries a valid ``trace`` field), times each stage
+into both child spans and the ``repro_server_stage_seconds``
+histogram, and distills over-threshold requests into the bounded
+slow-query log that ``/debug/slow`` serves. Stage timing always runs;
+span recording costs nothing unless ``db.tracer`` is enabled.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.errors import FungusError
+from repro.obs.tracing import TraceContext
 from repro.server.admission import AdmissionController
 from repro.server.auth import AuthError, AuthRegistry, Grant
 from repro.server.metrics import ServerMetrics
+from repro.server.ops import OpsServer, SlowQueryLog
 from repro.server.policy import AccessDenied, Gatekeeper
 from repro.server.protocol import (
     Code,
     FrameError,
     MAX_FRAME,
+    decode_frame,
     error,
     ok,
-    read_frame,
+    read_frame_body,
     write_frame,
 )
 from repro.server.session import Session, SessionManager
@@ -68,10 +80,41 @@ class ServerConfig:
     #: enable the ``debug_sleep`` op — tests use it to hold the worker
     #: busy and deterministically fill the admission queue
     debug_ops: bool = False
+    #: bind the HTTP ops listener here (None = no ops plane; 0 = any port)
+    ops_port: int | None = None
+    #: requests running at least this long land in the slow-query log
+    slow_threshold: float = 0.25
+    slow_log_size: int = 128
 
 
 #: ops that require the admin grant
 ADMIN_OPS = frozenset({"tick", "drain", "sessions"})
+
+#: histogram stage label → span name, where they differ (the span keeps
+#: its ``frame.`` prefix in the engine-wide taxonomy)
+_SPAN_NAMES = {"decode": "frame.decode"}
+
+
+class _Request:
+    """Loop-side context for one in-flight frame.
+
+    Carries the request root span, the wall-clock start, the per-stage
+    latency ledger, and what the slow-query log will want if this
+    request runs long. Stage values are written by whichever side runs
+    the stage (loop or worker) but only *read* on the loop after the
+    response is written, so no stage entry is ever raced.
+    """
+
+    __slots__ = ("span", "started", "op", "sql", "verdict", "trace", "stages")
+
+    def __init__(self, span: Any, started: float) -> None:
+        self.span = span
+        self.started = started
+        self.op = "?"
+        self.sql: str | None = None
+        self.verdict: str | None = None
+        self.trace: str | None = None
+        self.stages: dict[str, float] = {}
 
 
 class FungusServer:
@@ -88,10 +131,14 @@ class FungusServer:
         #: row) | ("query", sql) | ("tick", n) — the replay oracle's input
         self.oplog: list[tuple[Any, ...]] = []
         self.snapshot: TickSnapshot | None = None
+        self.slow_log = SlowQueryLog(
+            self.config.slow_threshold, self.config.slow_log_size
+        )
         self._worker = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="fungus-engine"
         )
         self._server: asyncio.AbstractServer | None = None
+        self._ops: OpsServer | None = None
         self._ticker: asyncio.Task[None] | None = None
         self._stopping = False
 
@@ -108,6 +155,9 @@ class FungusServer:
             self.config.port,
             backlog=2048,  # the loadgen opens 1k+ connections in one burst
         )
+        if self.config.ops_port is not None:
+            self._ops = OpsServer(self, self.config.host, self.config.ops_port)
+            await self._ops.start()
         if self.config.tick_interval is not None:
             self._ticker = asyncio.ensure_future(self._tick_loop())
         return self
@@ -116,6 +166,16 @@ class FungusServer:
     def port(self) -> int:
         assert self._server is not None, "server not started"
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def ops_port(self) -> int:
+        assert self._ops is not None, "ops listener not configured"
+        return self._ops.port
+
+    @property
+    def accepting(self) -> bool:
+        """Ready for traffic: not stopping and no drain in progress."""
+        return not self._stopping and not self.admission.draining
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "server not started"
@@ -143,6 +203,9 @@ class FungusServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._ops is not None:
+            await self._ops.stop()
+            self._ops = None
         while not self.admission.idle:
             await asyncio.sleep(0.005)
         self._worker.shutdown(wait=True)
@@ -153,9 +216,17 @@ class FungusServer:
 
     async def _tick_loop(self) -> None:
         assert self.config.tick_interval is not None
+        interval = self.config.tick_interval
         while True:
-            await asyncio.sleep(self.config.tick_interval)
+            before = time.perf_counter()
+            await asyncio.sleep(interval)
             await self._run_tick(1)
+            # lag = everything past the nominal interval: sleep
+            # overshoot under loop pressure plus the tick's own worker
+            # time (which queues behind in-flight strong ops)
+            self.metrics.ticker_lag.set(
+                max(0.0, time.perf_counter() - before - interval)
+            )
 
     async def _run_tick(self, ticks: int) -> float:
         """Advance the clock in the worker and publish the new snapshot.
@@ -190,7 +261,7 @@ class FungusServer:
         try:
             while True:
                 try:
-                    payload = await read_frame(reader, self.config.max_frame)
+                    body = await read_frame_body(reader, self.config.max_frame)
                 except FrameError as exc:
                     # a mid-frame failure poisons the stream: answer
                     # once (best effort) and close
@@ -199,14 +270,11 @@ class FungusServer:
                     )
                     self.metrics.request("frame", exc.code)
                     return
-                if payload is None:
+                if body is None:
                     return  # clean close between frames
-                response, session, keep_open = await self._dispatch(
-                    payload, session, writer
+                session, keep_open = await self._handle_frame(
+                    body, session, writer
                 )
-                if "id" in payload:
-                    response["id"] = payload["id"]
-                await self._safe_write(writer, response)
                 if not keep_open:
                     return
         finally:
@@ -218,6 +286,92 @@ class FungusServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _handle_frame(
+        self,
+        body: bytes,
+        session: Session | None,
+        writer: asyncio.StreamWriter,
+    ) -> tuple[Session | None, bool]:
+        """One frame, instrumented end-to-end under a request root span.
+
+        The root is detached (never on the tracer stack), so any number
+        of connections can hold one open concurrently. It closes when
+        the ``with`` exits — after the reply is flushed — which is what
+        makes every stage span nest inside it.
+        """
+        with self.db.tracer.root_span("server.request") as root:
+            req = _Request(root, time.perf_counter())
+            try:
+                with self._stage(req, "decode"):
+                    payload = decode_frame(body)
+            except FrameError as exc:
+                # decode failures poison the stream, same as framing
+                # failures: answer once and close
+                req.op = "frame"
+                self.metrics.request("frame", exc.code)
+                await self._reply(writer, req, error(exc.code, exc.message))
+                self._finish_request(req, session, exc.code)
+                return session, False
+            context = TraceContext.parse(payload.get("trace"))
+            if context is not None:
+                # continue the client's trace by annotation: the root
+                # stays a local root, the W3C ids ride as attributes
+                req.trace = context.trace_id
+                root.set(trace=context.trace_id, remote_parent=context.span_id)
+            response, session, keep_open = await self._dispatch(
+                payload, session, writer, req
+            )
+            if "id" in payload:
+                response["id"] = payload["id"]
+            await self._reply(writer, req, response)
+            status = "ok" if response.get("ok") else str(response.get("code", "?"))
+            self._finish_request(req, session, status)
+        return session, keep_open
+
+    @contextlib.contextmanager
+    def _stage(self, req: _Request, label: str) -> Iterator[Any]:
+        """Time one request stage into ``req.stages`` and a child span."""
+        started = time.perf_counter()
+        with self.db.tracer.stage_span(
+            _SPAN_NAMES.get(label, label), req.span
+        ) as span:
+            try:
+                yield span
+            finally:
+                req.stages[label] = (
+                    req.stages.get(label, 0.0) + time.perf_counter() - started
+                )
+
+    async def _reply(
+        self, writer: asyncio.StreamWriter, req: _Request, response: dict[str, Any]
+    ) -> None:
+        with self._stage(req, "reply"):
+            await self._safe_write(writer, response)
+
+    def _finish_request(
+        self, req: _Request, session: Session | None, status: str
+    ) -> None:
+        """Fold one finished request into histograms and the slow log."""
+        duration = time.perf_counter() - req.started
+        for label, seconds in req.stages.items():
+            self.metrics.stage(req.op, label, seconds)
+        req.span.set(op=req.op, status=status)
+        if session is not None:
+            req.span.set(session=session.id)
+        if duration >= self.slow_log.threshold:
+            self.metrics.slow_requests.labels(op=req.op).inc()
+            self.slow_log.record(
+                op=req.op,
+                duration_s=duration,
+                session=session.id if session is not None else "?",
+                principal=session.principal if session is not None else "?",
+                sql=req.sql,
+                stages=req.stages,
+                verdict=req.verdict,
+                trace=req.trace,
+                tick=self.db.clock.now,
+            )
 
     async def _safe_write(
         self, writer: asyncio.StreamWriter, payload: dict[str, Any]
@@ -248,12 +402,14 @@ class FungusServer:
         payload: dict[str, Any],
         session: Session | None,
         writer: asyncio.StreamWriter,
+        req: _Request,
     ) -> tuple[dict[str, Any], Session | None, bool]:
         """Handle one frame; returns (response, session, keep_open)."""
         op = payload.get("op")
         if not isinstance(op, str):
             self.metrics.request("?", Code.BAD_REQUEST)
             return error(Code.BAD_REQUEST, "frame needs a string 'op'"), session, True
+        req.op = op
         try:
             if op == "hello":
                 response, session = self._op_hello(payload, session, writer)
@@ -275,8 +431,8 @@ class FungusServer:
                     raise AccessDenied(
                         Code.DENIED, f"op {op!r} requires the admin grant"
                     )
-                session.requests += 1
-                response = await self._op(op, payload, session)
+                session.note(op, self.db.clock.now)
+                response = await self._op(op, payload, session, req)
         except (AuthError, AccessDenied, FrameError) as exc:
             if session is not None:
                 session.errors += 1
@@ -328,12 +484,12 @@ class FungusServer:
         )
 
     async def _op(
-        self, op: str, payload: dict[str, Any], session: Session
+        self, op: str, payload: dict[str, Any], session: Session, req: _Request
     ) -> dict[str, Any]:
         if op == "query":
-            return await self._op_query(payload, session)
+            return await self._op_query(payload, session, req)
         if op == "insert":
-            return await self._op_insert(payload, session)
+            return await self._op_insert(payload, session, req)
         if op == "tick":
             ticks = payload.get("n", 1)
             if not isinstance(ticks, int) or ticks < 1:
@@ -341,7 +497,7 @@ class FungusServer:
             now = await self._run_tick(ticks)
             return ok(tick=now)
         if op == "stats":
-            return await self._admitted(session, self._job_stats(session))
+            return await self._admitted(session, self._job_stats(session), req)
         if op == "metrics":
             return ok(exposition=self.metrics.exposition())
         if op == "sessions":
@@ -351,7 +507,7 @@ class FungusServer:
             return ok(drained=drained)
         if op == "debug_sleep" and self.config.debug_ops:
             seconds = float(payload.get("seconds", 0.05))
-            return await self._admitted(session, lambda: _worker_nap(seconds))
+            return await self._admitted(session, lambda: _worker_nap(seconds), req)
         raise FrameError(Code.BAD_REQUEST, f"unknown op {op!r}")
 
     # ------------------------------------------------------------------
@@ -359,21 +515,24 @@ class FungusServer:
     # ------------------------------------------------------------------
 
     async def _op_query(
-        self, payload: dict[str, Any], session: Session
+        self, payload: dict[str, Any], session: Session, req: _Request
     ) -> dict[str, Any]:
         sql = payload.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             raise FrameError(Code.BAD_REQUEST, "query needs a non-empty 'sql'")
+        req.sql = sql
         consistency = payload.get("consistency", "strong")
         if consistency == "snapshot":
-            return self._snapshot_query(sql, session)
+            return self._snapshot_query(sql, session, req)
         if consistency != "strong":
             raise FrameError(
                 Code.BAD_REQUEST, f"unknown consistency {consistency!r}"
             )
-        return await self._admitted(session, self._job_query(sql, session))
+        return await self._admitted(session, self._job_query(sql, session, req), req)
 
-    def _snapshot_query(self, sql: str, session: Session) -> dict[str, Any]:
+    def _snapshot_query(
+        self, sql: str, session: Session, req: _Request
+    ) -> dict[str, Any]:
         """Serve a read from the published snapshot, loop-side.
 
         Never touches the worker, so it answers even while a decay tick
@@ -382,14 +541,18 @@ class FungusServer:
         """
         snapshot = self.snapshot
         assert snapshot is not None, "server not started"
-        gatekeeper = Gatekeeper(snapshot.materialized())
-        admission = gatekeeper.admit(sql, session.grant)
-        if admission.kind != "select":
-            raise AccessDenied(
-                Code.BAD_REQUEST,
-                f"snapshot consistency serves SELECT only, not {admission.kind}",
-            )
-        result = snapshot.query(admission.statement, sql)
+        with self._stage(req, "policy.analyze"):
+            gatekeeper = Gatekeeper(snapshot.materialized())
+            admission = gatekeeper.admit(sql, session.grant)
+            if admission.kind != "select":
+                raise AccessDenied(
+                    Code.BAD_REQUEST,
+                    f"snapshot consistency serves SELECT only, not {admission.kind}",
+                )
+        req.verdict = admission.verdict
+        with self._stage(req, "snapshot.read") as span:
+            result = snapshot.query(admission.statement, sql)
+            span.set(tick=snapshot.tick, snapshot_rows=snapshot.rows)
         self.metrics.snapshot_reads.inc()
         return ok(
             columns=list(result.columns),
@@ -399,22 +562,26 @@ class FungusServer:
         )
 
     def _job_query(
-        self, sql: str, session: Session
+        self, sql: str, session: Session, req: _Request
     ) -> Callable[[], dict[str, Any]]:
         def job() -> dict[str, Any]:
-            admission = self.gatekeeper.admit(sql, session.grant)
+            # worker side: the stack holds the worker.exec anchor the
+            # admission wrapper pushed, so this span — and the engine's
+            # own query/consume spans under db.query — nest beneath it
+            analyze_started = time.perf_counter()
+            with self.db.tracer.span("policy.analyze"):
+                admission = self.gatekeeper.admit(sql, session.grant)
+            req.stages["policy.analyze"] = time.perf_counter() - analyze_started
+            req.verdict = admission.verdict
             engine = self.db.engine
-            with self.db.tracer.span(
-                "server.request", session=session.id, op=admission.kind
-            ):
-                engine.current_actor = session.id
-                try:
-                    # execute the raw SQL, not the parsed statement:
-                    # current_sql must carry the text so Law-2 death
-                    # provenance records the consuming query verbatim
-                    result = self.db.query(sql)
-                finally:
-                    engine.current_actor = None
+            engine.current_actor = _actor(session, req)
+            try:
+                # execute the raw SQL, not the parsed statement:
+                # current_sql must carry the text so Law-2 death
+                # provenance records the consuming query verbatim
+                result = self.db.query(sql)
+            finally:
+                engine.current_actor = None
             self.oplog.append(("query", sql))
             session.rows_consumed += result.stats.rows_consumed
             return ok(
@@ -438,24 +605,22 @@ class FungusServer:
         return table, row
 
     async def _op_insert(
-        self, payload: dict[str, Any], session: Session
+        self, payload: dict[str, Any], session: Session, req: _Request
     ) -> dict[str, Any]:
         table, row = self._op_insert_check(payload)
-        if not session.grant.allows(table, "insert"):
-            raise AccessDenied(
-                Code.DENIED,
-                f"{session.principal!r} lacks 'insert' on table {table!r}",
-            )
+        with self._stage(req, "policy.analyze"):
+            if not session.grant.allows(table, "insert"):
+                raise AccessDenied(
+                    Code.DENIED,
+                    f"{session.principal!r} lacks 'insert' on table {table!r}",
+                )
 
         def job() -> dict[str, Any]:
-            with self.db.tracer.span(
-                "server.request", session=session.id, op="insert"
-            ):
-                rid = self.db.insert(table, row)
+            rid = self.db.insert(table, row)
             self.oplog.append(("insert", table, dict(row)))
             return ok(rid=rid, tick=self.db.clock.now)
 
-        return await self._admitted(session, job)
+        return await self._admitted(session, job, req)
 
     def _job_stats(self, session: Session) -> Callable[[], dict[str, Any]]:
         def job() -> dict[str, Any]:
@@ -469,13 +634,19 @@ class FungusServer:
     # ------------------------------------------------------------------
 
     async def _admitted(
-        self, session: Session, job: Callable[[], dict[str, Any]]
+        self, session: Session, job: Callable[[], dict[str, Any]], req: _Request
     ) -> dict[str, Any]:
         """Run one strong op through admission control.
 
         The refusals happen *here*, on the loop, before the job ever
         reaches the worker — which is why BUSY comes back in
         microseconds even when the worker is pinned.
+
+        The admitted path is also where two cross-thread stages are
+        measured: ``admission.wait`` spans enqueue (here, on the loop)
+        to worker pickup (the first statement of the wrapped job), and
+        ``worker.exec`` anchors onto the tracer stack so the engine's
+        own spans nest inside the request.
         """
         if self.admission.draining:
             self.metrics.reject("draining")
@@ -486,12 +657,45 @@ class FungusServer:
                 Code.BUSY,
                 f"admission queue full ({self.admission.limit} in flight); retry",
             )
-        self.metrics.queue_depth.set(self.admission.in_flight)
+        session.in_flight += 1
+        depth = self.admission.in_flight
+        self.metrics.queue_depth.set(depth)
+        tracer = self.db.tracer
+        enqueued_pc = time.perf_counter()
+        enqueued_at = tracer.now()
+
+        def admitted_job() -> dict[str, Any]:
+            # first statement on the worker: the queue wait is over
+            req.stages["admission.wait"] = time.perf_counter() - enqueued_pc
+            tracer.record_span(
+                "admission.wait", req.span, enqueued_at, tracer.now(), depth=depth
+            )
+            exec_started = time.perf_counter()
+            with tracer.anchor_span("worker.exec", req.span, op=req.op):
+                try:
+                    return job()
+                finally:
+                    req.stages["worker.exec"] = time.perf_counter() - exec_started
+
         try:
-            return await self._run_strong(job)
+            return await self._run_strong(admitted_job)
         finally:
+            session.in_flight -= 1
             self.admission.release()
             self.metrics.queue_depth.set(self.admission.in_flight)
+
+
+def _actor(session: Session, req: _Request) -> str:
+    """The forensics attribution string for one strong statement.
+
+    Death-provenance records tag consumed rows ``@<actor>``; when the
+    request carried a client trace, the trace-id rides along so a rot
+    investigation can jump straight from a dead row to the exact
+    distributed trace that killed it.
+    """
+    if req.trace is None:
+        return session.id
+    return f"{session.id}#{req.trace}"
 
 
 def _worker_nap(seconds: float) -> dict[str, Any]:

@@ -32,10 +32,19 @@ class Session:
     rows_consumed: int = 0
     errors: int = 0
     closed: bool = False
+    ops: dict[str, int] = field(default_factory=dict)
+    last_activity: float = 0.0  # logical tick of the latest request
+    in_flight: int = 0  # requests admitted but not yet answered
 
     @property
     def principal(self) -> str:
         return self.grant.principal
+
+    def note(self, op: str, now: float) -> None:
+        """Count one request against this session's per-op ledger."""
+        self.requests += 1
+        self.ops[op] = self.ops.get(op, 0) + 1
+        self.last_activity = now
 
     def describe(self) -> dict[str, object]:
         return {
@@ -46,6 +55,9 @@ class Session:
             "requests": self.requests,
             "rows_consumed": self.rows_consumed,
             "errors": self.errors,
+            "ops": dict(sorted(self.ops.items())),
+            "last_activity": self.last_activity,
+            "in_flight": self.in_flight,
         }
 
 

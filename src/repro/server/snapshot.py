@@ -73,6 +73,11 @@ class TickSnapshot:
     def tables(self) -> tuple[str, ...]:
         return tuple(self._captures)
 
+    @property
+    def rows(self) -> int:
+        """Total live rows captured, across all tables (span attribute)."""
+        return sum(capture.count for capture in self._captures.values())
+
     def extent(self, name: str) -> int:
         return self._captures[name].count
 

@@ -109,9 +109,20 @@ class StreamingHistogram:
         running = 0.0
         for i, (c, n) in enumerate(self._bins):
             if running + n >= target:
-                prev_c = self._bins[i - 1][0] if i > 0 else (self.min_value or c)
+                if i > 0:
+                    prev_c = self._bins[i - 1][0]
+                elif self.min_value is not None:
+                    prev_c = self.min_value
+                else:
+                    prev_c = c
                 frac = (target - running) / n
-                return prev_c + (c - prev_c) * frac
+                # lerp as a convex combination, then clamp: the naive
+                # prev_c + (c - prev_c) * frac cancels catastrophically
+                # when the endpoints differ by hundreds of orders of
+                # magnitude and can land outside [prev_c, c]
+                value = prev_c * (1.0 - frac) + c * frac
+                lo, hi = (prev_c, c) if prev_c <= c else (c, prev_c)
+                return min(max(value, lo), hi)
             running += n
         return self.max_value  # type: ignore[return-value]
 

@@ -21,6 +21,7 @@ from repro.lint.rules import (
     PublishedEventRule,
     SanctionedFreshnessRule,
     SeededRandomRule,
+    SpanContextManagerRule,
     default_rules,
 )
 
@@ -36,6 +37,7 @@ FIXTURE_BY_RULE = {
     "RS006": FIXTURES / "rs006_dropped_event.py",
     "RS007": FIXTURES / "repro" / "fungi" / "rs007_per_row_decay.py",
     "RS008": FIXTURES / "repro" / "server" / "rs008_blocking_async.py",
+    "RS009": FIXTURES / "repro" / "server" / "rs009_manual_span.py",
 }
 
 EXPECTED_COUNTS = {
@@ -47,6 +49,7 @@ EXPECTED_COUNTS = {
     "RS006": 2,  # dropped expression and never-published assignment
     "RS007": 2,  # for-loop set_freshness and comprehension decay
     "RS008": 4,  # sleep, sync socket, open(), pathlib read; helpers pass
+    "RS009": 4,  # root/stage/anchor/span sans with; with + record_span pass
 }
 
 
@@ -133,6 +136,7 @@ class TestEngine:
             "RS006",
             "RS007",
             "RS008",
+            "RS009",
         ]
         for rule in default_rules():
             assert rule.title and rule.rationale
@@ -147,6 +151,7 @@ class TestEngine:
             PublishedEventRule,
             BatchMutatorRule,
             BlockingAsyncRule,
+            SpanContextManagerRule,
         ):
             assert rule_cls.id.startswith("RS")
 
@@ -187,6 +192,36 @@ class TestRS008Scope:
         )
         assert [f.rule for f in findings] == ["RS008"]
         assert "asyncio.sleep" in findings[0].message
+
+
+class TestRS009Scope:
+    def test_bites_under_server_and_obs_only(self):
+        rule = SpanContextManagerRule()
+        assert rule.applies_to(Path("src/repro/server/server.py"))
+        assert rule.applies_to(Path("src/repro/obs/tracing.py"))
+        assert not rule.applies_to(Path("src/repro/core/db.py"))
+        assert not rule.applies_to(Path("src/repro/sim/driver.py"))
+
+    def test_with_wrapped_and_record_span_pass(self):
+        source = (
+            "def f(tracer, parent):\n"
+            "    with tracer.root_span('server.request') as root:\n"
+            "        with tracer.stage_span('reply', root):\n"
+            "            pass\n"
+            "    tracer.record_span('admission.wait', parent, 0.0, 0.1)\n"
+        )
+        findings, _ = LintEngine(rules=[SpanContextManagerRule()]).lint_source(
+            Path("repro/server/x.py"), source
+        )
+        assert findings == []
+
+    def test_bare_opener_fails(self):
+        source = "def f(tracer):\n    s = tracer.span('query')\n    return s\n"
+        findings, _ = LintEngine(rules=[SpanContextManagerRule()]).lint_source(
+            Path("repro/obs/x.py"), source
+        )
+        assert [f.rule for f in findings] == ["RS009"]
+        assert "with" in findings[0].message
 
 
 class TestRS006Patterns:

@@ -1,7 +1,15 @@
 """Tests for repro.obs.dashboard — the terminal rot dashboard."""
 
+import asyncio
+
 from repro.core.db import FungusDB
-from repro.obs.dashboard import build_demo_db, main, render_frame
+from repro.obs.dashboard import (
+    build_demo_db,
+    fetch_server_stats,
+    main,
+    render_frame,
+    render_server_panel,
+)
 from repro.storage.schema import Schema
 from repro.storage.rowset import RowSet
 
@@ -73,6 +81,58 @@ class TestDemoAndMain:
         assert main(["--ticks", "12", "--interval", "0", "--no-clear"]) == 0
         out = capsys.readouterr().out
         assert out.count("rot dashboard") == 12
+
+
+class TestServerPanel:
+    STATS = {
+        "requests": 150.0,
+        "rejected": 3.0,
+        "slow": 2.0,
+        "queue_depth": 5.0,
+        "sessions": 8.0,
+        "ticker_lag": 0.0123,
+    }
+
+    def test_first_frame_has_no_rate(self):
+        panel = render_server_panel(self.STATS, None, 0.25)
+        assert "qps=--" in panel
+        assert "queue=5" in panel
+        assert "sessions=8" in panel
+        assert "slow=2" in panel
+        assert "ticker_lag=12.3ms" in panel
+
+    def test_qps_is_the_request_delta_over_interval(self):
+        previous = dict(self.STATS, requests=100.0)
+        panel = render_server_panel(self.STATS, previous, 0.5)
+        assert "qps=100" in panel  # (150 - 100) / 0.5s
+
+    def test_counter_reset_clamps_to_zero(self):
+        previous = dict(self.STATS, requests=900.0)  # server restarted
+        panel = render_server_panel(self.STATS, previous, 0.5)
+        assert "qps=0" in panel
+
+    def test_fetch_scrapes_a_live_ops_endpoint(self):
+        from tests.server.harness import connect, running_server, seeded_db
+
+        async def scenario():
+            db = seeded_db()
+            async with running_server(db, ops_port=0) as server:
+                client = await connect(server)
+                try:
+                    await client.insert("r", {"k": 1, "v": 1})
+                    await client.query("SELECT k FROM r")
+                finally:
+                    await client.close()
+                url = f"http://127.0.0.1:{server.ops_port}"
+                loop = asyncio.get_running_loop()
+                # urllib blocks; keep the server's loop responsive
+                return await loop.run_in_executor(None, fetch_server_stats, url)
+
+        stats = asyncio.run(scenario())
+        assert stats["requests"] >= 2
+        assert stats["queue_depth"] == 0.0
+        assert stats["rejected"] == 0.0
+        assert "qps=" in render_server_panel(stats, None, 0.25)
 
 
 class TestForensicsOverlay:

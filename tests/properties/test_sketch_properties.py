@@ -2,7 +2,7 @@
 
 from collections import Counter
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.sketch import (
@@ -80,6 +80,9 @@ def test_hll_merge_is_union(values, split):
         st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=200
     )
 )
+# endpoints hundreds of orders of magnitude apart: the naive lerp in
+# quantile() cancelled to 0.0, outside [min, max]
+@example(values=[-1.0] * 5 + [-1.175494351e-38, -1.9882777518517638e-178])
 def test_histogram_total_and_bounds(values):
     """Total is exact; quantiles stay inside [min, max]; budget holds."""
     hist = StreamingHistogram(max_bins=16)

@@ -13,8 +13,11 @@ from __future__ import annotations
 import asyncio
 import json
 
+import pytest
+
 from repro.bench.regression import compare
 from repro.bench.snapshots import SNAPSHOT_VERSION
+from repro.obs.tracing import validate_trace
 from repro.server.loadgen import LoadgenConfig, LoadgenReport, run_loadgen
 
 
@@ -59,3 +62,76 @@ class TestLoadgen:
         result = compare(baseline, current)
         assert not result.regressions
         assert not result.added and not result.removed
+
+
+@pytest.fixture(scope="module")
+def traced_report() -> LoadgenReport:
+    """One shared traced run (with the mid-run scrape) for the class."""
+    return asyncio.run(
+        run_loadgen(
+            LoadgenConfig(
+                connections=16,
+                duration=1.0,
+                tick_interval=0.1,
+                seed_rows=100,
+                trace=True,
+                trace_sample=1.0,
+                scrape_ops=True,
+            )
+        )
+    )
+
+
+class TestTracedLoadgen:
+    def test_stage_quantiles_cover_the_request_path(self, traced_report):
+        assert traced_report.errors == 0
+        stages = traced_report.stages
+        for stage in ("decode", "admission.wait", "policy.analyze", "worker.exec", "reply"):
+            assert stage in stages, stage
+            assert stages[stage]["count"] >= 1
+            assert 0 <= stages[stage]["p50_s"] <= stages[stage]["p99_s"]
+        # the mid-run scrape went through the strict parser
+        assert traced_report.scraped_samples > 0
+
+    def test_bench_entries_gain_per_stage_rows(self, traced_report):
+        entries = {e["fullname"]: e for e in traced_report.bench_entries()}
+        assert "bench_server.py::test_server_request_latency" in entries
+        wait = entries["bench_server.py::test_server_stage_admission_wait"]
+        assert wait["p50_s"] >= 0
+        assert wait["rounds"] >= 1
+        assert "bench_server.py::test_server_stage_worker_exec" in entries
+
+    def test_trace_jsonl_is_structurally_valid(self, traced_report, tmp_path):
+        path = tmp_path / "TRACE_server.jsonl"
+        written = traced_report.write_trace(path)
+        assert written > 0
+        assert validate_trace(path) == []
+        # every strong-op trace carries the full five-stage tree
+        spans = [json.loads(line) for line in path.read_text().splitlines()]
+        by_trace: dict = {}
+        for span in spans:
+            by_trace.setdefault(span["trace_id"], []).append(span)
+        strong = [
+            group
+            for group in by_trace.values()
+            if any(s["name"] == "worker.exec" for s in group)
+        ]
+        assert strong, "no strong-op traces sampled"
+        for group in strong:
+            names = {s["name"] for s in group}
+            assert {
+                "frame.decode",
+                "admission.wait",
+                "policy.analyze",
+                "worker.exec",
+                "reply",
+            } <= names
+            assert sum(1 for s in group if s["parent_id"] is None) == 1
+
+    def test_untraced_run_keeps_the_single_legacy_entry(self):
+        report = _short_run()
+        assert report.stages == {}
+        assert report.trace_spans == []
+        assert report.scraped_samples == -1
+        (entry,) = report.bench_entries()
+        assert entry["fullname"] == "bench_server.py::test_server_request_latency"

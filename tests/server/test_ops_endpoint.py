@@ -1,0 +1,150 @@
+"""The ops plane speaks real HTTP and never lies to the scraper.
+
+Every test talks to the embedded :class:`~repro.server.ops.OpsServer`
+through a raw socket — actual request lines, actual headers — because
+that is exactly what a Prometheus scraper or a load balancer's health
+check will do. ``/metrics`` must round-trip through the strict
+:func:`~repro.obs.export.parse_prometheus` oracle; ``/readyz`` must
+flip to 503 the moment a drain starts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs.export import parse_prometheus
+
+from tests.server.harness import HOST, connect, running_server, seeded_db
+
+
+async def http_request(
+    port: int, path: str, method: str = "GET"
+) -> tuple[int, dict[str, str], str]:
+    """One raw HTTP/1.0 exchange; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection(HOST, port)
+    writer.write(
+        f"{method} {path} HTTP/1.0\r\nHost: test\r\nAccept: */*\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body.decode("utf-8")
+
+
+class TestOpsEndpoint:
+    def test_metrics_round_trips_the_strict_parser(self):
+        async def scenario():
+            db = seeded_db()
+            async with running_server(db, ops_port=0) as server:
+                client = await connect(server)
+                try:
+                    await client.insert("r", {"k": 1, "v": 1})
+                    await client.query("SELECT k FROM r")
+                finally:
+                    await client.close()
+                return await http_request(server.ops_port, "/metrics")
+
+        status, headers, body = asyncio.run(scenario())
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        assert headers["content-length"] == str(len(body.encode()))
+        samples = parse_prometheus(body)  # strict: raises on any bad line
+        names = {name for name, _ in samples}
+        assert "repro_server_requests_total" in names
+        assert "repro_server_stage_seconds_count" in names
+        assert (
+            samples[("repro_server_requests_total", (("op", "query"), ("status", "ok")))]
+            >= 1
+        )
+
+    def test_healthz_and_readyz(self):
+        async def scenario():
+            db = seeded_db()
+            async with running_server(db, ops_port=0) as server:
+                health = await http_request(server.ops_port, "/healthz")
+                ready_before = await http_request(server.ops_port, "/readyz")
+                await server.drain()
+                ready_after = await http_request(server.ops_port, "/readyz")
+                return health, ready_before, ready_after
+
+        health, ready_before, ready_after = asyncio.run(scenario())
+        assert health[0] == 200 and health[2] == "ok\n"
+        assert ready_before[0] == 200 and ready_before[2] == "ready\n"
+        assert ready_after[0] == 503 and ready_after[2] == "draining\n"
+
+    def test_debug_sessions_reports_the_live_table(self):
+        async def scenario():
+            db = seeded_db()
+            async with running_server(db, ops_port=0) as server:
+                client = await connect(server)
+                try:
+                    await client.insert("r", {"k": 1, "v": 1})
+                    await client.query("SELECT k FROM r")
+                    return (
+                        client.session,
+                        await http_request(server.ops_port, "/debug/sessions"),
+                    )
+                finally:
+                    await client.close()
+
+        session_id, (status, headers, body) = asyncio.run(scenario())
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        payload = json.loads(body)
+        (mine,) = [s for s in payload["sessions"] if s["id"] == session_id]
+        assert mine["ops"] == {"insert": 1, "query": 1}
+        assert mine["in_flight"] == 0
+        admission = payload["admission"]
+        assert admission["limit"] == 64
+        assert admission["in_flight"] == 0
+        assert admission["admitted_total"] >= 2
+        assert admission["draining"] is False
+
+    def test_debug_slow_serves_the_ring(self):
+        async def scenario():
+            db = seeded_db()
+            async with running_server(
+                db, ops_port=0, slow_threshold=0.0
+            ) as server:
+                client = await connect(server)
+                try:
+                    await client.query("SELECT k FROM r")
+                finally:
+                    await client.close()
+                return await http_request(server.ops_port, "/debug/slow")
+
+        status, _, body = asyncio.run(scenario())
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["threshold_s"] == 0.0
+        assert payload["total"] >= 1
+        assert any(e["sql"] == "SELECT k FROM r" for e in payload["entries"])
+
+    def test_unknown_path_and_method(self):
+        async def scenario():
+            db = seeded_db()
+            async with running_server(db, ops_port=0) as server:
+                missing = await http_request(server.ops_port, "/nope")
+                posted = await http_request(server.ops_port, "/metrics", method="POST")
+                return missing, posted
+
+        missing, posted = asyncio.run(scenario())
+        assert missing[0] == 404
+        assert posted[0] == 405
+
+    def test_no_ops_port_means_no_listener(self):
+        async def scenario():
+            db = seeded_db()
+            async with running_server(db) as server:
+                return server._ops
+
+        assert asyncio.run(scenario()) is None
