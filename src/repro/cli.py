@@ -51,6 +51,8 @@ commands:
   tables                                          list tables and extents
   health <table>                                  rot metrics
   metrics [prefix]                                Prometheus-style exposition
+  queries [seconds|calls|rows] [top-n]            hottest statement shapes
+                                                  (plan-vs-actual aggregates)
   summary <table>                                 what has been distilled
   save <dir> / load <dir>                         checkpoint the database
   why <table> <rowid> [--fid]                     why did that tuple die?
@@ -137,6 +139,7 @@ class FungusShell:
         self.db = FungusDB(seed=seed)
         self.db.enable_telemetry()
         self.db.enable_forensics(rules=DEFAULT_RULES)
+        self.db.enable_querystats()
         self._rng = random.Random(seed)
         self._commands: dict[str, Callable[[list[str]], str]] = {
             "create": self._cmd_create,
@@ -146,6 +149,7 @@ class FungusShell:
             "tables": self._cmd_tables,
             "health": self._cmd_health,
             "metrics": self._cmd_metrics,
+            "queries": self._cmd_queries,
             "summary": self._cmd_summary,
             "save": self._cmd_save,
             "load": self._cmd_load,
@@ -307,6 +311,21 @@ class FungusShell:
             text = "\n".join(kept)
         return text.rstrip("\n")
 
+    def _cmd_queries(self, args: list[str]) -> str:
+        if len(args) > 2:
+            return "error: usage: queries [seconds|calls|rows] [top-n]"
+        by = args[0] if args else "seconds"
+        top = int(args[1]) if len(args) == 2 else 10
+        store = self.db.querystats
+        if store is None:
+            return "error: query statistics are not enabled"
+        from repro.obs.querystats import render_queries
+
+        lines = render_queries(store.top(top, by=by))
+        if store.evicted_total:
+            lines.append(f"({store.evicted_total} cold fingerprints evicted)")
+        return "\n".join(lines)
+
     def _cmd_summary(self, args: list[str]) -> str:
         if len(args) != 1:
             return "error: usage: summary <table>"
@@ -393,6 +412,8 @@ class FungusShell:
         if forensics is None:
             forensics = self.db.enable_forensics(rules=DEFAULT_RULES)
         overwritten = forensics.record_restored_over(old_db)
+        if self.db.querystats is None:  # checkpoint predates the store
+            self.db.enable_querystats()
         old_db.disable_forensics()
         old_db.disable_telemetry()
         suffix = (

@@ -18,7 +18,8 @@ knobs) back in at load time.
 
 Layout: ``<dir>/manifest.json`` + ``summaries.json`` + one
 ``<table>.jsonl`` snapshot (written by :mod:`repro.storage.snapshot`)
-per table.
+per table, plus ``forensics.json`` / ``querystats.json`` when those
+layers are attached (each restored automatically on load).
 """
 
 from __future__ import annotations
@@ -79,6 +80,14 @@ def save_checkpoint(db: FungusDB, directory: str | Path) -> list[str]:
             with open(forensics_tmp, "w", encoding="utf-8") as fh:
                 json.dump(forensics.to_dict(), fh)
             os.replace(forensics_tmp, directory / "forensics.json")
+        querystats = getattr(db, "querystats", None)
+        if querystats is not None:
+            # the per-fingerprint aggregates survive like forensics:
+            # written whole, atomically, before the manifest names them
+            querystats_tmp = directory / "querystats.json.tmp"
+            with open(querystats_tmp, "w", encoding="utf-8") as fh:
+                json.dump(querystats.to_dict(), fh)
+            os.replace(querystats_tmp, directory / "querystats.json")
         manifest = {
             "manifest_version": MANIFEST_VERSION,
             "clock": db.clock.now,
@@ -87,6 +96,7 @@ def save_checkpoint(db: FungusDB, directory: str | Path) -> list[str]:
             "pinned": pinned,
             "store": True,
             "forensics": forensics is not None,
+            "querystats": querystats is not None,
         }
         tmp = directory / (MANIFEST_NAME + ".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
@@ -203,6 +213,24 @@ def load_checkpoint(
             db.forensics = Forensics.from_saved(db, forensics_data)
         else:
             db.enable_forensics()
+
+    if manifest.get("querystats"):
+        querystats_path = directory / "querystats.json"
+        try:
+            with open(querystats_path, encoding="utf-8") as fh:
+                querystats_data = json.load(fh)
+        except OSError as exc:
+            raise SnapshotError(
+                f"cannot read query statistics {querystats_path}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(
+                f"corrupt query statistics {querystats_path}: {exc}"
+            ) from exc
+        # independent of row replay: fingerprints reference statement
+        # shapes, not row ids, so order does not matter here
+        db.enable_querystats()
+        db.querystats.load_dict(querystats_data)
 
     with db.tracer.span("checkpoint.restore", path=str(directory)) as span:
         rows_restored = 0

@@ -29,7 +29,12 @@ from typing import Any, Mapping, Sequence
 
 from repro.core.clock import DecayClock
 from repro.core.distill import Distiller, SummaryStore
-from repro.core.events import ConsumeAnalyzed, EventBus, TupleConsumed
+from repro.core.events import (
+    ConsumeAnalyzed,
+    EventBus,
+    QueryExecuted,
+    TupleConsumed,
+)
 from repro.core.fungus import Fungus
 from repro.core.health import HealthReport, measure_health
 from repro.core.policy import DecayPolicy, EvictionMode
@@ -43,6 +48,14 @@ from repro.sketch.summary import SummaryConfig, TableSummary
 from repro.storage.catalog import Catalog
 from repro.storage.rowset import RowSet
 from repro.storage.schema import Schema
+
+
+def _statement_table(stmt: Any) -> str:
+    """The relation a recorded statement targets (for event scoping)."""
+    table = getattr(stmt, "table", None)
+    if isinstance(table, str):
+        return table  # INSERT / DELETE carry the name directly
+    return getattr(table, "name", "")  # SELECT carries a TableRef
 
 
 class FungusDB:
@@ -73,6 +86,7 @@ class FungusDB:
         self._tracer = NULL_TRACER
         self.telemetry = None
         self.forensics = None
+        self.querystats = None
         self.engine.add_consume_hook(self._before_consume)
         self.engine.add_access_hook(self._on_access)
         # Tier-B static analysis: EXPLAIN CONSUME + the strict gate see
@@ -288,6 +302,8 @@ class FungusDB:
     def _on_consume_analyzed(self, report) -> None:
         """Explain hook: every Tier-B analysis becomes a bus event."""
         estimated = -1 if report.estimated_rows is None else report.estimated_rows
+        if self.querystats is not None:
+            self.querystats.note_verdict(report.sql, report.verdict)
         self.bus.publish(
             ConsumeAnalyzed(
                 report.table,
@@ -394,6 +410,42 @@ class FungusDB:
         """Detach forensics (no-op when not enabled)."""
         if self.forensics is not None:
             self.forensics.close()
+
+    def enable_querystats(self, max_entries: int = 256):
+        """Attach the query-statistics store; returns the store.
+
+        From this point every executing statement is fingerprinted and
+        aggregated (``pg_stat_statements``-style), a lazily-built
+        :class:`QueryExecuted` event is published per statement, and
+        Tier-B consume verdicts attach to their statement's
+        fingerprint. Idempotent: a second call returns the existing
+        store.
+        """
+        if self.querystats is None:
+            from repro.obs.querystats import QueryStatsStore
+
+            store = QueryStatsStore(max_entries=max_entries)
+            self.querystats = store
+
+            def record_statement(record) -> None:
+                observation = store.observe(record, now=self.clock.now)
+                self.bus.publish_lazy(
+                    QueryExecuted,
+                    lambda: QueryExecuted(
+                        _statement_table(record.statement),
+                        self.clock.now,
+                        kind=record.kind,
+                        fingerprint=observation.fingerprint,
+                        rows=record.rows,
+                        rows_consumed=record.rows_consumed,
+                        seconds=record.seconds,
+                        tracked_for_kind=observation.tracked_for_kind,
+                        evicted=observation.evicted,
+                    ),
+                )
+
+            self.engine.add_stats_hook(record_statement)
+        return self.querystats
 
     # ------------------------------------------------------------------
     # introspection

@@ -114,6 +114,28 @@ class ConsumeAnalyzed(Event):
 
 
 @dataclass(frozen=True)
+class QueryExecuted(Event):
+    """The query-statistics store folded in one executed statement.
+
+    Published (lazily) when ``FungusDB.enable_querystats`` is active,
+    after the statement finished — ``table`` is the statement's target
+    relation, ``kind`` its class (``select``/``consume``/``insert``/
+    ``delete``), ``tracked_for_kind`` how many fingerprints of that
+    kind the store now holds, and ``evicted`` how many cold
+    fingerprints this observation pushed out of the bounded store. The
+    metrics collector feeds the ``repro_query_*`` families from it.
+    """
+
+    kind: str
+    fingerprint: str
+    rows: int
+    rows_consumed: int
+    seconds: float
+    tracked_for_kind: int = 0
+    evicted: int = 0
+
+
+@dataclass(frozen=True)
 class SummaryCreated(Event):
     """A region was distilled into a TableSummary before leaving R."""
 

@@ -11,6 +11,12 @@
     Tier-B scan of consume statements embedded in python sources
     (defaults to ``examples``). Exits 1 if any statement is
     statically **total** — a whole-extent consume under Law 2.
+
+``python -m repro.lint sql --explain [paths]``
+    Runs ``EXPLAIN ANALYZE`` over *every* embedded statement against
+    an inferred empty-table catalog and exits 1 if any fails to parse,
+    plan, or render — CI runs this over ``examples/`` so a shipped
+    example can never carry a statement the plan renderer chokes on.
 """
 
 from __future__ import annotations
@@ -55,6 +61,8 @@ def _run_lint(args: argparse.Namespace) -> int:
 
 def _run_sql(args: argparse.Namespace) -> int:
     paths = args.paths or (["examples"] if Path("examples").is_dir() else ["."])
+    if args.explain:
+        return _run_explain(paths)
     results = sqlscan.scan(paths)
     for item in results:
         print(item.format())
@@ -66,6 +74,19 @@ def _run_sql(args: argparse.Namespace) -> int:
     return 1 if totals else 0
 
 
+def _run_explain(paths: Sequence[str]) -> int:
+    outcomes = sqlscan.explain_check(paths)
+    for item in outcomes:
+        print(item.format())
+    failed = sum(1 for item in outcomes if item.failed)
+    explained = sum(1 for item in outcomes if item.status == "ok")
+    print(
+        f"{explained} statement(s) explained, {failed} failed, "
+        f"{len(outcomes) - explained - failed} skipped"
+    )
+    return 1 if failed else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sql":
@@ -74,6 +95,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             description="analyze consume statements embedded in python files",
         )
         parser.add_argument("paths", nargs="*", help="files or directories")
+        parser.add_argument(
+            "--explain",
+            action="store_true",
+            help="EXPLAIN ANALYZE every embedded statement; fail on "
+            "parse/plan/render errors",
+        )
         return _run_sql(parser.parse_args(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",

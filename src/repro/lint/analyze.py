@@ -315,6 +315,17 @@ def _walk_types(expr: Expression, schema: Schema, errors: list[str]) -> None:
 # ---------------------------------------------------------------------------
 
 
+def predicate_selectivity(expr: Optional[Expression], stats: TableStats) -> float:
+    """Estimated matching fraction of the live rows, in ``[0, 1]``.
+
+    The public face of the Tier-B estimator: ``EXPLAIN ANALYZE`` uses
+    the exact same arithmetic for its per-operator row estimates, so
+    the misestimation factors it prints grade this function — the one
+    the strict-consume gate and the consume reports already trust.
+    """
+    return _selectivity(expr, stats)
+
+
 def _selectivity(expr: Optional[Expression], stats: TableStats) -> float:
     """Estimated matching fraction of the live rows, in ``[0, 1]``."""
     if expr is None:

@@ -9,13 +9,14 @@ whenever a rule is added, removed, or materially changes meaning.
 from __future__ import annotations
 
 import ast
+import re
 from pathlib import Path
 from typing import ClassVar, Iterator, Sequence
 
 from repro.lint.catalogue import load_metric_catalogue
 from repro.lint.engine import Finding, ModuleSource, Rule
 
-CATALOGUE_VERSION = "1.3"
+CATALOGUE_VERSION = "1.4"
 
 #: packages where simulated time and injected randomness are mandatory
 RESTRICTED_PACKAGES = ("core", "fungi", "query", "sim", "storage")
@@ -617,6 +618,87 @@ class SpanContextManagerRule(Rule):
                 )
 
 
+class QueryMetricReferenceRule(Rule):
+    """RS010 — ``repro_query_*`` references resolve in the catalogue.
+
+    RS004 guards the *registration* calls; this rule guards every other
+    place a query-observability series name appears — dashboards,
+    scrape helpers, ``registry.value(...)`` lookups. A reference to a
+    family the catalogue does not document is a dashboard that will
+    silently read zeros forever."""
+
+    id: ClassVar[str] = "RS010"
+    title: ClassVar[str] = "repro_query_* references must be catalogued literals"
+    rationale: ClassVar[str] = (
+        "The repro_query_* families are the plan-vs-actual contract "
+        "between the executor and every consumer; a misspelled or "
+        "dynamically built series name reads as an empty family, not "
+        "an error, so drift must be caught statically."
+    )
+
+    #: exposition-only suffixes a histogram family fans out into
+    EXPOSITION_SUFFIXES = ("_bucket", "_sum", "_count")
+    PREFIX = "repro_query_"
+    NAME_SHAPE: ClassVar[re.Pattern[str]] = re.compile(r"repro_query_[a-z0-9_]+")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        catalogue = load_metric_catalogue(module.path)
+        name_shape = self.NAME_SHAPE
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.JoinedStr):
+                head = node.values[0] if node.values else None
+                if (
+                    isinstance(head, ast.Constant)
+                    and isinstance(head.value, str)
+                    and head.value.startswith(self.PREFIX)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "repro_query_* series name built with an f-string; "
+                        "spell the full name as a literal so the catalogue "
+                        "check can see it",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+                left = node.left
+                if (
+                    isinstance(left, ast.Constant)
+                    and isinstance(left.value, str)
+                    and left.value.startswith(self.PREFIX)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "repro_query_* series name built by concatenation; "
+                        "spell the full name as a literal so the catalogue "
+                        "check can see it",
+                    )
+            elif (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and name_shape.fullmatch(node.value)
+            ):
+                if catalogue is None:
+                    continue
+                if self._resolves(node.value, catalogue):
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"series name {node.value!r} is not in DESIGN.md's "
+                    "metric catalogue (nor an exposition suffix of a "
+                    "catalogued family)",
+                )
+
+    def _resolves(self, name: str, catalogue: frozenset[str]) -> bool:
+        if name in catalogue or name in EXTRA_CATALOGUED:
+            return True
+        for suffix in self.EXPOSITION_SUFFIXES:
+            if name.endswith(suffix) and name[: -len(suffix)] in catalogue:
+                return True
+        return False
+
+
 def default_rules() -> list[Rule]:
     """The full RS rule set, in catalogue order."""
     return [
@@ -629,4 +711,5 @@ def default_rules() -> list[Rule]:
         BatchMutatorRule(),
         BlockingAsyncRule(),
         SpanContextManagerRule(),
+        QueryMetricReferenceRule(),
     ]

@@ -17,6 +17,12 @@ Subcommands:
 ``alerts <checkpoint-dir-or-forensics.json>``
     Print the persisted rot-rate alert rules and transition log, and
     (``--spots``) the reconstructed rot spots per table.
+
+``queries <checkpoint-dir-or-querystats.json>``
+    Print the query-statistics store a checkpoint persisted — the
+    offline twin of the server's ``/debug/queries`` endpoint. ``--by``
+    reranks by ``calls``/``rows``/``seconds``; ``--top`` bounds the
+    listing.
 """
 
 from __future__ import annotations
@@ -113,6 +119,29 @@ def alerts(path: str, spots: bool = False) -> int:
     return 0
 
 
+def queries(path: str, by: str = "seconds", top: int = 20) -> int:
+    from repro.obs.querystats import QueryStatsStore, render_queries
+
+    target = Path(path)
+    if target.is_dir():
+        target = target / "querystats.json"
+    try:
+        with open(target, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        print(f"cannot read query stats {target}: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"corrupt query stats {target}: {exc}", file=sys.stderr)
+        return 1
+    store = QueryStatsStore.from_dict(data)
+    for line in render_queries(store.top(top, by=by)):
+        print(line)
+    if store.evicted_total:
+        print(f"({store.evicted_total} cold fingerprints evicted)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -145,6 +174,21 @@ def main(argv: list[str] | None = None) -> int:
     alerts_parser.add_argument(
         "--spots", action="store_true", help="also reconstruct rot spots per table"
     )
+    queries_parser = sub.add_parser(
+        "queries", help="print the saved query-statistics store (plan-vs-actual)"
+    )
+    queries_parser.add_argument(
+        "path", metavar="CHECKPOINT", help="checkpoint directory or querystats.json"
+    )
+    queries_parser.add_argument(
+        "--by",
+        choices=("seconds", "calls", "rows"),
+        default="seconds",
+        help="ranking column (default: seconds)",
+    )
+    queries_parser.add_argument(
+        "--top", type=int, default=20, help="rows to print (default: 20)"
+    )
     args = parser.parse_args(argv)
     if args.command == "check-trace":
         return check_trace(args.paths)
@@ -152,6 +196,8 @@ def main(argv: list[str] | None = None) -> int:
         return why(args.path, args.table, args.ref, by_rid=args.rid)
     if args.command == "alerts":
         return alerts(args.path, spots=args.spots)
+    if args.command == "queries":
+        return queries(args.path, by=args.by, top=args.top)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

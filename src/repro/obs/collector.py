@@ -42,12 +42,24 @@ The full metric catalogue (all names prefixed ``repro_``):
 ``repro_deaths_total``              counter     table, cause
 ``repro_alerts_fired_total``        counter     table, rule
 ``repro_alert_active``              gauge       table, rule
+``repro_query_calls_total``         counter     kind
+``repro_query_rows_total``          counter     kind
+``repro_query_seconds``             histogram   kind
+``repro_query_fingerprints``        gauge       kind
+``repro_query_evicted_total``       counter     kind
 ==================================  ==========  ===========================
 
-The last three are fed by the forensics layer (when enabled on the
-same database): ``repro_deaths_total`` counts closed biographies by
-resolved forensic cause, and the alert pair mirrors the rot-rate
-alert engine (``repro_alert_active`` is 1 while a rule fires).
+The deaths counter and the alert pair are fed by the forensics layer
+(when enabled on the same database): deaths count closed biographies
+by resolved forensic cause, and the alert gauge is 1 while a rot-rate
+alert rule fires.
+
+The ``repro_query_*`` families are fed by the query-statistics store
+(``FungusDB.enable_querystats``) via :class:`QueryExecuted` events:
+per statement kind (``select``/``consume``/``insert``/``delete``),
+call and result-row totals, a latency histogram, the number of
+distinct statement fingerprints currently tracked, and how many cold
+fingerprints the bounded store has evicted.
 """
 
 from __future__ import annotations
@@ -59,6 +71,7 @@ from repro.core.events import (
     AlertResolved,
     ConsumeAnalyzed,
     DeathRecorded,
+    QueryExecuted,
     RestoreCompleted,
     SummaryCreated,
     TickCompleted,
@@ -196,6 +209,31 @@ class BusCollector:
             "1 while a rot-rate alert rule is firing.",
             ("table", "rule"),
         )
+        self.query_calls = r.counter(
+            "repro_query_calls_total",
+            "Executed statements, by statement kind.",
+            ("kind",),
+        )
+        self.query_rows = r.counter(
+            "repro_query_rows_total",
+            "Result rows returned by executed statements.",
+            ("kind",),
+        )
+        self.query_seconds = r.histogram(
+            "repro_query_seconds",
+            "Per-statement execution latency in seconds.",
+            ("kind",),
+        )
+        self.query_fingerprints = r.gauge(
+            "repro_query_fingerprints",
+            "Distinct statement fingerprints currently tracked.",
+            ("kind",),
+        )
+        self.query_evicted = r.counter(
+            "repro_query_evicted_total",
+            "Cold fingerprints evicted from the bounded statistics store.",
+            ("kind",),
+        )
 
     # ------------------------------------------------------------------
     # wiring
@@ -217,6 +255,7 @@ class BusCollector:
             (SummaryCreated, self._on_summary),
             (TickCompleted, self._on_tick),
             (RestoreCompleted, self._on_restore),
+            (QueryExecuted, self._on_query),
             (DeathRecorded, self._on_death),
             (AlertFired, self._on_alert_fired),
             (AlertResolved, self._on_alert_resolved),
@@ -281,6 +320,14 @@ class BusCollector:
         self._ticks_seen[event.table] = seen
         if seen % self.sample_every == 0:
             self.sample_table(event.table)
+
+    def _on_query(self, event: QueryExecuted) -> None:
+        self.query_calls.labels(kind=event.kind).inc()
+        self.query_rows.labels(kind=event.kind).inc(event.rows)
+        self.query_seconds.labels(kind=event.kind).observe(event.seconds)
+        self.query_fingerprints.labels(kind=event.kind).set(event.tracked_for_kind)
+        if event.evicted:
+            self.query_evicted.labels(kind=event.kind).inc(event.evicted)
 
     def _on_death(self, event: DeathRecorded) -> None:
         self.deaths.labels(table=event.table, cause=event.cause).inc()

@@ -11,7 +11,9 @@ in a running :class:`~repro.core.db.FungusDB`:
   so EGI's contiguous "Blue Cheese" spots are visible as runs of
   ``.`` melting into holes;
 * rot spots / holes counts from :func:`~repro.core.health.measure_health`;
-* eviction / consume EWMA rates when telemetry is attached.
+* eviction / consume EWMA rates when telemetry is attached;
+* a **top queries** panel — the heaviest statement fingerprints by
+  cumulative latency — when the query-statistics store is attached.
 
 :func:`render_frame` is a pure function of the database state — the
 tests call it directly; :func:`main` wires it to a demo workload loop
@@ -147,6 +149,17 @@ def render_frame(db: FungusDB, width: int = 60) -> str:
                 lines.append(f"  [{table_name}] {rule}  (value {value:g})")
         else:
             lines.append(f"alerts: none firing ({len(forensics.rules)} rule(s) armed)")
+    querystats = getattr(db, "querystats", None)
+    if querystats is not None:
+        from repro.obs.querystats import render_queries
+
+        lines.append("")
+        lines.append("top queries (by cumulative latency):")
+        entries = querystats.top(5, by="seconds")
+        if entries:
+            lines.extend(f"  {row}" for row in render_queries(entries))
+        else:
+            lines.append("  (no statements recorded yet)")
     legend = f"legend: {BAND_CHARS[FreshnessBand.FRESH]}=fresh " \
              f"{BAND_CHARS[FreshnessBand.STALE]}=stale " \
              f"{BAND_CHARS[FreshnessBand.ROTTEN]}=rotten (space)=hole"
@@ -214,6 +227,7 @@ def build_demo_db(seed: int, fungus_spec: str) -> FungusDB:
         fungus=parse_fungus_spec(fungus_spec),
     )
     db.enable_telemetry()
+    db.enable_querystats()
     return db
 
 

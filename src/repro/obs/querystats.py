@@ -1,0 +1,382 @@
+"""The query-statistics store: ``pg_stat_statements`` for FungusDB.
+
+Every executing statement (SELECT, CONSUME, INSERT, DELETE, and the
+inner statement of an ``EXPLAIN ANALYZE``) is normalized to a
+*fingerprint* — the statement shape with predicate/value literals
+replaced by ``?`` — and folded into one bounded per-fingerprint
+aggregate: call count, logical-clock first/last seen, row volume,
+cumulative latency plus a :class:`~repro.sketch.histogram.\
+StreamingHistogram` of per-call latencies (p50/p95), the worst
+plan-vs-actual misestimation an ``EXPLAIN ANALYZE`` ever measured for
+the shape, and the latest Tier-B consume verdict.
+
+Normalization rules (documented in DESIGN.md "Query observability"):
+
+* ``WHERE``/``HAVING`` predicates are rewritten to negation normal
+  form with constants folded (:func:`repro.query.normalize.normalize`)
+  and every remaining literal becomes ``?`` — so ``v > 2 + 3`` and
+  ``v > 7`` share a fingerprint, as do re-parameterized consumes;
+* ``INSERT`` statements keep table and column list but collapse all
+  value rows into one ``(?, ...)`` placeholder row, so single-row and
+  batched inserts of the same shape aggregate together;
+* projection lists, ``GROUP BY``/``ORDER BY`` keys and the ``LIMIT``
+  count are part of the shape — they select a different plan, so they
+  separate fingerprints.
+
+The store is bounded: when a new fingerprint would exceed
+``max_entries``, the coldest entry (fewest calls, oldest last-seen) is
+evicted and counted. Like the forensics layer, the whole store
+serializes to a dict (``querystats.json`` in a checkpoint) and comes
+back via :meth:`QueryStatsStore.load_dict`.
+
+A :class:`threading.Lock` guards every mutation: the server executes
+statements on a worker thread while the ops plane (``/debug/queries``)
+snapshots from the asyncio loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable
+
+from repro.query.ast_nodes import (
+    DeleteStmt,
+    ExplainStmt,
+    Expression,
+    InsertStmt,
+    Literal,
+    SelectStmt,
+    Statement,
+    rewrite_leaves,
+)
+from repro.query.executor import QueryRecord
+from repro.query.normalize import normalize
+from repro.sketch.histogram import StreamingHistogram
+from repro.sketch.serde import histogram_from_dict, histogram_to_dict
+
+DEFAULT_MAX_ENTRIES = 256
+_LATENCY_BINS = 32
+
+
+class _Param:
+    """Literal payload rendering as ``?`` (``Literal.to_sql`` uses repr)."""
+
+    def __repr__(self) -> str:
+        return "?"
+
+
+_PARAM = Literal(_Param())
+
+
+def _strip(expr: Expression | None) -> Expression | None:
+    """NNF + constant folding, then every literal becomes ``?``."""
+    if expr is None:
+        return None
+    return rewrite_leaves(normalize(expr), literal_fn=lambda lit: _PARAM)
+
+
+def normalize_statement(stmt: Statement) -> str:
+    """The statement's fingerprint template (literals stripped)."""
+    if isinstance(stmt, ExplainStmt):
+        # only EXPLAIN ANALYZE executes, and it reports its inner
+        # statement — fingerprint that, so analyzed and ordinary runs
+        # of the same shape aggregate together
+        return normalize_statement(stmt.inner)
+    if isinstance(stmt, InsertStmt):
+        cols = f" ({', '.join(stmt.columns)})" if stmt.columns else ""
+        width = len(stmt.rows[0]) if stmt.rows else 0
+        row = "(" + ", ".join("?" for _ in range(width)) + ")"
+        return f"INSERT INTO {stmt.table}{cols} VALUES {row}"
+    if isinstance(stmt, DeleteStmt):
+        return replace(stmt, where=_strip(stmt.where)).to_sql()
+    if isinstance(stmt, SelectStmt):
+        return replace(
+            stmt, where=_strip(stmt.where), having=_strip(stmt.having)
+        ).to_sql()
+    return stmt.to_sql()
+
+
+def fingerprint(stmt: Statement) -> tuple[str, str]:
+    """``(digest, template)`` for one statement.
+
+    The digest is the first 12 hex chars of the template's SHA-1 —
+    stable across processes and checkpoint restores (unlike ``hash()``,
+    which is salted per process).
+    """
+    template = normalize_statement(stmt)
+    digest = hashlib.sha1(template.encode("utf-8")).hexdigest()[:12]
+    return digest, template
+
+
+@dataclass
+class QueryStatsEntry:
+    """Aggregate statistics for one statement fingerprint."""
+
+    fingerprint: str
+    template: str
+    kind: str  # select | consume | insert | delete
+    calls: int = 0
+    rows: int = 0
+    rows_consumed: int = 0
+    seconds: float = 0.0
+    first_seen: float = 0.0  # logical clock, not wall time
+    last_seen: float = 0.0
+    worst_misestimation: float | None = None
+    last_verdict: str | None = None
+    latency: StreamingHistogram = field(
+        default_factory=lambda: StreamingHistogram(max_bins=_LATENCY_BINS)
+    )
+
+    def p50(self) -> float | None:
+        return self.latency.quantile(0.5) if self.latency.total else None
+
+    def p95(self) -> float | None:
+        return self.latency.quantile(0.95) if self.latency.total else None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "template": self.template,
+            "kind": self.kind,
+            "calls": self.calls,
+            "rows": self.rows,
+            "rows_consumed": self.rows_consumed,
+            "seconds": self.seconds,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "worst_misestimation": self.worst_misestimation,
+            "last_verdict": self.last_verdict,
+            "latency": histogram_to_dict(self.latency),
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "QueryStatsEntry":
+        return QueryStatsEntry(
+            fingerprint=str(data["fingerprint"]),
+            template=str(data["template"]),
+            kind=str(data["kind"]),
+            calls=int(data["calls"]),
+            rows=int(data["rows"]),
+            rows_consumed=int(data["rows_consumed"]),
+            seconds=float(data["seconds"]),
+            first_seen=float(data["first_seen"]),
+            last_seen=float(data["last_seen"]),
+            worst_misestimation=(
+                None
+                if data.get("worst_misestimation") is None
+                else float(data["worst_misestimation"])
+            ),
+            last_verdict=data.get("last_verdict"),
+            latency=histogram_from_dict(data["latency"]),
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """The wire/CLI row: everything but the raw histogram bins."""
+        out = self.to_dict()
+        del out["latency"]
+        out["p50_ms"] = None if self.p50() is None else self.p50() * 1000.0
+        out["p95_ms"] = None if self.p95() is None else self.p95() * 1000.0
+        return out
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What one :meth:`QueryStatsStore.observe` call did — the caller
+    publishes it as a :class:`~repro.core.events.QueryExecuted` event."""
+
+    fingerprint: str
+    kind: str
+    tracked_for_kind: int
+    evicted: int
+
+
+class QueryStatsStore:
+    """Bounded, lock-guarded per-fingerprint statement aggregates."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self.evicted_total = 0
+        self._lock = threading.Lock()
+        self._entries: dict[str, QueryStatsEntry] = {}
+        # Tier-B verdicts arrive *before* the execution record (the
+        # analyzer runs pre-statement); park them until observe() sees
+        # the fingerprint. Bounded: oldest parked verdict drops first.
+        self._pending_verdicts: dict[str, str] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def observe(self, record: QueryRecord, now: float) -> Observation:
+        """Fold one executed statement in; ``now`` is the logical clock."""
+        digest, template = fingerprint(record.statement)
+        with self._lock:
+            entry = self._entries.get(digest)
+            evicted = 0
+            if entry is None:
+                evicted = self._evict_coldest()
+                entry = QueryStatsEntry(
+                    fingerprint=digest,
+                    template=template,
+                    kind=record.kind,
+                    first_seen=now,
+                )
+                self._entries[digest] = entry
+            parked = self._pending_verdicts.pop(digest, None)
+            if parked is not None:
+                entry.last_verdict = parked
+            entry.calls += 1
+            entry.rows += record.rows
+            entry.rows_consumed += record.rows_consumed
+            entry.seconds += record.seconds
+            entry.last_seen = now
+            entry.latency.add(record.seconds)
+            if record.misestimation is not None and (
+                entry.worst_misestimation is None
+                or record.misestimation > entry.worst_misestimation
+            ):
+                entry.worst_misestimation = record.misestimation
+            tracked = sum(
+                1 for e in self._entries.values() if e.kind == entry.kind
+            )
+            return Observation(
+                fingerprint=digest,
+                kind=entry.kind,
+                tracked_for_kind=tracked,
+                evicted=evicted,
+            )
+
+    def _evict_coldest(self) -> int:
+        """Make room for one new entry; returns how many were evicted."""
+        evicted = 0
+        while len(self._entries) >= self.max_entries:
+            coldest = min(
+                self._entries.values(), key=lambda e: (e.calls, e.last_seen)
+            )
+            del self._entries[coldest.fingerprint]
+            evicted += 1
+        self.evicted_total += evicted
+        return evicted
+
+    def note_verdict(self, stmt: Statement | str, verdict: str) -> None:
+        """Attach a Tier-B consume verdict to the statement's entry.
+
+        Accepts SQL text (the analyzer reports carry it) or an AST.
+        Unparseable text is ignored; a verdict for a fingerprint the
+        store has not seen yet is parked and applied when the execution
+        record arrives (the analyzer runs pre-statement).
+        """
+        if isinstance(stmt, str):
+            from repro.errors import QueryError
+            from repro.query.parser import parse
+
+            try:
+                stmt = parse(stmt)
+            except QueryError:
+                return
+        digest, _ = fingerprint(stmt)
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                entry.last_verdict = verdict
+                return
+            while len(self._pending_verdicts) >= 64:
+                oldest = next(iter(self._pending_verdicts))
+                del self._pending_verdicts[oldest]
+            self._pending_verdicts[digest] = verdict
+
+    def entries(self) -> list[QueryStatsEntry]:
+        """A point-in-time snapshot, most-called first."""
+        with self._lock:
+            return sorted(
+                self._entries.values(), key=lambda e: (-e.calls, e.fingerprint)
+            )
+
+    def top(self, n: int = 10, by: str = "seconds") -> list[QueryStatsEntry]:
+        """The ``n`` heaviest fingerprints by ``seconds``/``calls``/``rows``."""
+        if by not in ("seconds", "calls", "rows"):
+            raise ValueError(f"unknown ordering {by!r}")
+        with self._lock:
+            ranked = sorted(
+                self._entries.values(),
+                key=lambda e: (-getattr(e, by), e.fingerprint),
+            )
+        return ranked[:n]
+
+    def describe(self) -> dict[str, Any]:
+        """The ``/debug/queries`` payload: summaries plus store totals."""
+        with self._lock:
+            entries = sorted(
+                self._entries.values(), key=lambda e: (-e.calls, e.fingerprint)
+            )
+            return {
+                "fingerprints": len(entries),
+                "max_entries": self.max_entries,
+                "evicted_total": self.evicted_total,
+                "queries": [e.summary() for e in entries],
+            }
+
+    # ------------------------------------------------------------------
+    # persistence (checkpoint querystats.json)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "kind": "querystats",
+                "max_entries": self.max_entries,
+                "evicted_total": self.evicted_total,
+                "entries": [
+                    e.to_dict() for e in self._entries.values()
+                ],
+            }
+
+    def load_dict(self, data: dict[str, Any]) -> None:
+        """Replace this store's contents with a saved snapshot."""
+        entries = [QueryStatsEntry.from_dict(d) for d in data.get("entries", ())]
+        with self._lock:
+            self.max_entries = int(data.get("max_entries", self.max_entries))
+            self.evicted_total = int(data.get("evicted_total", 0))
+            self._entries = {e.fingerprint: e for e in entries}
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "QueryStatsStore":
+        store = QueryStatsStore(
+            max_entries=int(data.get("max_entries", DEFAULT_MAX_ENTRIES))
+        )
+        store.load_dict(data)
+        return store
+
+
+def render_queries(
+    rows: Iterable[QueryStatsEntry | dict[str, Any]],
+) -> list[str]:
+    """Human-readable table for the shell/CLI ``queries`` commands.
+
+    Accepts either live :class:`QueryStatsEntry` objects or their
+    :meth:`~QueryStatsEntry.summary` dicts (what ``/debug/queries``
+    and the admin ``stats`` op serve), so the network shell renders
+    the wire payload with the same code the local CLI uses.
+    """
+    summaries = [r.summary() if isinstance(r, QueryStatsEntry) else r for r in rows]
+    if not summaries:
+        return ["no statements recorded"]
+    lines = [
+        f"{'calls':>7}  {'rows':>9}  {'total ms':>10}  {'p95 ms':>8}  "
+        f"{'worst q':>8}  statement"
+    ]
+    for s in summaries:
+        p95 = s.get("p95_ms")
+        worst = s.get("worst_misestimation")
+        verdict = f"  [{s['last_verdict']}]" if s.get("last_verdict") else ""
+        lines.append(
+            f"{s['calls']:>7}  {s['rows']:>9}  {s['seconds'] * 1000.0:>10.2f}  "
+            f"{(0.0 if p95 is None else p95):>8.2f}  "
+            f"{'-' if worst is None else format(worst, '.1f'):>8}  "
+            f"{s['template']}{verdict}"
+        )
+    return lines

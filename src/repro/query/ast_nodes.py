@@ -7,7 +7,7 @@ All nodes are frozen dataclasses; each renders back to SQL via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Union
+from typing import Any, Callable, Union
 
 
 class Expression:
@@ -317,18 +317,75 @@ class SelectStmt:
 
 @dataclass(frozen=True)
 class ExplainStmt:
-    """``EXPLAIN [CONSUME] SELECT ...`` — describe, never execute.
+    """``EXPLAIN [ANALYZE] [CONSUME] SELECT|DELETE ...``.
 
-    Wrapping a consuming select asks the Tier-B analyzer for the
-    statement's statically-estimated Law-2 footprint; wrapping a plain
-    select renders the physical plan. Either way the wrapped statement
-    is *not* run and no row is touched.
+    Plain ``EXPLAIN`` describes and never executes: wrapping a
+    consuming select asks the Tier-B analyzer for the statement's
+    statically-estimated Law-2 footprint, wrapping a plain select or a
+    delete renders the physical plan. No row is touched.
+
+    ``EXPLAIN ANALYZE`` follows Postgres: the wrapped statement *is*
+    executed — CONSUME and DELETE really remove rows — with every plan
+    node instrumented, and the annotated plan (estimated vs. actual
+    rows, per-operator timings) is returned instead of the result set.
     """
 
-    inner: SelectStmt
+    inner: SelectStmt | DeleteStmt
+    analyze: bool = False
 
     def to_sql(self) -> str:
-        return f"EXPLAIN {self.inner.to_sql()}"
+        prefix = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{prefix} {self.inner.to_sql()}"
 
 
 Statement = Union[SelectStmt, InsertStmt, DeleteStmt, ExplainStmt]
+
+
+def rewrite_leaves(
+    expr: Expression,
+    column_fn: "Callable[[ColumnRef], Expression] | None" = None,
+    literal_fn: "Callable[[Literal], Expression] | None" = None,
+) -> Expression:
+    """Rebuild ``expr`` with every leaf passed through a mapping function.
+
+    Interior nodes (boolean/arithmetic operators, function calls, IN,
+    BETWEEN, IS NULL) are reconstructed; :class:`ColumnRef` and
+    :class:`Literal` leaves are replaced by ``column_fn(ref)`` /
+    ``literal_fn(lit)`` when given. Used by EXPLAIN ANALYZE's estimator
+    (de-qualifying join residuals) and by query fingerprinting
+    (stripping literals to placeholders).
+    """
+    def rec(node: Expression) -> Expression:
+        if isinstance(node, Literal):
+            return literal_fn(node) if literal_fn is not None else node
+        if isinstance(node, ColumnRef):
+            return column_fn(node) if column_fn is not None else node
+        if isinstance(node, UnaryOp):
+            return UnaryOp(node.op, rec(node.operand))
+        if isinstance(node, BinaryOp):
+            return BinaryOp(node.op, rec(node.left), rec(node.right))
+        if isinstance(node, FuncCall):
+            return FuncCall(
+                node.name,
+                tuple(rec(a) for a in node.args),
+                star=node.star,
+                distinct=node.distinct,
+            )
+        if isinstance(node, InList):
+            return InList(
+                rec(node.operand),
+                tuple(rec(i) for i in node.items),
+                negated=node.negated,
+            )
+        if isinstance(node, Between):
+            return Between(
+                rec(node.operand),
+                rec(node.low),
+                rec(node.high),
+                negated=node.negated,
+            )
+        if isinstance(node, IsNull):
+            return IsNull(rec(node.operand), negated=node.negated)
+        return node  # Star and any future leaf node
+
+    return rec(expr)

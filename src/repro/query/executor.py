@@ -15,11 +15,13 @@ of what the user chose to look at.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.errors import ConsumeError
+from repro.obs.profile import PROFILER
 from repro.query.ast_nodes import (
     DeleteStmt,
     ExplainStmt,
@@ -28,6 +30,12 @@ from repro.query.ast_nodes import (
     Statement,
 )
 from repro.query.expressions import evaluate
+from repro.query.opstats import (
+    PlanInstrumentation,
+    instrument_delete,
+    instrument_select,
+    render_analyzed,
+)
 from repro.query.parser import parse
 from repro.query.planner import (
     JoinPlan,
@@ -49,6 +57,28 @@ from repro.storage.rowset import RowSet
 
 ConsumeHook = Callable[[str, RowSet], None]
 InsertDelegate = Callable[[Mapping[str, Any]], int]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One executed statement, as reported to statistics hooks.
+
+    ``statement`` is the executed AST (for ``EXPLAIN ANALYZE`` the
+    *inner* statement, since that is what ran); ``misestimation`` is
+    the worst per-operator q-error when instrumentation ran, ``None``
+    for ordinary executions (estimates need a full stats collection
+    pass, too expensive to pay per query).
+    """
+
+    statement: Statement
+    kind: str
+    rows: int
+    rows_consumed: int
+    seconds: float
+    misestimation: float | None = None
+
+
+StatsHook = Callable[[QueryRecord], None]
 
 
 def _statement_kind(stmt: Statement) -> str:
@@ -90,8 +120,12 @@ class QueryEngine:
         self._consume_hooks: list[ConsumeHook] = []
         self._access_hooks: list[ConsumeHook] = []
         self._explain_hooks: list[Callable[["ConsumeReport"], None]] = []
+        self._stats_hooks: list[StatsHook] = []
         self._insert_delegates: dict[str, InsertDelegate] = {}
         self._insert_default_columns: dict[str, tuple[str, ...]] = {}
+        #: instrumentation of the most recent EXPLAIN ANALYZE, read by
+        #: the stats-hook record builder within the same execute() call
+        self._last_instr: PlanInstrumentation | None = None
 
     def add_consume_hook(self, hook: ConsumeHook) -> None:
         """Register a callback ``(table_name, consumed_rowset) -> None``."""
@@ -133,6 +167,15 @@ class QueryEngine:
         decay core publishes a ``ConsumeAnalyzed`` event from here."""
         self._explain_hooks.append(hook)
 
+    def add_stats_hook(self, hook: StatsHook) -> None:
+        """Run ``hook(record)`` after every *executing* statement —
+        SELECT, CONSUME, INSERT, DELETE, and the inner statement of an
+        ``EXPLAIN ANALYZE`` (plain ``EXPLAIN`` runs nothing and is not
+        reported). The query-statistics store feeds off this; with no
+        hooks registered the execute path does not even read the
+        clock."""
+        self._stats_hooks.append(hook)
+
     @property
     def analyzer(self) -> "ConsumeAnalyzer":
         """The Tier-B consume analyzer bound to this engine's catalog."""
@@ -156,6 +199,8 @@ class QueryEngine:
         stmt = parse(query) if isinstance(query, str) else query
         kind = _statement_kind(stmt)
         self.current_sql = query if isinstance(query, str) else None
+        self._last_instr = None
+        started = PROFILER.time() if self._stats_hooks else 0.0
         try:
             with self.tracer.span("query", kind=kind) as span:
                 if isinstance(stmt, ExplainStmt):
@@ -175,9 +220,38 @@ class QueryEngine:
                     rows_matched=result.stats.rows_matched,
                     rows_consumed=result.stats.rows_consumed,
                 )
+                if self._stats_hooks:
+                    self._record_statement(
+                        stmt, kind, result, PROFILER.time() - started
+                    )
                 return result
         finally:
             self.current_sql = None
+
+    def _record_statement(
+        self, stmt: Statement, kind: str, result: ResultSet, seconds: float
+    ) -> None:
+        """Report one executed statement to the stats hooks."""
+        if isinstance(stmt, ExplainStmt):
+            if not stmt.analyze:
+                return  # plain EXPLAIN executes nothing — nothing to record
+            stmt = stmt.inner
+            kind = _statement_kind(stmt)
+        instr = self._last_instr
+        record = QueryRecord(
+            statement=stmt,
+            kind=kind,
+            # an analyzed statement's ResultSet holds the rendered plan
+            # lines; the instrumentation carries the real row count
+            rows=instr.result_rows if instr is not None else len(result),
+            rows_consumed=result.stats.rows_consumed,
+            seconds=seconds,
+            misestimation=(
+                instr.worst_misestimation() if instr is not None else None
+            ),
+        )
+        for hook in self._stats_hooks:
+            hook(record)
 
     def explain(self, query: str | SelectStmt) -> SelectPlan:
         """Return the SELECT plan without executing (tests, curiosity)."""
@@ -188,17 +262,62 @@ class QueryEngine:
     # ------------------------------------------------------------------
 
     def _run_explain(self, stmt: ExplainStmt) -> ResultSet:
-        """EXPLAIN never executes: consume analysis or plan rendering."""
-        if stmt.inner.consume:
-            report = self.analyze_consume(stmt.inner)
+        """Plain EXPLAIN never executes; EXPLAIN ANALYZE runs the
+        statement with every operator instrumented."""
+        if stmt.analyze:
+            return self._run_explain_analyze(stmt)
+        inner = stmt.inner
+        if isinstance(inner, DeleteStmt):
+            lines = render_plan(plan_delete(inner, self.catalog))
+        elif inner.consume:
+            report = self.analyze_consume(inner)
             lines = report.describe().splitlines()
         else:
-            lines = render_plan(plan_select(stmt.inner, self.catalog))
+            lines = render_plan(plan_select(inner, self.catalog))
         return ResultSet(columns=("explain",), rows=[(line,) for line in lines])
 
-    def _enforce_strict_consume(self, stmt: SelectStmt) -> None:
+    def _run_explain_analyze(self, stmt: ExplainStmt) -> ResultSet:
+        """Execute the wrapped statement — CONSUME/DELETE really remove
+        rows — and return the annotated plan instead of its rows."""
+        inner = stmt.inner
+        started = PROFILER.time()
+        report: "ConsumeReport | None" = None
+        if isinstance(inner, DeleteStmt):
+            plan = plan_delete(inner, self.catalog)
+            instr = instrument_delete(plan, self.catalog)
+            result = self._delete_by_plan(inner, plan, instr)
+        else:
+            if inner.consume:
+                # pre-execution Tier-B verdict: the extent is still intact
+                report = self.analyze_consume(inner)
+                if self.strict_consume:
+                    self._enforce_strict_consume(inner, report)
+            select_plan = plan_select(inner, self.catalog)
+            instr = instrument_select(select_plan, self.catalog)
+            result = self._run(select_plan, instr)
+        instr.total_seconds = PROFILER.time() - started
+        instr.result_rows = len(result)
+        if report is not None:
+            instr.consume_verdict = report.verdict
+        self._last_instr = instr
+        lines = render_analyzed(instr)
+        if report is not None:
+            lines.insert(
+                len(lines) - 1, f"Tier-B consume verdict: {report.verdict}"
+            )
+        return ResultSet(
+            columns=("explain",),
+            rows=[(line,) for line in lines],
+            consumed=result.consumed,
+            stats=result.stats,
+        )
+
+    def _enforce_strict_consume(
+        self, stmt: SelectStmt, report: "ConsumeReport | None" = None
+    ) -> None:
         """Refuse a consume the analyzer proves eats the whole extent."""
-        report = self.analyze_consume(stmt)
+        if report is None:
+            report = self.analyze_consume(stmt)
         if report.is_total:
             raise ConsumeError(
                 f"strict_consume: {report.sql!r} would consume the entire "
@@ -229,22 +348,44 @@ class QueryEngine:
         return ResultSet(columns=("inserted",), rows=[(inserted,)])
 
     def _run_delete(self, stmt: DeleteStmt) -> ResultSet:
-        plan = plan_delete(stmt, self.catalog)
+        return self._delete_by_plan(stmt, plan_delete(stmt, self.catalog), None)
+
+    def _delete_by_plan(
+        self,
+        stmt: DeleteStmt,
+        plan: ScanPlan,
+        instr: PlanInstrumentation | None,
+    ) -> ResultSet:
         stats = ExecutionStats()
-        victims = RowSet(rid for rid, _ in ops.scan(plan, self.catalog, stats))
+        collect = instr.delete if instr is not None else None
+        started = PROFILER.time() if collect is not None else 0.0
+        victims = RowSet(
+            rid for rid, _ in ops.scan(plan, self.catalog, stats, collect)
+        )
         table = self.catalog.table(stmt.table)
         table.delete_rows(victims)
+        if collect is not None:
+            collect.seconds += PROFILER.time() - started
         result = ResultSet(columns=("deleted",), rows=[(len(victims),)], stats=stats)
         return result
 
     # ------------------------------------------------------------------
 
-    def _run(self, plan: SelectPlan) -> ResultSet:
+    def _run(
+        self, plan: SelectPlan, instr: PlanInstrumentation | None = None
+    ) -> ResultSet:
         stats = ExecutionStats()
         consumed = RowSet.empty()
 
         if isinstance(plan.source, ScanPlan):
-            pairs = list(ops.scan(plan.source, self.catalog, stats))
+            if instr is not None and instr.scan is not None:
+                started = PROFILER.time()
+                pairs = list(
+                    ops.scan(plan.source, self.catalog, stats, instr.scan)
+                )
+                instr.scan.seconds += PROFILER.time() - started
+            else:
+                pairs = list(ops.scan(plan.source, self.catalog, stats))
             contexts = [ctx for _, ctx in pairs]
             if self._access_hooks and pairs:
                 matched = RowSet(rid for rid, _ in pairs)
@@ -254,35 +395,85 @@ class QueryEngine:
                 consumed = RowSet(rid for rid, _ in pairs)
         else:
             assert isinstance(plan.source, JoinPlan)
-            joined = ops.hash_join(plan.source, self.catalog, stats)
+            collect = instr.join if instr is not None else None
+            started = PROFILER.time() if collect is not None else 0.0
+            joined = ops.hash_join(plan.source, self.catalog, stats, collect)
             if plan.source.residual is not None:
-                joined = ops.apply_filter(joined, plan.source.residual, stats)
+                joined = ops.apply_filter(
+                    joined, plan.source.residual, stats, collect
+                )
             contexts = list(joined)
+            if collect is not None:
+                collect.seconds += PROFILER.time() - started
+                collect.rows_out = len(contexts)
         stats.rows_matched = len(contexts)
 
         rows_iter = iter(contexts)
         if plan.aggregate is not None:
-            rows_iter = ops.aggregate(rows_iter, plan.aggregate)
+            if instr is not None and instr.aggregate is not None:
+                node = instr.aggregate
+                node.rows_in = len(contexts)
+                started = PROFILER.time()
+                grouped = list(ops.aggregate(rows_iter, plan.aggregate))
+                node.seconds += PROFILER.time() - started
+                node.rows_out = len(grouped)
+                rows_iter = iter(grouped)
+            else:
+                rows_iter = ops.aggregate(rows_iter, plan.aggregate)
 
         if plan.order_by:
-            ordered = ops.sort_rows(list(rows_iter), plan.order_by)
+            pre_sort = list(rows_iter)
+            if instr is not None and instr.sort is not None:
+                instr.sort.rows_in = len(pre_sort)
+                started = PROFILER.time()
+                ordered = ops.sort_rows(pre_sort, plan.order_by)
+                instr.sort.seconds += PROFILER.time() - started
+                instr.sort.rows_out = len(ordered)
+            else:
+                ordered = ops.sort_rows(pre_sort, plan.order_by)
             projected = ops.project(iter(ordered), plan.projections)
         else:
             projected = ops.project(rows_iter, plan.projections)
 
         if plan.distinct:
-            projected = ops.distinct(projected)
+            if instr is not None and instr.distinct is not None:
+                node = instr.distinct
+                pre = list(projected)
+                node.rows_in = len(pre)
+                started = PROFILER.time()
+                kept = list(ops.distinct(iter(pre)))
+                node.seconds += PROFILER.time() - started
+                node.rows_out = len(kept)
+                projected = iter(kept)
+            else:
+                projected = ops.distinct(projected)
         if plan.limit is not None:
-            projected = ops.limit(projected, plan.limit)
+            if instr is not None and instr.limit is not None:
+                # materializing here over-pulls relative to the lazy
+                # path, which is fine: upstream operators are pure
+                node = instr.limit
+                pre = list(projected)
+                node.rows_in = len(pre)
+                kept = list(ops.limit(iter(pre), plan.limit))
+                node.rows_out = len(kept)
+                projected = iter(kept)
+            else:
+                projected = ops.limit(projected, plan.limit)
 
         out_rows = list(projected)
 
         if plan.consume and consumed:
             table_name = plan.source.table_name
             with self.tracer.span("consume", table=table_name, rows=len(consumed)):
+                started = PROFILER.time() if instr is not None else 0.0
                 for hook in self._consume_hooks:
                     hook(table_name, consumed)
                 ops.consume_rows(self.catalog.table(table_name), consumed)
+                if instr is not None and instr.consume is not None:
+                    node = instr.consume
+                    node.seconds += PROFILER.time() - started
+                    node.rows_in = len(consumed)
+                    node.rows_out = len(consumed)
             stats.rows_consumed = len(consumed)
 
         return ResultSet(

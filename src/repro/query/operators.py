@@ -9,7 +9,7 @@ bare references.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from repro.errors import ExecutionError
 from repro.obs.profile import PROFILER
@@ -20,6 +20,9 @@ from repro.query.planner import AggregatePlan, IndexAccess, JoinPlan, ScanPlan
 from repro.query.result import ExecutionStats
 from repro.storage.catalog import Catalog
 from repro.storage.rowset import RowSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.query.opstats import OperatorStats
 
 RowContext = dict[str, Any]
 
@@ -32,7 +35,10 @@ def _make_context(binding: str, names: tuple[str, ...], values: tuple) -> RowCon
 
 
 def scan(
-    plan: ScanPlan, catalog: Catalog, stats: ExecutionStats
+    plan: ScanPlan,
+    catalog: Catalog,
+    stats: ExecutionStats,
+    collect: "OperatorStats | None" = None,
 ) -> Iterator[tuple[int, RowContext]]:
     """Yield ``(rid, context)`` for live rows matching the scan plan."""
     if PROFILER.enabled:
@@ -40,18 +46,21 @@ def scan(
         # generator); rows_scanned is exact either way
         start = PROFILER.time()
         before = stats.rows_scanned
-        yield from _scan(plan, catalog, stats)
+        yield from _scan(plan, catalog, stats, collect)
         PROFILER.record(
             "query.scan",
             rows=stats.rows_scanned - before,
             seconds=PROFILER.time() - start,
         )
         return
-    yield from _scan(plan, catalog, stats)
+    yield from _scan(plan, catalog, stats, collect)
 
 
 def _scan(
-    plan: ScanPlan, catalog: Catalog, stats: ExecutionStats
+    plan: ScanPlan,
+    catalog: Catalog,
+    stats: ExecutionStats,
+    collect: "OperatorStats | None" = None,
 ) -> Iterator[tuple[int, RowContext]]:
     table = catalog.table(plan.table_name)
     names = table.schema.names
@@ -61,13 +70,27 @@ def _scan(
     else:
         rids = _index_rids(plan.index, plan.table_name, catalog)
         stats.used_index = plan.index.describe()
+    if collect is not None:
+        # slots the storage iteration (or index maintenance) already
+        # skipped because decay rotted them away
+        collect.rotted_skipped += table.tombstones
     for rid in rids:
         stats.rows_scanned += 1
         values = table.row(rid)
         ctx = _make_context(plan.binding, names, values)
         if plan.residual is not None and not matches(plan.residual, ctx):
+            if collect is not None:
+                collect.rows_in += 1
+                collect.predicate_evals += 1
             continue
+        if collect is not None:
+            collect.rows_in += 1
+            if plan.residual is not None:
+                collect.predicate_evals += 1
+            collect.rows_out += 1
         yield rid, ctx
+    if collect is not None and plan.index is not None:
+        collect.index_hits = collect.rows_in
 
 
 def _index_rids(index: IndexAccess, table_name: str, catalog: Catalog) -> Iterable[int]:
@@ -88,14 +111,24 @@ def _index_rids(index: IndexAccess, table_name: str, catalog: Catalog) -> Iterab
 
 
 def hash_join(
-    plan: JoinPlan, catalog: Catalog, stats: ExecutionStats
+    plan: JoinPlan,
+    catalog: Catalog,
+    stats: ExecutionStats,
+    collect: "OperatorStats | None" = None,
 ) -> Iterator[RowContext]:
     """Classic build/probe hash equi-join; right side builds."""
     right_table = catalog.table(plan.right.table_name)
     right_names = right_table.schema.names
+    if collect is not None:
+        collect.rotted_skipped += (
+            right_table.tombstones
+            + catalog.table(plan.left.table_name).tombstones
+        )
     buckets: dict[Any, list[RowContext]] = {}
     for rid in right_table.live_rows():
         stats.rows_scanned += 1
+        if collect is not None:
+            collect.rows_in += 1
         values = right_table.row(rid)
         ctx = {f"{plan.right.binding}.{n}": v for n, v in zip(right_names, values)}
         key = ctx.get(plan.right_key)
@@ -109,6 +142,8 @@ def hash_join(
     left_names = left_table.schema.names
     for rid in left_table.live_rows():
         stats.rows_scanned += 1
+        if collect is not None:
+            collect.rows_in += 1
         values = left_table.row(rid)
         left_ctx = {f"{plan.left.binding}.{n}": v for n, v in zip(left_names, values)}
         key = left_ctx.get(plan.left_key)
@@ -126,9 +161,12 @@ def apply_filter(
     rows: Iterable[RowContext],
     predicate: Expression | None,
     stats: ExecutionStats,
+    collect: "OperatorStats | None" = None,
 ) -> Iterator[RowContext]:
     """Keep only contexts matching ``predicate`` (SQL NULL = no match)."""
     for ctx in rows:
+        if collect is not None:
+            collect.predicate_evals += 1
         if matches(predicate, ctx):
             yield ctx
 

@@ -1,0 +1,345 @@
+"""Per-operator instrumentation behind ``EXPLAIN ANALYZE``.
+
+Plan-vs-actual observability for the Law-2 executor: every plan node
+gets an :class:`OperatorStats` collector (rows in/out, rotted rows the
+scan skipped over, predicate evaluations, index hits, wall time via
+the :class:`~repro.obs.profile.HotPathProfiler` clock) plus an
+*estimated* output cardinality computed with the very same selectivity
+arithmetic the Tier-B consume analyzer trusts
+(:func:`repro.lint.analyze.predicate_selectivity` over
+:mod:`repro.storage.stats` equi-width histograms). The annotated plan
+then prints a misestimation factor per operator — the q-error
+``max(est, actual) / min(est, actual)`` — which is the calibration
+signal the freshness-aware executor v2 cost model (ROADMAP item 2)
+will be graded against.
+
+Instrumentation is strictly opt-in: ordinary execution passes
+``collect=None`` through the operators, paying one pointer-is-None
+branch per row (gated <5% on ``bench_query`` p50, like the profiler's
+T3 gate). Estimates call :func:`~repro.storage.stats.collect_stats`,
+which walks every live value — acceptable for an explicit diagnostic
+statement, never paid by ordinary queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lint.analyze import DEFAULT_SELECTIVITY, predicate_selectivity
+from repro.query.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    Literal,
+    rewrite_leaves,
+)
+from repro.query.planner import (
+    IndexAccess,
+    JoinPlan,
+    ScanPlan,
+    SelectPlan,
+    render_join,
+    render_scan,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.stats import TableStats, collect_stats
+
+
+@dataclass
+class OperatorStats:
+    """Actuals for one plan node, next to its estimated cardinality."""
+
+    kind: str  # scan | join | aggregate | sort | distinct | limit | consume | delete
+    label: str
+    rows_in: int = 0
+    rows_out: int = 0
+    rotted_skipped: int = 0
+    predicate_evals: int = 0
+    index_hits: int = 0
+    seconds: float = 0.0
+    estimated_rows: int | None = None
+
+    def misestimation(self) -> float | None:
+        """q-error of the row estimate: ``max(e, a) / min(e, a)``, ≥ 1."""
+        if self.estimated_rows is None:
+            return None
+        est, actual = self.estimated_rows, self.rows_out
+        return max(est, actual, 1) / max(min(est, actual), 1)
+
+    def annotate(self, *, timings: bool = True) -> str:
+        """The indented actual-vs-estimate line under the plan line."""
+        noun = "rows consumed" if self.kind in ("consume", "delete") else "rows"
+        if self.estimated_rows is None:
+            parts = [f"{noun}: actual {self.rows_out}"]
+        else:
+            q = self.misestimation()
+            parts = [
+                f"{noun}: est {self.estimated_rows}, actual {self.rows_out} "
+                f"(q={q:.2f})"
+            ]
+        if self.kind in ("scan", "delete"):
+            parts.append(
+                f"in {self.rows_in}, index hits {self.index_hits}, "
+                f"rotted skipped {self.rotted_skipped}, "
+                f"predicate evals {self.predicate_evals}"
+            )
+        elif self.kind == "join":
+            parts.append(
+                f"in {self.rows_in}, predicate evals {self.predicate_evals}"
+            )
+        else:
+            parts.append(f"in {self.rows_in}")
+        if timings:
+            parts.append(f"{self.seconds * 1000.0:.3f} ms")
+        return " | ".join(parts)
+
+
+class PlanInstrumentation:
+    """Ordered :class:`OperatorStats` nodes for one executed plan."""
+
+    def __init__(self) -> None:
+        self.nodes: list[OperatorStats] = []
+        self.scan: OperatorStats | None = None
+        self.join: OperatorStats | None = None
+        self.aggregate: OperatorStats | None = None
+        self.sort: OperatorStats | None = None
+        self.distinct: OperatorStats | None = None
+        self.limit: OperatorStats | None = None
+        self.consume: OperatorStats | None = None
+        self.delete: OperatorStats | None = None
+        self.total_seconds = 0.0
+        self.result_rows = 0
+        #: Tier-B verdict of an analyzed consume (set by the executor)
+        self.consume_verdict: str | None = None
+
+    def add(
+        self, kind: str, label: str, estimated_rows: int | None
+    ) -> OperatorStats:
+        node = OperatorStats(kind=kind, label=label, estimated_rows=estimated_rows)
+        self.nodes.append(node)
+        setattr(self, kind, node)
+        return node
+
+    def worst_misestimation(self) -> float | None:
+        """The largest per-node q-error, or ``None`` without estimates."""
+        factors = [
+            q for node in self.nodes if (q := node.misestimation()) is not None
+        ]
+        return max(factors) if factors else None
+
+
+# ----------------------------------------------------------------------
+# cardinality estimation
+# ----------------------------------------------------------------------
+
+def _index_expr(index: IndexAccess) -> Expression | None:
+    """The predicate an index access stands for, for the estimator."""
+    column = ColumnRef(index.column)
+    if index.kind == "hash-eq":
+        return BinaryOp("=", column, Literal(index.eq_value))
+    parts: list[Expression] = []
+    if index.low is not None:
+        parts.append(
+            BinaryOp(">=" if index.include_low else ">", column, Literal(index.low))
+        )
+    if index.high is not None:
+        parts.append(
+            BinaryOp("<=" if index.include_high else "<", column, Literal(index.high))
+        )
+    out: Expression | None = None
+    for part in parts:
+        out = part if out is None else BinaryOp("AND", out, part)
+    return out
+
+
+def _scan_estimates(
+    scan: ScanPlan, stats: TableStats
+) -> tuple[int, int]:
+    """(estimated rows entering the scan, estimated rows it emits)."""
+    extent = stats.live_rows
+    access = _index_expr(scan.index) if scan.index is not None else None
+    est_in = extent
+    if access is not None:
+        est_in = _clamp(extent * predicate_selectivity(access, stats), extent)
+    combined = access
+    if scan.residual is not None:
+        combined = (
+            scan.residual
+            if combined is None
+            else BinaryOp("AND", combined, scan.residual)
+        )
+    est_out = _clamp(extent * predicate_selectivity(combined, stats), extent)
+    return est_in, est_out
+
+
+def _clamp(value: float, extent: int) -> int:
+    return max(0, min(extent, round(value)))
+
+
+def _dequalify(expr: Expression, binding: str) -> Expression | None:
+    """Strip ``binding.`` qualifiers; ``None`` if another table appears."""
+    foreign = False
+
+    def unqualify(ref: ColumnRef) -> Expression:
+        nonlocal foreign
+        if ref.table is None or ref.table == binding:
+            return ColumnRef(ref.name)
+        foreign = True
+        return ref
+
+    rewritten = rewrite_leaves(expr, column_fn=unqualify)
+    return None if foreign else rewritten
+
+
+def _residual_selectivity(
+    residual: Expression | None,
+    left: tuple[str, TableStats],
+    right: tuple[str, TableStats],
+) -> float:
+    """Join-residual selectivity: per-side conjuncts use that side's
+    histograms, cross-table conjuncts fall back to the default guess."""
+    if residual is None:
+        return 1.0
+    from repro.query.normalize import conjuncts
+
+    out = 1.0
+    for conj in conjuncts(residual):
+        sel = DEFAULT_SELECTIVITY
+        for binding, stats in (left, right):
+            local = _dequalify(conj, binding)
+            if local is not None and all(
+                ref.name in {c.name for c in stats.columns}
+                for ref in local.column_refs()
+            ):
+                sel = predicate_selectivity(local, stats)
+                break
+        out *= sel
+    return out
+
+
+def _key_distinct(key: str, stats: TableStats) -> int:
+    try:
+        return max(1, stats.column(key.split(".")[-1]).distinct)
+    except KeyError:
+        return 1
+
+
+def _group_estimate(
+    keys: tuple[str, ...], est_in: int, stats_by_binding: dict[str, TableStats]
+) -> int:
+    """Estimated group count: product of per-key distincts, capped."""
+    if not keys:
+        return 1
+    if est_in <= 0:
+        return 0
+    groups = 1
+    for key in keys:
+        binding = key.split(".")[0] if "." in key else next(iter(stats_by_binding))
+        stats = stats_by_binding.get(binding)
+        if stats is None:
+            stats = next(iter(stats_by_binding.values()))
+        groups *= _key_distinct(key, stats)
+    return max(1, min(est_in, groups))
+
+
+# ----------------------------------------------------------------------
+# instrumentation builders
+# ----------------------------------------------------------------------
+
+def instrument_select(plan: SelectPlan, catalog: Catalog) -> PlanInstrumentation:
+    """Build estimate-carrying collectors for every node of ``plan``."""
+    instr = PlanInstrumentation()
+    source = plan.source
+    stats_by_binding: dict[str, TableStats] = {}
+    if isinstance(source, ScanPlan):
+        stats = collect_stats(catalog.table(source.table_name))
+        stats_by_binding[source.binding] = stats
+        _, est = _scan_estimates(source, stats)
+        instr.add("scan", render_scan(source), est)
+    else:
+        assert isinstance(source, JoinPlan)
+        left_stats = collect_stats(catalog.table(source.left.table_name))
+        right_stats = collect_stats(catalog.table(source.right.table_name))
+        stats_by_binding[source.left.binding] = left_stats
+        stats_by_binding[source.right.binding] = right_stats
+        distinct_keys = max(
+            _key_distinct(source.left_key, left_stats),
+            _key_distinct(source.right_key, right_stats),
+        )
+        est_match = left_stats.live_rows * right_stats.live_rows / distinct_keys
+        est_match *= _residual_selectivity(
+            source.residual,
+            (source.left.binding, left_stats),
+            (source.right.binding, right_stats),
+        )
+        cross = left_stats.live_rows * right_stats.live_rows
+        instr.add("join", render_join(source), _clamp(est_match, max(cross, 1)))
+
+    est_rows = instr.nodes[-1].estimated_rows or 0
+    if plan.aggregate is not None:
+        est_groups = _group_estimate(
+            plan.aggregate.group_keys, est_rows, stats_by_binding
+        )
+        if plan.aggregate.having is not None:
+            est_groups = max(1, _clamp(est_groups * DEFAULT_SELECTIVITY, est_groups))
+        label = (
+            f"aggregate by {list(plan.aggregate.group_names) or 'ALL'} "
+            f"computing {[a.to_sql() for a in plan.aggregate.aggregates]}"
+        )
+        instr.add("aggregate", label, est_groups)
+        est_rows = est_groups
+    if plan.order_by:
+        instr.add("sort", f"sort by {[o.to_sql() for o in plan.order_by]}", est_rows)
+    if plan.distinct:
+        instr.add("distinct", "distinct over output columns", est_rows)
+    if plan.limit is not None:
+        est_rows = min(plan.limit, est_rows)
+        instr.add("limit", f"limit {plan.limit}", est_rows)
+    if plan.consume:
+        scan_node = instr.scan
+        est_consumed = scan_node.estimated_rows if scan_node is not None else None
+        instr.add(
+            "consume",
+            "CONSUME: matching base rows are deleted (Law 2)",
+            est_consumed,
+        )
+    return instr
+
+
+def instrument_delete(plan: ScanPlan, catalog: Catalog) -> PlanInstrumentation:
+    """Collectors for a DELETE's victim scan (shares the scan counters)."""
+    instr = PlanInstrumentation()
+    stats = collect_stats(catalog.table(plan.table_name))
+    _, est = _scan_estimates(plan, stats)
+    label = (
+        render_scan(plan)
+        + "\nDELETE: matching base rows are removed (no distillation)"
+    )
+    instr.add("delete", label, est)
+    return instr
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+def render_analyzed(
+    instr: PlanInstrumentation, *, timings: bool = True
+) -> list[str]:
+    """The annotated plan: one label line + one actuals line per node.
+
+    ``timings=False`` drops the wall-time suffixes and total duration
+    so golden-text tests stay deterministic.
+    """
+    lines = ["EXPLAIN ANALYZE (plan vs. actual)"]
+    for node in instr.nodes:
+        lines.extend(node.label.splitlines())
+        lines.append("  " + node.annotate(timings=timings))
+    worst = instr.worst_misestimation()
+    summary = f"total: {instr.result_rows} row(s)"
+    if worst is not None:
+        summary += f"; worst misestimation q={worst:.2f}"
+    if timings:
+        summary += f"; {instr.total_seconds * 1000.0:.3f} ms"
+    lines.append(summary)
+    return lines

@@ -2,7 +2,9 @@
 
 Grammar (informal)::
 
-    statement   := [EXPLAIN] select_stmt | insert_stmt | delete_stmt
+    statement   := [EXPLAIN [ANALYZE]] select_stmt
+                 | [EXPLAIN [ANALYZE]] delete_stmt
+                 | insert_stmt
     select_stmt := [CONSUME] SELECT [DISTINCT] proj_list FROM table_ref
                    [JOIN table_ref ON column = column]
                    [WHERE or_expr]
@@ -99,9 +101,19 @@ class _Parser:
 
     def parse_statement(self) -> Statement:
         if self.accept_keyword("EXPLAIN"):
-            if self.check_keyword("INSERT") or self.check_keyword("DELETE"):
-                self.fail("EXPLAIN supports only [CONSUME] SELECT")
-            return ExplainStmt(self.parse_select())
+            # ANALYZE is a soft keyword: reserving it would steal a
+            # perfectly good column name, so match the IDENT in place
+            analyze = (
+                self.current.type is TokenType.IDENT
+                and self.current.text.upper() == "ANALYZE"
+            )
+            if analyze:
+                self.advance()
+            if self.check_keyword("INSERT"):
+                self.fail("EXPLAIN supports only [CONSUME] SELECT and DELETE")
+            if self.check_keyword("DELETE"):
+                return ExplainStmt(self.parse_delete(), analyze=analyze)
+            return ExplainStmt(self.parse_select(), analyze=analyze)
         if self.check_keyword("INSERT"):
             return self.parse_insert()
         if self.check_keyword("DELETE"):

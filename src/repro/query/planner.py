@@ -493,19 +493,39 @@ def plan_insert(stmt: InsertStmt, catalog: Catalog) -> tuple[str, tuple[str, ...
     return stmt.table, tuple(columns)
 
 
-def render_plan(plan: SelectPlan) -> list[str]:
-    """Human-readable plan lines (``EXPLAIN SELECT`` and the shell)."""
+def render_scan(scan: ScanPlan) -> str:
+    """The one-line description of a base-table scan."""
+    access = scan.index.describe() if scan.index else "full scan"
+    residual = scan.residual.to_sql() if scan.residual else "none"
+    return f"scan {scan.table_name} via {access}; residual {residual}"
+
+
+def render_join(join: JoinPlan) -> str:
+    """The one-line description of a hash equi-join."""
+    residual = join.residual.to_sql() if join.residual else "none"
+    return (
+        f"hash join {join.left.table_name} x {join.right.table_name} "
+        f"on {join.left_key} = {join.right_key}; residual {residual}"
+    )
+
+
+def render_plan(plan: SelectPlan | ScanPlan) -> list[str]:
+    """Human-readable plan lines (``EXPLAIN`` and the shell).
+
+    Accepts a full :class:`SelectPlan` or the bare :class:`ScanPlan`
+    that :func:`plan_delete` produces for ``DELETE`` statements.
+    """
+    if isinstance(plan, ScanPlan):
+        return [
+            render_scan(plan),
+            "DELETE: matching base rows are removed (no distillation)",
+        ]
     lines: list[str] = []
     source = plan.source
     if isinstance(source, ScanPlan):
-        access = source.index.describe() if source.index else "full scan"
-        residual = source.residual.to_sql() if source.residual else "none"
-        lines.append(f"scan {source.table_name} via {access}; residual {residual}")
+        lines.append(render_scan(source))
     else:
-        lines.append(
-            f"hash join {source.left.table_name} x {source.right.table_name} "
-            f"on {source.left_key} = {source.right_key}"
-        )
+        lines.append(render_join(source))
     if plan.aggregate:
         lines.append(
             f"aggregate by {list(plan.aggregate.group_names) or 'ALL'} "
@@ -513,6 +533,8 @@ def render_plan(plan: SelectPlan) -> list[str]:
         )
     if plan.order_by:
         lines.append(f"sort by {[o.to_sql() for o in plan.order_by]}")
+    if plan.distinct:
+        lines.append("distinct over output columns")
     if plan.limit is not None:
         lines.append(f"limit {plan.limit}")
     if plan.consume:

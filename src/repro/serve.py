@@ -31,6 +31,7 @@ from typing import Any
 from repro.cli import parse_fungus_spec
 from repro.core.db import FungusDB
 from repro.errors import FungusError
+from repro.obs.querystats import render_queries
 from repro.obs.tracing import JsonlTraceExporter, Tracer, validate_trace
 from repro.server.auth import RIGHTS, AuthRegistry, Grant
 from repro.server.client import FungusClient, ServerError
@@ -175,7 +176,8 @@ async def _client_command(client: FungusClient, line: str) -> None:
         print(
             "SQL runs at strong consistency; \\s SELECT ... reads the tick\n"
             "snapshot; .tick [n] advances decay; .stats / .metrics /\n"
-            ".sessions inspect the server; .quit leaves"
+            ".sessions inspect the server; .queries shows the per-\n"
+            "fingerprint statement statistics; .quit leaves"
         )
         return
     if line.startswith("\\s "):
@@ -190,6 +192,14 @@ async def _client_command(client: FungusClient, line: str) -> None:
     if line == ".stats":
         response = await client.request({"op": "stats"})
         print(json.dumps(response["stats"], indent=2, sort_keys=True))
+        return
+    if line == ".queries":
+        response = await client.request({"op": "stats"})
+        querystats = response["stats"].get("querystats", {})
+        for out in render_queries(querystats.get("queries", [])):
+            print(out)
+        if querystats.get("evicted_total"):
+            print(f"({querystats['evicted_total']} cold fingerprints evicted)")
         return
     if line == ".metrics":
         response = await client.request({"op": "metrics"})
@@ -244,6 +254,11 @@ async def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
     if report.scraped_samples >= 0:
         print(f"mid-run /metrics scrape: {report.scraped_samples} samples, parse ok")
+    if report.scraped_fingerprints >= 0:
+        print(
+            f"mid-run /debug/queries scrape: "
+            f"{report.scraped_fingerprints} fingerprints tracked"
+        )
     if args.out:
         path = report.write_snapshot(args.out)
         print(f"wrote {path}")

@@ -93,6 +93,9 @@ class LoadgenReport:
     trace_spans: list[dict[str, Any]] = field(repr=False, default_factory=list)
     #: samples parsed from the mid-run /metrics scrape (-1 = no scrape)
     scraped_samples: int = -1
+    #: statement fingerprints reported by the mid-run /debug/queries
+    #: scrape (-1 = no scrape)
+    scraped_fingerprints: int = -1
 
     def bench_entries(self) -> list[dict[str, Any]]:
         """Snapshot entries in the shape ``repro.bench regress`` reads."""
@@ -204,17 +207,12 @@ def _stage_quantiles(spans: list[dict[str, Any]]) -> dict[str, dict[str, float]]
     }
 
 
-async def _scrape_metrics(host: str, port: int) -> int:
-    """GET /metrics over asyncio streams; returns parsed sample count.
-
-    Raises if the exposition fails the strict ``parse_prometheus``
-    oracle — a mid-run scrape that does not parse is a bug, not a
-    degraded datapoint.
-    """
+async def _ops_get(host: str, port: int, path: str) -> str:
+    """GET ``path`` from the ops listener; returns the decoded body."""
     reader, writer = await asyncio.open_connection(host, port)
     try:
         writer.write(
-            f"GET /metrics HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1")
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1")
         )
         await writer.drain()
         raw = await reader.read()
@@ -227,8 +225,36 @@ async def _scrape_metrics(host: str, port: int) -> int:
     head, _, body = raw.partition(b"\r\n\r\n")
     status = head.split(b" ", 2)[1:2]
     if status != [b"200"]:
-        raise ConnectionError(f"/metrics answered {head.splitlines()[0]!r}")
-    return len(parse_prometheus(body.decode("utf-8")))
+        raise ConnectionError(f"{path} answered {head.splitlines()[0]!r}")
+    return body.decode("utf-8")
+
+
+async def _scrape_metrics(host: str, port: int) -> int:
+    """GET /metrics; returns parsed sample count.
+
+    Raises if the exposition fails the strict ``parse_prometheus``
+    oracle — a mid-run scrape that does not parse is a bug, not a
+    degraded datapoint.
+    """
+    return len(parse_prometheus(await _ops_get(host, port, "/metrics")))
+
+
+async def _scrape_queries(host: str, port: int) -> int:
+    """GET /debug/queries; returns the tracked fingerprint count.
+
+    Raises if the store is absent or the payload shape is off — the
+    loadgen mix runs four statement shapes, so a mid-run scrape that
+    sees no fingerprints means the stats plumbing is broken.
+    """
+    payload = json.loads(await _ops_get(host, port, "/debug/queries"))
+    if not payload.get("enabled"):
+        raise ConnectionError("/debug/queries reports the store disabled")
+    fingerprints = payload["fingerprints"]
+    if fingerprints != len(payload["queries"]):
+        raise ConnectionError(
+            "/debug/queries fingerprint count disagrees with its rows"
+        )
+    return int(fingerprints)
 
 
 def _raise_fd_limit(connections: int) -> None:
@@ -356,7 +382,7 @@ async def run_loadgen(
     out: dict[str, Any] = {"latencies": [], "errors": 0, "busy": 0}
     started = time.perf_counter()
     deadline = started + config.duration
-    scrape: asyncio.Task[int] | None = None
+    scrape: asyncio.Task[tuple[int, int]] | None = None
     if server is not None and config.scrape_ops:
         scrape = asyncio.ensure_future(
             _delayed_scrape(server.config.host, server.ops_port, config.duration / 2)
@@ -371,9 +397,9 @@ async def run_loadgen(
     finally:
         elapsed = time.perf_counter() - started
         ticks = server.db.clock.now if server is not None else -1.0
-        scraped = -1
+        scraped, fingerprints = -1, -1
         if scrape is not None:
-            scraped = await scrape
+            scraped, fingerprints = await scrape
         if server is not None:
             await server.stop()
     latencies = out["latencies"]
@@ -393,10 +419,11 @@ async def run_loadgen(
         stages=_stage_quantiles(trace_spans),
         trace_spans=trace_spans,
         scraped_samples=scraped,
+        scraped_fingerprints=fingerprints,
     )
 
 
-async def _delayed_scrape(host: str, port: int, delay: float) -> int:
-    """Scrape /metrics once, mid-run."""
+async def _delayed_scrape(host: str, port: int, delay: float) -> tuple[int, int]:
+    """Scrape /metrics and /debug/queries once, mid-run."""
     await asyncio.sleep(delay)
-    return await _scrape_metrics(host, port)
+    return await _scrape_metrics(host, port), await _scrape_queries(host, port)

@@ -22,7 +22,10 @@ Two pieces, both deliberately tiny:
       begun so load balancers stop routing here;
     * ``GET /debug/sessions`` — the live session table (per-op
       counters, last activity, in-flight requests), JSON;
-    * ``GET /debug/slow`` — the slow-query ring, JSON, newest first.
+    * ``GET /debug/slow`` — the slow-query ring, JSON, newest first;
+    * ``GET /debug/queries`` — the query-statistics store's
+      per-fingerprint aggregates (``pg_stat_statements`` over HTTP),
+      JSON, most-called first.
 
     Everything it serves is loop-owned state — the registry, the
     session table, the slow ring — so no handler ever touches the
@@ -173,6 +176,18 @@ class OpsServer:
                     "entries": fungus.slow_log.entries(),
                 },
             )
+        elif path == "/debug/queries":
+            querystats = fungus.db.querystats
+            if querystats is None:
+                await self._respond_json(
+                    writer, {"enabled": False, "fingerprints": 0, "queries": []}
+                )
+            else:
+                # describe() snapshots under the store's lock, so the
+                # worker thread mutating mid-scrape is harmless
+                payload = querystats.describe()
+                payload["enabled"] = True
+                await self._respond_json(writer, payload)
         else:
             await self._respond(writer, 404, "text/plain", "not found\n")
 

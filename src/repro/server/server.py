@@ -87,8 +87,9 @@ class ServerConfig:
     slow_log_size: int = 128
 
 
-#: ops that require the admin grant
-ADMIN_OPS = frozenset({"tick", "drain", "sessions"})
+#: ops that require the admin grant ("stats" exposes whole-database
+#: shape plus per-statement fingerprints — operator-only information)
+ADMIN_OPS = frozenset({"tick", "drain", "sessions", "stats"})
 
 #: histogram stage label → span name, where they differ (the span keeps
 #: its ``frame.`` prefix in the engine-wide taxonomy)
@@ -148,6 +149,9 @@ class FungusServer:
 
     async def start(self) -> "FungusServer":
         """Bind, publish the initial snapshot, start the background ticker."""
+        # every served statement lands in the fingerprint store, so the
+        # admin `stats` op and /debug/queries have something to show
+        self.db.enable_querystats()
         self.snapshot = await self._run_strong(lambda: TickSnapshot.capture(self.db))
         self._server = await asyncio.start_server(
             self._handle_connection,
@@ -625,6 +629,9 @@ class FungusServer:
     def _job_stats(self, session: Session) -> Callable[[], dict[str, Any]]:
         def job() -> dict[str, Any]:
             stats = self.db.stats()
+            querystats = self.db.querystats
+            if querystats is not None:
+                stats["querystats"] = querystats.describe()
             return ok(stats=stats)
 
         return job

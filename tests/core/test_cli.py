@@ -253,6 +253,32 @@ class TestForensicsCommands:
     def test_alerts_unknown_action(self, shell):
         assert "unknown alerts action" in shell.execute_line("alerts frob")
 
+    def test_queries_command_aggregates_fingerprints(self, shell):
+        shell.execute_line("create r v:int")
+        shell.execute_line("insert r v=1")
+        shell.execute_line("SELECT v FROM r WHERE v > 0")
+        shell.execute_line("SELECT v FROM r WHERE v > 5")
+        out = shell.execute_line("queries")
+        assert "SELECT v FROM r WHERE (v > ?)" in out
+        assert "calls" in out  # the header row
+        row = next(
+            line for line in out.splitlines() if "WHERE (v > ?)" in line
+        )
+        assert row.split()[0] == "2"  # both literals share one shape
+
+    def test_queries_command_empty_and_bad_ordering(self, shell):
+        assert "no statements recorded" in shell.execute_line("queries")
+        assert "error" in shell.execute_line("queries humidity")
+        assert "usage" in shell.execute_line("queries calls 5 extra")
+
+    def test_queries_survive_save_load(self, shell, tmp_path):
+        shell.execute_line("create r v:int")
+        shell.execute_line("insert r v=1")
+        shell.execute_line("SELECT v FROM r")
+        shell.execute_line(f"save {tmp_path}")
+        shell.execute_line(f"load {tmp_path}")
+        assert "SELECT v FROM r" in shell.execute_line("queries")
+
     def test_load_records_restored_over(self, shell, tmp_path):
         shell.execute_line("create r v:int")
         shell.execute_line("insert r v=1")

@@ -1,0 +1,14 @@
+"""Known-bad fixture: repro_query_* references the catalogue disowns.
+
+Plain assignments and lookups only — no registry registration calls —
+so RS004 stays silent and every finding below belongs to RS010.
+"""
+
+
+def read_panel(registry, kind: str):
+    good = registry.value("repro_query_calls_total", kind=kind)  # fine
+    series = "repro_query_seconds_bucket"  # fine: exposition suffix
+    bad = registry.value("repro_query_latency_total", kind=kind)  # flagged
+    dynamic = "repro_query_" + kind  # flagged: concatenation
+    shaped = f"repro_query_{kind}_total"  # flagged: f-string
+    return good, series, bad, dynamic, shaped

@@ -19,6 +19,7 @@ from repro.lint.rules import (
     ChainedRaiseRule,
     NoWallClockRule,
     PublishedEventRule,
+    QueryMetricReferenceRule,
     SanctionedFreshnessRule,
     SeededRandomRule,
     SpanContextManagerRule,
@@ -38,6 +39,7 @@ FIXTURE_BY_RULE = {
     "RS007": FIXTURES / "repro" / "fungi" / "rs007_per_row_decay.py",
     "RS008": FIXTURES / "repro" / "server" / "rs008_blocking_async.py",
     "RS009": FIXTURES / "repro" / "server" / "rs009_manual_span.py",
+    "RS010": FIXTURES / "rs010_query_metric_refs.py",
 }
 
 EXPECTED_COUNTS = {
@@ -50,6 +52,7 @@ EXPECTED_COUNTS = {
     "RS007": 2,  # for-loop set_freshness and comprehension decay
     "RS008": 4,  # sleep, sync socket, open(), pathlib read; helpers pass
     "RS009": 4,  # root/stage/anchor/span sans with; with + record_span pass
+    "RS010": 3,  # undocumented name, concatenation, f-string; suffix passes
 }
 
 
@@ -137,6 +140,7 @@ class TestEngine:
             "RS007",
             "RS008",
             "RS009",
+            "RS010",
         ]
         for rule in default_rules():
             assert rule.title and rule.rationale
@@ -152,6 +156,7 @@ class TestEngine:
             BatchMutatorRule,
             BlockingAsyncRule,
             SpanContextManagerRule,
+            QueryMetricReferenceRule,
         ):
             assert rule_cls.id.startswith("RS")
 

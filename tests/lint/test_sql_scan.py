@@ -82,6 +82,63 @@ class TestVerdicts:
         assert [r.verdict for r in results] == ["none"]
 
 
+class TestExplainCheck:
+    def test_every_statement_kind_is_picked_up(self, tmp_path):
+        write(
+            tmp_path,
+            "job.py",
+            'A = "SELECT v FROM r WHERE v > 3"\n'
+            'B = "CONSUME SELECT v FROM r WHERE v > 3"\n'
+            'C = "DELETE FROM r WHERE v > 3"\n'
+            'D = "INSERT INTO r (v) VALUES (1)"\n'
+            'E = "EXPLAIN ANALYZE SELECT v FROM r WHERE v > 3"\n'
+            'PROSE = "SELECT committee minutes are in the drive"\n',
+        )
+        outcomes = sqlscan.explain_check([tmp_path])
+        assert [o.status for o in outcomes] == ["ok", "ok", "ok", "insert", "ok"]
+
+    def test_schema_inference_types_string_comparisons(self, tmp_path):
+        """key = 'a' must infer a str column, not choke on float."""
+        write(
+            tmp_path,
+            "job.py",
+            "SQL = \"SELECT v FROM r WHERE key = 'a' AND v > 2\"\n",
+        )
+        (outcome,) = sqlscan.explain_check([tmp_path])
+        assert outcome.status == "ok", outcome.detail
+
+    def test_join_and_in_list_statements_explain(self, tmp_path):
+        write(
+            tmp_path,
+            "job.py",
+            'SQL = ("SELECT r.v FROM r JOIN s ON r.key = s.k "\n'
+            "       \"WHERE s.label IN ('X', 'Y')\")\n",
+        )
+        found = [o for o in sqlscan.explain_check([tmp_path]) if o.sql]
+        assert [o.status for o in found] == ["ok"], [o.detail for o in found]
+
+    def test_renderer_error_fails_the_check(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "bad.py",
+            'SQL = "SELECT v FROM r WHERE v >"\n',  # parse error
+        )
+        assert lint_main(["sql", "--explain", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE failed" in out
+        assert "1 failed" in out
+
+    def test_dynamic_statements_do_not_fail(self, tmp_path):
+        write(
+            tmp_path,
+            "job.py",
+            'def q(t):\n    return f"SELECT v FROM r WHERE v > {t}"\n',
+        )
+        (outcome,) = sqlscan.explain_check([tmp_path])
+        assert outcome.status == "dynamic"
+        assert not outcome.failed
+
+
 class TestRepoExamples:
     def test_shipped_examples_have_no_total_consumes(self, capsys):
         """The CI smoke contract: every example consume is bounded."""
@@ -92,3 +149,11 @@ class TestRepoExamples:
     def test_shipped_examples_actually_contain_consumes(self):
         results = sqlscan.scan([REPO / "examples"])
         assert len([r for r in results if r.sql is not None]) >= 4
+
+    def test_shipped_examples_all_explain(self, capsys):
+        """The CI contract: every example statement renders a plan."""
+        assert lint_main(["sql", "--explain", str(REPO / "examples")]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+        explained = int(out.splitlines()[-1].split()[0])
+        assert explained >= 10

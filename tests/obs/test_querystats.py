@@ -1,0 +1,281 @@
+"""Tests for repro.obs.querystats — the pg_stat_statements analogue.
+
+Covers fingerprint normalization (literal stripping, constant folding,
+INSERT batch collapse, EXPLAIN ANALYZE aggregating with plain runs),
+the bounded store (eviction of the coldest fingerprint, verdict
+parking), latency quantiles, persistence (dict round-trip and the full
+checkpoint path), the ``repro_query_*`` metric families, and the
+renderer both shells share.
+"""
+
+import pytest
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.db import FungusDB
+from repro.core.events import QueryExecuted
+from repro.obs.collector import BusCollector
+from repro.obs.querystats import (
+    QueryStatsEntry,
+    QueryStatsStore,
+    fingerprint,
+    normalize_statement,
+    render_queries,
+)
+from repro.query.executor import QueryRecord
+from repro.query.parser import parse
+from repro.storage.schema import Schema
+
+
+def record(sql: str, kind: str = "select", **kw) -> QueryRecord:
+    defaults = dict(rows=1, rows_consumed=0, seconds=0.001, misestimation=None)
+    defaults.update(kw)
+    return QueryRecord(statement=parse(sql), kind=kind, **defaults)
+
+
+class TestFingerprint:
+    def test_literals_share_a_shape(self):
+        a, _ = fingerprint(parse("SELECT v FROM r WHERE v > 5"))
+        b, _ = fingerprint(parse("SELECT v FROM r WHERE v > 99"))
+        assert a == b
+
+    def test_constant_folding_before_stripping(self):
+        a, _ = fingerprint(parse("SELECT v FROM r WHERE v > 2 + 3"))
+        b, _ = fingerprint(parse("SELECT v FROM r WHERE v > 5"))
+        assert a == b
+
+    def test_projection_is_part_of_the_shape(self):
+        a, _ = fingerprint(parse("SELECT v FROM r WHERE v > 5"))
+        b, _ = fingerprint(parse("SELECT t FROM r WHERE v > 5"))
+        assert a != b
+
+    def test_limit_separates_fingerprints(self):
+        a, _ = fingerprint(parse("SELECT v FROM r LIMIT 5"))
+        b, _ = fingerprint(parse("SELECT v FROM r LIMIT 6"))
+        assert a != b
+
+    def test_insert_batches_collapse(self):
+        one = normalize_statement(parse("INSERT INTO r (v, k) VALUES (1, 'a')"))
+        many = normalize_statement(
+            parse("INSERT INTO r (v, k) VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+        )
+        assert one == many == "INSERT INTO r (v, k) VALUES (?, ?)"
+
+    def test_explain_analyze_aggregates_with_plain_runs(self):
+        plain, _ = fingerprint(parse("SELECT v FROM r WHERE v > 5"))
+        analyzed, _ = fingerprint(parse("EXPLAIN ANALYZE SELECT v FROM r WHERE v > 5"))
+        assert plain == analyzed
+
+    def test_consume_is_its_own_shape(self):
+        a, _ = fingerprint(parse("SELECT v FROM r WHERE v > 5"))
+        b, _ = fingerprint(parse("CONSUME SELECT v FROM r WHERE v > 5"))
+        assert a != b
+
+    def test_digest_is_processs_stable(self):
+        digest, template = fingerprint(parse("SELECT v FROM r WHERE v > 5"))
+        assert len(digest) == 12
+        assert template == "SELECT v FROM r WHERE (v > ?)"
+        # sha1 of the template, not a salted hash(): pin the value so a
+        # checkpoint written by one process resolves in another
+        assert digest == fingerprint(parse("SELECT v FROM r WHERE v > 8"))[0]
+
+
+class TestStore:
+    def test_observe_aggregates_per_fingerprint(self):
+        store = QueryStatsStore()
+        store.observe(record("SELECT v FROM r WHERE v > 1", rows=3), now=1.0)
+        store.observe(record("SELECT v FROM r WHERE v > 2", rows=5), now=4.0)
+        (entry,) = store.entries()
+        assert entry.calls == 2
+        assert entry.rows == 8
+        assert entry.first_seen == 1.0
+        assert entry.last_seen == 4.0
+
+    def test_latency_quantiles(self):
+        store = QueryStatsStore()
+        for ms in range(1, 101):
+            store.observe(
+                record("SELECT v FROM r", seconds=ms / 1000.0), now=float(ms)
+            )
+        (entry,) = store.entries()
+        assert entry.p50() == pytest.approx(0.050, rel=0.25)
+        assert entry.p95() == pytest.approx(0.095, rel=0.25)
+
+    def test_worst_misestimation_keeps_the_maximum(self):
+        store = QueryStatsStore()
+        store.observe(record("SELECT v FROM r", misestimation=3.0), now=1.0)
+        store.observe(record("SELECT v FROM r", misestimation=2.0), now=2.0)
+        store.observe(record("SELECT v FROM r", misestimation=None), now=3.0)
+        (entry,) = store.entries()
+        assert entry.worst_misestimation == 3.0
+
+    def test_bounded_eviction_of_the_coldest(self):
+        store = QueryStatsStore(max_entries=2)
+        for _ in range(3):
+            store.observe(record("SELECT v FROM r WHERE v > 1"), now=1.0)
+        store.observe(record("SELECT t FROM r"), now=2.0)
+        observation = store.observe(record("SELECT f FROM r"), now=3.0)
+        assert observation.evicted == 1
+        assert store.evicted_total == 1
+        assert len(store) == 2
+        templates = {e.template for e in store.entries()}
+        # the hot 3-call entry survives; the cold single-call one died
+        assert "SELECT v FROM r WHERE (v > ?)" in templates
+        assert "SELECT t FROM r" not in templates
+
+    def test_observation_counts_fingerprints_per_kind(self):
+        store = QueryStatsStore()
+        store.observe(record("SELECT v FROM r"), now=1.0)
+        obs = store.observe(record("SELECT t FROM r"), now=1.0)
+        assert obs.tracked_for_kind == 2
+        obs = store.observe(record("DELETE FROM r", kind="delete"), now=1.0)
+        assert obs.tracked_for_kind == 1
+
+    def test_top_orderings(self):
+        store = QueryStatsStore()
+        store.observe(record("SELECT v FROM r", rows=100, seconds=0.001), now=1.0)
+        for _ in range(5):
+            store.observe(record("SELECT t FROM r", rows=1, seconds=0.1), now=1.0)
+        assert store.top(1, by="rows")[0].template == "SELECT v FROM r"
+        assert store.top(1, by="calls")[0].template == "SELECT t FROM r"
+        assert store.top(1, by="seconds")[0].template == "SELECT t FROM r"
+        with pytest.raises(ValueError, match="unknown ordering"):
+            store.top(1, by="vibes")
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            QueryStatsStore(max_entries=0)
+
+
+class TestVerdicts:
+    SQL = "CONSUME SELECT v FROM r WHERE v > 5"
+
+    def test_verdict_after_observation_applies_directly(self):
+        store = QueryStatsStore()
+        store.observe(record(self.SQL, kind="consume"), now=1.0)
+        store.note_verdict(self.SQL, "partial")
+        assert store.entries()[0].last_verdict == "partial"
+
+    def test_verdict_before_observation_is_parked(self):
+        # the Tier-B analyzer runs pre-statement, so the verdict can
+        # arrive before the execution record exists
+        store = QueryStatsStore()
+        store.note_verdict(self.SQL, "total")
+        assert store.entries() == []
+        store.observe(record(self.SQL, kind="consume"), now=1.0)
+        assert store.entries()[0].last_verdict == "total"
+
+    def test_unparseable_sql_ignored(self):
+        store = QueryStatsStore()
+        store.note_verdict("CONSUME SELECT FROM WHERE", "partial")
+        assert store.entries() == []
+
+    def test_parked_verdicts_bounded(self):
+        store = QueryStatsStore()
+        for i in range(80):
+            store.note_verdict(f"CONSUME SELECT v FROM r WHERE v > {i} AND t = {i}", "x")
+        assert len(store._pending_verdicts) <= 64
+
+
+class TestPersistence:
+    def test_dict_round_trip(self):
+        store = QueryStatsStore(max_entries=8)
+        for i in range(3):
+            store.observe(
+                record("SELECT v FROM r WHERE v > 1", seconds=0.01 * (i + 1)),
+                now=float(i),
+            )
+        store.note_verdict("SELECT v FROM r WHERE v > 1", "none")
+        restored = QueryStatsStore.from_dict(store.to_dict())
+        assert restored.max_entries == 8
+        before, after = store.entries()[0], restored.entries()[0]
+        assert after.fingerprint == before.fingerprint
+        assert after.calls == before.calls
+        assert after.last_verdict == "none"
+        assert after.p95() == pytest.approx(before.p95())
+
+    def test_checkpoint_round_trip(self, tmp_path):
+        db = FungusDB(seed=3)
+        db.create_table("r", Schema.of(v="int"))
+        db.enable_querystats()
+        db.insert("r", {"v": 1})
+        for bound in (1, 2, 3):
+            db.query(f"SELECT v FROM r WHERE v > {bound}")
+        save_checkpoint(db, tmp_path)
+        assert (tmp_path / "querystats.json").exists()
+        restored = load_checkpoint(tmp_path)
+        assert restored.querystats is not None
+        (entry,) = restored.querystats.entries()
+        assert entry.template == "SELECT v FROM r WHERE (v > ?)"
+        assert entry.calls == 3
+
+    def test_checkpoint_without_store_restores_without_store(self, tmp_path):
+        db = FungusDB(seed=3)
+        db.create_table("r", Schema.of(v="int"))
+        save_checkpoint(db, tmp_path)
+        assert not (tmp_path / "querystats.json").exists()
+        assert load_checkpoint(tmp_path).querystats is None
+
+
+class TestMetricsFamilies:
+    def test_query_families_reach_the_exposition(self):
+        db = FungusDB(seed=5)
+        db.create_table("r", Schema.of(v="int"))
+        db.enable_querystats()
+        collector = BusCollector().attach(db)
+        db.query("INSERT INTO r (v) VALUES (1), (2), (3)")
+        db.query("SELECT v FROM r WHERE v > 1")
+        db.query("SELECT v FROM r WHERE v > 2")
+        registry = collector.registry
+        assert registry.value("repro_query_calls_total", kind="select") == 2.0
+        assert registry.value("repro_query_calls_total", kind="insert") == 1.0
+        assert registry.value("repro_query_rows_total", kind="select") == 3.0
+        assert registry.value("repro_query_fingerprints", kind="select") == 1.0
+        from repro.obs.export import render_prometheus
+
+        text = render_prometheus(collector.registry)
+        assert "repro_query_seconds_bucket" in text
+        assert "repro_query_calls_total" in text
+
+    def test_event_payload_only_built_with_subscribers(self):
+        # publish_lazy: the store still observes when nobody listens
+        db = FungusDB(seed=5)
+        db.create_table("r", Schema.of(v="int"))
+        db.enable_querystats()
+        db.query("SELECT v FROM r")
+        assert len(db.querystats) == 1
+
+    def test_event_carries_table_and_kind(self):
+        db = FungusDB(seed=5)
+        db.create_table("r", Schema.of(v="int"))
+        db.enable_querystats()
+        seen = []
+        db.bus.subscribe(QueryExecuted, seen.append)
+        db.query("CONSUME SELECT v FROM r WHERE v > 99")
+        (event,) = seen
+        assert event.table == "r"
+        assert event.kind == "consume"
+        assert event.tracked_for_kind == 1
+
+
+class TestRenderQueries:
+    def test_empty(self):
+        assert render_queries([]) == ["no statements recorded"]
+
+    def test_entries_and_summaries_render_identically(self):
+        store = QueryStatsStore()
+        store.observe(record("SELECT v FROM r WHERE v > 1"), now=1.0)
+        entries = store.entries()
+        summaries = [e.summary() for e in entries]
+        assert render_queries(entries) == render_queries(summaries)
+
+    def test_verdict_suffix(self):
+        entry = QueryStatsEntry(
+            fingerprint="abc",
+            template="CONSUME SELECT v FROM r",
+            kind="consume",
+            calls=1,
+            last_verdict="partial",
+        )
+        (header, row) = render_queries([entry])
+        assert header.endswith("statement")
+        assert row.endswith("CONSUME SELECT v FROM r  [partial]")

@@ -92,6 +92,8 @@ class TestTracedLoadgen:
             assert 0 <= stages[stage]["p50_s"] <= stages[stage]["p99_s"]
         # the mid-run scrape went through the strict parser
         assert traced_report.scraped_samples > 0
+        # ... and /debug/queries saw the mix's statement fingerprints
+        assert traced_report.scraped_fingerprints > 0
 
     def test_bench_entries_gain_per_stage_rows(self, traced_report):
         entries = {e["fullname"]: e for e in traced_report.bench_entries()}
@@ -133,5 +135,6 @@ class TestTracedLoadgen:
         assert report.stages == {}
         assert report.trace_spans == []
         assert report.scraped_samples == -1
+        assert report.scraped_fingerprints == -1
         (entry,) = report.bench_entries()
         assert entry["fullname"] == "bench_server.py::test_server_request_latency"

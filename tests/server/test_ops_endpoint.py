@@ -129,6 +129,54 @@ class TestOpsEndpoint:
         assert payload["total"] >= 1
         assert any(e["sql"] == "SELECT k FROM r" for e in payload["entries"])
 
+    def test_debug_queries_serves_fingerprint_aggregates(self):
+        async def scenario():
+            db = seeded_db()
+            async with running_server(db, ops_port=0) as server:
+                client = await connect(server)
+                try:
+                    await client.query("SELECT k FROM r WHERE v > 1")
+                    await client.query("SELECT k FROM r WHERE v > 2")
+                    await client.query("SELECT count(*) FROM r")
+                finally:
+                    await client.close()
+                return await http_request(server.ops_port, "/debug/queries")
+
+        status, headers, body = asyncio.run(scenario())
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert payload["fingerprints"] == len(payload["queries"]) >= 2
+        by_template = {q["template"]: q for q in payload["queries"]}
+        shared = by_template["SELECT k FROM r WHERE (v > ?)"]
+        assert shared["calls"] == 2
+        assert shared["kind"] == "select"
+        assert shared["p95_ms"] is not None
+
+    def test_stats_op_carries_querystats_for_admins(self):
+        from repro.server.auth import AuthRegistry, Grant
+
+        registry = AuthRegistry()
+        registry.issue("t-root", Grant.of("root", admin=True))
+
+        async def scenario():
+            db = seeded_db()
+            async with running_server(db, auth=registry) as server:
+                client = await connect(server, token="t-root")
+                try:
+                    await client.query("SELECT k FROM r")
+                    return await client.request({"op": "stats"})
+                finally:
+                    await client.close()
+
+        response = asyncio.run(scenario())
+        querystats = response["stats"]["querystats"]
+        assert querystats["fingerprints"] >= 1
+        assert any(
+            q["template"] == "SELECT k FROM r" for q in querystats["queries"]
+        )
+
     def test_unknown_path_and_method(self):
         async def scenario():
             db = seeded_db()

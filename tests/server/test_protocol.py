@@ -274,6 +274,11 @@ class TestAuthMatrix:
         ),
         ("t-eater", {"op": "query", "sql": "DELETE FROM r WHERE v < 5"}, None),
         ("t-admin", {"op": "query", "sql": "DELETE FROM r"}, None),
+        # stats exposes every statement shape the server has run, so it
+        # sits behind the same admin bar as the session table
+        ("t-reader", {"op": "stats"}, Code.DENIED),
+        ("t-eater", {"op": "stats"}, Code.DENIED),
+        ("t-admin", {"op": "stats"}, None),
     ]
 
     def test_matrix(self):
