@@ -87,6 +87,7 @@ class FungusDB:
         self.telemetry = None
         self.forensics = None
         self.querystats = None
+        self.race_probe = None
         self.engine.add_consume_hook(self._before_consume)
         self.engine.add_access_hook(self._on_access)
         # Tier-B static analysis: EXPLAIN CONSUME + the strict gate see
@@ -177,6 +178,8 @@ class FungusDB:
             seed=zlib.crc32(f"{self.seed}:{name}".encode()) & 0xFFFFFFFF,
         )
         table.tracer = self._tracer
+        if self.race_probe is not None:
+            table.storage.probe = self.race_probe
         self.tables[name] = table
         self.policies[name] = policy
         self._distill_on_consume[name] = distill_on_consume
@@ -446,6 +449,26 @@ class FungusDB:
 
             self.engine.add_stats_hook(record_statement)
         return self.querystats
+
+    def enable_race_probe(self, mode: str = "raise"):
+        """Arm the runtime thread-sanitizer probe; returns the probe.
+
+        Every current and future table of *this* database gets the
+        probe (fan-out mirrors the tracer setter), which records the
+        owning thread of each mutation and flags — or, with
+        ``mode="record"``, collects — any mutation arriving from a
+        different thread. Ownership is claimed by the first mutation
+        after arming; :meth:`~repro.storage.raceprobe.RaceProbe.bind`
+        re-claims it at handoffs. Idempotent: a second call returns
+        the existing probe.
+        """
+        if self.race_probe is None:
+            from repro.storage.raceprobe import RaceProbe
+
+            self.race_probe = RaceProbe(mode=mode)
+            for table in self.tables.values():
+                table.storage.probe = self.race_probe
+        return self.race_probe
 
     # ------------------------------------------------------------------
     # introspection

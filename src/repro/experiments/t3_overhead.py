@@ -94,7 +94,10 @@ def run(scale: str = "smoke") -> ExperimentResult:
 
     # telemetry overhead: the obs layer's disabled state (NULL_TRACER +
     # profiler-off guards) must be free; metrics collection should stay
-    # cheap; full tracing + profiling is reported but not gated
+    # cheap; full tracing + profiling is reported but not gated. The
+    # race probe's disabled state (one is-None check per table mutator)
+    # rides on the same "off" path and so under the same 5% gate; an
+    # armed probe is reported like full tracing
     tele_repeats = pick(scale, 5, 7)
 
     def timed_ingest(mode: str) -> tuple[float, FungusDB]:
@@ -109,6 +112,8 @@ def run(scale: str = "smoke") -> ExperimentResult:
             db.enable_telemetry()
         elif mode == "full":
             db.enable_telemetry(tracing=True, profile=True)
+        elif mode == "probe":
+            db.enable_race_probe()
         batch = [generator.generate(0) for _ in range(100)]
 
         def ingest(db=db, batch=batch) -> None:
@@ -121,7 +126,7 @@ def run(scale: str = "smoke") -> ExperimentResult:
     # the two disabled labels measure the *same* configuration; their
     # agreement is the zero-overhead gate. All labels are interleaved
     # round-robin so machine drift hits every mode equally.
-    modes = ("off", "off-rerun", "metrics", "full")
+    modes = ("off", "off-rerun", "metrics", "full", "probe")
     telemetry: dict[str, float] = {mode: float("inf") for mode in modes}
     tele_dbs: dict[str, FungusDB] = {}
     timed_ingest("off")  # warm-up run, discarded
@@ -190,7 +195,7 @@ def run(scale: str = "smoke") -> ExperimentResult:
         "telemetry overhead vs disabled: "
         + ", ".join(
             f"{label}={telemetry[label] / off_s - 1.0:+.1%}"
-            for label in ("off-rerun", "metrics", "full")
+            for label in ("off-rerun", "metrics", "full", "probe")
         )
     )
     rerun_s = telemetry["off-rerun"]

@@ -17,6 +17,12 @@
     an inferred empty-table catalog and exits 1 if any fails to parse,
     plan, or render — CI runs this over ``examples/`` so a shipped
     example can never carry a statement the plan renderer chokes on.
+
+``python -m repro.lint flow [paths]``
+    Tier-C interprocedural analysis (RS011–RS013) over the project
+    call graph (defaults to ``src``). ``--graph`` dumps the resolved
+    edges, ``--stats`` prints per-rule hit counts, ``--prom`` writes
+    the same ``repro_lint_findings_total`` exposition as Tier A.
 """
 
 from __future__ import annotations
@@ -24,14 +30,18 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Protocol, Sequence
 
-from repro.lint.engine import LintEngine, LintReport
+from repro.lint.engine import Finding, LintEngine, LintReport
 from repro.lint.rules import CATALOGUE_VERSION
 from repro.lint import sqlscan
 
 
-def _write_prom(report: LintReport, target: Path) -> None:
+class _Reportable(Protocol):
+    findings: list[Finding]
+
+
+def _write_prom(report: _Reportable, target: Path) -> None:
     from repro.obs.export import render_prometheus
     from repro.obs.metrics import MetricsRegistry
 
@@ -48,12 +58,33 @@ def _write_prom(report: LintReport, target: Path) -> None:
 
 def _run_lint(args: argparse.Namespace) -> int:
     paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
-    report = LintEngine().lint_paths(paths)
+    report = LintEngine(audit_noqa=True).lint_paths(paths)
     if args.format == "json":
         print(report.to_json())
     else:
         print(f"repro.lint rule catalogue v{CATALOGUE_VERSION}")
         print(report.human())
+        if args.stats:
+            print(report.stats())
+    if args.prom is not None:
+        _write_prom(report, Path(args.prom))
+    return report.exit_code
+
+
+def _run_flow(args: argparse.Namespace) -> int:
+    from repro.lint.flow import FlowEngine
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    report = FlowEngine().analyze_paths(paths)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(f"repro.lint flow rule catalogue v{CATALOGUE_VERSION}")
+        print(report.human())
+        if args.stats:
+            print(report.stats())
+    if args.graph:
+        print(report.graph_dump())
     if args.prom is not None:
         _write_prom(report, Path(args.prom))
     return report.exit_code
@@ -102,6 +133,33 @@ def main(argv: Sequence[str] | None = None) -> int:
             "parse/plan/render errors",
         )
         return _run_sql(parser.parse_args(argv[1:]))
+    if argv and argv[0] == "flow":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro.lint flow",
+            description="Tier-C interprocedural flow analysis "
+            f"(RS011–RS013, rule catalogue v{CATALOGUE_VERSION})",
+        )
+        parser.add_argument("paths", nargs="*", help="files or directories")
+        parser.add_argument(
+            "--format", choices=("human", "json"), default="human"
+        )
+        parser.add_argument(
+            "--graph",
+            action="store_true",
+            help="dump the resolved call graph as 'caller -> callee' lines",
+        )
+        parser.add_argument(
+            "--stats",
+            action="store_true",
+            help="print a per-rule hit-count summary",
+        )
+        parser.add_argument(
+            "--prom",
+            metavar="FILE",
+            default=None,
+            help="write per-rule finding counts as Prometheus exposition",
+        )
+        return _run_flow(parser.parse_args(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="rot-safety AST lint (rule catalogue "
@@ -110,6 +168,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("paths", nargs="*", help="files or directories")
     parser.add_argument(
         "--format", choices=("human", "json"), default="human"
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a per-rule hit-count summary",
     )
     parser.add_argument(
         "--prom",

@@ -3,7 +3,7 @@
 The engine walks python files, parses each once into a
 :class:`ModuleSource`, and hands the module to every registered
 :class:`Rule`. Rules yield :class:`Finding` objects; the engine
-applies per-line suppressions (``# repro: noqa[RS001]`` on the
+applies per-line suppressions (``# repro: noqa[RS0xx]`` on the
 flagged line) and aggregates everything into a :class:`LintReport`
 that can render as human-readable lines or JSON.
 
@@ -21,12 +21,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import ClassVar, Iterable, Iterator, Sequence
 
-#: per-line suppression marker: ``# repro: noqa[RS001]`` or
-#: ``# repro: noqa[RS001, RS004]`` on the finding's physical line.
+#: per-line suppression marker: ``# repro: noqa[RS0xx]`` or
+#: ``# repro: noqa[RS0xx, RS0yy]`` on the finding's physical line.
 NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9_,\s]+)\]")
 
 #: pseudo-rule id for files the engine cannot parse at all.
 SYNTAX_RULE_ID = "RS000"
+
+#: pseudo-rule id for ``# repro: noqa[...]`` comments that no longer
+#: suppress anything — a stale suppression is itself a lint error.
+STALE_NOQA_RULE_ID = "RS900"
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,19 @@ class ModuleSource:
                     part.strip() for part in match.group(1).split(",") if part.strip()
                 )
         return frozenset()
+
+    def noqa_comments(self) -> dict[int, frozenset[str]]:
+        """Every suppression comment: 1-based line -> declared rule ids."""
+        found: dict[int, frozenset[str]] = {}
+        for number, text in enumerate(self.lines, start=1):
+            match = NOQA_RE.search(text)
+            if match:
+                ids = frozenset(
+                    part.strip() for part in match.group(1).split(",") if part.strip()
+                )
+                if ids:
+                    found[number] = ids
+        return found
 
 
 class Rule:
@@ -122,10 +139,30 @@ class LintReport:
         lines.append(summary)
         return "\n".join(lines)
 
+    def rule_counts(self) -> dict[str, int]:
+        """Unsuppressed finding count per rule id, sorted by id."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def stats(self) -> str:
+        """A per-rule hit-count table (``--stats``)."""
+        counts = self.rule_counts()
+        lines = [f"  {rule}  {count}" for rule, count in counts.items()]
+        if not lines:
+            lines = ["  (no findings)"]
+        header = (
+            f"per-rule findings over {self.files} file(s), "
+            f"{self.suppressed} suppressed:"
+        )
+        return "\n".join([header, *lines])
+
     def to_json(self) -> str:
         payload = {
             "files": self.files,
             "suppressed": self.suppressed,
+            "counts": self.rule_counts(),
             "findings": [f.to_dict() for f in self.findings],
         }
         return json.dumps(payload, indent=2, sort_keys=True)
@@ -134,12 +171,20 @@ class LintReport:
 class LintEngine:
     """Runs a rule set over files and directories."""
 
-    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        audit_noqa: bool = False,
+    ) -> None:
         if rules is None:
             from repro.lint.rules import default_rules
 
             rules = default_rules()
         self.rules: list[Rule] = list(rules)
+        #: when set, a ``# repro: noqa[RS0xx]`` comment that suppressed
+        #: nothing is reported as an RS900 finding (the CLI turns this
+        #: on; library callers opt in).
+        self.audit_noqa = audit_noqa
 
     def lint_source(self, path: Path, text: str) -> tuple[list[Finding], int]:
         """Lint one in-memory module; returns (findings, suppressed)."""
@@ -156,16 +201,38 @@ class LintEngine:
             return [finding], 0
         findings: list[Finding] = []
         suppressed = 0
+        used: dict[int, set[str]] = {}
         for rule in self.rules:
             if not rule.applies_to(path):
                 continue
             for finding in rule.check(module):
                 if finding.rule in module.suppressed_at(finding.line):
                     suppressed += 1
+                    used.setdefault(finding.line, set()).add(finding.rule)
                 else:
                     findings.append(finding)
+        if self.audit_noqa:
+            findings.extend(self._stale_noqa(module, used))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings, suppressed
+
+    @staticmethod
+    def _stale_noqa(
+        module: ModuleSource, used: dict[int, set[str]]
+    ) -> Iterator[Finding]:
+        """RS900 findings for suppression ids that suppressed nothing."""
+        for line, declared in sorted(module.noqa_comments().items()):
+            for rule_id in sorted(declared - used.get(line, set())):
+                yield Finding(
+                    rule=STALE_NOQA_RULE_ID,
+                    path=str(module.path),
+                    line=line,
+                    col=0,
+                    message=(
+                        f"stale suppression: noqa[{rule_id}] no longer "
+                        "suppresses any finding on this line — delete it"
+                    ),
+                )
 
     def lint_file(self, path: Path) -> tuple[list[Finding], int]:
         return self.lint_source(path, path.read_text(encoding="utf-8"))

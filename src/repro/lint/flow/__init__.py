@@ -1,0 +1,44 @@
+"""Tier-C flow analysis: interprocedural rules over a call graph.
+
+Tier A (:mod:`repro.lint.engine`) checks one module at a time; this
+package builds a project-wide call graph, runs a worklist dataflow
+pass over it, and powers the RS011–RS013 rule families:
+
+* :class:`~repro.lint.flow.contexts.RotRaceChecker` — RS011, the
+  rot-race detector (execution contexts pushed from entry points),
+* :class:`~repro.lint.flow.taint.DeterminismTaintChecker` — RS012,
+  nondeterminism taint pulled up from sources,
+* :class:`~repro.lint.flow.locks.LockDisciplineChecker` — RS013,
+  declared-guarded fields need their lock on every path.
+
+Entry point: ``python -m repro.lint flow [paths]``.
+"""
+
+from repro.lint.flow.callgraph import (
+    CallEdge,
+    CallGraph,
+    FunctionNode,
+    build_callgraph,
+    module_name_for,
+)
+from repro.lint.flow.contexts import RotRaceChecker
+from repro.lint.flow.dataflow import Propagation, propagate
+from repro.lint.flow.engine import FlowEngine, FlowReport, default_checkers
+from repro.lint.flow.locks import LockDisciplineChecker
+from repro.lint.flow.taint import DeterminismTaintChecker
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "DeterminismTaintChecker",
+    "FlowEngine",
+    "FlowReport",
+    "FunctionNode",
+    "LockDisciplineChecker",
+    "Propagation",
+    "RotRaceChecker",
+    "build_callgraph",
+    "default_checkers",
+    "module_name_for",
+    "propagate",
+]

@@ -1,0 +1,741 @@
+"""Project-wide call graph for Tier-C interprocedural analysis.
+
+The builder parses every module once, registers **every** function
+definition (module functions, methods, nested defs, async defs,
+decorated defs) as a :class:`FunctionNode`, and then resolves call
+sites into :class:`CallEdge` objects using:
+
+* the module's import table (``import x as y``, ``from m import n``),
+* lexical scope (nested defs, closures),
+* nominal class attribution — ``self.x = ClassName(...)`` in any
+  method, annotated parameters (including string annotations and
+  ``T | None`` unions), class-level annotations, and classmethod
+  factories (``x = ClassName.from_thing(...)``) all type the receiver
+  so ``obj.method()`` resolves to ``ClassName.method``,
+* base-class lookup (a method not found on the receiver's class is
+  searched through its resolved bases, breadth-first).
+
+Calls the resolver cannot attribute (stdlib, ``**kwargs`` trampolines,
+first-class function values) are recorded per function in
+``CallGraph.unresolved`` — the analyses treat them as opaque, never as
+silently safe *edges*.
+
+Nodes are keyed ``module:qualname:lineno`` — the line number keeps a
+``@property`` and its ``@x.setter`` (same qualname) distinct, which is
+what lets the test suite assert that every def in the tree appears in
+the graph exactly once.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "FunctionNode",
+    "build_callgraph",
+    "module_name_for",
+]
+
+
+@dataclass(frozen=True)
+class FunctionNode:
+    """One function definition in the scanned tree."""
+
+    key: str
+    module: str
+    qualname: str
+    name: str
+    path: str
+    lineno: int
+    is_async: bool
+    class_name: str | None  # dotted name of the owning class, if a method
+    decorators: tuple[str, ...]
+
+    @property
+    def dotted(self) -> str:
+        """``module.qualname`` — unique except for property pairs."""
+        return f"{self.module}.{self.qualname}"
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """A resolved call site: ``caller`` invokes ``callee``."""
+
+    caller: str  # FunctionNode.key
+    callee: str  # FunctionNode.key
+    line: int
+    col: int
+
+
+class _Class:
+    """Per-class index: methods, raw bases, attribute types."""
+
+    def __init__(self, dotted: str, module: str) -> None:
+        self.dotted = dotted
+        self.module = module
+        self.bases_raw: list[ast.expr] = []
+        self.methods: dict[str, str] = {}  # method name -> node key
+        self.method_decorators: dict[str, tuple[str, ...]] = {}
+        self.attr_raw: dict[str, list[ast.expr]] = {}  # attr -> typing exprs
+        self.resolved_bases: list[str] = []  # dotted class names
+
+
+class _Module:
+    """Everything pass 1 learns about one file."""
+
+    def __init__(self, name: str, path: Path, tree: ast.Module, text: str) -> None:
+        self.name = name
+        self.path = path
+        self.tree = tree
+        self.lines = text.splitlines()
+        self.imports: dict[str, str] = {}  # local alias -> dotted target
+        self.classes: dict[str, _Class] = {}  # dotted class name -> index
+        self.functions: list[str] = []  # node keys defined here
+
+
+class CallGraph:
+    """The resolved graph plus the side tables the checkers need."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[str, FunctionNode] = {}
+        self.edges: list[CallEdge] = []
+        self.out_edges: dict[str, list[CallEdge]] = {}
+        self.in_edges: dict[str, list[CallEdge]] = {}
+        self.body: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        self.nested: dict[str, dict[str, str]] = {}  # parent key -> name -> key
+        self.parent: dict[str, str] = {}  # nested key -> enclosing key
+        self.unresolved: dict[str, list[tuple[str, int]]] = {}
+        self.modules: dict[str, _Module] = {}
+        self.classes: dict[str, _Class] = {}  # dotted class name -> index
+        self.functions_by_dotted: dict[str, str] = {}  # dotted -> key
+        self.envs: dict[str, dict[str, str]] = {}  # key -> var -> class
+        self._builder: "_Builder | None" = None
+
+    # -- queries -------------------------------------------------------
+
+    def callees(self, key: str) -> Iterator[CallEdge]:
+        yield from self.out_edges.get(key, ())
+
+    def callers(self, key: str) -> Iterator[CallEdge]:
+        yield from self.in_edges.get(key, ())
+
+    def edge_pairs(self) -> set[tuple[str, str]]:
+        """``(caller.dotted, callee.dotted)`` pairs, for golden tests."""
+        return {
+            (self.nodes[e.caller].dotted, self.nodes[e.callee].dotted)
+            for e in self.edges
+        }
+
+    def files(self) -> int:
+        return len(self.modules)
+
+    # -- late resolution (used by the checkers on site expressions) ----
+
+    def receiver_type(self, key: str, expr: ast.expr) -> str | None:
+        """Dotted class name of a receiver expression inside ``key``."""
+        if self._builder is None or key not in self.nodes:
+            return None
+        module = self.modules[self.nodes[key].module]
+        return self._builder._type_of(module, self.envs.get(key, {}), expr)
+
+    def resolve_name(self, key: str, name: str) -> str | None:
+        """Resolve a bare callable name referenced inside ``key``."""
+        if self._builder is None or key not in self.nodes:
+            return None
+        module = self.modules[self.nodes[key].module]
+        return self._builder._resolve_name_call(module, key, name)
+
+    def resolve_call_expr(self, key: str, call: ast.Call) -> str | None:
+        """Resolve a call expression's target inside ``key``."""
+        if self._builder is None or key not in self.nodes:
+            return None
+        module = self.modules[self.nodes[key].module]
+        return self._builder._resolve_call(
+            module, key, self.envs.get(key, {}), call
+        )
+
+    def resolve_attr(self, key: str, attr: ast.Attribute) -> str | None:
+        """Resolve ``obj.method`` (no call) to a method node inside ``key``."""
+        if self._builder is None or key not in self.nodes:
+            return None
+        module = self.modules[self.nodes[key].module]
+        return self._builder._resolve_attr_call(
+            module, key, self.envs.get(key, {}), attr
+        )
+
+    # -- construction --------------------------------------------------
+
+    def _add_node(
+        self, node: FunctionNode, body: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self.nodes[node.key] = node
+        self.body[node.key] = body
+        self.functions_by_dotted[node.dotted] = node.key
+
+    def _add_edge(self, edge: CallEdge) -> None:
+        self.edges.append(edge)
+        self.out_edges.setdefault(edge.caller, []).append(edge)
+        self.in_edges.setdefault(edge.callee, []).append(edge)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a file.
+
+    Prefers the path tail from the last ``repro`` component (so fixture
+    trees under ``tests/lint/fixtures/repro/...`` analyze exactly like
+    the shipped package); otherwise walks up through ``__init__.py``
+    packages; a bare file is just its stem.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[start:])
+    if not parts:
+        return path.stem
+    name = parts[-1]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        name = f"{parent.name}.{name}"
+        parent = parent.parent
+    return name
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _iter_scope_statements(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements of one scope, descending into compound statements
+    but never into nested function/class scopes."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for attr in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, attr, None)
+            if isinstance(sub, list):
+                yield from _iter_scope_statements(sub)
+        for handler in getattr(stmt, "handlers", ()) or ():
+            yield from _iter_scope_statements(handler.body)
+        for case in getattr(stmt, "cases", ()) or ():
+            yield from _iter_scope_statements(case.body)
+
+
+def _scope_nodes(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Every AST node in ``fn``'s own scope, lambdas included, nested
+    def/class bodies excluded (they are their own graph nodes)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _decorator_names(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[str, ...]:
+    names: list[str] = []
+    for expr in fn.decorator_list:
+        target = expr.func if isinstance(expr, ast.Call) else expr
+        names.append(_dotted(target) or "<expr>")
+    return tuple(names)
+
+
+class _Builder:
+    """Two-pass builder: collect definitions, then resolve calls."""
+
+    def __init__(self) -> None:
+        self.graph = CallGraph()
+
+    # -- pass 1: definitions ------------------------------------------
+
+    def collect_module(self, path: Path, text: str) -> None:
+        tree = ast.parse(text, filename=str(path))
+        module = _Module(module_name_for(path), path, tree, text)
+        self.graph.modules[module.name] = module
+        self._collect_imports(module)
+        self._collect_scope(module, tree.body, scope=[], cls=None, parent=None)
+
+    def _collect_imports(self, module: _Module) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        module.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        module.imports[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports[local] = f"{base}.{alias.name}"
+
+    @staticmethod
+    def _import_base(module: _Module, node: ast.ImportFrom) -> str | None:
+        if node.level == 0:
+            return node.module
+        parts = module.name.split(".")
+        if len(parts) < node.level:
+            return None
+        parts = parts[: len(parts) - node.level]
+        if node.module:
+            parts.append(node.module)
+        return ".".join(parts) if parts else None
+
+    def _collect_scope(
+        self,
+        module: _Module,
+        body: Sequence[ast.stmt],
+        scope: list[str],
+        cls: _Class | None,
+        parent: str | None,
+    ) -> None:
+        for stmt in _iter_scope_statements(body):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._register_function(module, stmt, scope, cls, parent)
+            elif isinstance(stmt, ast.ClassDef):
+                self._register_class(module, stmt, scope)
+
+    def _register_function(
+        self,
+        module: _Module,
+        stmt: ast.FunctionDef | ast.AsyncFunctionDef,
+        scope: list[str],
+        cls: _Class | None,
+        parent: str | None,
+    ) -> None:
+        qualname = ".".join([*scope, stmt.name])
+        key = f"{module.name}:{qualname}:{stmt.lineno}"
+        node = FunctionNode(
+            key=key,
+            module=module.name,
+            qualname=qualname,
+            name=stmt.name,
+            path=str(module.path),
+            lineno=stmt.lineno,
+            is_async=isinstance(stmt, ast.AsyncFunctionDef),
+            class_name=cls.dotted if cls is not None else None,
+            decorators=_decorator_names(stmt),
+        )
+        self.graph._add_node(node, stmt)
+        module.functions.append(key)
+        if cls is not None:
+            # the *last* def wins for dispatch (matches runtime class
+            # dict semantics for property/setter pairs)
+            cls.methods[stmt.name] = key
+            cls.method_decorators[stmt.name] = node.decorators
+        if parent is not None:
+            self.graph.nested.setdefault(parent, {})[stmt.name] = key
+            self.graph.parent[key] = parent
+        self._collect_scope(
+            module,
+            stmt.body,
+            scope=[*scope, stmt.name, "<locals>"],
+            cls=None,
+            parent=key,
+        )
+
+    def _register_class(
+        self, module: _Module, stmt: ast.ClassDef, scope: list[str]
+    ) -> None:
+        local_qualname = ".".join([*scope, stmt.name])
+        dotted = f"{module.name}.{local_qualname}"
+        cls = _Class(dotted, module.name)
+        cls.bases_raw = list(stmt.bases)
+        module.classes[dotted] = cls
+        self.graph.classes[dotted] = cls
+        self._collect_class_attrs(cls, stmt)
+        self._collect_scope(
+            module, stmt.body, scope=[*scope, stmt.name], cls=cls, parent=None
+        )
+
+    def _collect_class_attrs(self, cls: _Class, stmt: ast.ClassDef) -> None:
+        """Record attribute typing candidates for the class.
+
+        Sources, in pass-2 resolution order per attribute: class-level
+        annotations, ``self.x: T = ...``, ``self.x = <ctor call>``, and
+        ``self.x = <annotated param>`` (the parameter's annotation is
+        substituted so ``self.db = db`` keeps the declared type).
+        """
+        for body_stmt in stmt.body:
+            if isinstance(body_stmt, ast.AnnAssign) and isinstance(
+                body_stmt.target, ast.Name
+            ):
+                cls.attr_raw.setdefault(body_stmt.target.id, []).append(
+                    body_stmt.annotation
+                )
+        for method in _iter_scope_statements(stmt.body):
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params: dict[str, ast.expr] = {
+                arg.arg: arg.annotation
+                for arg in [
+                    *method.args.posonlyargs,
+                    *method.args.args,
+                    *method.args.kwonlyargs,
+                ]
+                if arg.annotation is not None
+            }
+            # self escapes into nested defs, so walk the whole subtree
+            for node in ast.walk(method):
+                if isinstance(node, ast.AnnAssign):
+                    target: ast.expr = node.target
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        cls.attr_raw.setdefault(target.attr, []).append(
+                            node.annotation
+                        )
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            continue
+                        value: ast.expr = node.value
+                        if isinstance(value, ast.Name) and value.id in params:
+                            value = params[value.id]
+                        cls.attr_raw.setdefault(target.attr, []).append(value)
+
+    # -- pass 2: resolution -------------------------------------------
+
+    def resolve(self) -> None:
+        for cls in self.graph.classes.values():
+            module = self.graph.modules[cls.module]
+            for base in cls.bases_raw:
+                resolved = self._resolve_class_ref(module, base)
+                if resolved is not None:
+                    cls.resolved_bases.append(resolved)
+        for module in self.graph.modules.values():
+            for key in module.functions:
+                self._resolve_function(module, key)
+
+    def _resolve_class_ref(
+        self, module: _Module, expr: ast.expr
+    ) -> str | None:
+        """A class-typed expression (name/annotation) -> dotted class."""
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            try:
+                parsed = ast.parse(expr.value, mode="eval").body
+            except SyntaxError:
+                return None
+            return self._resolve_class_ref(module, parsed)
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+            for side in (expr.left, expr.right):
+                resolved = self._resolve_class_ref(module, side)
+                if resolved is not None:
+                    return resolved
+            return None
+        if isinstance(expr, ast.Subscript):
+            # Optional[T] / list[T]: only unwrap Optional — containers
+            # hold many values and don't type the receiver itself
+            head = _dotted(expr.value)
+            if head is not None and head.split(".")[-1] == "Optional":
+                if isinstance(expr.slice, ast.expr):
+                    return self._resolve_class_ref(module, expr.slice)
+            return None
+        dotted = _dotted(expr)
+        if dotted is None:
+            return None
+        return self._lookup_class(module, dotted)
+
+    def _lookup_class(self, module: _Module, dotted: str) -> str | None:
+        """Resolve a (possibly aliased) dotted name to a known class."""
+        head, _, rest = dotted.partition(".")
+        candidates = [f"{module.name}.{dotted}", dotted]
+        if head in module.imports:
+            target = module.imports[head]
+            candidates.append(f"{target}.{rest}" if rest else target)
+        for candidate in candidates:
+            if candidate in self.graph.classes:
+                return candidate
+        return None
+
+    def _resolve_function(self, module: _Module, key: str) -> None:
+        fn = self.graph.body[key]
+        node = self.graph.nodes[key]
+        env = self._build_env(module, fn, node)
+        self.graph.envs[key] = env
+        for sub in _scope_nodes(fn):
+            if isinstance(sub, ast.Call):
+                target = self._resolve_call(module, key, env, sub)
+                if target is not None:
+                    self.graph._add_edge(
+                        CallEdge(
+                            caller=key,
+                            callee=target,
+                            line=sub.lineno,
+                            col=sub.col_offset,
+                        )
+                    )
+                else:
+                    dotted = _dotted(sub.func) or "<expr>"
+                    self.graph.unresolved.setdefault(key, []).append(
+                        (dotted, sub.lineno)
+                    )
+
+    def _build_env(
+        self,
+        module: _Module,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: FunctionNode,
+    ) -> dict[str, str]:
+        """Local variable name -> dotted class name."""
+        env: dict[str, str] = {}
+        args = fn.args
+        all_args = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ]
+        for arg in all_args:
+            if arg.annotation is not None:
+                resolved = self._resolve_class_ref(module, arg.annotation)
+                if resolved is not None:
+                    env[arg.arg] = resolved
+        is_static = any(
+            d.split(".")[-1] == "staticmethod" for d in node.decorators
+        )
+        if node.class_name is not None and all_args and not is_static:
+            env.setdefault(all_args[0].arg, node.class_name)
+        for sub in _scope_nodes(fn):
+            if isinstance(sub, ast.AnnAssign) and isinstance(
+                sub.target, ast.Name
+            ):
+                resolved = self._resolve_class_ref(module, sub.annotation)
+                if resolved is not None:
+                    env[sub.target.id] = resolved
+            elif isinstance(sub, ast.Assign) and isinstance(
+                sub.value, ast.Call
+            ):
+                inferred = self._call_result_type(module, sub.value)
+                if inferred is not None:
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            env[target.id] = inferred
+        return env
+
+    def _call_result_type(self, module: _Module, call: ast.Call) -> str | None:
+        """Type of ``X(...)`` (constructor) or ``X.classmethod(...)``."""
+        dotted = _dotted(call.func)
+        if dotted is not None:
+            resolved = self._lookup_class(module, dotted)
+            if resolved is not None:
+                return resolved
+        if isinstance(call.func, ast.Attribute):
+            base = _dotted(call.func.value)
+            if base is not None:
+                owner = self._lookup_class(module, base)
+                if owner is not None:
+                    cls = self.graph.classes[owner]
+                    decorators = cls.method_decorators.get(call.func.attr, ())
+                    if any(d.split(".")[-1] == "classmethod" for d in decorators):
+                        return owner
+        return None
+
+    def _type_of(
+        self, module: _Module, env: dict[str, str], expr: ast.expr
+    ) -> str | None:
+        """Dotted class name of a receiver expression, if attributable."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base_type = self._type_of(module, env, expr.value)
+            if base_type is None:
+                return None
+            cls = self._class_with_attr(base_type, expr.attr)
+            if cls is None:
+                return None
+            owner_module = self.graph.modules[self.graph.classes[cls].module]
+            for raw in self.graph.classes[cls].attr_raw[expr.attr]:
+                if isinstance(raw, ast.Call):
+                    inferred = self._call_result_type(owner_module, raw)
+                else:
+                    inferred = self._resolve_class_ref(owner_module, raw)
+                if inferred is not None:
+                    return inferred
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_result_type(module, expr)
+        return None
+
+    def _class_with_attr(self, dotted: str, attr: str) -> str | None:
+        """The class (self or base) declaring ``attr``, breadth-first."""
+        queue = [dotted]
+        seen: set[str] = set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen or current not in self.graph.classes:
+                continue
+            seen.add(current)
+            cls = self.graph.classes[current]
+            if attr in cls.attr_raw:
+                return current
+            queue.extend(cls.resolved_bases)
+        return None
+
+    def _method_key(self, dotted_class: str, method: str) -> str | None:
+        """Resolve ``method`` on a class or its bases, breadth-first."""
+        queue = [dotted_class]
+        seen: set[str] = set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen or current not in self.graph.classes:
+                continue
+            seen.add(current)
+            cls = self.graph.classes[current]
+            if method in cls.methods:
+                return cls.methods[method]
+            queue.extend(cls.resolved_bases)
+        return None
+
+    def _resolve_call(
+        self,
+        module: _Module,
+        caller_key: str,
+        env: dict[str, str],
+        call: ast.Call,
+    ) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name_call(module, caller_key, func.id)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attr_call(module, caller_key, env, func)
+        return None
+
+    def _resolve_name_call(
+        self, module: _Module, caller_key: str, name: str
+    ) -> str | None:
+        # 1. nested defs visible through the lexical chain (closures)
+        current: str | None = caller_key
+        while current is not None:
+            local = self.graph.nested.get(current, {})
+            if name in local:
+                return local[name]
+            current = self.graph.parent.get(current)
+        # 2. module-level function or class in this module
+        own = f"{module.name}.{name}"
+        if own in self.graph.functions_by_dotted:
+            return self.graph.functions_by_dotted[own]
+        if own in self.graph.classes:
+            return self._method_key(own, "__init__")
+        # 3. imported function or class
+        target = module.imports.get(name)
+        if target is not None:
+            if target in self.graph.functions_by_dotted:
+                return self.graph.functions_by_dotted[target]
+            if target in self.graph.classes:
+                return self._method_key(target, "__init__")
+        return None
+
+    def _resolve_attr_call(
+        self,
+        module: _Module,
+        caller_key: str,
+        env: dict[str, str],
+        func: ast.Attribute,
+    ) -> str | None:
+        method = func.attr
+        # super().m() dispatches past the caller's own class
+        if (
+            isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super"
+        ):
+            owner = self.graph.nodes[caller_key].class_name
+            if owner is not None:
+                for base in self.graph.classes[owner].resolved_bases:
+                    found = self._method_key(base, method)
+                    if found is not None:
+                        return found
+            return None
+        receiver_type = self._type_of(module, env, func.value)
+        if receiver_type is not None:
+            return self._method_key(receiver_type, method)
+        dotted = _dotted(func)
+        if dotted is None:
+            return None
+        # module-alias or class-name prefixed call: m.f(), C.m(), m.C()
+        head, _, rest = dotted.partition(".")
+        candidates = [f"{module.name}.{dotted}", dotted]
+        target = module.imports.get(head)
+        if target is not None and rest:
+            candidates.append(f"{target}.{rest}")
+        for candidate in candidates:
+            if candidate in self.graph.functions_by_dotted:
+                return self.graph.functions_by_dotted[candidate]
+            if candidate in self.graph.classes:
+                return self._method_key(candidate, "__init__")
+            # Class.method / mod.Class.method (unbound / classmethod)
+            owner, _, tail = candidate.rpartition(".")
+            if tail == method and owner in self.graph.classes:
+                found = self._method_key(owner, method)
+                if found is not None:
+                    return found
+        return None
+
+
+def expand_paths(paths: Iterable[str | Path]) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, ordered."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        candidates: Iterable[Path]
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+    return ordered
+
+
+def build_callgraph(paths: Iterable[str | Path]) -> CallGraph:
+    """Parse every module under ``paths`` and resolve the call graph.
+
+    Files that fail to parse are skipped here; the
+    :class:`~repro.lint.flow.engine.FlowEngine` reports them as RS000
+    findings before building the graph.
+    """
+    builder = _Builder()
+    for path in expand_paths(paths):
+        try:
+            text = path.read_text(encoding="utf-8")
+            builder.collect_module(path, text)
+        except (SyntaxError, UnicodeDecodeError):
+            continue
+    builder.resolve()
+    builder.graph._builder = builder
+    return builder.graph

@@ -1,0 +1,105 @@
+"""Generic worklist dataflow over the call graph.
+
+One engine powers both Tier-C directions:
+
+* **callees** (forward) — facts flow from a caller into everything it
+  calls; used by RS011 to push execution contexts from entry points.
+* **callers** (backward) — facts flow from a callee into everything
+  that calls it; used by RS012 to pull taint up from sources.
+
+Facts are opaque strings; the lattice is the powerset under union, so
+the fixpoint exists and the worklist terminates (facts only grow, and
+the universe is finite). ``stop`` makes a node a barrier: facts never
+enter it and therefore never cross it — that is how the sanctioned
+snapshot/admission boundary absorbs contexts.
+
+``origin`` records, per ``(node key, fact)``, which neighbor the fact
+arrived from and at which call-site line — enough to reconstruct a
+witness chain from any flagged function back to a seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.lint.flow.callgraph import CallGraph, FunctionNode
+
+__all__ = ["Propagation", "propagate"]
+
+
+@dataclass
+class Propagation:
+    """Result of one fixpoint run."""
+
+    facts: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: (node key, fact) -> (neighbor key it arrived from, call line)
+    origin: dict[tuple[str, str], tuple[str, int]] = field(default_factory=dict)
+
+    def at(self, key: str) -> frozenset[str]:
+        return self.facts.get(key, frozenset())
+
+    def witness(self, key: str, fact: str, graph: CallGraph) -> list[str]:
+        """Dotted chain from the seed of ``fact`` to ``key``."""
+        chain: list[str] = []
+        current = key
+        seen: set[str] = set()
+        while current not in seen:
+            seen.add(current)
+            chain.append(graph.nodes[current].dotted)
+            step = self.origin.get((current, fact))
+            if step is None:
+                break
+            current = step[0]
+        chain.reverse()
+        return chain
+
+
+def propagate(
+    graph: CallGraph,
+    seeds: Mapping[str, frozenset[str]],
+    direction: str = "callees",
+    stop: Callable[[FunctionNode], bool] | None = None,
+) -> Propagation:
+    """Run the worklist to fixpoint from ``seeds``.
+
+    ``direction`` is ``"callees"`` (facts follow call edges forward)
+    or ``"callers"`` (facts flow against them). Nodes for which
+    ``stop`` returns true never accumulate facts.
+    """
+    if direction not in ("callees", "callers"):
+        raise ValueError(f"unknown propagation direction {direction!r}")
+    result = Propagation()
+    work: deque[str] = deque()
+    for key, facts in seeds.items():
+        if key not in graph.nodes or not facts:
+            continue
+        if stop is not None and stop(graph.nodes[key]):
+            continue
+        result.facts[key] = frozenset(facts)
+        work.append(key)
+    while work:
+        key = work.popleft()
+        have = result.facts.get(key, frozenset())
+        if not have:
+            continue
+        edges = (
+            graph.out_edges.get(key, [])
+            if direction == "callees"
+            else graph.in_edges.get(key, [])
+        )
+        for edge in edges:
+            other = edge.callee if direction == "callees" else edge.caller
+            node = graph.nodes.get(other)
+            if node is None or (stop is not None and stop(node)):
+                continue
+            known = result.facts.get(other, frozenset())
+            fresh = have - known
+            if not fresh:
+                continue
+            result.facts[other] = known | fresh
+            for fact in fresh:
+                result.origin[(other, fact)] = (key, edge.line)
+            work.append(other)
+    return result

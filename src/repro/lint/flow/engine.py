@@ -1,0 +1,181 @@
+"""Tier-C engine: build the graph once, run every flow checker.
+
+Mirrors the Tier-A :class:`~repro.lint.engine.LintEngine` contract —
+``Finding`` objects, per-line ``# repro: noqa[RS0xx]`` suppression,
+human/JSON rendering, exit code 1 on any unsuppressed finding — but
+operates on the whole-project :class:`CallGraph` instead of one module
+at a time. Files that fail to parse surface as RS000 findings exactly
+like Tier A.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Protocol, Sequence
+
+from repro.lint.engine import NOQA_RE, SYNTAX_RULE_ID, Finding
+from repro.lint.flow.callgraph import CallGraph, build_callgraph, expand_paths
+from repro.lint.flow.contexts import RotRaceChecker
+from repro.lint.flow.locks import LockDisciplineChecker
+from repro.lint.flow.taint import DeterminismTaintChecker
+
+__all__ = ["FlowChecker", "FlowEngine", "FlowReport", "default_checkers"]
+
+
+class FlowChecker(Protocol):
+    """One interprocedural rule family."""
+
+    id: str
+    title: str
+    rationale: str
+
+    def check(self, graph: CallGraph) -> Iterable[Finding]: ...
+
+
+def default_checkers() -> list[FlowChecker]:
+    """The Tier-C rule set, in catalogue order."""
+    return [RotRaceChecker(), DeterminismTaintChecker(), LockDisciplineChecker()]
+
+
+@dataclass
+class FlowReport:
+    """Aggregated result of one Tier-C run."""
+
+    findings: list[Finding]
+    files: int
+    functions: int
+    edges: int
+    unresolved: int
+    suppressed: int
+    graph: CallGraph | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def rule_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def human(self) -> str:
+        lines = [f.format() for f in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) over {self.functions} "
+            f"function(s) and {self.edges} call edge(s) in "
+            f"{self.files} file(s) ({self.suppressed} suppressed, "
+            f"{self.unresolved} unresolved call(s))"
+        )
+        return "\n".join(lines)
+
+    def stats(self) -> str:
+        counts = self.rule_counts()
+        lines = [f"  {rule}  {count}" for rule, count in counts.items()]
+        if not lines:
+            lines = ["  (no findings)"]
+        header = (
+            f"per-rule findings over {self.functions} function(s), "
+            f"{self.suppressed} suppressed:"
+        )
+        return "\n".join([header, *lines])
+
+    def graph_dump(self) -> str:
+        """Stable ``caller -> callee`` dump for ``--graph``."""
+        if self.graph is None:
+            return ""
+        pairs = sorted(self.graph.edge_pairs())
+        return "\n".join(f"{caller} -> {callee}" for caller, callee in pairs)
+
+    def to_json(self) -> str:
+        payload = {
+            "files": self.files,
+            "functions": self.functions,
+            "edges": self.edges,
+            "unresolved": self.unresolved,
+            "suppressed": self.suppressed,
+            "counts": self.rule_counts(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class FlowEngine:
+    """Runs the flow checkers over files and directories."""
+
+    def __init__(self, checkers: Sequence[FlowChecker] | None = None) -> None:
+        self.checkers: list[FlowChecker] = (
+            list(checkers) if checkers is not None else default_checkers()
+        )
+
+    def analyze_paths(self, paths: Iterable[str | Path]) -> FlowReport:
+        targets = expand_paths(paths)
+        findings: list[Finding] = []
+        for path in targets:
+            syntax = self._syntax_finding(path)
+            if syntax is not None:
+                findings.append(syntax)
+        graph = build_callgraph(targets)
+        for checker in self.checkers:
+            findings.extend(checker.check(graph))
+        findings, suppressed = self._apply_suppressions(graph, findings)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return FlowReport(
+            findings=findings,
+            files=len(targets),
+            functions=len(graph.nodes),
+            edges=len(graph.edges),
+            unresolved=sum(len(v) for v in graph.unresolved.values()),
+            suppressed=suppressed,
+            graph=graph,
+        )
+
+    @staticmethod
+    def _syntax_finding(path: Path) -> Finding | None:
+        try:
+            ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError as exc:
+            return Finding(
+                rule=SYNTAX_RULE_ID,
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"cannot parse file: {exc.msg}",
+            )
+        except UnicodeDecodeError:
+            return Finding(
+                rule=SYNTAX_RULE_ID,
+                path=str(path),
+                line=1,
+                col=0,
+                message="cannot decode file as utf-8",
+            )
+        return None
+
+    @staticmethod
+    def _apply_suppressions(
+        graph: CallGraph, findings: list[Finding]
+    ) -> tuple[list[Finding], int]:
+        lines_by_path: dict[str, list[str]] = {
+            str(module.path): module.lines for module in graph.modules.values()
+        }
+        kept: list[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            lines = lines_by_path.get(finding.path, [])
+            if 1 <= finding.line <= len(lines):
+                match = NOQA_RE.search(lines[finding.line - 1])
+                if match:
+                    ids = {
+                        part.strip()
+                        for part in match.group(1).split(",")
+                        if part.strip()
+                    }
+                    if finding.rule in ids:
+                        suppressed += 1
+                        continue
+            kept.append(finding)
+        return kept, suppressed

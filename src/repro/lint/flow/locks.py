@@ -1,0 +1,248 @@
+"""RS013 — lock discipline for declared-guarded fields.
+
+A class opts a field in by annotating its initializing assignment:
+
+.. code-block:: python
+
+    class QueryStatsStore:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self._entries = {}       # guarded by _lock
+
+From then on, every ``self._entries`` access in the class must hold
+``self._lock`` on every path. Lexically-guarded accesses (inside
+``with self._lock:``) are trivially fine; the interprocedural part is
+the *lock-held-on-entry* fixpoint: a method touching guarded fields
+without taking the lock itself is still correct iff **every** call
+site — transitively — already holds the lock. That is exactly the
+querystats store's ``_evict_coldest`` shape: unguarded mutation, but
+reachable only from ``observe()`` inside its ``with self._lock:``
+block, so it is clean; the same mutation reachable from any unlocked
+public path is a finding.
+
+``__init__`` is exempt (no concurrent aliases exist during
+construction). Accesses in nested defs are judged by their own lexical
+locking only — a closure can outlive the ``with`` block it was built
+in, so inheriting the builder's lock would be unsound.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import ClassVar, Iterator
+
+from repro.lint.engine import Finding
+from repro.lint.flow.callgraph import CallGraph, _scope_nodes
+
+__all__ = ["LockDisciplineChecker"]
+
+#: declaration marker on the field's initializing assignment line
+GUARD_RE = re.compile(r"#\s*guarded\s+by\s+([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    """``x`` for a ``self.x`` expression, else None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+class LockDisciplineChecker:
+    """RS013: guarded fields are only touched with the guard held."""
+
+    id: ClassVar[str] = "RS013"
+    title: ClassVar[str] = "declared-guarded fields need their lock on every path"
+    rationale: ClassVar[str] = (
+        "A field shared between the loop (stats scrapes) and the worker "
+        "(observations) is only coherent under its lock; one unlocked "
+        "path — even through a private helper — is a torn read the "
+        "scrape will eventually serve."
+    )
+
+    def check(self, graph: CallGraph) -> Iterator[Finding]:
+        for class_dotted in sorted(graph.classes):
+            yield from self._check_class(graph, class_dotted)
+
+    # -- declarations --------------------------------------------------
+
+    def _declarations(
+        self, graph: CallGraph, class_dotted: str
+    ) -> dict[str, str]:
+        """Guarded field -> lock attribute, from ``# guarded by`` marks."""
+        cls = graph.classes[class_dotted]
+        module = graph.modules[cls.module]
+        guarded: dict[str, str] = {}
+        for key in cls.methods.values():
+            body = graph.body[key]
+            for node in ast.walk(body):
+                field: str | None = None
+                line = 0
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            field, line = attr, node.lineno
+                elif isinstance(node, ast.AnnAssign):
+                    attr = _self_attr(node.target)
+                    if attr is not None:
+                        field, line = attr, node.lineno
+                if field is None or not (1 <= line <= len(module.lines)):
+                    continue
+                match = GUARD_RE.search(module.lines[line - 1])
+                if match:
+                    guarded[field] = match.group(1)
+        return guarded
+
+    # -- per-class analysis --------------------------------------------
+
+    def _check_class(
+        self, graph: CallGraph, class_dotted: str
+    ) -> Iterator[Finding]:
+        guarded = self._declarations(graph, class_dotted)
+        if not guarded:
+            return
+        cls = graph.classes[class_dotted]
+        # every function whose self belongs to this class: the methods
+        # themselves plus their nested defs (closures over self)
+        members: dict[str, str] = {}  # key -> owning method name
+        for name, key in cls.methods.items():
+            stack = [key]
+            while stack:
+                current = stack.pop()
+                members[current] = name
+                stack.extend(graph.nested.get(current, {}).values())
+        for lock in sorted(set(guarded.values())):
+            fields = frozenset(f for f, g in guarded.items() if g == lock)
+            yield from self._check_lock(graph, cls.methods, members, fields, lock)
+
+    def _check_lock(
+        self,
+        graph: CallGraph,
+        methods: dict[str, str],
+        members: dict[str, str],
+        fields: frozenset[str],
+        lock: str,
+    ) -> Iterator[Finding]:
+        unguarded: dict[str, list[ast.Attribute]] = {}
+        locked_calls: dict[str, set[str]] = {}  # caller key -> callee keys
+        for key in members:
+            accesses, calls_under_lock = self._scan_function(graph, key, fields, lock)
+            if accesses:
+                unguarded[key] = accesses
+            locked_calls[key] = calls_under_lock
+        held = self._lock_held_on_entry(graph, members, locked_calls)
+        for key in sorted(unguarded):
+            method_name = members[key]
+            if method_name == "__init__":
+                continue
+            if key in held:
+                continue
+            node = graph.nodes[key]
+            for access in unguarded[key]:
+                entry = self._unlocked_entry(graph, members, locked_calls, held, key)
+                via = f" (unlocked entry via {entry})" if entry else ""
+                yield Finding(
+                    rule=self.id,
+                    path=node.path,
+                    line=access.lineno,
+                    col=access.col_offset,
+                    message=(
+                        f"self.{access.attr} is declared guarded by "
+                        f"self.{lock} but is reachable without it"
+                        f"{via}; take the lock or make every caller "
+                        "hold it"
+                    ),
+                )
+
+    def _scan_function(
+        self,
+        graph: CallGraph,
+        key: str,
+        fields: frozenset[str],
+        lock: str,
+    ) -> tuple[list[ast.Attribute], set[str]]:
+        """(unguarded accesses to ``fields``, same-object calls made
+        while lexically holding ``lock``) within one function."""
+        fn = graph.body[key]
+        locked_spans: list[tuple[ast.AST, set[int]]] = []
+        for sub in _scope_nodes(fn):
+            if isinstance(sub, (ast.With, ast.AsyncWith)):
+                if any(
+                    _self_attr(item.context_expr) == lock
+                    for item in sub.items
+                ):
+                    inside = {id(n) for n in ast.walk(sub)}
+                    locked_spans.append((sub, inside))
+
+        def is_locked(node: ast.AST) -> bool:
+            return any(id(node) in inside for _, inside in locked_spans)
+
+        accesses: list[ast.Attribute] = []
+        calls_under_lock: set[str] = set()
+        for sub in _scope_nodes(fn):
+            if isinstance(sub, ast.Attribute):
+                attr = _self_attr(sub)
+                if attr in fields and not is_locked(sub):
+                    accesses.append(sub)
+            if isinstance(sub, ast.Call) and is_locked(sub):
+                target = graph.resolve_call_expr(key, sub)
+                if target is not None:
+                    calls_under_lock.add(target)
+        return accesses, calls_under_lock
+
+    @staticmethod
+    def _lock_held_on_entry(
+        graph: CallGraph,
+        members: dict[str, str],
+        locked_calls: dict[str, set[str]],
+    ) -> set[str]:
+        """Greatest fixpoint of: every call into m holds the lock.
+
+        A member starts optimistically held and is demoted if any call
+        edge into it is neither lexically locked in the caller nor from
+        a member that is itself (still) lock-held-on-entry. A member
+        with no in-graph callers is a public entry point — not held.
+        """
+        held = {
+            key
+            for key in members
+            if any(True for _ in graph.callers(key))
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key in list(held):
+                for edge in graph.callers(key):
+                    caller = edge.caller
+                    lexically = key in locked_calls.get(caller, set())
+                    if lexically:
+                        continue
+                    if caller in members and caller in held:
+                        continue
+                    held.discard(key)
+                    changed = True
+                    break
+        return held
+
+    @staticmethod
+    def _unlocked_entry(
+        graph: CallGraph,
+        members: dict[str, str],
+        locked_calls: dict[str, set[str]],
+        held: set[str],
+        key: str,
+    ) -> str | None:
+        """A caller demonstrating the unlocked path, for the message."""
+        for edge in graph.callers(key):
+            caller = edge.caller
+            if key in locked_calls.get(caller, set()):
+                continue
+            if caller in members and caller in held:
+                continue
+            return graph.nodes[caller].dotted
+        return None

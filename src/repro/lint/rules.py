@@ -16,7 +16,7 @@ from typing import ClassVar, Iterator, Sequence
 from repro.lint.catalogue import load_metric_catalogue
 from repro.lint.engine import Finding, ModuleSource, Rule
 
-CATALOGUE_VERSION = "1.4"
+CATALOGUE_VERSION = "1.5"
 
 #: packages where simulated time and injected randomness are mandatory
 RESTRICTED_PACKAGES = ("core", "fungi", "query", "sim", "storage")
@@ -25,6 +25,26 @@ RESTRICTED_PACKAGES = ("core", "fungi", "query", "sim", "storage")
 #: DESIGN.md prose, deliberately outside the event-bus catalogue table
 #: (it is never registered on a database's collector).
 EXTRA_CATALOGUED = frozenset({"repro_lint_findings_total"})
+
+
+def metric_name_resolves(
+    name: str,
+    catalogue: frozenset[str],
+    exposition_suffixes: Sequence[str] = (),
+) -> bool:
+    """Whether ``name`` is a catalogued series (or EXTRA_CATALOGUED).
+
+    With ``exposition_suffixes``, names a histogram family fans out
+    into at exposition time (``_bucket``/``_sum``/``_count``) resolve
+    against the base family. Shared by RS004 (registrations), RS010
+    (references) and the Tier-C ``--prom`` writer.
+    """
+    if name in catalogue or name in EXTRA_CATALOGUED:
+        return True
+    for suffix in exposition_suffixes:
+        if name.endswith(suffix) and name[: -len(suffix)] in catalogue:
+            return True
+    return False
 
 
 def _in_restricted_package(path: Path) -> bool:
@@ -258,10 +278,8 @@ class CataloguedMetricRule(Rule):
                     name_arg,
                     f"metric name {name!r} is outside the repro_ namespace",
                 )
-            elif (
-                catalogue is not None
-                and name not in catalogue
-                and name not in EXTRA_CATALOGUED
+            elif catalogue is not None and not metric_name_resolves(
+                name, catalogue
             ):
                 yield self.finding(
                     module,
@@ -691,12 +709,9 @@ class QueryMetricReferenceRule(Rule):
                 )
 
     def _resolves(self, name: str, catalogue: frozenset[str]) -> bool:
-        if name in catalogue or name in EXTRA_CATALOGUED:
-            return True
-        for suffix in self.EXPOSITION_SUFFIXES:
-            if name.endswith(suffix) and name[: -len(suffix)] in catalogue:
-                return True
-        return False
+        return metric_name_resolves(
+            name, catalogue, exposition_suffixes=self.EXPOSITION_SUFFIXES
+        )
 
 
 def default_rules() -> list[Rule]:

@@ -199,13 +199,13 @@ class QueryStatsStore:
         if max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
-        self.evicted_total = 0
+        self.evicted_total = 0  # guarded by _lock
         self._lock = threading.Lock()
-        self._entries: dict[str, QueryStatsEntry] = {}
+        self._entries: dict[str, QueryStatsEntry] = {}  # guarded by _lock
         # Tier-B verdicts arrive *before* the execution record (the
         # analyzer runs pre-statement); park them until observe() sees
         # the fingerprint. Bounded: oldest parked verdict drops first.
-        self._pending_verdicts: dict[str, str] = {}
+        self._pending_verdicts: dict[str, str] = {}  # guarded by _lock
 
     def __len__(self) -> int:
         with self._lock:

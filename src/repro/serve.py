@@ -107,6 +107,8 @@ async def _cmd_serve(args: argparse.Namespace) -> int:
             token, grant = _parse_grant(spec)
             auth.issue(token, grant)
     db = _build_db(args)
+    if args.race_probe:
+        db.enable_race_probe()
     if args.trace:
         db.tracer = Tracer(JsonlTraceExporter(args.trace))
     server = FungusServer(
@@ -235,6 +237,7 @@ async def _cmd_loadgen(args: argparse.Namespace) -> int:
         trace=args.trace,
         trace_sample=args.trace_sample,
         scrape_ops=args.scrape_ops,
+        race_probe=args.race_probe,
     )
     report = await run_loadgen(config, host=args.host, port=args.port)
     print(
@@ -273,6 +276,14 @@ async def _cmd_loadgen(args: argparse.Namespace) -> int:
                 )
                 return 1
             print(f"wrote {trace_path} ({written} spans, validate_spans clean)")
+    if report.race_violations >= 0:
+        print(
+            f"race probe: {report.race_violations} cross-thread "
+            f"mutation(s) observed"
+        )
+        if report.race_violations:
+            print("race probe caught cross-thread mutations", file=sys.stderr)
+            return 1
     if report.requests == 0:
         print("no requests completed", file=sys.stderr)
         return 1
@@ -324,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="export request spans as JSONL to this file",
     )
     serve.add_argument(
+        "--race-probe",
+        action="store_true",
+        help="arm the runtime thread-sanitizer: a table mutation off "
+        "the owning engine worker raises at the offending call",
+    )
+    serve.add_argument(
         "--slow-threshold",
         type=float,
         default=0.25,
@@ -363,6 +380,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="scrape /metrics mid-run through the ops listener and "
         "parse-check the exposition",
+    )
+    loadgen.add_argument(
+        "--race-probe",
+        action="store_true",
+        help="arm the runtime thread-sanitizer on the in-process "
+        "server (record mode); any cross-thread mutation fails the run",
     )
     return parser
 

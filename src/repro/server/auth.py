@@ -30,7 +30,7 @@ WILDCARD = "*"
 class AuthError(Exception):
     """Authentication failed; ``code`` is a :class:`~repro.server.protocol.Code`."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
         self.message = message

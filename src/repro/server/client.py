@@ -26,7 +26,7 @@ from repro.server.protocol import read_frame, write_frame
 class ServerError(Exception):
     """The server answered ``ok: false``; carries the structured code."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
@@ -41,7 +41,7 @@ class FungusClient:
         writer: asyncio.StreamWriter,
         tracer: Any = NULL_TRACER,
         trace_sample: float = 1.0,
-    ):
+    ) -> None:
         self.reader = reader
         self.writer = writer
         self.session: str | None = None

@@ -71,6 +71,9 @@ class LoadgenConfig:
     #: start the ops listener and scrape /metrics mid-run through the
     #: strict parse_prometheus oracle (in-process only)
     scrape_ops: bool = False
+    #: arm the runtime thread-sanitizer probe on the in-process server's
+    #: database (record mode: the run finishes, violations fail it)
+    race_probe: bool = False
 
 
 @dataclass
@@ -96,6 +99,8 @@ class LoadgenReport:
     #: statement fingerprints reported by the mid-run /debug/queries
     #: scrape (-1 = no scrape)
     scraped_fingerprints: int = -1
+    #: cross-thread mutations the race probe observed (-1 = probe off)
+    race_violations: int = -1
 
     def bench_entries(self) -> list[dict[str, Any]]:
         """Snapshot entries in the shape ``repro.bench regress`` reads."""
@@ -362,6 +367,10 @@ async def run_loadgen(
     tracer: Any = NULL_TRACER
     if host is None:
         db = _seed_db(config)
+        if config.race_probe:
+            # record mode: a violation mid-benchmark must not abort the
+            # run; the report carries the count and the CLI fails on it
+            db.enable_race_probe(mode="record")
         if config.trace:
             # in-memory ring only, no exporter: span export must never
             # add file I/O to the event loop mid-benchmark; the JSONL
@@ -397,6 +406,9 @@ async def run_loadgen(
     finally:
         elapsed = time.perf_counter() - started
         ticks = server.db.clock.now if server is not None else -1.0
+        violations = -1
+        if server is not None and server.db.race_probe is not None:
+            violations = len(server.db.race_probe.violations)
         scraped, fingerprints = -1, -1
         if scrape is not None:
             scraped, fingerprints = await scrape
@@ -420,6 +432,7 @@ async def run_loadgen(
         trace_spans=trace_spans,
         scraped_samples=scraped,
         scraped_fingerprints=fingerprints,
+        race_violations=violations,
     )
 
 

@@ -48,7 +48,7 @@ if TYPE_CHECKING:
 class AccessDenied(Exception):
     """The gatekeeper refused a statement; ``code`` names the reason."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
         self.message = message

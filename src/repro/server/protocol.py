@@ -56,7 +56,7 @@ class Code:
 class FrameError(Exception):
     """A frame that cannot be decoded; ``code`` names the refusal."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
         self.message = message

@@ -152,7 +152,16 @@ class FungusServer:
         # every served statement lands in the fingerprint store, so the
         # admin `stats` op and /debug/queries have something to show
         self.db.enable_querystats()
-        self.snapshot = await self._run_strong(lambda: TickSnapshot.capture(self.db))
+
+        def boot() -> TickSnapshot:
+            # from here on every strong op runs on this worker thread;
+            # an armed race probe must treat it as the database's owner
+            # even if the caller seeded tables on the main thread first
+            if self.db.race_probe is not None:
+                self.db.race_probe.bind()
+            return TickSnapshot.capture(self.db)
+
+        self.snapshot = await self._run_strong(boot)
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.config.host,

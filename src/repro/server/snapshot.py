@@ -38,7 +38,7 @@ class _TableCapture:
 
     __slots__ = ("name", "schema", "columns", "count")
 
-    def __init__(self, name: str, schema: Any, columns: list[list[Any]], count: int):
+    def __init__(self, name: str, schema: Any, columns: list[list[Any]], count: int) -> None:
         self.name = name
         self.schema = schema
         self.columns = columns  # schema order, live-row order, plain lists
@@ -48,7 +48,7 @@ class _TableCapture:
 class TickSnapshot:
     """A frozen, queryable view of the whole database at one tick."""
 
-    def __init__(self, tick: float, captures: dict[str, _TableCapture]):
+    def __init__(self, tick: float, captures: dict[str, _TableCapture]) -> None:
         self.tick = tick
         self._captures = captures
         self._engine: Any = None  # lazily built QueryEngine

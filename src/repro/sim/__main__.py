@@ -70,6 +70,12 @@ def main(argv: list[str] | None = None) -> int:
         "extent)",
     )
     parser.add_argument(
+        "--race-probe",
+        action="store_true",
+        help="arm the runtime thread-sanitizer probe on every database "
+        "(a single-threaded sim must never trip it; a trip is a bug)",
+    )
+    parser.add_argument(
         "--mutant",
         choices=sorted(mutants.MUTANTS),
         help="install a deliberately broken mutant first (the run "
@@ -91,6 +97,7 @@ def main(argv: list[str] | None = None) -> int:
                 trace_dir=args.trace_dir,
                 forensics=args.forensics,
                 analyze=args.analyze,
+                race_probe=args.race_probe,
             )
             report = simulator.run(ops)
             print(report.describe())

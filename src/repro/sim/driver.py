@@ -132,10 +132,12 @@ class Simulator:
         trace_dir: str | Path | None = None,
         forensics: bool = False,
         analyze: bool = False,
+        race_probe: bool = False,
     ) -> None:
         self.config = config
         self.forensics = forensics
         self.analyze = analyze
+        self.race_probe = race_probe
         self._own_workdir = workdir is None
         self.workdir = (
             Path(tempfile.mkdtemp(prefix="repro-sim-"))
@@ -167,6 +169,10 @@ class Simulator:
         db = FungusDB(seed=self.config.seed)
         if self.forensics:
             db.enable_forensics()
+        if self.race_probe:
+            # single-threaded run: the probe must never fire; a firing
+            # probe here is a real bug (something mutating off-thread)
+            db.enable_race_probe()
         for spec in self.config.tables:
             db.create_table(
                 spec.name,
@@ -388,6 +394,10 @@ class Simulator:
             },
             tracer=self.tracer,  # the rebuilt db must keep recording
         )
+        if self.race_probe:
+            # the restored database is a fresh FungusDB: re-arm the
+            # probe so post-restore mutations stay sanitized too
+            self.db.enable_race_probe().bind()
         self.report.checkpoints += 1
         # the oracle is untouched: a checkpoint/restore cycle must be
         # lossless, so any difference shows up in the differential diff

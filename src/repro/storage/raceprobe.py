@@ -1,0 +1,135 @@
+"""Runtime thread-sanitizer probe for table mutations.
+
+The static RS011 rot-race detector proves the *shipped* code never
+mutates engine state from two execution contexts; this probe is its
+runtime counterpart for everything static analysis cannot see —
+monkeypatched tests, REPL sessions, third-party callbacks. It records
+the owning thread of every storage :class:`~repro.storage.table.Table`
+mutation and flags any mutation arriving from a different thread.
+
+Ownership is claimed by the **first mutation** after the probe is
+armed (or after :meth:`bind` re-arms it), which matches the engine's
+single-writer discipline: the server funnels every strong operation
+through one executor worker, the sim driver mutates from its run loop,
+and a checkpoint restore rebuilds tables on whichever thread performs
+the restore. ``bind()`` exists for exactly those ownership handoffs —
+the server calls it from the worker during :meth:`FungusServer.start`,
+and the sim driver re-arms after a checkpoint/restore cycle.
+
+The probe is **off by default** and costs one attribute-is-None check
+per mutator call when disabled (the T3 overhead gate in
+``experiments/t3_overhead.py`` holds that below 5%). Enabled, each
+mutation adds one ``threading.get_ident()`` call and an integer
+compare.
+
+One probe guards one database: ``FungusDB.enable_race_probe()`` fans
+a fresh probe out to every current and future table of that database
+only, so a test that replays an op-log into a second database on the
+main thread does not trip the probe of the served one.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+__all__ = ["RaceProbe", "RaceProbeError", "RaceViolation"]
+
+
+class RaceProbeError(StorageError):
+    """A table mutation arrived from a thread that does not own it."""
+
+
+@dataclass(frozen=True)
+class RaceViolation:
+    """One cross-thread mutation the probe observed."""
+
+    table: str
+    op: str
+    owner_thread: int
+    owner_name: str
+    actual_thread: int
+    actual_name: str
+
+    def format(self) -> str:
+        return (
+            f"table {self.table!r}: {self.op} from thread "
+            f"{self.actual_name} ({self.actual_thread}) but owned by "
+            f"{self.owner_name} ({self.owner_thread})"
+        )
+
+
+class RaceProbe:
+    """Asserts every table mutation happens on the owning thread.
+
+    ``mode="raise"`` (the default) raises :class:`RaceProbeError` at
+    the offending mutation — the stack trace *is* the race report.
+    ``mode="record"`` collects :class:`RaceViolation` entries in
+    :attr:`violations` instead, for harnesses that want to finish the
+    run and fail at the end.
+    """
+
+    def __init__(self, mode: str = "raise") -> None:
+        if mode not in ("raise", "record"):
+            raise ValueError(f"unknown race-probe mode {mode!r}")
+        self.mode = mode
+        self.violations: list[RaceViolation] = []
+        self._owner: int | None = None
+        self._owner_name = ""
+        # guards the violation list and the ownership claim; note()'s
+        # fast path (owner already matches) never takes it
+        self._lock = threading.Lock()
+
+    def bind(self) -> None:
+        """Claim the calling thread as the owner from now on.
+
+        Used at ownership handoffs: the server worker claims the
+        database during startup, the sim driver re-claims a restored
+        database. Recorded violations are kept.
+        """
+        thread = threading.current_thread()
+        with self._lock:
+            self._owner = thread.ident
+            self._owner_name = thread.name
+
+    @property
+    def owner(self) -> int | None:
+        """The owning thread id, or None until the first mutation."""
+        return self._owner
+
+    def note(self, table: str, op: str) -> None:
+        """Record one mutation of ``table`` by the calling thread."""
+        ident = threading.get_ident()
+        if ident == self._owner:
+            return
+        thread = threading.current_thread()
+        with self._lock:
+            if self._owner is None:
+                self._owner = thread.ident
+                self._owner_name = thread.name
+                return
+            if thread.ident == self._owner:
+                return  # lost the unlocked check to a concurrent claim
+            violation = RaceViolation(
+                table=table,
+                op=op,
+                owner_thread=self._owner,
+                owner_name=self._owner_name,
+                actual_thread=thread.ident or 0,
+                actual_name=thread.name,
+            )
+            self.violations.append(violation)
+        if self.mode == "raise":
+            raise RaceProbeError(violation.format())
+
+    def describe(self) -> dict[str, object]:
+        """Probe state for ops/debug surfaces."""
+        with self._lock:
+            return {
+                "mode": self.mode,
+                "owner_thread": self._owner,
+                "owner_name": self._owner_name,
+                "violations": [v.format() for v in self.violations],
+            }

@@ -25,9 +25,12 @@ branch on the backend for correctness, only for speed.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Mapping, Protocol, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Protocol, Sequence
 
 from repro.errors import StorageError
+
+if TYPE_CHECKING:
+    from repro.storage.raceprobe import RaceProbe
 from repro.obs.profile import PROFILER
 from repro.storage.rowset import RowSet
 from repro.storage.schema import DataType, Schema
@@ -111,6 +114,9 @@ class Table:
         self._live_count = 0
         self._next_rid = 0
         self._observers: list[TableObserver] = []
+        # runtime thread-sanitizer hook (see repro.storage.raceprobe);
+        # None keeps every mutator at one is-None check of overhead
+        self.probe: RaceProbe | None = None
         self._generation = 0  # bumped on compaction; indexes check it
         self._version = 0  # bumped on every liveness change; caches check it
         self._live_cache: tuple[int, list[int]] | None = None
@@ -214,6 +220,8 @@ class Table:
 
     def append(self, row: Mapping[str, Any] | Sequence[Any]) -> int:
         """Append one row, returning its row id."""
+        if self.probe is not None:
+            self.probe.note(self.name, "append")
         values = self.schema.coerce_row(row)
         rid = self._next_rid
         for col, value in zip(self._columns, values):
@@ -235,6 +243,8 @@ class Table:
 
     def delete(self, rid: int) -> None:
         """Tombstone one live row."""
+        if self.probe is not None:
+            self.probe.note(self.name, "delete")
         self._check_live(rid)
         values = tuple(col[rid] for col in self._columns)
         self._live[rid] = False
@@ -255,6 +265,8 @@ class Table:
         ordered = list(rids)
         if not ordered:
             return
+        if self.probe is not None:
+            self.probe.note(self.name, "delete_many")
         self.check_live_many(ordered)
         if len(set(ordered)) != len(ordered):
             raise StorageError(f"duplicate row ids in batch delete on {self.name!r}")
@@ -279,6 +291,8 @@ class Table:
 
     def update(self, rid: int, column: str, value: Any) -> None:
         """Overwrite one cell of a live row (used for freshness decay)."""
+        if self.probe is not None:
+            self.probe.note(self.name, "update")
         self._check_live(rid)
         col_def = self.schema.column(column)
         old = self._columns[self.schema.index_of(column)][rid]
@@ -421,6 +435,8 @@ class Table:
         The bulk counterpart of :meth:`update` for vector-backed
         columns; values must already be floats (no per-cell coercion).
         """
+        if self.probe is not None:
+            self.probe.note(self.name, "write_rows")
         self.check_live_many(rids)
         pos = self.schema.index_of(column)
         col = self._columns[pos]
@@ -568,6 +584,8 @@ class Table:
         """
         if self.tombstones == 0:
             return {}
+        if self.probe is not None:
+            self.probe.note(self.name, "compact")
         survivors = self.live_list()
         remap = {old: new for new, old in enumerate(survivors)}
         for pos, col in enumerate(self._columns):

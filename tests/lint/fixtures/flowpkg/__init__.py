@@ -1,0 +1,1 @@
+"""Golden call-graph fixture: tests assert this package's exact edges."""

@@ -1,0 +1,49 @@
+"""Every call-graph feature in one module: methods, async defs,
+decorated defs, nested defs, inheritance, a classmethod factory."""
+
+import asyncio
+
+
+def helper():
+    return 1
+
+
+def outer():
+    def inner():
+        return helper()
+
+    return inner()
+
+
+async def fetch():
+    await asyncio.sleep(0)
+    return helper()
+
+
+def logged(fn):
+    return fn
+
+
+@logged
+def decorated():
+    return helper()
+
+
+class Widget:
+    def __init__(self, size):
+        self.size = size
+
+    def area(self):
+        return self.size * self.size
+
+    def doubled(self):
+        return self.area() + self.area()
+
+    @classmethod
+    def unit(cls):
+        return Widget(1)
+
+
+class NamedWidget(Widget):
+    def describe(self):
+        return self.area()

@@ -1,0 +1,18 @@
+"""Cross-module edges: imported names, module-attribute calls,
+constructor-typed locals."""
+
+from flowpkg import alpha
+from flowpkg.alpha import Widget, decorated, helper
+
+
+def build():
+    w = Widget(3)
+    return w.doubled()
+
+
+def run():
+    return build() + helper() + decorated()
+
+
+async def drive():
+    return await alpha.fetch()

@@ -1,0 +1,20 @@
+"""Known-bad fixture: RS012 must fire here.
+
+``retry_delay`` is determinism-critical (fixture ``repro.core``) and
+calls a noncritical helper whose body reads the wall clock — the taint
+crosses the zone boundary at that call edge. ``churn`` iterates a set
+expression directly, the intraprocedural hazard.
+"""
+
+from repro.entropy import backoff_seconds
+
+
+def retry_delay(attempt):
+    return backoff_seconds(attempt)
+
+
+def churn(keys):
+    total = 0
+    for key in {k for k in keys}:
+        total += key
+    return total

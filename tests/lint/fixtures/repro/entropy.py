@@ -1,0 +1,12 @@
+"""Noncritical helper carrying a nondeterminism source (RS012 bait).
+
+This module lives outside the determinism-critical packages, so the
+``time.time()`` read is legal *here* — the finding fires on the call
+edge through which critical code reaches it.
+"""
+
+import time
+
+
+def backoff_seconds(attempt):
+    return (time.time() % 1.0) / (attempt + 1)

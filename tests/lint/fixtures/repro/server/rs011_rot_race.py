@@ -1,0 +1,36 @@
+"""Known-bad fixture: RS011 must fire here.
+
+``handle`` is an async def in a (fixture) server module, so it runs on
+the event loop; it mutates tracked engine state directly and through a
+sync helper. The executor-submitted ``job`` mutates the same state but
+only ever from the worker context, so it stays clean — and because
+``handle`` *also* reaches ``FungusDB.insert``, the method body's own
+tracked touch is flagged too (the state is reachable from two
+contexts).
+"""
+
+
+class FungusDB:
+    def __init__(self):
+        self.tables = {}
+
+    def insert(self, table, row):
+        self.tables[table].append(row)
+
+
+class BadServer:
+    def __init__(self, db: FungusDB):
+        self.db = db
+
+    async def handle(self, row):
+        self.db.insert("r", row)
+        return self._hot_read()
+
+    def _hot_read(self):
+        return len(self.db.tables)
+
+    def _submit(self, loop, row):
+        def job():
+            self.db.insert("r", row)
+
+        loop.run_in_executor(None, job)

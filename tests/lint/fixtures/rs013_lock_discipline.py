@@ -1,0 +1,35 @@
+"""Known-bad fixture: RS013 must fire here.
+
+``_evict`` mutates the guarded dict without taking the lock but is
+only ever called from inside ``put``'s ``with self._lock:`` block, so
+the lock-held-on-entry fixpoint keeps it clean. ``size_unsafe`` reads
+the dict with no lock at all, and ``_bump`` is reachable through the
+unlocked ``racy_bump`` — both are findings.
+"""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}  # guarded by _lock
+        self.size_hint = 0
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+            self._evict()
+
+    def _evict(self):
+        while len(self._items) > 4:
+            self._items.popitem()
+
+    def size_unsafe(self):
+        return len(self._items)
+
+    def racy_bump(self, key):
+        self._bump(key)
+
+    def _bump(self, key):
+        self._items[key] = self._items.get(key, 0) + 1

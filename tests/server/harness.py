@@ -25,7 +25,15 @@ HOST = "127.0.0.1"
 async def running_server(
     db: FungusDB, **config: Any
 ) -> AsyncIterator[FungusServer]:
-    """Start a server on port 0, yield it, always stop it."""
+    """Start a server on port 0, yield it, always stop it.
+
+    Every served database runs with the thread-sanitizer probe armed:
+    a table mutation off the engine worker raises at the offending
+    call, so any ownership bug fails the suite loudly. ``start()``
+    binds the probe to the worker, which is why seeding the db on the
+    test's main thread beforehand stays legal.
+    """
+    db.enable_race_probe()
     server = FungusServer(db, ServerConfig(host=HOST, port=0, **config))
     await server.start()
     try:
