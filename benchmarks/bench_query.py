@@ -2,7 +2,10 @@
 
 Covers the paths the experiments lean on: parse, full scan with
 residual predicate, index-served scan, aggregation, and consuming
-queries.
+queries. The table is built the way FungusDB builds decaying tables —
+numpy-backed ``t``/``f`` vector columns with ``f`` as the freshness
+column — so these numbers exercise the vectorized executor, not the
+row-at-a-time fallback.
 """
 
 from __future__ import annotations
@@ -15,7 +18,12 @@ N = 5_000
 
 def _engine() -> QueryEngine:
     catalog = Catalog()
-    table = catalog.create_table("r", Schema.of(t="timestamp", f="float", v="int", key="str"))
+    table = catalog.create_table(
+        "r",
+        Schema.of(t="timestamp", f="float", v="int", key="str"),
+        vector_columns=("t", "f"),
+        freshness_column="f",
+    )
     catalog.create_hash_index("r", "key")
     catalog.create_sorted_index("r", "t")
     for i in range(N):
@@ -36,11 +44,12 @@ def test_parse(benchmark):
             parse(sql)
         return 200
 
+    benchmark.extra_info["rows"] = 200
     assert benchmark.pedantic(parse_many, iterations=1, rounds=3) == 200
 
 
 def test_full_scan_filter(benchmark):
-    """Unindexed predicate over the whole table."""
+    """Unindexed predicate over the whole table (mask-compiled)."""
     engine = _engine()
 
     def scan():
@@ -58,28 +67,42 @@ def test_index_scan(benchmark):
     def lookup():
         return engine.execute("SELECT count(*) FROM r WHERE key = 'k7'").scalar()
 
+    benchmark.extra_info["rows"] = N // 50
     count = benchmark.pedantic(lookup, iterations=1, rounds=3)
     assert count == N // 50
 
 
 def test_group_by(benchmark):
-    """Aggregation over every row."""
+    """Aggregation over every row.
+
+    One warmup round absorbs the first-touch costs (mask caches,
+    planner stats) that made this benchmark's p95 flaky; five measured
+    rounds give the percentile something to stand on.
+    """
     engine = _engine()
 
     def aggregate():
         return len(engine.execute("SELECT key, count(*), avg(v) FROM r GROUP BY key"))
 
-    groups = benchmark.pedantic(aggregate, iterations=1, rounds=3)
+    benchmark.extra_info["rows"] = N
+    groups = benchmark.pedantic(aggregate, iterations=1, rounds=5, warmup_rounds=1)
     assert groups == 50
 
 
 def test_consume(benchmark):
-    """Consuming query: answer + delete (rebuilds the table per round)."""
-    def consume() -> int:
-        engine = _engine()
+    """Consuming query: answer + delete.
+
+    The per-round table rebuild runs in pedantic's ``setup`` so only
+    the consume itself is timed.
+    """
+
+    def fresh():
+        return (_engine(),), {}
+
+    def consume(engine: QueryEngine) -> int:
         res = engine.execute("CONSUME SELECT v FROM r WHERE t BETWEEN 0 AND 999")
         return len(res.consumed)
 
     benchmark.extra_info["rows"] = 1_000
-    consumed = benchmark.pedantic(consume, iterations=1, rounds=5)
+    consumed = benchmark.pedantic(consume, setup=fresh, rounds=5)
     assert consumed == 1_000

@@ -26,9 +26,17 @@ def main(argv: list[str] | None = None) -> int:
     regress.add_argument("--baseline", required=True, metavar="DIR")
     regress.add_argument("--current", required=True, metavar="DIR")
     regress.add_argument("--threshold", type=float, default=1.25)
+    regress.add_argument(
+        "--suite",
+        default=None,
+        metavar="NAME",
+        help="gate only BENCH_<NAME>.json instead of every snapshot",
+    )
     args = parser.parse_args(argv)
 
-    result = compare(args.baseline, args.current, threshold=args.threshold)
+    result = compare(
+        args.baseline, args.current, threshold=args.threshold, suite=args.suite
+    )
     for line in result.lines():
         print(line)
     if result.ok:

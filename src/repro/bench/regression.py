@@ -48,10 +48,17 @@ class Comparison:
                 yield f"{label}: {entry}"
 
 
-def load_snapshots(directory: str | Path) -> dict[str, dict]:
-    """``{fullname: entry}`` across every ``BENCH_*.json`` in a dir."""
+def load_snapshots(
+    directory: str | Path, suite: str | None = None
+) -> dict[str, dict]:
+    """``{fullname: entry}`` across every ``BENCH_*.json`` in a dir.
+
+    ``suite`` narrows the sweep to one ``BENCH_<suite>.json`` file, so
+    a gate can hold a single suite to a different threshold.
+    """
     entries: dict[str, dict] = {}
-    for path in sorted(Path(directory).glob(f"{SNAPSHOT_PREFIX}*.json")):
+    pattern = f"{SNAPSHOT_PREFIX}{suite if suite is not None else '*'}.json"
+    for path in sorted(Path(directory).glob(pattern)):
         payload = json.loads(path.read_text(encoding="utf-8"))
         for entry in payload.get("benchmarks", ()):
             entries[entry["fullname"]] = entry
@@ -62,10 +69,11 @@ def compare(
     baseline_dir: str | Path,
     current_dir: str | Path,
     threshold: float = 1.25,
+    suite: str | None = None,
 ) -> Comparison:
     """Compare p50 latencies; slower than ``threshold``x regresses."""
-    baseline = load_snapshots(baseline_dir)
-    current = load_snapshots(current_dir)
+    baseline = load_snapshots(baseline_dir, suite)
+    current = load_snapshots(current_dir, suite)
     result = Comparison()
     for fullname, entry in sorted(current.items()):
         base = baseline.get(fullname)

@@ -424,6 +424,9 @@ class DecayingTable:
             if skip.any():
                 new = numpy.where(skip, old, new)
         self.storage.freshness_array()[rid_arr] = new
+        # the raw-array write bypasses write_rows, so the rot dirty-map
+        # (span pruning's soundness superset) must be told directly
+        self.storage.mark_rot(rid_arr)
         dead = new <= 0.0
         if dead.any():
             self._exhausted.update(rid_arr[dead].tolist())

@@ -69,6 +69,16 @@ class SpotSet:
         i = bisect_right(self._starts, rid) - 1
         return i >= 0 and rid <= self._ends[i]
 
+    def covers_span(self, lo: int, hi: int) -> bool:
+        """True when one existing span contains all of ``[lo, hi]``.
+
+        The steady-state fast path for the rot dirty-map: re-marking
+        rids inside an already-dirty span is a no-op, detectable in
+        O(log spans) without touching the batch itself.
+        """
+        i = bisect_right(self._starts, lo) - 1
+        return i >= 0 and hi <= self._ends[i]
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
@@ -96,10 +106,34 @@ class SpotSet:
 
     def add_span(self, lo: int, hi: int) -> None:
         """Add the inclusive range ``[lo, hi]`` (merging as needed)."""
-        if lo > hi:
-            raise ValueError(f"invalid span [{lo}, {hi}]")
-        for rid in range(lo, hi + 1):
-            self.add(rid)
+        self.add_runs(((lo, hi),))
+
+    def add_runs(self, runs: Iterable[tuple[int, int]]) -> None:
+        """Bulk-add inclusive ``(lo, hi)`` runs in one sort-merge sweep.
+
+        Runs may arrive unsorted and may overlap each other or existing
+        spans; cost is O((spans + runs) log(spans + runs)) rather than
+        the O(members) a per-rid :meth:`add` loop would pay. This is the
+        path the storage table's rot dirty-map takes on every batch
+        freshness write.
+        """
+        pairs = list(zip(self._starts, self._ends))
+        for lo, hi in runs:
+            if lo > hi:
+                raise ValueError(f"invalid span [{lo}, {hi}]")
+            pairs.append((lo, hi))
+        pairs.sort()
+        starts: list[int] = []
+        ends: list[int] = []
+        for lo, hi in pairs:
+            if starts and lo <= ends[-1] + 1:
+                if hi > ends[-1]:
+                    ends[-1] = hi
+                continue
+            starts.append(lo)
+            ends.append(hi)
+        self._starts = starts
+        self._ends = ends
 
     def remove(self, rid: int) -> bool:
         """Remove one rid, splitting its span; False if not a member."""

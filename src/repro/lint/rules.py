@@ -16,7 +16,7 @@ from typing import ClassVar, Iterator, Sequence
 from repro.lint.catalogue import load_metric_catalogue
 from repro.lint.engine import Finding, ModuleSource, Rule
 
-CATALOGUE_VERSION = "1.5"
+CATALOGUE_VERSION = "1.6"
 
 #: packages where simulated time and injected randomness are mandatory
 RESTRICTED_PACKAGES = ("core", "fungi", "query", "sim", "storage")
@@ -50,6 +50,39 @@ def metric_name_resolves(
 def _in_restricted_package(path: Path) -> bool:
     posix = path.as_posix()
     return any(f"repro/{package}/" in posix for package in RESTRICTED_PACKAGES)
+
+
+#: node types whose bodies re-execute per element
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def _parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    """child -> parent for every node in ``tree``."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def _inside_loop(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> bool:
+    """Whether ``node`` sits lexically inside a loop of its function."""
+    current = node
+    while current in parents:
+        current = parents[current]
+        if isinstance(current, _LOOP_NODES):
+            return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+    return False
 
 
 def _dotted_name(node: ast.AST) -> str | None:
@@ -468,25 +501,13 @@ class BatchMutatorRule(Rule):
     SCALAR_MUTATORS = frozenset(
         {"set_freshness", "decay", "scale_freshness", "_decay"}
     )
-    LOOP_NODES = (
-        ast.For,
-        ast.AsyncFor,
-        ast.While,
-        ast.ListComp,
-        ast.SetComp,
-        ast.DictComp,
-        ast.GeneratorExp,
-    )
 
     def applies_to(self, path: Path) -> bool:
         posix = path.as_posix()
         return "repro/fungi/" in posix or posix.endswith("repro/core/policy.py")
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
-        parents: dict[ast.AST, ast.AST] = {}
-        for parent in ast.walk(module.tree):
-            for child in ast.iter_child_nodes(parent):
-                parents[child] = parent
+        parents = _parent_map(module.tree)
         for node in ast.walk(module.tree):
             if not (
                 isinstance(node, ast.Call)
@@ -494,7 +515,7 @@ class BatchMutatorRule(Rule):
                 and node.func.attr in self.SCALAR_MUTATORS
             ):
                 continue
-            if self._inside_loop(node, parents):
+            if _inside_loop(node, parents):
                 yield self.finding(
                     module,
                     node,
@@ -502,18 +523,6 @@ class BatchMutatorRule(Rule):
                     "batch mutators (decay_many/scale_many/"
                     "set_freshness_many) instead",
                 )
-
-    def _inside_loop(
-        self, node: ast.AST, parents: dict[ast.AST, ast.AST]
-    ) -> bool:
-        current = node
-        while current in parents:
-            current = parents[current]
-            if isinstance(current, self.LOOP_NODES):
-                return True
-            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                return False
-        return False
 
 
 class BlockingAsyncRule(Rule):
@@ -714,6 +723,43 @@ class QueryMetricReferenceRule(Rule):
         )
 
 
+class RowAtATimeScanRule(Rule):
+    """RS014 — query hot paths must not walk table rows one at a time."""
+
+    id: ClassVar[str] = "RS014"
+    title: ClassVar[str] = "no per-row row()/row_dict() loops in query hot paths"
+    rationale: ClassVar[str] = (
+        "The vectorized executor narrows candidates with compiled "
+        "masks and materializes column-wise via Table.gather(); a "
+        ".row()/.row_dict() call inside a loop rebuilds a dict per row "
+        "and drags every column through Python, silently undoing the "
+        "late-materialization win."
+    )
+
+    ROW_METHODS = frozenset({"row", "row_dict"})
+
+    def applies_to(self, path: Path) -> bool:
+        return "repro/query/" in path.as_posix()
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        parents = _parent_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.ROW_METHODS
+            ):
+                continue
+            if _inside_loop(node, parents):
+                yield self.finding(
+                    module,
+                    node,
+                    f"per-row .{node.func.attr}() inside a loop on a "
+                    "query hot path; gather the needed columns in bulk "
+                    "(Table.gather / column_array) instead",
+                )
+
+
 def default_rules() -> list[Rule]:
     """The full RS rule set, in catalogue order."""
     return [
@@ -727,4 +773,5 @@ def default_rules() -> list[Rule]:
         BlockingAsyncRule(),
         SpanContextManagerRule(),
         QueryMetricReferenceRule(),
+        RowAtATimeScanRule(),
     ]

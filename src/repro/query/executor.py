@@ -359,9 +359,7 @@ class QueryEngine:
         stats = ExecutionStats()
         collect = instr.delete if instr is not None else None
         started = PROFILER.time() if collect is not None else 0.0
-        victims = RowSet(
-            rid for rid, _ in ops.scan(plan, self.catalog, stats, collect)
-        )
+        victims = RowSet(ops.scan_rids(plan, self.catalog, stats, collect))
         table = self.catalog.table(stmt.table)
         table.delete_rows(victims)
         if collect is not None:
@@ -376,23 +374,29 @@ class QueryEngine:
     ) -> ResultSet:
         stats = ExecutionStats()
         consumed = RowSet.empty()
+        count_star: int | None = None
 
         if isinstance(plan.source, ScanPlan):
-            if instr is not None and instr.scan is not None:
-                started = PROFILER.time()
-                pairs = list(
-                    ops.scan(plan.source, self.catalog, stats, instr.scan)
-                )
-                instr.scan.seconds += PROFILER.time() - started
-            else:
-                pairs = list(ops.scan(plan.source, self.catalog, stats))
-            contexts = [ctx for _, ctx in pairs]
-            if self._access_hooks and pairs:
-                matched = RowSet(rid for rid, _ in pairs)
+            scan_collect = instr.scan if instr is not None else None
+            started = PROFILER.time() if scan_collect is not None else 0.0
+            rids = ops.scan_rids(plan.source, self.catalog, stats, scan_collect)
+            if self._access_hooks and rids:
+                matched = RowSet(rids)
                 for hook in self._access_hooks:
                     hook(plan.source.table_name, matched)
             if plan.consume:
-                consumed = RowSet(rid for rid, _ in pairs)
+                consumed = RowSet(rids)
+            if ops.is_count_star_only(plan.aggregate):
+                # late materialization's endgame: a pure count(*) needs
+                # no contexts at all, only the surviving rid count
+                count_star = len(rids)
+                contexts = []
+            else:
+                table = self.catalog.table(plan.source.table_name)
+                contexts = ops.materialize(table, plan.source.binding, rids)
+            if scan_collect is not None:
+                scan_collect.seconds += PROFILER.time() - started
+            stats.rows_matched = len(rids)
         else:
             assert isinstance(plan.source, JoinPlan)
             collect = instr.join if instr is not None else None
@@ -406,20 +410,25 @@ class QueryEngine:
             if collect is not None:
                 collect.seconds += PROFILER.time() - started
                 collect.rows_out = len(contexts)
-        stats.rows_matched = len(contexts)
+            stats.rows_matched = len(contexts)
 
         rows_iter = iter(contexts)
         if plan.aggregate is not None:
+            agg_in = count_star if count_star is not None else len(contexts)
+            if count_star is not None:
+                grouper = ops.count_star_group(plan.aggregate, count_star)
+            else:
+                grouper = ops.aggregate(rows_iter, plan.aggregate)
             if instr is not None and instr.aggregate is not None:
                 node = instr.aggregate
-                node.rows_in = len(contexts)
+                node.rows_in = agg_in
                 started = PROFILER.time()
-                grouped = list(ops.aggregate(rows_iter, plan.aggregate))
+                grouped = list(grouper)
                 node.seconds += PROFILER.time() - started
                 node.rows_out = len(grouped)
                 rows_iter = iter(grouped)
             else:
-                rows_iter = ops.aggregate(rows_iter, plan.aggregate)
+                rows_iter = grouper
 
         if plan.order_by:
             pre_sort = list(rows_iter)

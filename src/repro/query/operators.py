@@ -5,21 +5,38 @@ column names. Single-table scans publish both bare (``v``) and
 qualified (``r.v``) keys; joins publish qualified keys only and
 expression evaluation falls back to suffix matching for unambiguous
 bare references.
+
+Execution is rid-first (late materialization): :func:`scan_rids`
+narrows a candidate rid list conjunct by conjunct — as boolean mask
+operations on the numpy column backend, as batched row evaluation on
+the pure-python fallback — and contexts are only built for survivors
+via the column-wise :func:`materialize`. Both backends run the *same*
+conjunct-major pipeline over the same candidate order, so results,
+row counts and error behaviour are bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from repro.errors import ExecutionError
 from repro.obs.profile import PROFILER
 from repro.query.ast_nodes import Expression, OrderItem, Projection
 from repro.query.expressions import evaluate, matches
 from repro.query.functions import aggregate_arity, make_aggregate
-from repro.query.planner import AggregatePlan, IndexAccess, JoinPlan, ScanPlan
+from repro.query.masks import compile_mask
+from repro.query.planner import (
+    AggregatePlan,
+    IndexAccess,
+    JoinPlan,
+    ScanPlan,
+    _conjuncts,
+)
 from repro.query.result import ExecutionStats
 from repro.storage.catalog import Catalog
 from repro.storage.rowset import RowSet
+from repro.storage.table import Table
+from repro.storage.vector import numpy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from repro.query.opstats import OperatorStats
@@ -27,70 +44,100 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
 RowContext = dict[str, Any]
 
 
-def _make_context(binding: str, names: tuple[str, ...], values: tuple) -> RowContext:
-    ctx: RowContext = dict(zip(names, values))
-    for name, value in zip(names, values):
-        ctx[f"{binding}.{name}"] = value
-    return ctx
+def materialize(
+    table: Table,
+    binding: str,
+    rids: Sequence[int],
+    qualified_only: bool = False,
+) -> list[RowContext]:
+    """Build row contexts for known-live ``rids``, column-wise.
 
-
-def scan(
-    plan: ScanPlan,
-    catalog: Catalog,
-    stats: ExecutionStats,
-    collect: "OperatorStats | None" = None,
-) -> Iterator[tuple[int, RowContext]]:
-    """Yield ``(rid, context)`` for live rows matching the scan plan."""
-    if PROFILER.enabled:
-        # the drain time includes downstream operator work (this is a
-        # generator); rows_scanned is exact either way
-        start = PROFILER.time()
-        before = stats.rows_scanned
-        yield from _scan(plan, catalog, stats, collect)
-        PROFILER.record(
-            "query.scan",
-            rows=stats.rows_scanned - before,
-            seconds=PROFILER.time() - start,
-        )
-        return
-    yield from _scan(plan, catalog, stats, collect)
-
-
-def _scan(
-    plan: ScanPlan,
-    catalog: Catalog,
-    stats: ExecutionStats,
-    collect: "OperatorStats | None" = None,
-) -> Iterator[tuple[int, RowContext]]:
-    table = catalog.table(plan.table_name)
+    Single-table contexts carry bare *and* qualified keys; join sides
+    pass ``qualified_only=True`` to match the historical join-context
+    shape. Values come from :meth:`Table.gather`, so original Python
+    types survive (INTs stay ``int``).
+    """
     names = table.schema.names
-    rids: Iterable[int]
-    if plan.index is None:
-        rids = table.live_rows()
-    else:
-        rids = _index_rids(plan.index, plan.table_name, catalog)
+    columns = [table.gather(name, rids) for name in names]
+    qualified = tuple(f"{binding}.{name}" for name in names)
+    out: list[RowContext] = []
+    for i in range(len(rids)):
+        ctx: RowContext = {}
+        for pos, qname in enumerate(qualified):
+            value = columns[pos][i]
+            if not qualified_only:
+                ctx[names[pos]] = value
+            ctx[qname] = value
+        out.append(ctx)
+    return out
+
+
+def scan_rids(
+    plan: ScanPlan,
+    catalog: Catalog,
+    stats: ExecutionStats,
+    collect: "OperatorStats | None" = None,
+) -> list[int]:
+    """Row ids of live rows matching the scan plan, in candidate order.
+
+    Candidates come from the index, the rot dirty-map spans (when the
+    planner proved the residual rules out ``f == 1.0``), or the live
+    list; each residual conjunct then narrows the rid list in plan
+    order. Mask-compilable conjuncts run as one numpy expression per
+    batch; the rest fall back to row evaluation over materialized
+    survivor contexts — the pure-python backend takes the fallback for
+    every conjunct, with identical counting.
+    """
+    profiling = PROFILER.enabled
+    start = PROFILER.time() if profiling else 0.0
+    table = catalog.table(plan.table_name)
+    candidates: list[int]
+    if plan.index is not None:
+        candidates = [int(rid) for rid in _index_rids(plan.index, plan.table_name, catalog)]
         stats.used_index = plan.index.describe()
+    elif plan.prune is not None:
+        candidates = table.rot_live_rows()
+        if collect is not None:
+            # live rows outside the rot spans hold f == 1.0 exactly,
+            # which the residual rules out — never touched
+            collect.pruned_skipped += len(table) - len(candidates)
+    else:
+        candidates = table.live_list()
     if collect is not None:
         # slots the storage iteration (or index maintenance) already
         # skipped because decay rotted them away
         collect.rotted_skipped += table.tombstones
-    for rid in rids:
-        stats.rows_scanned += 1
-        values = table.row(rid)
-        ctx = _make_context(plan.binding, names, values)
-        if plan.residual is not None and not matches(plan.residual, ctx):
-            if collect is not None:
-                collect.rows_in += 1
-                collect.predicate_evals += 1
-            continue
+        collect.rows_in += len(candidates)
+        if plan.index is not None:
+            collect.index_hits += len(candidates)
+    stats.rows_scanned += len(candidates)
+
+    filters = plan.filters or tuple(_conjuncts(plan.residual))
+    current = list(candidates)
+    use_masks = table.vectorized
+    for conj in filters:
+        if not current:
+            break
         if collect is not None:
-            collect.rows_in += 1
-            if plan.residual is not None:
-                collect.predicate_evals += 1
-            collect.rows_out += 1
-        yield rid, ctx
-    if collect is not None and plan.index is not None:
-        collect.index_hits = collect.rows_in
+            collect.predicate_evals += len(current)
+        mask_fn = compile_mask(conj, table, plan.binding) if use_masks else None
+        if mask_fn is not None:
+            rid_arr = numpy.asarray(current, dtype=numpy.intp)
+            current = rid_arr[mask_fn(rid_arr)].tolist()
+        else:
+            contexts = materialize(table, plan.binding, current)
+            current = [
+                rid
+                for rid, ctx in zip(current, contexts)
+                if matches(conj, ctx)
+            ]
+    if collect is not None:
+        collect.rows_out += len(current)
+    if profiling:
+        PROFILER.record(
+            "query.scan", rows=len(candidates), seconds=PROFILER.time() - start
+        )
+    return current
 
 
 def _index_rids(index: IndexAccess, table_name: str, catalog: Catalog) -> Iterable[int]:
@@ -110,50 +157,85 @@ def _index_rids(index: IndexAccess, table_name: str, catalog: Catalog) -> Iterab
     )
 
 
+def _join_key_values(
+    table: Table, key: str, rids: Sequence[int]
+) -> list[Any] | None:
+    """Key-column values for one join side, or None when the resolved
+    key is not a column of the table (then no row can join)."""
+    name = key.split(".")[-1]
+    if name not in table.schema:
+        return None
+    return table.gather(name, rids)
+
+
 def hash_join(
     plan: JoinPlan,
     catalog: Catalog,
     stats: ExecutionStats,
     collect: "OperatorStats | None" = None,
 ) -> Iterator[RowContext]:
-    """Classic build/probe hash equi-join; right side builds."""
-    right_table = catalog.table(plan.right.table_name)
-    right_names = right_table.schema.names
-    if collect is not None:
-        collect.rotted_skipped += (
-            right_table.tombstones
-            + catalog.table(plan.left.table_name).tombstones
-        )
-    buckets: dict[Any, list[RowContext]] = {}
-    for rid in right_table.live_rows():
-        stats.rows_scanned += 1
-        if collect is not None:
-            collect.rows_in += 1
-        values = right_table.row(rid)
-        ctx = {f"{plan.right.binding}.{n}": v for n, v in zip(right_names, values)}
-        key = ctx.get(plan.right_key)
-        if key is None:
-            # also allow keys resolved as bare names
-            key = dict(zip(right_names, values)).get(plan.right_key.split(".")[-1])
-        if key is not None:
-            buckets.setdefault(key, []).append(ctx)
+    """Classic build/probe hash equi-join; right side builds.
 
+    Only the key columns are gathered up front; contexts materialize
+    lazily per side for rows that actually participate in a match.
+    """
+    right_table = catalog.table(plan.right.table_name)
     left_table = catalog.table(plan.left.table_name)
-    left_names = left_table.schema.names
-    for rid in left_table.live_rows():
-        stats.rows_scanned += 1
-        if collect is not None:
-            collect.rows_in += 1
-        values = left_table.row(rid)
-        left_ctx = {f"{plan.left.binding}.{n}": v for n, v in zip(left_names, values)}
-        key = left_ctx.get(plan.left_key)
-        if key is None:
-            key = dict(zip(left_names, values)).get(plan.left_key.split(".")[-1])
+    if collect is not None:
+        collect.rotted_skipped += right_table.tombstones + left_table.tombstones
+    right_rids = right_table.live_list()
+    left_rids = left_table.live_list()
+    stats.rows_scanned += len(right_rids) + len(left_rids)
+    if collect is not None:
+        collect.rows_in += len(right_rids) + len(left_rids)
+
+    right_keys = _join_key_values(right_table, plan.right_key, right_rids)
+    left_keys = _join_key_values(left_table, plan.left_key, left_rids)
+    if right_keys is None or left_keys is None:
+        return
+
+    # build: key -> right positions (NULL keys never join)
+    buckets: dict[Any, list[int]] = {}
+    for pos, key in enumerate(right_keys):
+        if key is not None:
+            buckets.setdefault(key, []).append(pos)
+
+    # probe pass one: which rows on each side participate at all?
+    matches_per_left: list[tuple[int, list[int]]] = []
+    right_used: set[int] = set()
+    for pos, key in enumerate(left_keys):
         if key is None:
             continue
-        for right_ctx in buckets.get(key, ()):
+        bucket = buckets.get(key)
+        if bucket:
+            matches_per_left.append((pos, bucket))
+            right_used.update(bucket)
+    if not matches_per_left:
+        return
+
+    # materialize contexts only for participating rows
+    left_positions = [pos for pos, _ in matches_per_left]
+    left_ctxs = materialize(
+        left_table,
+        plan.left.binding,
+        [left_rids[pos] for pos in left_positions],
+        qualified_only=True,
+    )
+    left_ctx_by_pos = dict(zip(left_positions, left_ctxs))
+    used = sorted(right_used)
+    right_ctxs = materialize(
+        right_table,
+        plan.right.binding,
+        [right_rids[pos] for pos in used],
+        qualified_only=True,
+    )
+    right_ctx_by_pos = dict(zip(used, right_ctxs))
+
+    for pos, bucket in matches_per_left:
+        left_ctx = left_ctx_by_pos[pos]
+        for right_pos in bucket:
             merged = dict(left_ctx)
-            merged.update(right_ctx)
+            merged.update(right_ctx_by_pos[right_pos])
             yield merged
 
 
@@ -219,6 +301,33 @@ def aggregate(rows: Iterable[RowContext], plan: AggregatePlan) -> Iterator[RowCo
         if plan.having is not None and not matches(plan.having, out):
             continue
         yield out
+
+
+def is_count_star_only(plan: AggregatePlan | None) -> bool:
+    """True when aggregation is pure ``count(*)`` with no GROUP BY.
+
+    These queries need only the matched-row *count* — the executor
+    skips context materialization entirely and feeds the count straight
+    into :func:`count_star_group`.
+    """
+    return (
+        plan is not None
+        and not plan.group_keys
+        and bool(plan.aggregates)
+        and all(call.star for call in plan.aggregates)
+    )
+
+
+def count_star_group(plan: AggregatePlan, matched: int) -> Iterator[RowContext]:
+    """Emit the single global group of a ``count(*)``-only aggregation.
+
+    Mirrors :func:`aggregate` exactly for the :func:`is_count_star_only`
+    shape (HAVING included) without ever touching row contexts.
+    """
+    out: RowContext = {call.to_sql(): matched for call in plan.aggregates}
+    if plan.having is not None and not matches(plan.having, out):
+        return
+    yield out
 
 
 def project(rows: Iterable[RowContext], projections: tuple[Projection, ...]) -> Iterator[tuple]:

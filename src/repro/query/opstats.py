@@ -54,6 +54,7 @@ class OperatorStats:
     rows_in: int = 0
     rows_out: int = 0
     rotted_skipped: int = 0
+    pruned_skipped: int = 0
     predicate_evals: int = 0
     index_hits: int = 0
     seconds: float = 0.0
@@ -81,6 +82,7 @@ class OperatorStats:
             parts.append(
                 f"in {self.rows_in}, index hits {self.index_hits}, "
                 f"rotted skipped {self.rotted_skipped}, "
+                f"span pruned {self.pruned_skipped}, "
                 f"predicate evals {self.predicate_evals}"
             )
         elif self.kind == "join":
@@ -153,9 +155,14 @@ def _index_expr(index: IndexAccess) -> Expression | None:
 
 
 def _scan_estimates(
-    scan: ScanPlan, stats: TableStats
+    scan: ScanPlan, stats: TableStats, footprint: int | None = None
 ) -> tuple[int, int]:
-    """(estimated rows entering the scan, estimated rows it emits)."""
+    """(estimated rows entering the scan, estimated rows it emits).
+
+    ``footprint`` is the span-pruned candidate count (rot-spot rows
+    only) when freshness pruning applies — the cost model charges only
+    the surviving span footprint, so both estimates are capped by it.
+    """
     extent = stats.live_rows
     access = _index_expr(scan.index) if scan.index is not None else None
     est_in = extent
@@ -169,7 +176,17 @@ def _scan_estimates(
             else BinaryOp("AND", combined, scan.residual)
         )
     est_out = _clamp(extent * predicate_selectivity(combined, stats), extent)
+    if footprint is not None:
+        est_in = min(est_in, footprint)
+        est_out = min(est_out, footprint)
     return est_in, est_out
+
+
+def _scan_footprint(scan: ScanPlan, catalog: Catalog) -> int | None:
+    """Rot-spot live-row count when the plan prunes by freshness."""
+    if scan.prune is None:
+        return None
+    return catalog.table(scan.table_name).rot_live_count()
 
 
 def _clamp(value: float, extent: int) -> int:
@@ -254,7 +271,7 @@ def instrument_select(plan: SelectPlan, catalog: Catalog) -> PlanInstrumentation
     if isinstance(source, ScanPlan):
         stats = collect_stats(catalog.table(source.table_name))
         stats_by_binding[source.binding] = stats
-        _, est = _scan_estimates(source, stats)
+        _, est = _scan_estimates(source, stats, _scan_footprint(source, catalog))
         instr.add("scan", render_scan(source), est)
     else:
         assert isinstance(source, JoinPlan)
@@ -310,7 +327,7 @@ def instrument_delete(plan: ScanPlan, catalog: Catalog) -> PlanInstrumentation:
     """Collectors for a DELETE's victim scan (shares the scan counters)."""
     instr = PlanInstrumentation()
     stats = collect_stats(catalog.table(plan.table_name))
-    _, est = _scan_estimates(plan, stats)
+    _, est = _scan_estimates(plan, stats, _scan_footprint(plan, catalog))
     label = (
         render_scan(plan)
         + "\nDELETE: matching base rows are removed (no distillation)"

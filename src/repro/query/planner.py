@@ -60,13 +60,41 @@ class IndexAccess:
 
 
 @dataclass(frozen=True)
+class PrunePlan:
+    """Freshness-aware span pruning decision for one scan.
+
+    The residual rules out ``f == 1.0``, and the storage invariant says
+    every live row outside the table's rot dirty-map spans holds
+    exactly 1.0 — so the scan only visits live rows *inside* the spans
+    and the cost model charges only that footprint.
+    """
+
+    column: str  # the table's freshness column
+    predicate: str  # SQL of the conjunct that justified pruning
+
+
+@dataclass(frozen=True)
 class ScanPlan:
-    """Scan one base table, optionally through an index, with a residual filter."""
+    """Scan one base table, optionally through an index, with a residual filter.
+
+    ``filters`` holds the residual's conjuncts in execution order
+    (cheapest-first by estimated selectivity when the planner had ≥ 2
+    to order; ``filter_sels`` aligns with them and is empty otherwise).
+    ``filter_vec`` flags which conjuncts have mask-compilable shape.
+    ``mode`` is the planned predicate-evaluation backend for EXPLAIN:
+    ``vectorized`` (all filters as masks), ``hybrid`` (some), or
+    ``row-fallback`` (pure-python backend or uncompilable filters).
+    """
 
     table_name: str
     binding: str
     index: IndexAccess | None = None
     residual: Expression | None = None
+    filters: tuple[Expression, ...] = ()
+    filter_sels: tuple[float, ...] = ()
+    filter_vec: tuple[bool, ...] = ()
+    prune: PrunePlan | None = None
+    mode: str = "row-fallback"
 
 
 @dataclass(frozen=True)
@@ -230,6 +258,96 @@ def _choose_index(
 
 
 # ----------------------------------------------------------------------
+# scan finalization: filter order, span pruning, execution mode
+# ----------------------------------------------------------------------
+
+def dequalify(expr: Expression, binding: str) -> Expression:
+    """Strip ``binding.``-qualifications so single-table helpers
+    (interval algebra, selectivity) see bare column references."""
+    from repro.query.ast_nodes import rewrite_leaves
+
+    def strip(ref: ColumnRef) -> Expression:
+        if ref.table == binding:
+            return ColumnRef(ref.name)
+        return ref
+
+    return rewrite_leaves(expr, column_fn=strip)
+
+
+def _build_scan(
+    catalog: Catalog,
+    table_name: str,
+    binding: str,
+    index: IndexAccess | None,
+    residual: Expression | None,
+) -> ScanPlan:
+    """Finalize one base-table scan: order its residual conjuncts by
+    estimated selectivity, decide freshness span pruning, and stamp the
+    vectorized-vs-fallback mode per conjunct."""
+    from repro.query.masks import mask_compilable
+    from repro.query.normalize import IntervalSet, numeric_atom
+
+    table = catalog.table(table_name)
+    conjs = _conjuncts(residual)
+    sels: tuple[float, ...] = ()
+    if len(conjs) >= 2:
+        # selectivity is only *needed* to order; a single conjunct runs
+        # as-is and skips the histogram work entirely
+        from repro.lint.analyze import predicate_selectivity
+        from repro.storage.stats import planner_stats
+
+        stats = planner_stats(table)
+        scored = sorted(
+            (
+                (predicate_selectivity(dequalify(conj, binding), stats), i, conj)
+                for i, conj in enumerate(conjs)
+            ),
+            key=lambda item: (item[0], item[1]),
+        )
+        conjs = [conj for _, _, conj in scored]
+        sels = tuple(sel for sel, _, _ in scored)
+    residual = _rebuild_and(conjs)
+
+    prune: PrunePlan | None = None
+    if index is None and table.freshness_column is not None:
+        for conj in conjs:
+            atom = numeric_atom(dequalify(conj, binding))
+            if (
+                atom is not None
+                and atom[0] == table.freshness_column
+                and atom[1].intersect(IntervalSet.point(1.0)).is_empty()
+            ):
+                # rows outside the rot dirty-map hold f == 1.0 exactly,
+                # which this conjunct rules out — scan only the spans
+                prune = PrunePlan(table.freshness_column, conj.to_sql())
+                break
+
+    vec_flags = tuple(
+        mask_compilable(conj, table.schema, binding) for conj in conjs
+    )
+    if not table.vectorized:
+        mode = "row-fallback"
+    elif not vec_flags or all(vec_flags):
+        mode = "vectorized"
+    elif any(vec_flags):
+        mode = "hybrid"
+    else:
+        mode = "row-fallback"
+
+    return ScanPlan(
+        table_name,
+        binding,
+        index=index,
+        residual=residual,
+        filters=tuple(conjs),
+        filter_sels=sels,
+        filter_vec=vec_flags,
+        prune=prune,
+        mode=mode,
+    )
+
+
+# ----------------------------------------------------------------------
 # aggregate analysis
 # ----------------------------------------------------------------------
 
@@ -328,12 +446,16 @@ def plan_select(stmt: SelectStmt, catalog: Catalog) -> SelectPlan:
     # scans & index choice (indexes only help single-table unqualified predicates)
     if stmt.join is None:
         index, residual = _choose_index(catalog, stmt.table.name, stmt.where)
-        source: ScanPlan | JoinPlan = ScanPlan(
-            stmt.table.name, stmt.table.binding, index=index, residual=residual
+        source: ScanPlan | JoinPlan = _build_scan(
+            catalog, stmt.table.name, stmt.table.binding, index, residual
         )
     else:
-        left_scan = ScanPlan(stmt.table.name, stmt.table.binding, residual=None)
-        right_scan = ScanPlan(stmt.join.table.name, stmt.join.table.binding, residual=None)
+        left_scan = _build_scan(
+            catalog, stmt.table.name, stmt.table.binding, None, None
+        )
+        right_scan = _build_scan(
+            catalog, stmt.join.table.name, stmt.join.table.binding, None, None
+        )
         left_key, right_key = _resolve_join_keys(stmt.join, stmt.table, scope)
         join_plan = JoinPlan(left_scan, right_scan, left_key, right_key, residual=stmt.where)
         source = join_plan
@@ -462,7 +584,7 @@ def plan_delete(stmt: DeleteStmt, catalog: Catalog) -> ScanPlan:
         if _find_aggregates(stmt.where):
             raise PlanError("aggregates are not allowed in DELETE ... WHERE")
     index, residual = _choose_index(catalog, stmt.table, stmt.where)
-    return ScanPlan(stmt.table, stmt.table, index=index, residual=residual)
+    return _build_scan(catalog, stmt.table, stmt.table, index, residual)
 
 
 def plan_insert(stmt: InsertStmt, catalog: Catalog) -> tuple[str, tuple[str, ...]]:
@@ -494,10 +616,27 @@ def plan_insert(stmt: InsertStmt, catalog: Catalog) -> tuple[str, tuple[str, ...
 
 
 def render_scan(scan: ScanPlan) -> str:
-    """The one-line description of a base-table scan."""
+    """The (possibly multi-line) description of a base-table scan.
+
+    Line 1 keeps the historical shape; detail lines are indented so
+    EXPLAIN ANALYZE's per-node annotation can splice stats after them.
+    """
     access = scan.index.describe() if scan.index else "full scan"
     residual = scan.residual.to_sql() if scan.residual else "none"
-    return f"scan {scan.table_name} via {access}; residual {residual}"
+    lines = [f"scan {scan.table_name} via {access}; residual {residual}"]
+    lines.append(f"  mode: {scan.mode}")
+    if scan.filter_sels:
+        ordered = " -> ".join(
+            f"{conj.to_sql()} [sel {sel:.2f}]"
+            for conj, sel in zip(scan.filters, scan.filter_sels)
+        )
+        lines.append(f"  filters: {ordered}")
+    if scan.prune is not None:
+        lines.append(
+            f"  prune: rot spans of {scan.prune.column} only "
+            f"({scan.prune.predicate} rules out {scan.prune.column} = 1.0)"
+        )
+    return "\n".join(lines)
 
 
 def render_join(join: JoinPlan) -> str:
@@ -517,13 +656,13 @@ def render_plan(plan: SelectPlan | ScanPlan) -> list[str]:
     """
     if isinstance(plan, ScanPlan):
         return [
-            render_scan(plan),
+            *render_scan(plan).splitlines(),
             "DELETE: matching base rows are removed (no distillation)",
         ]
     lines: list[str] = []
     source = plan.source
     if isinstance(source, ScanPlan):
-        lines.append(render_scan(source))
+        lines.extend(render_scan(source).splitlines())
     else:
         lines.append(render_join(source))
     if plan.aggregate:

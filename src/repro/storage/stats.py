@@ -14,6 +14,7 @@ anything is actually consumed.
 from __future__ import annotations
 
 import sys
+import weakref
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
@@ -143,29 +144,28 @@ def estimate_bytes(table: Table) -> int:
     return total
 
 
+def _column_stats_of(table: Table, name: str, dtype: DataType) -> ColumnStats:
+    """One column's :class:`ColumnStats` over the live rows."""
+    values = table.column_values(name)
+    non_null = [v for v in values if v is not None]
+    return ColumnStats(
+        name=name,
+        dtype=dtype,
+        count=len(values),
+        nulls=len(values) - len(non_null),
+        distinct=len(set(non_null)),
+        min_value=min(non_null) if non_null else None,
+        max_value=max(non_null) if non_null else None,
+        histogram=(build_histogram(values) if dtype in _NUMERIC_DTYPES else None),
+    )
+
+
 def collect_stats(table: Table) -> TableStats:
     """Compute :class:`TableStats` over the live rows of ``table``."""
-    col_stats = []
-    for col_def in table.schema:
-        values = table.column_values(col_def.name)
-        non_null = [v for v in values if v is not None]
-        comparable = non_null
-        col_stats.append(
-            ColumnStats(
-                name=col_def.name,
-                dtype=col_def.dtype,
-                count=len(values),
-                nulls=len(values) - len(non_null),
-                distinct=len(set(non_null)),
-                min_value=min(comparable) if comparable else None,
-                max_value=max(comparable) if comparable else None,
-                histogram=(
-                    build_histogram(values)
-                    if col_def.dtype in _NUMERIC_DTYPES
-                    else None
-                ),
-            )
-        )
+    col_stats = [
+        _column_stats_of(table, col_def.name, col_def.dtype)
+        for col_def in table.schema
+    ]
     return TableStats(
         name=table.name,
         live_rows=len(table),
@@ -174,3 +174,58 @@ def collect_stats(table: Table) -> TableStats:
         estimated_bytes=estimate_bytes(table),
         columns=tuple(col_stats),
     )
+
+
+class PlannerStats:
+    """Lazy, cached per-column statistics for query planning.
+
+    :func:`collect_stats` walks every live cell of every column (plus a
+    ``getsizeof`` pass) — far too heavy to run per query. The planner
+    only needs histograms for the handful of columns its predicates
+    mention, so this view computes each column on first touch and keeps
+    it while the column's data token (generation, allocation high-water
+    mark, data version) and the table's liveness version stand still.
+
+    Duck-type compatible with :class:`TableStats` where the selectivity
+    estimator cares: ``.column(name)`` raising :class:`KeyError` for
+    unknown columns, and ``.live_rows``.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self._table = table
+        self._cache: dict[str, tuple[tuple, ColumnStats]] = {}
+
+    @property
+    def live_rows(self) -> int:
+        return len(self._table)
+
+    def column(self, name: str) -> ColumnStats:
+        """Stats for one column (computed on first use, then cached)."""
+        table = self._table
+        if name not in table.schema:
+            raise KeyError(name)
+        token = (table._version, table.data_token(name))  # noqa: SLF001
+        cached = self._cache.get(name)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        stats = _column_stats_of(table, name, table.schema.column(name).dtype)
+        self._cache[name] = (token, stats)
+        return stats
+
+
+_PLANNER_STATS: "weakref.WeakKeyDictionary[Table, PlannerStats]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def planner_stats(table: Table) -> PlannerStats:
+    """The shared :class:`PlannerStats` view of ``table``.
+
+    One instance per table for the table's lifetime, so histogram work
+    amortises across queries.
+    """
+    view = _PLANNER_STATS.get(table)
+    if view is None:
+        view = PlannerStats(table)
+        _PLANNER_STATS[table] = view
+    return view

@@ -58,6 +58,50 @@ class TableObserver(Protocol):
 #: column dtypes eligible for float64 vector backing
 _VECTORIZABLE = (DataType.FLOAT, DataType.TIMESTAMP)
 
+#: column dtypes the query mask compiler can read as float64 arrays
+_MASKABLE = (DataType.INT, DataType.FLOAT, DataType.TIMESTAMP)
+
+#: largest magnitude an int survives an exact float64 round-trip at
+_EXACT_INT = float(2**53)
+
+
+class ColumnMaskData:
+    """A column's float64 view for vectorized predicate evaluation.
+
+    ``values`` covers the whole allocated row space (tombstoned slots
+    hold stale values — index with known-live rids only). ``nulls`` is
+    a parallel boolean array, or ``None`` when the column holds no
+    NULLs. ``int_bound`` is the max-abs value for INT columns (the mask
+    compiler bound-checks integer arithmetic against 2**53 exactness);
+    0.0 for float/timestamp columns, whose float64 arithmetic is
+    bit-identical to Python's by construction.
+    """
+
+    __slots__ = ("values", "nulls", "int_bound", "is_int")
+
+    def __init__(self, values: Any, nulls: Any, int_bound: float, is_int: bool) -> None:
+        self.values = values
+        self.nulls = nulls
+        self.int_bound = int_bound
+        self.is_int = is_int
+
+
+def _runs_of_sorted(rids: Sequence[int]) -> list[tuple[int, int]]:
+    """Collapse ascending rids into inclusive contiguous runs."""
+    runs: list[tuple[int, int]] = []
+    start = prev = None
+    for rid in rids:
+        if start is None:
+            start = prev = rid
+        elif rid == prev + 1:
+            prev = rid
+        else:
+            runs.append((start, prev))
+            start = prev = rid
+    if start is not None:
+        runs.append((start, prev))
+    return runs
+
 
 class Table:
     """Columnar table with tombstone deletes and stable row ids.
@@ -120,6 +164,28 @@ class Table:
         self._generation = 0  # bumped on compaction; indexes check it
         self._version = 0  # bumped on every liveness change; caches check it
         self._live_cache: tuple[int, list[int]] | None = None
+        # per-column value-mutation counters: liveness changes do not
+        # touch them, so value-derived caches (mask arrays, histograms)
+        # survive deletes and only rebuild when a cell really moved
+        self._data_versions = [0] * len(schema)
+        self._mask_cache: dict[int, tuple[tuple, ColumnMaskData | None]] = {}
+        self._freshness_pos = (
+            schema.index_of(freshness_column) if freshness_column is not None else None
+        )
+        # rot dirty-map: a conservative superset of the rids whose
+        # freshness may differ from 1.0. Invariant (the freshness-prune
+        # soundness condition): every *live* row outside these spans has
+        # f == 1.0 exactly. Spans are never un-marked (rows re-pinned to
+        # 1.0 stay covered) — conservative, so pruning stays sound.
+        if freshness_column is not None:
+            # deferred import: repro.fungi.__init__ pulls in modules
+            # that import this one; by the time a table is constructed
+            # the cycle has resolved
+            from repro.fungi.spotset import SpotSet
+
+            self._rot: Any = SpotSet()
+        else:
+            self._rot = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -230,6 +296,10 @@ class Table:
         self._next_rid += 1
         self._live_count += 1
         self._version += 1
+        if self._freshness_pos is not None and values[self._freshness_pos] != 1.0:
+            # restore()/snapshot paths append rows mid-decay; they must
+            # land inside the dirty map or span pruning would skip them
+            self._rot.add(rid)
         for obs in self._observers:
             obs.on_append(rid, values)
         return rid
@@ -295,11 +365,15 @@ class Table:
             self.probe.note(self.name, "update")
         self._check_live(rid)
         col_def = self.schema.column(column)
-        old = self._columns[self.schema.index_of(column)][rid]
+        pos = self.schema.index_of(column)
+        old = self._columns[pos][rid]
         new = col_def.coerce(value)
         if old == new:
             return
-        self._columns[self.schema.index_of(column)][rid] = new
+        self._columns[pos][rid] = new
+        self._data_versions[pos] += 1
+        if pos == self._freshness_pos and new != 1.0:
+            self._rot.add(rid)
 
     # ------------------------------------------------------------------
     # reads
@@ -440,6 +514,9 @@ class Table:
         self.check_live_many(rids)
         pos = self.schema.index_of(column)
         col = self._columns[pos]
+        self._data_versions[pos] += 1
+        if pos == self._freshness_pos:
+            self.mark_rot(rids)
         if pos in self._vector_positions:
             col.array()[numpy.asarray(rids, dtype=numpy.intp)] = values
             return
@@ -518,6 +595,156 @@ class Table:
         if start is not None:
             runs.append((start, hi))
         return runs
+
+    # ------------------------------------------------------------------
+    # rot dirty-map (freshness-aware span pruning)
+    # ------------------------------------------------------------------
+
+    def mark_rot(self, rids: Sequence[int]) -> None:
+        """Add ``rids`` to the rot dirty-map (no-op without a freshness
+        column).
+
+        Deliberately conservative: the whole batch is marked without
+        inspecting the written values, so a write that restores f = 1.0
+        keeps its span in the map. Soundness only needs the superset
+        direction; precision returns at the next :meth:`compact`.
+        """
+        if self._rot is None or len(rids) == 0:
+            return
+        if HAVE_NUMPY and len(rids) > 64:
+            # the decay kernels hit this every cycle with the whole
+            # infected batch, so the common cases must stay cheap:
+            # a batch inside an already-dirty span is a no-op, and run
+            # detection on the rest stays in C. Duplicates need no
+            # dedup pass: a dup's diff is 0, never a gap.
+            arr = numpy.asarray(rids, dtype=numpy.intp)
+            lo = int(arr.min())
+            hi = int(arr.max())
+            if self._rot.covers_span(lo, hi):
+                return
+            diffs = numpy.diff(arr)
+            if numpy.any(diffs < 0):
+                arr = numpy.sort(arr)
+                diffs = numpy.diff(arr)
+            gaps = numpy.flatnonzero(diffs > 1)
+            starts = numpy.concatenate(([0], gaps + 1))
+            ends = numpy.concatenate((gaps, [arr.size - 1]))
+            self._rot.add_runs(
+                (int(arr[s]), int(arr[e]))
+                for s, e in zip(starts.tolist(), ends.tolist())
+            )
+            return
+        ordered = sorted(int(r) for r in rids)
+        self._rot.add_runs(_runs_of_sorted(ordered))
+
+    def rot_spans(self) -> list[tuple[int, int]]:
+        """The dirty-map spans: inclusive ``(lo, hi)`` rid intervals.
+
+        Every live row *outside* these spans has freshness exactly 1.0
+        — the invariant the freshness-aware planner prunes against.
+        """
+        if self._rot is None:
+            return []
+        return self._rot.spans()
+
+    def rot_live_rows(self) -> list[int]:
+        """Live rids inside the dirty spans, ascending.
+
+        The candidate set of a span-pruned scan; identical on both
+        backends (``live_runs`` does the liveness intersection).
+        """
+        out: list[int] = []
+        if self._rot is None:
+            return out
+        for lo, hi in self._rot.spans():
+            for start, end in self.live_runs(lo, hi):
+                out.extend(range(start, end + 1))
+        return out
+
+    def rot_live_count(self) -> int:
+        """Number of live rows inside the dirty spans (cost-model input)."""
+        if self._rot is None:
+            return 0
+        total = 0
+        for lo, hi in self._rot.spans():
+            for start, end in self.live_runs(lo, hi):
+                total += end - start + 1
+        return total
+
+    # ------------------------------------------------------------------
+    # predicate-mask views (vectorized query execution)
+    # ------------------------------------------------------------------
+
+    def data_token(self, column: str) -> tuple:
+        """Cache token that changes whenever ``column``'s values can.
+
+        Liveness flips don't invalidate value-derived caches; appends
+        (``allocated`` grows), cell writes (data version) and
+        compaction (generation) do.
+        """
+        pos = self.schema.index_of(column)
+        return (self._generation, self._next_rid, self._data_versions[pos])
+
+    def gather(self, column: str, rids: Sequence[int]) -> list[Any]:
+        """Values of ``column`` for known-live ``rids``, as Python objects.
+
+        The late-materialization fast path: no per-rid liveness
+        re-check (callers pass rids that just came off a live scan),
+        and non-vector columns are read from their backing lists so
+        value types round-trip exactly (an INT stays ``int``).
+        """
+        pos = self.schema.index_of(column)
+        col = self._columns[pos]
+        if pos in self._vector_positions and len(rids) > 0:
+            return col.array()[numpy.asarray(rids, dtype=numpy.intp)].tolist()
+        return [col[rid] for rid in rids]
+
+    def mask_data(self, column: str) -> ColumnMaskData | None:
+        """Float64 view of a numeric column for boolean-mask predicates.
+
+        Returns ``None`` when the column cannot back exact mask
+        arithmetic: numpy missing, non-numeric dtype, or an INT column
+        whose magnitude exceeds the float64-exact range. Views for
+        non-vector columns are cached per :meth:`data_token`.
+        """
+        if not HAVE_NUMPY:
+            return None
+        pos = self.schema.index_of(column)
+        dtype = self.schema.columns[pos].dtype
+        if dtype not in _MASKABLE:
+            return None
+        if pos in self._vector_positions:
+            return ColumnMaskData(self._columns[pos].array(), None, 0.0, False)
+        token = self.data_token(column)
+        cached = self._mask_cache.get(pos)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        data = self._build_mask_data(pos, dtype)
+        self._mask_cache[pos] = (token, data)
+        return data
+
+    def _build_mask_data(self, pos: int, dtype: DataType) -> ColumnMaskData | None:
+        col = self._columns[pos]
+        nulls = None
+        # asarray would silently coerce None to nan, losing the null
+        # mask SQL three-valued logic depends on — detect NULLs first
+        if any(v is None for v in col):
+            values = numpy.zeros(len(col), dtype=numpy.float64)
+            nulls = numpy.zeros(len(col), dtype=numpy.bool_)
+            for i, v in enumerate(col):
+                if v is None:
+                    nulls[i] = True
+                else:
+                    values[i] = v
+        else:
+            values = numpy.asarray(col, dtype=numpy.float64)
+        is_int = dtype is DataType.INT
+        bound = 0.0
+        if is_int and values.size:
+            bound = float(numpy.max(numpy.abs(values)))
+            if bound >= _EXACT_INT:
+                return None
+        return ColumnMaskData(values, nulls, bound, is_int)
 
     # ------------------------------------------------------------------
     # neighbour navigation (EGI's spread axis)
@@ -602,6 +829,9 @@ class Table:
         self._generation += 1
         self._version += 1
         self._live_cache = None
+        self._mask_cache.clear()
+        if self._rot is not None:
+            self._rot.remap(remap)
         for obs in self._observers:
             obs.on_compact(remap)
         return remap

@@ -1,0 +1,21 @@
+"""Known-bad fixture: row-at-a-time scans on a query hot path.
+
+The path (``repro/query/``) puts this file inside RS014's scope; both
+per-row materializations below must be flagged. The bulk gather at the
+end is the sanctioned shape and must pass.
+"""
+
+
+def filter_rows(table, rids, wanted):
+    kept = []
+    for rid in rids:
+        if table.row_dict(rid)["v"] in wanted:  # flagged: dict per row
+            kept.append(rid)
+    values = [table.row(rid) for rid in kept]  # flagged: comprehension
+    columns = table.gather("v", kept)  # sanctioned bulk materialization
+    return values, columns
+
+
+def peek(table, rid):
+    # a one-off administrative read outside any loop is fine
+    return table.row_dict(rid)

@@ -20,6 +20,7 @@ from repro.lint.rules import (
     NoWallClockRule,
     PublishedEventRule,
     QueryMetricReferenceRule,
+    RowAtATimeScanRule,
     SanctionedFreshnessRule,
     SeededRandomRule,
     SpanContextManagerRule,
@@ -40,6 +41,7 @@ FIXTURE_BY_RULE = {
     "RS008": FIXTURES / "repro" / "server" / "rs008_blocking_async.py",
     "RS009": FIXTURES / "repro" / "server" / "rs009_manual_span.py",
     "RS010": FIXTURES / "rs010_query_metric_refs.py",
+    "RS014": FIXTURES / "repro" / "query" / "rs014_per_row_scan.py",
 }
 
 EXPECTED_COUNTS = {
@@ -53,6 +55,7 @@ EXPECTED_COUNTS = {
     "RS008": 4,  # sleep, sync socket, open(), pathlib read; helpers pass
     "RS009": 4,  # root/stage/anchor/span sans with; with + record_span pass
     "RS010": 3,  # undocumented name, concatenation, f-string; suffix passes
+    "RS014": 2,  # for-loop row_dict and comprehension row; gather passes
 }
 
 
@@ -141,6 +144,7 @@ class TestEngine:
             "RS008",
             "RS009",
             "RS010",
+            "RS014",
         ]
         for rule in default_rules():
             assert rule.title and rule.rationale
@@ -157,6 +161,7 @@ class TestEngine:
             BlockingAsyncRule,
             SpanContextManagerRule,
             QueryMetricReferenceRule,
+            RowAtATimeScanRule,
         ):
             assert rule_cls.id.startswith("RS")
 
@@ -227,6 +232,37 @@ class TestRS009Scope:
         )
         assert [f.rule for f in findings] == ["RS009"]
         assert "with" in findings[0].message
+
+
+class TestRS014Scope:
+    def test_only_bites_under_the_query_package(self):
+        rule = RowAtATimeScanRule()
+        assert rule.applies_to(Path("src/repro/query/operators.py"))
+        assert not rule.applies_to(Path("src/repro/storage/table.py"))
+        assert not rule.applies_to(Path("src/repro/core/db.py"))
+
+    def test_bulk_gather_and_one_off_reads_pass(self):
+        source = (
+            "def f(table, rids):\n"
+            "    values = table.gather('v', rids)\n"
+            "    first = table.row_dict(rids[0])\n"
+            "    return values, first\n"
+        )
+        findings, _ = LintEngine(rules=[RowAtATimeScanRule()]).lint_source(
+            Path("repro/query/x.py"), source
+        )
+        assert findings == []
+
+    def test_per_row_loop_fails(self):
+        source = (
+            "def f(table, rids):\n"
+            "    return [table.row(rid) for rid in rids]\n"
+        )
+        findings, _ = LintEngine(rules=[RowAtATimeScanRule()]).lint_source(
+            Path("repro/query/x.py"), source
+        )
+        assert [f.rule for f in findings] == ["RS014"]
+        assert "gather" in findings[0].message
 
 
 class TestRS006Patterns:

@@ -25,9 +25,19 @@ from repro.storage import Catalog, Schema, Table
 TIMING = re.compile(r" \| \d+\.\d{3} ms$|; \d+\.\d{3} ms$")
 
 
-def build_engine() -> QueryEngine:
-    """The conftest 10-row ``r`` plus a 2-row join target ``s``."""
-    table = Table(Schema.of(t="timestamp", f="float", v="int", key="str"), name="r")
+def build_engine(vectorized: bool = False) -> QueryEngine:
+    """The conftest 10-row ``r`` plus a 2-row join target ``s``.
+
+    ``vectorized=True`` builds ``r`` the way FungusDB does — numpy
+    ``t``/``f`` vector columns with ``f`` as the freshness column — so
+    the same statements run through the mask-compiled executor.
+    """
+    table = Table(
+        Schema.of(t="timestamp", f="float", v="int", key="str"),
+        name="r",
+        vector_columns=("t", "f") if vectorized else (),
+        freshness_column="f" if vectorized else None,
+    )
     for i in range(10):
         table.append(
             {"t": float(i), "f": 1.0, "v": i * i, "key": "a" if i % 2 else "b"}
@@ -39,6 +49,28 @@ def build_engine() -> QueryEngine:
     catalog.register(table)
     catalog.register(lookup)
     catalog.create_hash_index("r", "key")
+    return QueryEngine(catalog)
+
+
+def build_rotted_engine() -> QueryEngine:
+    """A vectorized table whose last two rows sit in a rot spot."""
+    table = Table(
+        Schema.of(t="timestamp", f="float", v="int", key="str"),
+        name="r",
+        vector_columns=("t", "f"),
+        freshness_column="f",
+    )
+    for i in range(10):
+        table.append(
+            {
+                "t": float(i),
+                "f": 0.5 if i >= 8 else 1.0,
+                "v": i * i,
+                "key": "a" if i % 2 else "b",
+            }
+        )
+    catalog = Catalog()
+    catalog.register(table)
     return QueryEngine(catalog)
 
 
@@ -59,8 +91,9 @@ class TestGoldenOutput:
         assert analyzed(engine, "EXPLAIN ANALYZE SELECT v FROM r WHERE v > 50") == [
             "EXPLAIN ANALYZE (plan vs. actual)",
             "scan r via full scan; residual (v > 50)",
+            "  mode: row-fallback",
             "  rows: est 2, actual 2 (q=1.00) | in 10, index hits 0, "
-            "rotted skipped 0, predicate evals 10",
+            "rotted skipped 0, span pruned 0, predicate evals 10",
             "total: 2 row(s); worst misestimation q=1.00",
         ]
 
@@ -70,8 +103,9 @@ class TestGoldenOutput:
         ) == [
             "EXPLAIN ANALYZE (plan vs. actual)",
             "scan r via hash(key='a'); residual none",
+            "  mode: row-fallback",
             "  rows: est 5, actual 5 (q=1.00) | in 5, index hits 5, "
-            "rotted skipped 0, predicate evals 0",
+            "rotted skipped 0, span pruned 0, predicate evals 0",
             "total: 5 row(s); worst misestimation q=1.00",
         ]
 
@@ -83,8 +117,9 @@ class TestGoldenOutput:
         ) == [
             "EXPLAIN ANALYZE (plan vs. actual)",
             "scan r via full scan; residual none",
+            "  mode: row-fallback",
             "  rows: est 10, actual 10 (q=1.00) | in 10, index hits 0, "
-            "rotted skipped 0, predicate evals 0",
+            "rotted skipped 0, span pruned 0, predicate evals 0",
             "aggregate by ['key'] computing ['count(*)']",
             "  rows: est 2, actual 2 (q=1.00) | in 10",
             "sort by ['key ASC']",
@@ -112,8 +147,9 @@ class TestGoldenOutput:
         ) == [
             "EXPLAIN ANALYZE (plan vs. actual)",
             "scan r via full scan; residual none",
+            "  mode: row-fallback",
             "  rows: est 10, actual 10 (q=1.00) | in 10, index hits 0, "
-            "rotted skipped 0, predicate evals 0",
+            "rotted skipped 0, span pruned 0, predicate evals 0",
             "distinct over output columns",
             "  rows: est 10, actual 2 (q=5.00) | in 10",
             "limit 1",
@@ -127,8 +163,9 @@ class TestGoldenOutput:
         ) == [
             "EXPLAIN ANALYZE (plan vs. actual)",
             "scan r via full scan; residual (v > 50)",
+            "  mode: row-fallback",
             "  rows: est 2, actual 2 (q=1.00) | in 10, index hits 0, "
-            "rotted skipped 0, predicate evals 10",
+            "rotted skipped 0, span pruned 0, predicate evals 10",
             "CONSUME: matching base rows are deleted (Law 2)",
             "  rows consumed: est 2, actual 2 (q=1.00) | in 2",
             "Tier-B consume verdict: partial",
@@ -143,12 +180,58 @@ class TestGoldenOutput:
         ) == [
             "EXPLAIN ANALYZE (plan vs. actual)",
             "scan r via hash(key='b'); residual none",
+            "  mode: row-fallback",
             "DELETE: matching base rows are removed (no distillation)",
             "  rows consumed: est 5, actual 5 (q=1.00) | in 5, index hits 5, "
-            "rotted skipped 0, predicate evals 0",
+            "rotted skipped 0, span pruned 0, predicate evals 0",
             "total: 1 row(s); worst misestimation q=1.00",
         ]
         assert len(engine.execute("SELECT v FROM r")) == 5
+
+
+class TestVectorizedPlanGoldens:
+    """Filter reordering, span pruning, and mode labels in EXPLAIN."""
+
+    def test_filters_reorder_by_selectivity(self):
+        """The selective freshness conjunct is hoisted ahead of v > 50."""
+        engine = build_rotted_engine()
+        result = engine.execute("EXPLAIN SELECT v FROM r WHERE v > 50 AND f < 0.9")
+        assert [row[0] for row in result.rows] == [
+            "scan r via full scan; residual ((f < 0.9) AND (v > 50))",
+            "  mode: vectorized",
+            "  filters: (f < 0.9) [sel 0.20] -> (v > 50) [sel 0.22]",
+            "  prune: rot spans of f only ((f < 0.9) rules out f = 1.0)",
+        ]
+
+    def test_span_pruning_in_analyze(self):
+        """Pruning charges only the rot-spot footprint: 8 rows skipped
+        before any column is touched, 2x2 predicate evals, est capped
+        by the surviving span footprint."""
+        engine = build_rotted_engine()
+        assert analyzed(
+            engine, "EXPLAIN ANALYZE SELECT v FROM r WHERE f < 0.9 AND v >= 0"
+        ) == [
+            "EXPLAIN ANALYZE (plan vs. actual)",
+            "scan r via full scan; residual ((f < 0.9) AND (v >= 0))",
+            "  mode: vectorized",
+            "  filters: (f < 0.9) [sel 0.20] -> (v >= 0) [sel 1.00]",
+            "  prune: rot spans of f only ((f < 0.9) rules out f = 1.0)",
+            "  rows: est 2, actual 2 (q=1.00) | in 2, index hits 0, "
+            "rotted skipped 0, span pruned 8, predicate evals 4",
+            "total: 2 row(s); worst misestimation q=1.00",
+        ]
+
+    def test_hybrid_mode_for_string_conjunct(self):
+        """A string conjunct cannot mask-compile; the scan goes hybrid."""
+        engine = build_rotted_engine()
+        result = engine.execute(
+            "EXPLAIN SELECT v FROM r WHERE v > 50 AND key = 'a'"
+        )
+        assert [row[0] for row in result.rows] == [
+            "scan r via full scan; residual ((v > 50) AND (key = 'a'))",
+            "  mode: hybrid",
+            "  filters: (v > 50) [sel 0.22] -> (key = 'a') [sel 0.50]",
+        ]
 
 
 class TestPlainExplainStillDescribes:
@@ -160,6 +243,7 @@ class TestPlainExplainStillDescribes:
         plan = plan_delete(parse("DELETE FROM r WHERE v > 50"), engine.catalog)
         assert render_plan(plan) == [
             "scan r via full scan; residual (v > 50)",
+            "  mode: row-fallback",
             "DELETE: matching base rows are removed (no distillation)",
         ]
 
@@ -169,6 +253,7 @@ class TestPlainExplainStillDescribes:
         )
         assert render_plan(plan) == [
             "scan r via full scan; residual (v > 50)",
+            "  mode: row-fallback",
             "CONSUME: matching base rows are deleted (Law 2)",
         ]
 
@@ -215,16 +300,20 @@ predicates = st.one_of(
     predicate=predicates,
     limit=st.one_of(st.none(), st.integers(min_value=0, max_value=12)),
     distinct=st.booleans(),
+    vectorized=st.booleans(),
 )
 @settings(max_examples=60, deadline=None)
-def test_analyzed_actual_matches_plain_row_count(predicate, limit, distinct):
+def test_analyzed_actual_matches_plain_row_count(
+    predicate, limit, distinct, vectorized
+):
+    """Holds on the masked (vectorized) paths and the row fallback alike."""
     sql = "SELECT key FROM r" if not distinct else "SELECT DISTINCT key FROM r"
     if predicate is not None:
         column, op, value = predicate
         sql += f" WHERE {column} {op} {value}"
     if limit is not None:
         sql += f" LIMIT {limit}"
-    engine = build_engine()
+    engine = build_engine(vectorized)
     expected = len(engine.execute(sql))
     lines = analyzed(engine, f"EXPLAIN ANALYZE {sql}")
     total = lines[-1]
